@@ -1,0 +1,365 @@
+//! The BRIDGE combined gravitational/hydro/stellar solver (Fig 7).
+//!
+//! The paper's Fig 7 shows one time step of the combined solver: the gas
+//! dynamics and gravitational (stellar) dynamics models *evolve in
+//! parallel*, coupled by "p-kick" phases computed by the coupling model;
+//! the stellar-evolution model exchanges state only every n-th step,
+//! "at a slower rate". This module reproduces that calling sequence over
+//! [`Channel`]s, so the identical bridge runs against in-process workers,
+//! thread workers, or workers spread across the simulated jungle.
+
+use crate::channel::Channel;
+use crate::worker::{ParticleData, Request, Response};
+use jc_stellar::StellarEvent;
+
+/// Bridge configuration.
+#[derive(Clone, Debug)]
+pub struct BridgeConfig {
+    /// Inner bridge timestep (N-body units).
+    pub dt: f64,
+    /// Substeps per outer iteration (the paper's "single iteration (time
+    /// step) of the simulation" contains many inner bridge steps).
+    pub substeps: u32,
+    /// Exchange stellar-evolution state every this many outer iterations
+    /// ("it is performed at a slower rate, only exchanging state every
+    /// n-th time step").
+    pub stellar_interval: u32,
+    /// Myr per N-body time unit (from the cluster's unit converter).
+    pub time_unit_myr: f64,
+    /// MSun per N-body mass unit.
+    pub mass_unit_msun: f64,
+    /// Supernova thermal energy deposited per event (N-body energy units).
+    pub sn_energy: f64,
+    /// Supernova deposition radius (N-body length units).
+    pub sn_radius: f64,
+    /// Record the call sequence of the next iteration (Fig 7 trace).
+    pub trace: bool,
+}
+
+impl Default for BridgeConfig {
+    fn default() -> BridgeConfig {
+        BridgeConfig {
+            dt: 1.0 / 64.0,
+            substeps: 8,
+            stellar_interval: 4,
+            time_unit_myr: 1.0,
+            mass_unit_msun: 1000.0,
+            sn_energy: 0.2,
+            sn_radius: 0.2,
+            trace: false,
+        }
+    }
+}
+
+/// What one outer iteration did.
+#[derive(Clone, Debug, Default)]
+pub struct IterationReport {
+    /// Model time after the iteration (N-body units).
+    pub time: f64,
+    /// RPC calls made during the iteration.
+    pub calls: u64,
+    /// Supernovae that fired.
+    pub supernovae: u32,
+    /// Wind mass-loss events applied.
+    pub wind_events: u32,
+    /// Call-sequence trace (only when `cfg.trace`).
+    pub trace: Vec<String>,
+}
+
+/// The combined solver.
+pub struct Bridge {
+    gravity: Box<dyn Channel>,
+    hydro: Box<dyn Channel>,
+    coupling: Box<dyn Channel>,
+    stellar: Option<Box<dyn Channel>>,
+    cfg: BridgeConfig,
+    time: f64,
+    iterations: u64,
+    total_supernovae: u32,
+}
+
+impl Bridge {
+    /// Assemble a bridge from its four workers' channels.
+    pub fn new(
+        gravity: Box<dyn Channel>,
+        hydro: Box<dyn Channel>,
+        coupling: Box<dyn Channel>,
+        stellar: Option<Box<dyn Channel>>,
+        cfg: BridgeConfig,
+    ) -> Bridge {
+        assert!(cfg.dt > 0.0 && cfg.substeps > 0 && cfg.stellar_interval > 0);
+        Bridge { gravity, hydro, coupling, stellar, cfg, time: 0.0, iterations: 0, total_supernovae: 0 }
+    }
+
+    /// Current model time (N-body units).
+    pub fn model_time(&self) -> f64 {
+        self.time
+    }
+
+    /// Iterations completed.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Supernovae so far.
+    pub fn total_supernovae(&self) -> u32 {
+        self.total_supernovae
+    }
+
+    /// Channel statistics: (gravity, hydro, coupling, stellar).
+    pub fn channel_stats(
+        &self,
+    ) -> (
+        crate::channel::ChannelStats,
+        crate::channel::ChannelStats,
+        crate::channel::ChannelStats,
+        Option<crate::channel::ChannelStats>,
+    ) {
+        (
+            self.gravity.stats(),
+            self.hydro.stats(),
+            self.coupling.stats(),
+            self.stellar.as_ref().map(|s| s.stats()),
+        )
+    }
+
+    /// Fetch current snapshots (stars, gas) — for diagnostics between
+    /// iterations.
+    pub fn snapshots(&mut self) -> (ParticleData, ParticleData) {
+        let stars = match self.gravity.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("gravity snapshot failed: {other:?}"),
+        };
+        let gas = match self.hydro.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("hydro snapshot failed: {other:?}"),
+        };
+        (stars, gas)
+    }
+
+    /// Run one outer iteration (the unit the paper reports seconds for).
+    pub fn iteration(&mut self) -> IterationReport {
+        let mut rep = IterationReport::default();
+        let calls0 = self.total_calls();
+        for _ in 0..self.cfg.substeps {
+            self.kick(0.5 * self.cfg.dt, &mut rep);
+            let t_next = self.time + self.cfg.dt;
+            if rep.trace.len() < 64 && self.cfg.trace {
+                rep.trace.push(format!("evolve gravity -> t={t_next:.5} || evolve hydro -> t={t_next:.5}"));
+            }
+            // parallel evolve ("The evolve step can be done in parallel")
+            self.gravity.submit(Request::EvolveTo(t_next));
+            self.hydro.submit(Request::EvolveTo(t_next));
+            let rg = self.gravity.collect();
+            let rh = self.hydro.collect();
+            assert!(matches!(rg, Response::Ok { .. }), "gravity evolve failed: {rg:?}");
+            assert!(matches!(rh, Response::Ok { .. }), "hydro evolve failed: {rh:?}");
+            self.kick(0.5 * self.cfg.dt, &mut rep);
+            self.time = t_next;
+        }
+        self.iterations += 1;
+        if self.iterations % self.cfg.stellar_interval as u64 == 0 {
+            self.stellar_exchange(&mut rep);
+        }
+        rep.time = self.time;
+        rep.calls = self.total_calls() - calls0;
+        self.total_supernovae += rep.supernovae;
+        rep
+    }
+
+    fn total_calls(&self) -> u64 {
+        self.gravity.stats().calls
+            + self.hydro.stats().calls
+            + self.coupling.stats().calls
+            + self.stellar.as_ref().map(|s| s.stats().calls).unwrap_or(0)
+    }
+
+    /// One p-kick phase: mutual gravitational kicks between the star and
+    /// gas systems, computed by the coupling model.
+    fn kick(&mut self, half_dt: f64, rep: &mut IterationReport) {
+        if self.cfg.trace && rep.trace.len() < 64 {
+            rep.trace.push(format!("p-kick (dt/2 = {half_dt:.5})"));
+        }
+        let (stars, gas) = self.snapshots();
+        if stars.mass.is_empty() || gas.mass.is_empty() {
+            return;
+        }
+        // gas pulls on stars
+        let acc_stars = self.compute_kick(stars.pos.clone(), gas.pos.clone(), gas.mass.clone());
+        // stars pull on gas
+        let acc_gas = self.compute_kick(gas.pos.clone(), stars.pos.clone(), stars.mass.clone());
+        let dv_stars: Vec<[f64; 3]> = acc_stars
+            .iter()
+            .map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt])
+            .collect();
+        let dv_gas: Vec<[f64; 3]> =
+            acc_gas.iter().map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt]).collect();
+        let r1 = self.gravity.call(Request::Kick(dv_stars));
+        let r2 = self.hydro.call(Request::Kick(dv_gas));
+        assert!(matches!(r1, Response::Ok { .. }), "star kick failed: {r1:?}");
+        assert!(matches!(r2, Response::Ok { .. }), "gas kick failed: {r2:?}");
+    }
+
+    fn compute_kick(
+        &mut self,
+        targets: Vec<[f64; 3]>,
+        source_pos: Vec<[f64; 3]>,
+        source_mass: Vec<f64>,
+    ) -> Vec<[f64; 3]> {
+        match self.coupling.call(Request::ComputeKick { targets, source_pos, source_mass }) {
+            Response::Accelerations { acc, .. } => acc,
+            other => panic!("coupling kick failed: {other:?}"),
+        }
+    }
+
+    /// The slower stellar-evolution exchange.
+    fn stellar_exchange(&mut self, rep: &mut IterationReport) {
+        let Some(stellar) = self.stellar.as_mut() else { return };
+        if self.cfg.trace && rep.trace.len() < 64 {
+            rep.trace.push("stellar exchange (every n-th step)".into());
+        }
+        let t_myr = self.time * self.cfg.time_unit_myr;
+        let update = stellar.call(Request::EvolveStars(t_myr));
+        let (masses_msun, events) = match update {
+            Response::StellarUpdate { masses, events } => (masses, events),
+            other => panic!("stellar evolve failed: {other:?}"),
+        };
+        let stars = match self.gravity.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("gravity snapshot failed: {other:?}"),
+        };
+        assert_eq!(masses_msun.len(), stars.mass.len(), "star population mismatch");
+        // push updated masses into the dynamics (MSun -> N-body units)
+        let masses_nb: Vec<f64> =
+            masses_msun.iter().map(|m| m / self.cfg.mass_unit_msun).collect();
+        let r = self.gravity.call(Request::SetMasses(masses_nb));
+        assert!(matches!(r, Response::Ok { .. }), "set masses failed: {r:?}");
+        // feedback into the gas
+        for ev in events {
+            match ev {
+                StellarEvent::Supernova { star, ejected_mass, energy_foe: _ } => {
+                    rep.supernovae += 1;
+                    let pos = stars.pos[star];
+                    let _ = self.hydro.call(Request::InjectEnergy {
+                        center: pos,
+                        radius: self.cfg.sn_radius,
+                        energy: self.cfg.sn_energy,
+                    });
+                    let m_nb = ejected_mass / self.cfg.mass_unit_msun;
+                    if m_nb > 0.0 {
+                        let _ = self.hydro.call(Request::AddGas {
+                            pos,
+                            mass: m_nb,
+                            u: self.cfg.sn_energy / m_nb.max(1e-9) * 0.1,
+                        });
+                    }
+                }
+                StellarEvent::WindMassLoss { star, mass } => {
+                    rep.wind_events += 1;
+                    let m_nb = mass / self.cfg.mass_unit_msun;
+                    if m_nb > 1e-12 {
+                        let _ = self.hydro.call(Request::AddGas {
+                            pos: stars.pos[star],
+                            mass: m_nb,
+                            u: 1e-3,
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::LocalChannel;
+    use crate::cluster::EmbeddedCluster;
+
+    fn small_bridge(trace: bool) -> Bridge {
+        let cluster = EmbeddedCluster::build(32, 128, 0.5, 5);
+        let mut cfg = cluster.bridge_config();
+        cfg.substeps = 2;
+        cfg.stellar_interval = 1;
+        cfg.trace = trace;
+        let (g, h, c, s) = cluster.local_workers(false);
+        Bridge::new(
+            Box::new(LocalChannel::new(g)),
+            Box::new(LocalChannel::new(h)),
+            Box::new(LocalChannel::new(c)),
+            Some(Box::new(LocalChannel::new(s))),
+            cfg,
+        )
+    }
+
+    #[test]
+    fn iteration_advances_time_and_counts_calls() {
+        let mut b = small_bridge(false);
+        let rep = b.iteration();
+        assert!(rep.time > 0.0);
+        assert!(rep.calls > 10, "calls = {}", rep.calls);
+        assert_eq!(b.iterations(), 1);
+    }
+
+    #[test]
+    fn trace_shows_fig7_sequence() {
+        let mut b = small_bridge(true);
+        let rep = b.iteration();
+        let joined = rep.trace.join("\n");
+        assert!(joined.contains("p-kick"), "{joined}");
+        assert!(joined.contains("evolve gravity"), "{joined}");
+        assert!(joined.contains("||"), "parallel marker: {joined}");
+        assert!(joined.contains("stellar exchange"), "{joined}");
+        // kick-evolve-kick ordering within a substep
+        let first_kick = joined.find("p-kick").unwrap();
+        let first_evolve = joined.find("evolve gravity").unwrap();
+        assert!(first_kick < first_evolve);
+    }
+
+    #[test]
+    fn stellar_exchange_respects_interval() {
+        let cluster = EmbeddedCluster::build(16, 64, 0.5, 6);
+        let mut cfg = cluster.bridge_config();
+        cfg.substeps = 1;
+        cfg.stellar_interval = 3;
+        let (g, h, c, s) = cluster.local_workers(false);
+        let mut b = Bridge::new(
+            Box::new(LocalChannel::new(g)),
+            Box::new(LocalChannel::new(h)),
+            Box::new(LocalChannel::new(c)),
+            Some(Box::new(LocalChannel::new(s))),
+            cfg,
+        );
+        b.iteration();
+        b.iteration();
+        let (.., stellar) = b.channel_stats();
+        assert_eq!(stellar.unwrap().calls, 0, "no stellar exchange before 3rd iteration");
+        b.iteration();
+        let (.., stellar) = b.channel_stats();
+        assert_eq!(stellar.unwrap().calls, 1);
+    }
+
+    #[test]
+    fn bridge_conserves_momentum_reasonably() {
+        let mut b = small_bridge(false);
+        for _ in 0..2 {
+            b.iteration();
+        }
+        let (stars, gas) = b.snapshots();
+        let mut p = [0.0f64; 3];
+        for (m, v) in stars.mass.iter().zip(&stars.vel) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        for (m, v) in gas.mass.iter().zip(&gas.vel) {
+            for k in 0..3 {
+                p[k] += m * v[k];
+            }
+        }
+        // tree-approximated kicks are not exactly antisymmetric; allow a
+        // small tolerance relative to the system's momentum scale (~sigma)
+        let ptot = (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt();
+        assert!(ptot < 0.05, "momentum drift {ptot}");
+    }
+}

@@ -1,0 +1,246 @@
+//! Channels: how the coupler talks to workers.
+//!
+//! "AMUSE communicates with workers using a channel, in an RPC-like method.
+//! Both synchronous and asynchronous calls are supported. The default
+//! channel uses MPI [...] however, a channel based on sockets is also
+//! available. For this paper, we added an Ibis channel" (§4.1). Here:
+//!
+//! * [`LocalChannel`] — worker lives in the caller (stands in for the MPI
+//!   channel's same-machine case).
+//! * [`ThreadChannel`] — worker runs on its own OS thread behind crossbeam
+//!   queues (stands in for the socket channel; gives real async overlap).
+//! * The Ibis channel is `jc_core::IbisChannel`, routing these same
+//!   requests through the simulated jungle.
+
+use crate::worker::{ModelWorker, Request, Response};
+use crossbeam::channel as xchan;
+
+/// Cumulative per-channel accounting (the coupler-side view of traffic).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ChannelStats {
+    /// Completed calls.
+    pub calls: u64,
+    /// Request bytes sent.
+    pub bytes_out: u64,
+    /// Response bytes received.
+    pub bytes_in: u64,
+    /// Total modeled kernel flops reported by responses.
+    pub flops: f64,
+}
+
+/// An RPC channel to one worker.
+pub trait Channel {
+    /// Synchronous call.
+    fn call(&mut self, req: Request) -> Response;
+    /// Fire an asynchronous call. At most one may be outstanding per
+    /// channel (AMUSE's per-worker request pipeline is depth-1 too).
+    fn submit(&mut self, req: Request);
+    /// Wait for the outstanding asynchronous call.
+    fn collect(&mut self) -> Response;
+    /// Accounting.
+    fn stats(&self) -> ChannelStats;
+    /// Worker name.
+    fn worker_name(&self) -> String;
+}
+
+fn account(stats: &mut ChannelStats, req_bytes: u64, resp: &Response) {
+    stats.calls += 1;
+    stats.bytes_out += req_bytes;
+    stats.bytes_in += resp.wire_size();
+    stats.flops += resp.flops();
+}
+
+/// The in-process channel: requests execute immediately on the caller's
+/// thread. `submit`/`collect` still work (they just buffer the response),
+/// so bridge code is oblivious to the channel kind.
+pub struct LocalChannel {
+    worker: Box<dyn ModelWorker>,
+    stats: ChannelStats,
+    pending: Option<Response>,
+}
+
+impl LocalChannel {
+    /// Wrap a worker.
+    pub fn new(worker: Box<dyn ModelWorker>) -> LocalChannel {
+        LocalChannel { worker, stats: ChannelStats::default(), pending: None }
+    }
+}
+
+impl Channel for LocalChannel {
+    fn call(&mut self, req: Request) -> Response {
+        let rb = req.wire_size();
+        let resp = self.worker.handle(req);
+        account(&mut self.stats, rb, &resp);
+        resp
+    }
+
+    fn submit(&mut self, req: Request) {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        let resp = self.call(req);
+        self.pending = Some(resp);
+    }
+
+    fn collect(&mut self) -> Response {
+        self.pending.take().expect("no outstanding call")
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    fn worker_name(&self) -> String {
+        self.worker.name()
+    }
+}
+
+enum ThreadMsg {
+    Call(Request),
+    Shutdown,
+}
+
+/// A worker on its own OS thread. Requests travel over crossbeam channels;
+/// `submit`/`collect` give true overlap (the paper's parallel evolve of
+/// gas and gravity on different resources).
+pub struct ThreadChannel {
+    tx: xchan::Sender<ThreadMsg>,
+    rx: xchan::Receiver<Response>,
+    stats: ChannelStats,
+    pending_bytes: Option<u64>,
+    name: String,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadChannel {
+    /// Spawn a worker thread. The factory runs *on the worker thread* so
+    /// non-Send kernels still work.
+    pub fn spawn<F, W>(name: impl Into<String>, factory: F) -> ThreadChannel
+    where
+        F: FnOnce() -> W + Send + 'static,
+        W: ModelWorker + 'static,
+    {
+        let (tx, rx_req) = xchan::unbounded::<ThreadMsg>();
+        let (tx_resp, rx) = xchan::unbounded::<Response>();
+        let name = name.into();
+        let handle = std::thread::Builder::new()
+            .name(format!("worker-{name}"))
+            .spawn(move || {
+                let mut worker = factory();
+                while let Ok(msg) = rx_req.recv() {
+                    match msg {
+                        ThreadMsg::Call(req) => {
+                            let stop = matches!(req, Request::Stop);
+                            let resp = worker.handle(req);
+                            if tx_resp.send(resp).is_err() || stop {
+                                break;
+                            }
+                        }
+                        ThreadMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn worker thread");
+        ThreadChannel { tx, rx, stats: ChannelStats::default(), pending_bytes: None, name, handle: Some(handle) }
+    }
+}
+
+impl Channel for ThreadChannel {
+    fn call(&mut self, req: Request) -> Response {
+        self.submit(req);
+        self.collect()
+    }
+
+    fn submit(&mut self, req: Request) {
+        assert!(self.pending_bytes.is_none(), "one outstanding call per channel");
+        self.pending_bytes = Some(req.wire_size());
+        self.tx.send(ThreadMsg::Call(req)).expect("worker thread alive");
+    }
+
+    fn collect(&mut self) -> Response {
+        let rb = self.pending_bytes.take().expect("no outstanding call");
+        let resp = self.rx.recv().expect("worker thread alive");
+        account(&mut self.stats, rb, &resp);
+        resp
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    fn worker_name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+impl Drop for ThreadChannel {
+    fn drop(&mut self) {
+        let _ = self.tx.send(ThreadMsg::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{GravityWorker, StellarWorker};
+    use jc_nbody::plummer::plummer_sphere;
+    use jc_nbody::Backend;
+
+    #[test]
+    fn local_channel_sync_and_async() {
+        let mut c =
+            LocalChannel::new(Box::new(GravityWorker::new(plummer_sphere(8, 1), Backend::Scalar)));
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        c.submit(Request::GetParticles);
+        match c.collect() {
+            Response::Particles(p) => assert_eq!(p.mass.len(), 8),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().calls, 2);
+        assert!(c.stats().bytes_in > 0);
+    }
+
+    #[test]
+    fn thread_channel_runs_worker_remotely() {
+        let mut c = ThreadChannel::spawn("sse", || StellarWorker::new(vec![1.0, 9.0], 0.02));
+        match c.call(Request::EvolveStars(10.0)) {
+            Response::StellarUpdate { masses, .. } => assert_eq!(masses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.worker_name(), "sse");
+    }
+
+    #[test]
+    fn thread_channels_overlap() {
+        // two slow workers; total wall time must be near max, not sum
+        struct Sleepy;
+        impl ModelWorker for Sleepy {
+            fn handle(&mut self, _req: Request) -> Response {
+                std::thread::sleep(std::time::Duration::from_millis(120));
+                Response::Ok { flops: 0.0 }
+            }
+            fn name(&self) -> String {
+                "sleepy".into()
+            }
+        }
+        let mut a = ThreadChannel::spawn("a", || Sleepy);
+        let mut b = ThreadChannel::spawn("b", || Sleepy);
+        let t0 = std::time::Instant::now();
+        a.submit(Request::Ping);
+        b.submit(Request::Ping);
+        let _ = a.collect();
+        let _ = b.collect();
+        let el = t0.elapsed();
+        assert!(el.as_millis() < 220, "parallel overlap: {el:?}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_submit_panics() {
+        let mut c =
+            LocalChannel::new(Box::new(GravityWorker::new(plummer_sphere(4, 2), Backend::Scalar)));
+        c.submit(Request::Ping);
+        c.submit(Request::Ping);
+    }
+}

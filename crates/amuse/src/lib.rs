@@ -1,0 +1,48 @@
+//! # jc-amuse — the AMUSE coupling framework
+//!
+//! Reproduction of AMUSE (Portegies Zwart et al. [12]; §4.1 of the paper):
+//! *"AMUSE combines different models (stellar evolution, hydrodynamics,
+//! gravitational dynamics, and radiative transport) into a single
+//! astrophysical simulation. [...] In AMUSE, models are integrated into a
+//! single simulation in a centralized coupler. [...] whenever a simulation
+//! creates a model, a so-called worker is created automatically. [...]
+//! AMUSE communicates with workers using a channel, in an RPC-like method.
+//! Both synchronous and asynchronous calls are supported."*
+//!
+//! The pieces, mirroring that architecture:
+//!
+//! * [`worker`] — the RPC surface ([`worker::Request`]/
+//!   [`worker::Response`]) and the worker implementations wrapping the four
+//!   kernels: PhiGRAPE gravity, Gadget SPH, SSE stellar evolution, and the
+//!   Octgrav/Fi coupling kick. Every payload knows its simulated wire size,
+//!   so any channel can account traffic exactly.
+//! * [`channel`] — the [`channel::Channel`] trait with synchronous `call`
+//!   and asynchronous `submit`/`collect`, plus two in-process
+//!   implementations: [`channel::LocalChannel`] (the default MPI-like
+//!   same-process channel) and [`channel::ThreadChannel`] (a real worker
+//!   thread fed over crossbeam queues). The *Ibis* channel that sends these
+//!   same requests across the simulated jungle lives in `jc-core`, exactly
+//!   as the paper adds its Ibis channel next to the existing MPI and socket
+//!   channels.
+//! * [`bridge`] — the Fig 7 combined gravitational/hydro/stellar solver:
+//!   kick–drift–kick coupling via the tree-gravity worker, parallel evolve
+//!   of gas and stars, and the slower stellar-evolution exchange every
+//!   n-th step.
+//! * [`cluster`] — the embedded-star-cluster experiment of §6: initial
+//!   conditions (Plummer stars with a Salpeter IMF inside a Plummer gas
+//!   sphere), the unit converter, and the Fig 6 diagnostics (bound-gas
+//!   fraction, radii).
+
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod channel;
+pub mod cluster;
+pub mod worker;
+
+pub use bridge::{Bridge, BridgeConfig, IterationReport};
+pub use channel::{Channel, ChannelStats, LocalChannel, ThreadChannel};
+pub use cluster::EmbeddedCluster;
+pub use worker::{
+    CouplingWorker, GravityWorker, HydroWorker, ModelWorker, Request, Response, StellarWorker,
+};

@@ -1,0 +1,436 @@
+//! The worker RPC surface and the kernel-wrapping workers.
+
+use jc_nbody::{Backend, ParticleSet, PhiGrape};
+use jc_sph::{Gadget, GasParticles};
+use jc_stellar::{SseModel, StellarEvent};
+use jc_treegrav::TreeGravity;
+
+/// A particle snapshot crossing the coupler↔worker boundary.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleData {
+    /// Masses (kernel units).
+    pub mass: Vec<f64>,
+    /// Positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+}
+
+impl ParticleData {
+    /// Wire size: 7 f64 per particle.
+    pub fn wire_size(&self) -> u64 {
+        (self.mass.len() * 7 * 8) as u64
+    }
+}
+
+/// An RPC request to a worker (the union over all model types; workers
+/// answer [`Response::Unsupported`] for requests outside their interface,
+/// like an AMUSE worker missing a function).
+#[derive(Clone, Debug)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Evolve the model to absolute time `t` (model units: N-body time for
+    /// dynamics/hydro, Myr for stellar evolution).
+    EvolveTo(f64),
+    /// Get a full particle snapshot.
+    GetParticles,
+    /// Overwrite particle masses (stellar-evolution feedback).
+    SetMasses(Vec<f64>),
+    /// Apply velocity kicks.
+    Kick(Vec<[f64; 3]>),
+    /// Compute accelerations of `targets` due to `(source_pos,
+    /// source_mass)` — the coupling model's job.
+    ComputeKick {
+        /// Positions to evaluate at.
+        targets: Vec<[f64; 3]>,
+        /// Source positions.
+        source_pos: Vec<[f64; 3]>,
+        /// Source masses.
+        source_mass: Vec<f64>,
+    },
+    /// Evolve the stellar population to `t_myr`.
+    EvolveStars(f64),
+    /// Inject thermal energy (supernova feedback).
+    InjectEnergy {
+        /// Explosion site.
+        center: [f64; 3],
+        /// Deposition radius.
+        radius: f64,
+        /// Energy in kernel units.
+        energy: f64,
+    },
+    /// Add a gas particle (stellar winds).
+    AddGas {
+        /// Position.
+        pos: [f64; 3],
+        /// Mass.
+        mass: f64,
+        /// Specific internal energy.
+        u: f64,
+    },
+    /// Shut the worker down.
+    Stop,
+}
+
+impl Request {
+    /// Simulated wire size of the request.
+    pub fn wire_size(&self) -> u64 {
+        let body = match self {
+            Request::Ping | Request::Stop | Request::GetParticles => 0,
+            Request::EvolveTo(_) | Request::EvolveStars(_) => 8,
+            Request::SetMasses(m) => 8 * m.len() as u64,
+            Request::Kick(k) => 24 * k.len() as u64,
+            Request::ComputeKick { targets, source_pos, source_mass } => {
+                24 * (targets.len() + source_pos.len()) as u64 + 8 * source_mass.len() as u64
+            }
+            Request::InjectEnergy { .. } => 40,
+            Request::AddGas { .. } => 40,
+        };
+        body + 32 // header
+    }
+}
+
+/// A worker's answer.
+#[derive(Clone, Debug)]
+pub enum Response {
+    /// Success without data. Carries the modeled flop cost of the call.
+    Ok {
+        /// Floating-point work performed.
+        flops: f64,
+    },
+    /// Particle snapshot.
+    Particles(ParticleData),
+    /// Accelerations (coupling kick result).
+    Accelerations {
+        /// One acceleration per target.
+        acc: Vec<[f64; 3]>,
+        /// Work performed.
+        flops: f64,
+    },
+    /// Stellar update.
+    StellarUpdate {
+        /// Current masses, MSun, per star.
+        masses: Vec<f64>,
+        /// Events since the last call.
+        events: Vec<StellarEvent>,
+    },
+    /// The worker does not implement this request.
+    Unsupported,
+    /// The request failed.
+    Error(String),
+}
+
+impl Response {
+    /// Simulated wire size of the response.
+    pub fn wire_size(&self) -> u64 {
+        let body = match self {
+            Response::Ok { .. } => 8,
+            Response::Particles(p) => p.wire_size(),
+            Response::Accelerations { acc, .. } => 24 * acc.len() as u64,
+            Response::StellarUpdate { masses, events } => {
+                8 * masses.len() as u64 + 32 * events.len() as u64
+            }
+            Response::Unsupported => 0,
+            Response::Error(e) => e.len() as u64,
+        };
+        body + 32
+    }
+
+    /// The modeled flop cost carried by the response (0 when none).
+    pub fn flops(&self) -> f64 {
+        match self {
+            Response::Ok { flops } => *flops,
+            Response::Accelerations { flops, .. } => *flops,
+            _ => 0.0,
+        }
+    }
+}
+
+/// A model worker: one kernel behind the RPC boundary.
+pub trait ModelWorker {
+    /// Execute one request.
+    fn handle(&mut self, req: Request) -> Response;
+    /// Worker name (shows up in monitoring and job tables).
+    fn name(&self) -> String;
+}
+
+// ---------------------------------------------------------------------------
+
+/// The gravitational-dynamics worker (PhiGRAPE).
+pub struct GravityWorker {
+    model: PhiGrape,
+    label: String,
+}
+
+impl GravityWorker {
+    /// Wrap a particle set with the given backend.
+    pub fn new(particles: ParticleSet, backend: Backend) -> GravityWorker {
+        let label = match backend {
+            Backend::GpuModel => "phigrape-gpu",
+            _ => "phigrape-cpu",
+        };
+        GravityWorker {
+            model: PhiGrape::new(particles, backend).with_softening(0.01),
+            label: label.to_string(),
+        }
+    }
+
+    /// Access the underlying model (diagnostics).
+    pub fn model(&self) -> &PhiGrape {
+        &self.model
+    }
+}
+
+impl ModelWorker for GravityWorker {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::EvolveTo(t) => {
+                let f0 = self.model.flops;
+                self.model.evolve_model(t);
+                Response::Ok { flops: self.model.flops - f0 }
+            }
+            Request::GetParticles => Response::Particles(ParticleData {
+                mass: self.model.particles.mass.clone(),
+                pos: self.model.particles.pos.clone(),
+                vel: self.model.particles.vel.clone(),
+            }),
+            Request::SetMasses(m) => {
+                if m.len() != self.model.particles.len() {
+                    return Response::Error("mass vector length mismatch".into());
+                }
+                for (i, mi) in m.into_iter().enumerate() {
+                    self.model.set_mass(i, mi);
+                }
+                Response::Ok { flops: 0.0 }
+            }
+            Request::Kick(dv) => {
+                if dv.len() != self.model.particles.len() {
+                    return Response::Error("kick vector length mismatch".into());
+                }
+                self.model.kick(&dv);
+                Response::Ok { flops: dv.len() as f64 * 3.0 }
+            }
+            _ => Response::Unsupported,
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+/// The SPH gas-dynamics worker (Gadget).
+pub struct HydroWorker {
+    model: Gadget,
+}
+
+impl HydroWorker {
+    /// Wrap a gas set.
+    pub fn new(gas: GasParticles) -> HydroWorker {
+        HydroWorker { model: Gadget::new(gas) }
+    }
+
+    /// Access the underlying model.
+    pub fn model(&self) -> &Gadget {
+        &self.model
+    }
+}
+
+impl ModelWorker for HydroWorker {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::EvolveTo(t) => {
+                let f0 = self.model.flops;
+                self.model.evolve_model(t);
+                Response::Ok { flops: self.model.flops - f0 }
+            }
+            Request::GetParticles => Response::Particles(ParticleData {
+                mass: self.model.gas.mass.clone(),
+                pos: self.model.gas.pos.clone(),
+                vel: self.model.gas.vel.clone(),
+            }),
+            Request::Kick(dv) => {
+                if dv.len() != self.model.gas.len() {
+                    return Response::Error("kick vector length mismatch".into());
+                }
+                self.model.kick(&dv);
+                Response::Ok { flops: dv.len() as f64 * 3.0 }
+            }
+            Request::InjectEnergy { center, radius, energy } => {
+                let n = self.model.inject_energy(center, radius, energy);
+                Response::Ok { flops: n as f64 * 10.0 }
+            }
+            Request::AddGas { pos, mass, u } => {
+                self.model.add_mass(pos, mass, u);
+                Response::Ok { flops: 10.0 }
+            }
+            _ => Response::Unsupported,
+        }
+    }
+
+    fn name(&self) -> String {
+        "gadget".into()
+    }
+}
+
+/// The stellar-evolution worker (SSE).
+pub struct StellarWorker {
+    model: SseModel,
+}
+
+impl StellarWorker {
+    /// Wrap a population of ZAMS masses (MSun) at metallicity `z`.
+    pub fn new(masses_msun: Vec<f64>, z: f64) -> StellarWorker {
+        StellarWorker { model: SseModel::new(masses_msun, z) }
+    }
+
+    /// Access the underlying model.
+    pub fn model(&self) -> &SseModel {
+        &self.model
+    }
+}
+
+impl ModelWorker for StellarWorker {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::EvolveStars(t_myr) => {
+                let events = self.model.evolve_to(t_myr);
+                Response::StellarUpdate {
+                    masses: self.model.states().iter().map(|s| s.mass).collect(),
+                    events,
+                }
+            }
+            _ => Response::Unsupported,
+        }
+    }
+
+    fn name(&self) -> String {
+        "sse".into()
+    }
+}
+
+/// The coupling worker: tree gravity of one set acting on another
+/// (Octgrav on GPUs, Fi on CPUs — same physics, different placement).
+pub struct CouplingWorker {
+    solver: TreeGravity,
+    label: String,
+}
+
+impl CouplingWorker {
+    /// The Octgrav personality (GPU-hosted, θ = 0.75).
+    pub fn octgrav() -> CouplingWorker {
+        CouplingWorker { solver: jc_treegrav::Octgrav::new().solver, label: "octgrav".into() }
+    }
+
+    /// The Fi personality (CPU-hosted, θ = 0.5).
+    pub fn fi() -> CouplingWorker {
+        CouplingWorker { solver: jc_treegrav::Fi::new().solver, label: "fi".into() }
+    }
+}
+
+impl ModelWorker for CouplingWorker {
+    fn handle(&mut self, req: Request) -> Response {
+        match req {
+            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::ComputeKick { targets, source_pos, source_mass } => {
+                if source_pos.len() != source_mass.len() {
+                    return Response::Error("source arrays length mismatch".into());
+                }
+                let acc = self.solver.accelerations(&targets, &source_pos, &source_mass);
+                Response::Accelerations { acc, flops: self.solver.last_flops() }
+            }
+            _ => Response::Unsupported,
+        }
+    }
+
+    fn name(&self) -> String {
+        self.label.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jc_nbody::plummer::plummer_sphere;
+    use jc_sph::particles::plummer_gas;
+
+    #[test]
+    fn gravity_worker_round_trip() {
+        let mut w = GravityWorker::new(plummer_sphere(16, 1), Backend::Scalar);
+        match w.handle(Request::GetParticles) {
+            Response::Particles(p) => assert_eq!(p.mass.len(), 16),
+            other => panic!("{other:?}"),
+        }
+        match w.handle(Request::EvolveTo(0.05)) {
+            Response::Ok { flops } => assert!(flops > 0.0),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(w.handle(Request::EvolveStars(1.0)), Response::Unsupported));
+    }
+
+    #[test]
+    fn hydro_worker_feedback_interface() {
+        let mut w = HydroWorker::new(plummer_gas(64, 0.5, 2));
+        assert!(matches!(
+            w.handle(Request::InjectEnergy { center: [0.0; 3], radius: 0.2, energy: 1.0 }),
+            Response::Ok { .. }
+        ));
+        assert!(matches!(
+            w.handle(Request::AddGas { pos: [0.1; 3], mass: 0.01, u: 0.5 }),
+            Response::Ok { .. }
+        ));
+        match w.handle(Request::GetParticles) {
+            Response::Particles(p) => assert_eq!(p.mass.len(), 65),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stellar_worker_reports_masses() {
+        let mut w = StellarWorker::new(vec![1.0, 20.0], 0.02);
+        match w.handle(Request::EvolveStars(5.0)) {
+            Response::StellarUpdate { masses, .. } => assert_eq!(masses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn coupling_worker_computes_kicks() {
+        let mut w = CouplingWorker::fi();
+        let resp = w.handle(Request::ComputeKick {
+            targets: vec![[0.0; 3]],
+            source_pos: vec![[0.0, 0.0, 1.0]],
+            source_mass: vec![1.0],
+        });
+        match resp {
+            Response::Accelerations { acc, flops } => {
+                assert!(acc[0][2] > 0.5);
+                assert!(flops > 0.0);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_kick_is_error() {
+        let mut w = GravityWorker::new(plummer_sphere(4, 3), Backend::Scalar);
+        assert!(matches!(w.handle(Request::Kick(vec![[0.0; 3]; 2])), Response::Error(_)));
+    }
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let small = Request::Kick(vec![[0.0; 3]; 1]);
+        let big = Request::Kick(vec![[0.0; 3]; 100]);
+        assert!(big.wire_size() > small.wire_size());
+        let p = Response::Particles(ParticleData {
+            mass: vec![0.0; 10],
+            pos: vec![[0.0; 3]; 10],
+            vel: vec![[0.0; 3]; 10],
+        });
+        assert_eq!(p.wire_size(), 10 * 56 + 32);
+    }
+}

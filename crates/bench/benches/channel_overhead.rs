@@ -1,0 +1,26 @@
+//! Ablation A: the cost of the daemon/proxy indirection — LocalChannel vs
+//! ThreadChannel RPC round-trips (the distributed IbisChannel's virtual
+//! overhead is reported by the table1 binary instead, since it is
+//! virtual-time, not wall-time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jc_amuse::channel::{LocalChannel, ThreadChannel};
+use jc_amuse::worker::{Request, StellarWorker};
+use jc_amuse::Channel;
+
+fn bench_channels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("channel_rpc");
+    group.sample_size(20);
+    group.bench_function("local_ping", |b| {
+        let mut ch = LocalChannel::new(Box::new(StellarWorker::new(vec![1.0], 0.02)));
+        b.iter(|| ch.call(Request::Ping))
+    });
+    group.bench_function("thread_ping", |b| {
+        let mut ch = ThreadChannel::spawn("sse", || StellarWorker::new(vec![1.0], 0.02));
+        b.iter(|| ch.call(Request::Ping))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_channels);
+criterion_main!(benches);

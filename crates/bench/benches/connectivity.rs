@@ -1,0 +1,43 @@
+//! Ablation C: SmartSockets connection strategies across firewall
+//! configurations (direct / reverse / relay planning + relay delivery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jc_netsim::compute::CpuSpec;
+use jc_netsim::topology::HostSpec;
+use jc_netsim::{FirewallPolicy, SimDuration, Topology};
+use jc_smartsockets::{ConnectionPlan, VirtualAddress};
+
+fn topo_with(policy: FirewallPolicy) -> (Topology, jc_netsim::HostId, jc_netsim::HostId) {
+    let mut t = Topology::new();
+    let a = t.add_site("A", "", FirewallPolicy::Open);
+    let b = t.add_site("B", "", policy);
+    t.add_link(a, b, SimDuration::from_millis(5), 1.0, "wan");
+    let ha = t.add_host(HostSpec::node("a", a, CpuSpec::generic()).as_front_end());
+    let hb = t.add_host(HostSpec::node("b", b, CpuSpec::generic()).as_front_end());
+    (t, ha, hb)
+}
+
+fn bench_planning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("connection_planning");
+    group.sample_size(20);
+    for (name, policy) in [
+        ("open->open(direct)", FirewallPolicy::Open),
+        ("open->fw(reverse)", FirewallPolicy::FirewalledInbound),
+    ] {
+        let (mut t, ha, hb) = topo_with(policy);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ConnectionPlan::plan(
+                    &mut t,
+                    None,
+                    VirtualAddress::new(ha, 1),
+                    VirtualAddress::new(hb, 1),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planning);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation B: the multi-kernel choices — PhiGRAPE CPU vs GPU-modeled
+//! backends, Fi vs Octgrav coupling, across problem sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jc_nbody::plummer::plummer_sphere;
+use jc_nbody::{Backend, PhiGrape};
+use jc_treegrav::{Fi, Octgrav};
+
+fn bench_hermite(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phigrape_evolve");
+    group.sample_size(10);
+    for &n in &[128usize, 256, 512] {
+        for (name, backend) in
+            [("scalar", Backend::Scalar), ("cpu-parallel", Backend::CpuParallel)]
+        {
+            group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
+                b.iter_batched(
+                    || PhiGrape::new(plummer_sphere(n, 1), backend).with_softening(0.01),
+                    |mut g| g.evolve_model(0.01),
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_coupling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coupling_kick");
+    group.sample_size(10);
+    for &n in &[512usize, 2048, 8192] {
+        let src = plummer_sphere(n, 2);
+        let tgt = plummer_sphere(256, 3);
+        group.bench_with_input(BenchmarkId::new("fi", n), &n, |b, _| {
+            let fi = Fi::new();
+            b.iter(|| fi.solver.accelerations(&tgt.pos, &src.pos, &src.mass))
+        });
+        group.bench_with_input(BenchmarkId::new("octgrav", n), &n, |b, _| {
+            let oct = Octgrav::new();
+            b.iter(|| oct.solver.accelerations(&tgt.pos, &src.pos, &src.mass))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hermite, bench_coupling);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Table 1 as a bench: wall-time to model one iteration of each scenario
+//! (virtual-time results are printed by the table1_lab_scenarios binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jc_core::scenarios::run_scenario;
+use jc_core::Scenario;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_scenarios");
+    group.sample_size(10);
+    for s in Scenario::all() {
+        group.bench_function(format!("{s:?}"), |b| {
+            b.iter(|| run_scenario(s, 1).result.seconds_per_iteration)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scenarios);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! The §5 loopback channel: throughput of the coupler↔daemon byte pipe.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jc_core::loopback::measure;
+
+fn bench_loopback(c: &mut Criterion) {
+    let mut group = c.benchmark_group("loopback");
+    group.sample_size(10);
+    for shift in [16u32, 20] {
+        let bytes = 1u64 << shift;
+        group.throughput(Throughput::Bytes(bytes * 64));
+        group.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| measure(bytes as usize, 64, 8))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_loopback);
+criterion_main!(benches);

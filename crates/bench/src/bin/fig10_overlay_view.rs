@@ -1,0 +1,19 @@
+//! Regenerates Fig 10: the IbisDeploy panels (resources, jobs, overlay).
+
+use jc_core::scenarios::run_sc11;
+use jc_deploy::monitor::MonitorView;
+use jc_netsim::SimDuration;
+
+fn main() {
+    let run = run_sc11(1);
+    let mut sim = run.sim.borrow_mut();
+    let now = sim.now();
+    let overlay_view = run.overlay.view(sim.topology());
+    let (topo, metrics) = sim.monitor_parts();
+    let mut view = MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    println!("{}", view.render_resource_map(&run.realm));
+    println!("{}", view.render_jobs(&run.jobs));
+    println!("{}", overlay_view.render());
+    println!("(arrows = one-way connectivity; <=ssh=> = automatic ssh tunnel,");
+    println!(" exactly the red lines / arrows legend of the IbisDeploy GUI)");
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig 9: the SC11 transatlantic deployment and its traffic.
+
+use jc_core::scenarios::run_sc11;
+use jc_deploy::monitor::MonitorView;
+use jc_netsim::SimDuration;
+
+fn main() {
+    let run = run_sc11(1);
+    println!("SC11 worst case: coupler in Seattle, models in the Netherlands");
+    println!(
+        "iteration time {:.1} virtual s | WAN IPL {:.1} MiB | MPI {:.1} MiB | {:.0} calls\n",
+        run.result.seconds_per_iteration,
+        run.result.wan_ipl_bytes as f64 / (1 << 20) as f64,
+        run.result.mpi_bytes as f64 / (1 << 20) as f64,
+        run.result.calls_per_iteration
+    );
+    let mut sim = run.sim.borrow_mut();
+    let now = sim.now();
+    let (topo, metrics) = sim.monitor_parts();
+    let mut view = MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    println!("{}", view.render_traffic());
+}

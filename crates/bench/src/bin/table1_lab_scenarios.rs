@@ -1,0 +1,19 @@
+//! Regenerates Table 1: the four §6.2 lab scenarios on the Fig 12 grid.
+
+use jc_core::scenarios::{format_table1, run_scenario};
+use jc_core::Scenario;
+
+fn main() {
+    let results: Vec<_> =
+        Scenario::all().into_iter().map(|s| run_scenario(s, 1).result).collect();
+    println!("{}", format_table1(&results));
+    for r in &results {
+        println!(
+            "  {:<38} WAN IPL {:>8.1} MiB, MPI {:>8.1} MiB, {} SNe",
+            r.scenario.label(),
+            r.wan_ipl_bytes as f64 / (1 << 20) as f64,
+            r.mpi_bytes as f64 / (1 << 20) as f64,
+            r.supernovae
+        );
+    }
+}

@@ -1,0 +1,127 @@
+//! Node layouts: partitioned vs. shared component placement.
+//!
+//! "Because the computational requirements of each model (and the coupler)
+//! vary depending on the experiment, it may take a user quite a bit of
+//! experimenting to find an efficient configuration for distributing the
+//! models over the available compute nodes." This module provides the cost
+//! model behind that experimenting — and behind the paper's planned tool
+//! "to automatically find an optimal configuration".
+
+use crate::models::ComponentKind;
+use std::collections::HashMap;
+
+/// A node layout: how many of the `total_nodes` each component (and the
+/// coupler) gets. Components mapped to the same node share it.
+#[derive(Clone, Debug)]
+pub struct Layout {
+    /// Total nodes in the allocation.
+    pub total_nodes: u32,
+    /// Component → nodes assigned (node ids 0..total).
+    pub assignment: HashMap<ComponentKind, Vec<u32>>,
+    /// Nodes assigned to the coupler itself.
+    pub coupler_nodes: Vec<u32>,
+}
+
+/// Cost estimate for one coupling interval under a layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayoutCost {
+    /// Makespan: time of the slowest node (components run concurrently,
+    /// sharing nodes serializes them).
+    pub makespan: f64,
+    /// Mean node utilization in [0, 1].
+    pub utilization: f64,
+}
+
+impl Layout {
+    /// Fully partitioned layout: nodes split proportionally to component
+    /// cost, remainder to the coupler.
+    pub fn partitioned(total_nodes: u32) -> Layout {
+        assert!(total_nodes >= 5, "need at least one node per component + coupler");
+        let kinds = ComponentKind::all();
+        let total_cost: f64 = kinds.iter().map(|k| k.relative_cost()).sum();
+        let mut assignment = HashMap::new();
+        let mut next = 0u32;
+        let budget = total_nodes - 1; // one node reserved for the coupler
+        for (i, k) in kinds.iter().enumerate() {
+            let share = if i == kinds.len() - 1 {
+                budget - next // whatever is left
+            } else {
+                ((k.relative_cost() / total_cost) * budget as f64).round().max(1.0) as u32
+            };
+            let share = share.max(1).min(budget - next.min(budget - 1));
+            assignment.insert(*k, (next..next + share).collect());
+            next += share;
+        }
+        Layout { total_nodes, assignment, coupler_nodes: vec![total_nodes - 1] }
+    }
+
+    /// Fully shared layout: every component runs on all nodes.
+    pub fn shared(total_nodes: u32) -> Layout {
+        assert!(total_nodes >= 1);
+        let all: Vec<u32> = (0..total_nodes).collect();
+        let mut assignment = HashMap::new();
+        for k in ComponentKind::all() {
+            assignment.insert(k, all.clone());
+        }
+        Layout { total_nodes, assignment, coupler_nodes: all }
+    }
+
+    /// Cost of one coupling interval: each component's work (relative cost,
+    /// perfectly parallel over its nodes) is charged to each of its nodes;
+    /// a node's time is the sum of its shares; the makespan is the max.
+    pub fn cost(&self) -> LayoutCost {
+        let mut node_time = vec![0.0f64; self.total_nodes as usize];
+        for (k, nodes) in &self.assignment {
+            assert!(!nodes.is_empty(), "{k:?} has no nodes");
+            let per_node = k.relative_cost() / nodes.len() as f64;
+            for &n in nodes {
+                node_time[n as usize] += per_node;
+            }
+        }
+        // coupler cost: 10% of total component cost, parallel over its nodes
+        let cpl: f64 =
+            0.1 * ComponentKind::all().iter().map(|k| k.relative_cost()).sum::<f64>();
+        for &n in &self.coupler_nodes {
+            node_time[n as usize] += cpl / self.coupler_nodes.len() as f64;
+        }
+        let makespan = node_time.iter().cloned().fold(0.0, f64::max);
+        let busy: f64 = node_time.iter().sum();
+        LayoutCost { makespan, utilization: busy / (makespan * self.total_nodes as f64) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_layout_has_full_utilization() {
+        let c = Layout::shared(8).cost();
+        assert!((c.utilization - 1.0).abs() < 1e-9, "{c:?}");
+    }
+
+    #[test]
+    fn partitioned_layout_covers_all_components() {
+        let l = Layout::partitioned(12);
+        for k in ComponentKind::all() {
+            assert!(!l.assignment[&k].is_empty());
+        }
+        let c = l.cost();
+        assert!(c.makespan > 0.0 && c.utilization <= 1.0);
+    }
+
+    #[test]
+    fn sharing_beats_bad_partitioning_on_makespan() {
+        // with few nodes, sharing balances load better than a partition
+        let shared = Layout::shared(5).cost();
+        let part = Layout::partitioned(5).cost();
+        assert!(shared.makespan <= part.makespan + 1e-9, "{shared:?} vs {part:?}");
+    }
+
+    #[test]
+    fn more_nodes_reduce_shared_makespan() {
+        let small = Layout::shared(4).cost();
+        let big = Layout::shared(16).cost();
+        assert!(big.makespan < small.makespan);
+    }
+}

@@ -1,0 +1,26 @@
+//! # jc-cesm — a miniature Community Earth System Model (§4.2)
+//!
+//! The paper's second 3MK example: *"CESM couples models for atmosphere,
+//! oceans, land and sea-ice into a single simulation of the earth's
+//! climate [...] the central coupler of CESM is designed to run in
+//! parallel [...] The compute nodes can either be partitioned, each running
+//! (part of) one model, shared, each running (part of) multiple models, or
+//! use a combination of both."*
+//!
+//! This crate implements the structural skeleton that makes the paper's
+//! point that AMUSE and CESM are "remarkably similar": four grid-based
+//! component models exchanging fluxes through a central coupler, *active*
+//! and *data* variants of each component (the data variant replays
+//! precomputed output), and node-layout configurations whose cost model
+//! shows why "it may take a user quite a bit of experimenting to find an
+//! efficient configuration".
+
+#![warn(missing_docs)]
+
+pub mod coupler;
+pub mod layout;
+pub mod models;
+
+pub use coupler::{ClimateState, Coupler};
+pub use layout::{Layout, LayoutCost};
+pub use models::{Component, ComponentKind, DataComponent, GridField};

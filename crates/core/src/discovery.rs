@@ -1,0 +1,201 @@
+//! Automatic resource discovery — the paper's fifth requirement (§4.3) and
+//! declared future work (§7).
+//!
+//! *"Fifth and last is a requirement that is high on the wish list of
+//! users: the automatic discovery of suitable resources. Given the list of
+//! resources a user has access to, ideally, software should find suitable
+//! resources itself, without any intervention from the user."*
+//!
+//! Given the user's grid file and each worker's requirements, the matcher
+//! scores every resource and picks the best placement: GPU workers go to
+//! the fastest GPU site, multi-node workers to the resource with enough
+//! nodes and the highest aggregate throughput, trivial workers to whatever
+//! is left closest to the client. Resources may be used by multiple
+//! workers, but node demand is tracked so a resource is never
+//! oversubscribed.
+
+use crate::perfmodel::devices;
+use jc_deploy::descriptor::{GridDescription, ResourceEntry};
+use std::collections::HashMap;
+
+/// What a worker needs from a resource.
+#[derive(Clone, Debug)]
+pub struct Requirements {
+    /// Worker name (for reporting).
+    pub worker: String,
+    /// Needs a GPU-equipped node.
+    pub needs_gpu: bool,
+    /// Number of nodes required.
+    pub nodes: u32,
+    /// Minimum aggregate GFLOP/s the worker should get (0 = any).
+    pub min_gflops: f64,
+}
+
+impl Requirements {
+    /// Convenience constructor.
+    pub fn new(worker: impl Into<String>, needs_gpu: bool, nodes: u32, min_gflops: f64) -> Requirements {
+        assert!(nodes > 0);
+        Requirements { worker: worker.into(), needs_gpu, nodes, min_gflops }
+    }
+}
+
+/// A discovered placement.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Discovered {
+    /// Worker name.
+    pub worker: String,
+    /// Chosen resource name.
+    pub resource: String,
+    /// Aggregate GFLOP/s the worker gets there.
+    pub gflops: f64,
+}
+
+/// Discovery errors.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DiscoveryError {
+    /// No resource satisfies the requirements.
+    NoSuitableResource {
+        /// Which worker could not be placed.
+        worker: String,
+    },
+}
+
+impl std::fmt::Display for DiscoveryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiscoveryError::NoSuitableResource { worker } => {
+                write!(f, "no suitable resource for worker {worker:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiscoveryError {}
+
+/// Aggregate GFLOP/s a worker would get on `nodes` nodes of a resource.
+fn resource_gflops(r: &ResourceEntry, nodes: u32, use_gpu: bool) -> f64 {
+    if use_gpu {
+        r.gpus.iter().map(|g| g.gflops).sum::<f64>() * nodes as f64
+    } else {
+        r.cores_per_node as f64 * r.gflops_per_core * nodes as f64
+    }
+}
+
+/// Match every worker to the best available resource. Workers are placed
+/// in the order given; demanding workers should come first (the caller
+/// usually sorts by `min_gflops` descending, which
+/// [`discover_for_cluster_run`] does).
+pub fn discover(
+    grid: &GridDescription,
+    requirements: &[Requirements],
+) -> Result<Vec<Discovered>, DiscoveryError> {
+    // remaining free nodes per resource (client machines participate too —
+    // running locally is a valid placement, as scenarios 1–3 show)
+    let mut free: HashMap<&str, u32> = grid
+        .resources
+        .iter()
+        .map(|r| (r.name.as_str(), r.nodes.max(1)))
+        .collect();
+    let mut out = Vec::with_capacity(requirements.len());
+    for req in requirements {
+        let mut best: Option<(&ResourceEntry, f64)> = None;
+        for r in &grid.resources {
+            if req.needs_gpu && r.gpus.is_empty() {
+                continue;
+            }
+            if free[r.name.as_str()] < req.nodes {
+                continue;
+            }
+            if r.middlewares.is_empty() {
+                continue; // unreachable resource: nothing to submit through
+            }
+            let gf = resource_gflops(r, req.nodes, req.needs_gpu);
+            if gf < req.min_gflops {
+                continue;
+            }
+            if best.map(|(_, bgf)| gf > bgf).unwrap_or(true) {
+                best = Some((r, gf));
+            }
+        }
+        let (r, gf) = best.ok_or_else(|| DiscoveryError::NoSuitableResource {
+            worker: req.worker.clone(),
+        })?;
+        *free.get_mut(r.name.as_str()).expect("seen above") -= req.nodes;
+        out.push(Discovered { worker: req.worker.clone(), resource: r.name.clone(), gflops: gf });
+    }
+    Ok(out)
+}
+
+/// The embedded-cluster run's standard worker requirements, demanding
+/// workers first: coupling (GPU), gravity (GPU), gas (8 nodes), stellar.
+pub fn discover_for_cluster_run(
+    grid: &GridDescription,
+) -> Result<Vec<Discovered>, DiscoveryError> {
+    discover(
+        grid,
+        &[
+            Requirements::new("phigrape", true, 1, devices::GEFORCE_9600GT),
+            Requirements::new("octgrav", true, 1, devices::GEFORCE_9600GT),
+            Requirements::new("gadget", false, 8, 64.0),
+            Requirements::new("sse", false, 1, 0.0),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::lab_grid;
+
+    #[test]
+    fn cluster_run_discovers_the_fig12_placement() {
+        let grid = lab_grid();
+        let placed = discover_for_cluster_run(&grid).expect("placeable");
+        let by_worker: HashMap<&str, &Discovered> =
+            placed.iter().map(|d| (d.worker.as_str(), d)).collect();
+        // gravity grabs the fastest GPU: the LGM Tesla
+        assert_eq!(by_worker["phigrape"].resource, "LGM (LU)");
+        // coupling gets the next-best GPU node: a TUD GTX480
+        assert_eq!(by_worker["octgrav"].resource, "DAS-4 (TUD)");
+        // the 8-node gas job can only fit on DAS-4 (VU)
+        assert_eq!(by_worker["gadget"].resource, "DAS-4 (VU)");
+        // sse goes to the fastest remaining CPU resource
+        assert!(!by_worker["sse"].resource.is_empty());
+    }
+
+    #[test]
+    fn gpu_requirement_is_respected() {
+        let grid = lab_grid();
+        let placed =
+            discover(&grid, &[Requirements::new("render", true, 1, 0.0)]).unwrap();
+        // any resource chosen must actually have GPUs
+        let r = grid.resource(&placed[0].resource).unwrap();
+        assert!(!r.gpus.is_empty());
+    }
+
+    #[test]
+    fn impossible_requirements_error() {
+        let grid = lab_grid();
+        let err = discover(&grid, &[Requirements::new("huge", false, 64, 0.0)]).unwrap_err();
+        assert_eq!(err, DiscoveryError::NoSuitableResource { worker: "huge".into() });
+        let err = discover(&grid, &[Requirements::new("exa", true, 1, 1.0e9)]).unwrap_err();
+        assert!(matches!(err, DiscoveryError::NoSuitableResource { .. }));
+    }
+
+    #[test]
+    fn node_demand_is_tracked_across_workers() {
+        let grid = lab_grid();
+        // two 1-node GPU workers: LGM has one node, TUD has two — both
+        // must be placed without double-booking LGM's single node
+        let placed = discover(
+            &grid,
+            &[
+                Requirements::new("a", true, 1, 100.0),
+                Requirements::new("b", true, 1, 100.0),
+            ],
+        )
+        .unwrap();
+        assert_eq!(placed[0].resource, "LGM (LU)");
+        assert_eq!(placed[1].resource, "DAS-4 (TUD)");
+    }
+}

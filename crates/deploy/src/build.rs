@@ -1,0 +1,288 @@
+//! Turn a grid description into a running simulated world.
+
+use crate::descriptor::{GridDescription, ResourceEntry};
+use jc_gat::{GatRealm, MiddlewareKind};
+use jc_netsim::compute::{CpuSpec, GpuSpec};
+use jc_netsim::topology::{HostSpec, SiteId};
+use jc_netsim::{FirewallPolicy, HostId, Sim, SimConfig, SimDuration, Topology};
+use jc_smartsockets::Overlay;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Error building a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A link references an unknown resource name.
+    UnknownResource(String),
+    /// A middleware string is not recognized.
+    UnknownMiddleware(String),
+    /// A firewall string is not recognized.
+    UnknownFirewall(String),
+    /// The grid has no resources.
+    EmptyGrid,
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::UnknownResource(r) => write!(f, "link references unknown resource {r:?}"),
+            BuildError::UnknownMiddleware(m) => write!(f, "unknown middleware {m:?}"),
+            BuildError::UnknownFirewall(p) => write!(f, "unknown firewall policy {p:?}"),
+            BuildError::EmptyGrid => write!(f, "grid description has no resources"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+fn parse_firewall(s: &str) -> Result<FirewallPolicy, BuildError> {
+    Ok(match s {
+        "open" => FirewallPolicy::Open,
+        "firewalled" => FirewallPolicy::FirewalledInbound,
+        "nat" => FirewallPolicy::Nat,
+        "internal" => FirewallPolicy::NonRoutedInternal,
+        other => return Err(BuildError::UnknownFirewall(other.to_string())),
+    })
+}
+
+fn parse_middleware(s: &str) -> Result<MiddlewareKind, BuildError> {
+    Ok(match s {
+        "local" => MiddlewareKind::Local,
+        "ssh" => MiddlewareKind::Ssh,
+        "sge" => MiddlewareKind::Sge,
+        "pbs" => MiddlewareKind::Pbs,
+        "globus" => MiddlewareKind::Globus,
+        "zorilla" => MiddlewareKind::Zorilla,
+        other => return Err(BuildError::UnknownMiddleware(other.to_string())),
+    })
+}
+
+/// Per-resource placement produced by the builder.
+#[derive(Clone, Debug)]
+pub struct PlacedResource {
+    /// The site.
+    pub site: SiteId,
+    /// Front-end host (hub + middleware actor live here).
+    pub front_end: HostId,
+    /// Compute node hosts.
+    pub nodes: Vec<HostId>,
+}
+
+/// A deployed world: simulator + realm + overlay, ready for the Ibis
+/// daemon (jc-core) to start workers in.
+pub struct Deployment {
+    /// The simulator.
+    pub sim: Sim,
+    /// GAT resources, one per grid entry with nodes > 0.
+    pub realm: GatRealm,
+    /// The SmartSockets overlay (hubs already deployed and gossiping).
+    pub overlay: Rc<Overlay>,
+    /// Resource name → placement.
+    pub placements: HashMap<String, PlacedResource>,
+    /// The client machine's host (where the coupler and daemon run).
+    pub client_host: HostId,
+    /// The grid description this world was built from.
+    pub grid: GridDescription,
+}
+
+impl Deployment {
+    /// Build a deployment from a grid description.
+    ///
+    /// Every resource becomes a site with a front-end host plus `nodes`
+    /// compute hosts; links become WAN links; a hub is started on every
+    /// front-end with `hub: true`; a GAT middleware actor is installed for
+    /// every resource with at least one middleware.
+    pub fn build(grid: GridDescription, cfg: SimConfig) -> Result<Deployment, BuildError> {
+        if grid.resources.is_empty() {
+            return Err(BuildError::EmptyGrid);
+        }
+        let mut topo = Topology::new();
+        let mut sites: HashMap<String, SiteId> = HashMap::new();
+        let mut placements: HashMap<String, PlacedResource> = HashMap::new();
+        let mut client_host = None;
+
+        for r in &grid.resources {
+            let policy = parse_firewall(&r.firewall)?;
+            let site = topo.add_site(r.name.clone(), r.location.clone(), policy);
+            sites.insert(r.name.clone(), site);
+            // intra-site fabric
+            topo.add_link(
+                site,
+                site,
+                SimDuration::from_micros(r.fabric_latency_us),
+                r.fabric_gbps,
+                format!("{} fabric", r.name),
+            );
+            let front_end = topo.add_host(
+                HostSpec::node(format!("fs.{}", r.name), site, cpu_of(r))
+                    .with_memory_gib(r.memory_gib)
+                    .as_front_end(),
+            );
+            let mut nodes = Vec::with_capacity(r.nodes as usize);
+            for i in 0..r.nodes {
+                let mut spec = HostSpec::node(format!("{}.n{i:03}", r.name), site, cpu_of(r))
+                    .with_memory_gib(r.memory_gib);
+                for g in &r.gpus {
+                    spec = spec.with_gpu(GpuSpec::new(g.model.clone(), g.gflops, g.pcie_gibps));
+                }
+                nodes.push(topo.add_host(spec));
+            }
+            if r.client {
+                // the client machine itself can host workers too (the
+                // "local desktop" scenarios): treat the front-end as its
+                // only node when nodes == 0
+                client_host = Some(front_end);
+            }
+            placements.insert(r.name.clone(), PlacedResource { site, front_end, nodes });
+        }
+
+        for l in &grid.links {
+            let a = *sites.get(&l.a).ok_or_else(|| BuildError::UnknownResource(l.a.clone()))?;
+            let b = *sites.get(&l.b).ok_or_else(|| BuildError::UnknownResource(l.b.clone()))?;
+            topo.add_link(
+                a,
+                b,
+                SimDuration::from_secs_f64(l.latency_ms / 1e3),
+                l.gbps,
+                l.label.clone(),
+            );
+        }
+
+        let mut sim = Sim::new(topo, cfg);
+
+        // Hubs: client first (it seeds the overlay), then every hub=true
+        // resource.
+        let mut hub_placements: Vec<(SiteId, HostId)> = Vec::new();
+        let ordered: Vec<&ResourceEntry> = {
+            let mut v: Vec<&ResourceEntry> = grid.resources.iter().collect();
+            v.sort_by_key(|r| !r.client); // client first
+            v
+        };
+        for r in &ordered {
+            if r.hub {
+                let p = &placements[&r.name];
+                hub_placements.push((p.site, p.front_end));
+            }
+        }
+        let overlay = Rc::new(Overlay::deploy(
+            &mut sim,
+            &hub_placements,
+            SimDuration::from_millis(100),
+            20,
+        ));
+
+        // GAT brokers.
+        let mut realm = GatRealm::new();
+        for r in &grid.resources {
+            if r.middlewares.is_empty() {
+                continue;
+            }
+            let kinds = r
+                .middlewares
+                .iter()
+                .map(|m| parse_middleware(m))
+                .collect::<Result<Vec<_>, _>>()?;
+            let p = &placements[&r.name];
+            // client machines with no separate nodes run jobs on the
+            // front-end itself (the "local" adapter case)
+            let nodes =
+                if p.nodes.is_empty() { vec![p.front_end] } else { p.nodes.clone() };
+            realm.install(&mut sim, r.name.clone(), p.site, p.front_end, nodes, kinds);
+        }
+
+        let client_host = client_host.unwrap_or_else(|| placements[&grid.resources[0].name].front_end);
+        Ok(Deployment { sim, realm, overlay, placements, client_host, grid })
+    }
+
+    /// Let the overlay gossip converge (runs the sim until idle or `max`
+    /// events); returns whether full hub membership was reached.
+    pub fn converge_overlay(&mut self, max_events: u64) -> bool {
+        self.sim.run_to_quiescence(max_events);
+        self.overlay.converged()
+    }
+}
+
+fn cpu_of(r: &ResourceEntry) -> CpuSpec {
+    CpuSpec::new(format!("{} cpu", r.name), r.cores_per_node, r.gflops_per_core)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> GridDescription {
+        GridDescription::from_json(
+            r#"{
+            "resources": [
+                {"name": "laptop", "location": "Seattle", "nodes": 0,
+                 "client": true, "middlewares": ["local"]},
+                {"name": "VU", "location": "Amsterdam", "nodes": 4,
+                 "middlewares": ["pbs", "ssh"], "firewall": "firewalled"},
+                {"name": "LGM", "location": "Leiden", "nodes": 2,
+                 "middlewares": ["sge"],
+                 "gpus": [{"model": "Tesla C2050", "gflops": 500.0}]}
+            ],
+            "links": [
+                {"a": "laptop", "b": "VU", "latency_ms": 45.0, "gbps": 1.0},
+                {"a": "VU", "b": "LGM", "latency_ms": 1.0, "gbps": 10.0}
+            ]
+        }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_creates_sites_hosts_and_brokers() {
+        let mut d = Deployment::build(sample(), SimConfig::default()).unwrap();
+        assert_eq!(d.placements.len(), 3);
+        assert_eq!(d.placements["VU"].nodes.len(), 4);
+        assert_eq!(d.realm.names(), vec!["LGM", "VU", "laptop"]);
+        // GPU nodes got their GPUs
+        let lgm_node = d.placements["LGM"].nodes[0];
+        assert_eq!(d.sim.topology().host(lgm_node).gpus[0].model, "Tesla C2050");
+        // client host identified
+        let ch = d.client_host;
+        assert!(d.sim.topology().host(ch).name.contains("laptop"));
+    }
+
+    #[test]
+    fn overlay_converges_after_build() {
+        let mut d = Deployment::build(sample(), SimConfig::default()).unwrap();
+        assert!(d.converge_overlay(10_000_000), "hub gossip converges");
+    }
+
+    #[test]
+    fn unknown_link_endpoint_is_error() {
+        let mut g = sample();
+        g.links.push(crate::descriptor::LinkEntry {
+            a: "VU".into(),
+            b: "nonexistent".into(),
+            latency_ms: 1.0,
+            gbps: 1.0,
+            label: String::new(),
+        });
+        match Deployment::build(g, SimConfig::default()) {
+            Err(BuildError::UnknownResource(r)) => assert_eq!(r, "nonexistent"),
+            Err(other) => panic!("{other:?}"),
+            Ok(_) => panic!("build unexpectedly succeeded"),
+        }
+    }
+
+    #[test]
+    fn unknown_middleware_is_error() {
+        let mut g = sample();
+        g.resources[1].middlewares.push("slurm".into());
+        assert!(matches!(
+            Deployment::build(g, SimConfig::default()),
+            Err(BuildError::UnknownMiddleware(_))
+        ));
+    }
+
+    #[test]
+    fn empty_grid_is_error() {
+        let err = Deployment::build(GridDescription::default(), SimConfig::default())
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err, BuildError::EmptyGrid);
+    }
+}

@@ -1,0 +1,212 @@
+//! Grid, application and experiment description files.
+//!
+//! These are the "small number of simple configuration files" IbisDeploy is
+//! driven by. The JSON schema is kept close to what a user would actually
+//! write: resources with locations, middleware lists, node counts and
+//! optional GPUs; links with latency and bandwidth.
+
+use serde::{Deserialize, Serialize};
+
+/// One GPU installed in every node of a resource.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct GpuEntry {
+    /// Marketing name (e.g. `"GeForce 9600GT"`).
+    pub model: String,
+    /// Sustained GFLOP/s on the target kernels.
+    pub gflops: f64,
+    /// Host↔device bandwidth, GiB/s.
+    #[serde(default = "default_pcie")]
+    pub pcie_gibps: f64,
+}
+
+fn default_pcie() -> f64 {
+    4.0
+}
+
+/// A resource in the user's grid file.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ResourceEntry {
+    /// Resource name, e.g. `"DAS-4 (VU)"`.
+    pub name: String,
+    /// Geographic label, e.g. `"Amsterdam, NL"`.
+    pub location: String,
+    /// Firewall policy: `"open"`, `"firewalled"`, `"nat"`, `"internal"`.
+    #[serde(default = "default_firewall")]
+    pub firewall: String,
+    /// Number of compute nodes (0 = client machine / stand-alone host).
+    pub nodes: u32,
+    /// Cores per node.
+    #[serde(default = "default_cores")]
+    pub cores_per_node: u32,
+    /// Sustained GFLOP/s per core.
+    #[serde(default = "default_gflops")]
+    pub gflops_per_core: f64,
+    /// GPUs per node (empty = none).
+    #[serde(default)]
+    pub gpus: Vec<GpuEntry>,
+    /// Installed middleware: `"ssh"`, `"pbs"`, `"sge"`, `"globus"`,
+    /// `"zorilla"`, `"local"`.
+    #[serde(default)]
+    pub middlewares: Vec<String>,
+    /// Whether IbisDeploy should start a SmartSockets hub here.
+    #[serde(default = "default_true")]
+    pub hub: bool,
+    /// Is this the user's client machine (where the coupler runs)?
+    #[serde(default)]
+    pub client: bool,
+    /// Intra-site fabric latency in microseconds.
+    #[serde(default = "default_fabric_us")]
+    pub fabric_latency_us: u64,
+    /// Intra-site fabric bandwidth in Gbit/s.
+    #[serde(default = "default_fabric_gbps")]
+    pub fabric_gbps: f64,
+    /// Memory per node in GiB.
+    #[serde(default = "default_mem")]
+    pub memory_gib: u32,
+}
+
+fn default_firewall() -> String {
+    "open".into()
+}
+fn default_cores() -> u32 {
+    4
+}
+fn default_gflops() -> f64 {
+    2.0
+}
+fn default_true() -> bool {
+    true
+}
+fn default_fabric_us() -> u64 {
+    50
+}
+fn default_fabric_gbps() -> f64 {
+    10.0
+}
+fn default_mem() -> u32 {
+    24
+}
+
+/// A wide-area link between two named resources.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct LinkEntry {
+    /// One endpoint (resource name).
+    pub a: String,
+    /// Other endpoint (resource name).
+    pub b: String,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+    /// Bandwidth in Gbit/s.
+    pub gbps: f64,
+    /// Label, e.g. `"transatlantic 1G lightpath"`.
+    #[serde(default)]
+    pub label: String,
+}
+
+/// The user's grid file: everything they have access to.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Default)]
+pub struct GridDescription {
+    /// Resources.
+    pub resources: Vec<ResourceEntry>,
+    /// Wide-area links.
+    pub links: Vec<LinkEntry>,
+}
+
+impl GridDescription {
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<GridDescription, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("grid description serializes")
+    }
+
+    /// The client entry (the machine the user sits at).
+    pub fn client(&self) -> Option<&ResourceEntry> {
+        self.resources.iter().find(|r| r.client)
+    }
+
+    /// Look up a resource by name.
+    pub fn resource(&self, name: &str) -> Option<&ResourceEntry> {
+        self.resources.iter().find(|r| r.name == name)
+    }
+}
+
+/// What to run: one model worker (the paper's step 4: "Add a property to
+/// each worker created in the simulation script to specify the channel
+/// used (ibis), as well as the name of the resource, and the number of
+/// nodes required for this worker").
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ApplicationDescription {
+    /// Worker name (e.g. `"gadget"`).
+    pub name: String,
+    /// Resource to run on.
+    pub resource: String,
+    /// Nodes required.
+    pub nodes: u32,
+    /// Processes per node.
+    #[serde(default = "default_ppn")]
+    pub processes_per_node: u32,
+    /// Input staging volume in bytes.
+    #[serde(default)]
+    pub stage_in_bytes: u64,
+    /// Use the GPU kernel if the resource has one.
+    #[serde(default)]
+    pub use_gpu: bool,
+}
+
+fn default_ppn() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "resources": [
+            {"name": "laptop", "location": "Seattle, WA, USA", "nodes": 0,
+             "client": true, "middlewares": ["local"]},
+            {"name": "DAS-4 (VU)", "location": "Amsterdam, NL",
+             "nodes": 8, "cores_per_node": 8,
+             "middlewares": ["pbs", "ssh"], "firewall": "firewalled",
+             "gpus": [{"model": "GTX480", "gflops": 150.0}]}
+        ],
+        "links": [
+            {"a": "laptop", "b": "DAS-4 (VU)", "latency_ms": 45.0,
+             "gbps": 1.0, "label": "transatlantic 1G lightpath"}
+        ]
+    }"#;
+
+    #[test]
+    fn parse_sample_grid() {
+        let g = GridDescription::from_json(SAMPLE).unwrap();
+        assert_eq!(g.resources.len(), 2);
+        assert_eq!(g.client().unwrap().name, "laptop");
+        let das = g.resource("DAS-4 (VU)").unwrap();
+        assert_eq!(das.nodes, 8);
+        assert_eq!(das.gpus[0].model, "GTX480");
+        assert_eq!(das.gpus[0].pcie_gibps, 4.0); // default applied
+        assert!(das.hub); // default applied
+        assert_eq!(g.links[0].label, "transatlantic 1G lightpath");
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let g = GridDescription::from_json(SAMPLE).unwrap();
+        let again = GridDescription::from_json(&g.to_json()).unwrap();
+        assert_eq!(g, again);
+    }
+
+    #[test]
+    fn application_description_defaults() {
+        let a: ApplicationDescription = serde_json::from_str(
+            r#"{"name": "sse", "resource": "DAS-4 (VU)", "nodes": 1}"#,
+        )
+        .unwrap();
+        assert_eq!(a.processes_per_node, 1);
+        assert!(!a.use_gpu);
+    }
+}

@@ -1,0 +1,28 @@
+//! # jc-deploy — IbisDeploy: zero-effort deployment into the jungle
+//!
+//! Reproduction of IbisDeploy (§3 of the paper): *"a library for deploying
+//! applications in the Jungle, targeted specifically at end-users.
+//! IbisDeploy can be configured using a small number of simple
+//! configuration files, or with an optional GUI."*
+//!
+//! * [`descriptor`] — the configuration files: a *grid description* (the
+//!   resources a user has access to, their locations, middlewares,
+//!   firewalls and the links between them) and *application/experiment
+//!   descriptions*. They serialize to JSON via serde.
+//! * [`build`] — turns a grid description into a running simulated world:
+//!   topology, SmartSockets hub per resource ("IbisDeploy automatically
+//!   starts the hubs required by SmartSockets on each resource used"), and
+//!   one GAT middleware actor per resource.
+//! * [`monitor`] — text renditions of the IbisDeploy GUI panels shown in
+//!   Figs 10 and 11: the resource map, the job table, the hub overlay and
+//!   the per-link traffic visualization with load/memory bars.
+
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod descriptor;
+pub mod monitor;
+
+pub use build::Deployment;
+pub use descriptor::{ApplicationDescription, GridDescription, LinkEntry, ResourceEntry};
+pub use monitor::{JobRow, MonitorView};

@@ -1,0 +1,135 @@
+//! Job descriptions, states and status events.
+
+use jc_netsim::{Actor, ActorId, HostId, SimDuration};
+
+/// Identifies a GAT job (unique within one realm).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct GatJobId(pub u64);
+
+/// Where one process of a job landed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessSeat {
+    /// Process rank within the job (0-based).
+    pub rank: u32,
+    /// Total processes in the job.
+    pub total: u32,
+    /// Host the process runs on.
+    pub host: HostId,
+    /// The spawned actor.
+    pub actor: ActorId,
+}
+
+/// The factory producing a job's process actors, one per rank.
+///
+/// The middleware actor invokes it once per process at job start. The
+/// closure receives `(rank, total, host)` — workers that are internally
+/// parallel (an MPI Gadget worker, say) use `rank`/`total` to set up their
+/// communicator.
+pub type ProcessFactory = Box<dyn FnMut(u32, u32, HostId) -> Box<dyn Actor>>;
+
+/// A middleware-independent job description (the JavaGAT
+/// `JobDescription` + `SoftwareDescription`).
+pub struct JobDescription {
+    /// Executable name (cosmetic — shown in monitoring).
+    pub executable: String,
+    /// Number of nodes to allocate.
+    pub nodes: u32,
+    /// Processes per node.
+    pub processes_per_node: u32,
+    /// Reservation length (None = site default).
+    pub walltime: Option<SimDuration>,
+    /// Bytes to pre-stage (input files) from the submitter to the resource.
+    pub stage_in_bytes: u64,
+    /// Bytes to post-stage (output files) back after completion.
+    pub stage_out_bytes: u64,
+    /// Produces the process actors.
+    pub factory: ProcessFactory,
+}
+
+impl JobDescription {
+    /// A single-node, single-process job with no staging.
+    pub fn simple(
+        executable: impl Into<String>,
+        factory: impl FnMut(u32, u32, HostId) -> Box<dyn Actor> + 'static,
+    ) -> JobDescription {
+        JobDescription {
+            executable: executable.into(),
+            nodes: 1,
+            processes_per_node: 1,
+            walltime: None,
+            stage_in_bytes: 0,
+            stage_out_bytes: 0,
+            factory: Box::new(factory),
+        }
+    }
+
+    /// Total process count.
+    pub fn total_processes(&self) -> u32 {
+        self.nodes * self.processes_per_node
+    }
+}
+
+/// Lifecycle states of a GAT job (JavaGAT's `Job.JobState`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum JobState {
+    /// Accepted by the adapter; files are being pre-staged.
+    PreStaging,
+    /// In the site's queue waiting for nodes.
+    Scheduled,
+    /// Processes running.
+    Running,
+    /// Output being post-staged.
+    PostStaging,
+    /// Finished successfully.
+    Stopped,
+    /// The adapter could not submit (no adapter, unreachable, oversized).
+    SubmissionError,
+    /// Killed: by the scheduler (walltime) or by a cancel.
+    Killed,
+}
+
+/// Status callback streamed to the submitter.
+#[derive(Clone, Debug)]
+pub struct GatEvent {
+    /// Which job.
+    pub job: GatJobId,
+    /// New state.
+    pub state: JobState,
+    /// Seats, populated on the transition to `Running`.
+    pub seats: Vec<ProcessSeat>,
+    /// Human-readable detail (error text, kill reason).
+    pub detail: String,
+}
+
+impl GatEvent {
+    pub(crate) fn new(job: GatJobId, state: JobState) -> GatEvent {
+        GatEvent { job, state, seats: Vec::new(), detail: String::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jc_netsim::{Ctx, Msg};
+
+    struct Nop;
+    impl Actor for Nop {
+        fn handle(&mut self, _: &mut Ctx<'_>, _: Msg) {}
+    }
+
+    #[test]
+    fn simple_description_defaults() {
+        let d = JobDescription::simple("sse", |_, _, _| Box::new(Nop));
+        assert_eq!(d.nodes, 1);
+        assert_eq!(d.total_processes(), 1);
+        assert_eq!(d.stage_in_bytes, 0);
+    }
+
+    #[test]
+    fn total_processes_multiplies() {
+        let mut d = JobDescription::simple("gadget", |_, _, _| Box::new(Nop));
+        d.nodes = 8;
+        d.processes_per_node = 2;
+        assert_eq!(d.total_processes(), 16);
+    }
+}

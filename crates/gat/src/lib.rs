@@ -1,0 +1,35 @@
+//! # jc-gat — JavaGAT: one interface to every middleware
+//!
+//! Reproduction of JavaGAT (van Nieuwpoort et al. [15]; §3 of the paper):
+//! *"JavaGAT is a generic and simple interface to middleware. [...] Using
+//! familiar concepts such as Files and Jobs, a programmer is able to start
+//! applications in a Jungle. JavaGAT provides this functionality using
+//! Adapters, that interact with a middleware to implement the required
+//! task [...] JavaGAT will automatically select the appropriate adapter for
+//! each resource, and adapters exist for most common middleware including
+//! Globus, Unicore, SSH, Glite, SGE, PBS."*
+//!
+//! Here a *resource* is a simulated site with a declared set of supported
+//! middlewares. One [`broker::MiddlewareActor`] per site plays the head
+//! node: it applies the selected adapter's submission overhead, runs the
+//! site's batch queue (PBS/SGE/Globus), stages files, allocates concrete
+//! hosts, spawns the job's process actors, and streams
+//! [`job::GatEvent`] status callbacks to the submitter — including the
+//! `KilledByScheduler` fate when a reservation expires mid-run, the fault
+//! the paper's prototype could not survive.
+//!
+//! Adapter auto-selection: [`adapter::select_adapter`] walks a preference
+//! order and picks the first middleware the resource supports, falling back
+//! to [`adapter::MiddlewareKind::Zorilla`] when nothing conventional is
+//! installed (Zorilla "is ideal in cases where no middleware is
+//! available").
+
+#![warn(missing_docs)]
+
+pub mod adapter;
+pub mod broker;
+pub mod job;
+
+pub use adapter::{select_adapter, AdapterError, MiddlewareKind};
+pub use broker::{GatRealm, MiddlewareActor, ResourceDesc, SubmitRequest};
+pub use job::{GatEvent, GatJobId, JobDescription, JobState, ProcessFactory, ProcessSeat};

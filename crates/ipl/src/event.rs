@@ -1,0 +1,47 @@
+//! Events an Ibis instance surfaces to its owning actor.
+
+use crate::ibis::IbisIdentifier;
+use crate::message::Payload;
+use crate::port::ReceivePortName;
+
+/// What happened inside the IPL layer, delivered to the embedding actor by
+/// [`crate::ibis::IbisInstance::handle_msg`].
+#[derive(Debug)]
+pub enum IplEvent {
+    /// A message arrived on one of our receive ports (the IPL "upcall").
+    Upcall {
+        /// The receive port it arrived on.
+        port: ReceivePortName,
+        /// The sending instance.
+        from: IbisIdentifier,
+        /// The message payload.
+        payload: Payload,
+    },
+    /// A new instance joined the pool (malleability).
+    Joined(IbisIdentifier),
+    /// An instance left the pool gracefully.
+    Left(IbisIdentifier),
+    /// An instance died — its host crashed. This is the fault-tolerance
+    /// notification the paper highlights.
+    Died(IbisIdentifier),
+    /// Result of an election we participated in (or observed).
+    Elected {
+        /// Election name.
+        name: String,
+        /// Winning instance.
+        winner: IbisIdentifier,
+    },
+    /// A signal string forwarded by the registry.
+    Signal {
+        /// Originating instance.
+        from: IbisIdentifier,
+        /// Signal content.
+        content: String,
+    },
+    /// We successfully joined the registry; the pool membership at join
+    /// time is included.
+    JoinAck {
+        /// Members known at join time (including self).
+        members: Vec<IbisIdentifier>,
+    },
+}

@@ -1,0 +1,309 @@
+//! The per-process IPL endpoint, embedded inside a user actor.
+
+use crate::event::IplEvent;
+use crate::message::Payload;
+use crate::port::{PortConnection, PortId, ReceivePortName, SendPort};
+use crate::registry::{PoolEvent, RegistryHandle, RegistryMsg, CTRL_MSG_BYTES};
+use jc_netsim::metrics::TrafficClass;
+use jc_netsim::{ActorId, Ctx, HostId, Msg, SimDuration};
+use jc_smartsockets::{hub::unwrap_message, ConnectionPlan, Overlay, VirtualAddress, VirtualSocket};
+use std::collections::HashSet;
+use std::rc::Rc;
+
+/// Identity of one Ibis instance in a pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IbisIdentifier {
+    /// Unique id within the pool.
+    pub id: u64,
+    /// Human-readable name (e.g. `"daemon"`, `"proxy-gadget-3"`).
+    pub name: String,
+    /// Pool name.
+    pub pool: String,
+    /// Host the instance runs on.
+    pub host: HostId,
+    /// The actor embedding the instance.
+    pub actor: ActorId,
+}
+
+/// Configuration for creating an [`IbisInstance`].
+#[derive(Clone)]
+pub struct IbisConfig {
+    /// Instance name.
+    pub name: String,
+    /// Pool to join.
+    pub pool: String,
+    /// The registry to join through.
+    pub registry: RegistryHandle,
+    /// The SmartSockets overlay used for connection planning (optional:
+    /// without it only open paths work — like running Ibis without hubs).
+    pub overlay: Option<Rc<Overlay>>,
+}
+
+/// The wire format of an IPL message between two instances.
+pub(crate) struct IplWire {
+    pub to_port: ReceivePortName,
+    pub from: IbisIdentifier,
+    pub payload: Payload,
+}
+
+/// Error connecting a send port.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConnectError {
+    /// SmartSockets found no way to reach the target.
+    Unreachable,
+    /// The instance has not joined the pool yet.
+    NotJoined,
+}
+
+static NEXT_INSTANCE_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// The IPL endpoint. Owned by an embedding actor, which must forward all
+/// unrecognized incoming messages to [`IbisInstance::handle_msg`].
+pub struct IbisInstance {
+    cfg: IbisConfig,
+    ident: Option<IbisIdentifier>,
+    members: Vec<IbisIdentifier>,
+    receive_ports: HashSet<ReceivePortName>,
+    send_ports: Vec<SendPort>,
+    joined: bool,
+}
+
+impl IbisInstance {
+    /// Create an instance (not yet joined).
+    pub fn new(cfg: IbisConfig) -> IbisInstance {
+        IbisInstance {
+            cfg,
+            ident: None,
+            members: Vec::new(),
+            receive_ports: HashSet::new(),
+            send_ports: Vec::new(),
+            joined: false,
+        }
+    }
+
+    /// This instance's identifier (available after [`IbisInstance::join`]).
+    pub fn identifier(&self) -> Option<&IbisIdentifier> {
+        self.ident.as_ref()
+    }
+
+    /// Current known pool membership.
+    pub fn members(&self) -> &[IbisIdentifier] {
+        &self.members
+    }
+
+    /// Join the pool through the registry. Call from the embedding actor's
+    /// `on_start` (or later); the `JoinAck` arrives as an [`IplEvent`].
+    pub fn join(&mut self, ctx: &mut Ctx<'_>) {
+        let ident = IbisIdentifier {
+            id: NEXT_INSTANCE_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            name: self.cfg.name.clone(),
+            pool: self.cfg.pool.clone(),
+            host: ctx.host(),
+            actor: ctx.id(),
+        };
+        self.ident = Some(ident.clone());
+        ctx.send_net(
+            self.cfg.registry.actor,
+            CTRL_MSG_BYTES,
+            TrafficClass::Control,
+            RegistryMsg::Join(ident),
+        );
+    }
+
+    /// Leave the pool gracefully.
+    pub fn leave(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(id) = &self.ident {
+            ctx.send_net(
+                self.cfg.registry.actor,
+                CTRL_MSG_BYTES,
+                TrafficClass::Control,
+                RegistryMsg::Leave(id.id),
+            );
+        }
+        self.joined = false;
+    }
+
+    /// Declare a named receive port; messages addressed to it surface as
+    /// [`IplEvent::Upcall`].
+    pub fn create_receive_port(&mut self, name: impl Into<String>) -> ReceivePortName {
+        let n = ReceivePortName::new(name);
+        self.receive_ports.insert(n.clone());
+        n
+    }
+
+    /// Create a send port and connect it to `port` on instance `to`.
+    /// Returns the port id and the modeled connection-setup latency.
+    ///
+    /// One-to-many: call [`IbisInstance::connect_also`] to add more targets.
+    pub fn connect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        to: &IbisIdentifier,
+        port: &ReceivePortName,
+    ) -> Result<(PortId, SimDuration), ConnectError> {
+        let id = PortId(self.send_ports.len());
+        let mut sp = SendPort::new(id);
+        let setup = self.attach(ctx, &mut sp, to, port)?;
+        self.send_ports.push(sp);
+        Ok((id, setup))
+    }
+
+    /// Add another target to an existing send port (multicast).
+    pub fn connect_also(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port_id: PortId,
+        to: &IbisIdentifier,
+        port: &ReceivePortName,
+    ) -> Result<SimDuration, ConnectError> {
+        let mut sp = std::mem::replace(
+            &mut self.send_ports[port_id.0],
+            SendPort::new(port_id),
+        );
+        let result = self.attach(ctx, &mut sp, to, port);
+        self.send_ports[port_id.0] = sp;
+        result
+    }
+
+    fn attach(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        sp: &mut SendPort,
+        to: &IbisIdentifier,
+        port: &ReceivePortName,
+    ) -> Result<SimDuration, ConnectError> {
+        let me = self.ident.as_ref().ok_or(ConnectError::NotJoined)?.clone();
+        let from_addr = VirtualAddress::new(me.host, me.id as u16);
+        let to_addr = VirtualAddress::new(to.host, to.id as u16);
+        let overlay = self.cfg.overlay.clone();
+        let plan = ConnectionPlan::plan(ctx.topo(), overlay.as_deref(), from_addr, to_addr);
+        if !plan.is_usable() {
+            return Err(ConnectError::Unreachable);
+        }
+        let setup = plan.setup_latency;
+        sp.connections.push(PortConnection {
+            to: to.clone(),
+            port: port.clone(),
+            socket: VirtualSocket::new(plan, to.actor),
+        });
+        Ok(setup)
+    }
+
+    /// Send a message on a send port (to *all* its connected receive
+    /// ports). `class` tags the traffic for the monitoring views.
+    pub fn send(&mut self, ctx: &mut Ctx<'_>, port: PortId, payload: Payload, class: TrafficClass) {
+        let me = self.ident.clone().expect("send before join");
+        let sp = &mut self.send_ports[port.0];
+        let n = sp.connections.len();
+        assert!(n > 0, "send on unconnected port");
+        let size = payload.wire_size();
+        sp.bytes_sent += size * n as u64;
+        sp.messages_sent += 1;
+        if n == 1 {
+            let conn = &mut sp.connections[0];
+            let wire = IplWire { to_port: conn.port.clone(), from: me, payload };
+            conn.socket.send(ctx, size + 64, class, wire);
+            return;
+        }
+        // Multicast of typed payloads: payloads are not clonable in
+        // general, so multicast is only supported for byte payloads.
+        match payload {
+            Payload::Bytes(b) => {
+                for conn in &mut sp.connections {
+                    let wire = IplWire {
+                        to_port: conn.port.clone(),
+                        from: me.clone(),
+                        payload: Payload::Bytes(b.clone()),
+                    };
+                    conn.socket.send(ctx, size + 64, class, wire);
+                }
+            }
+            Payload::Object { .. } => {
+                panic!("multicast of typed payloads unsupported; send bytes")
+            }
+        }
+    }
+
+    /// Number of connections on a send port.
+    pub fn fan_out(&self, port: PortId) -> usize {
+        self.send_ports[port.0].connections.len()
+    }
+
+    /// Stand for an election.
+    pub fn elect(&mut self, ctx: &mut Ctx<'_>, name: impl Into<String>) {
+        let me = self.ident.clone().expect("elect before join");
+        ctx.send_net(
+            self.cfg.registry.actor,
+            CTRL_MSG_BYTES,
+            TrafficClass::Control,
+            RegistryMsg::Elect { name: name.into(), candidate: me },
+        );
+    }
+
+    /// Send a signal to specific members (empty = broadcast).
+    pub fn signal(&mut self, ctx: &mut Ctx<'_>, targets: Vec<u64>, content: impl Into<String>) {
+        let me = self.ident.clone().expect("signal before join");
+        ctx.send_net(
+            self.cfg.registry.actor,
+            CTRL_MSG_BYTES,
+            TrafficClass::Control,
+            RegistryMsg::Signal { from: me, targets, content: content.into() },
+        );
+    }
+
+    /// Feed an incoming actor message through the IPL layer. Returns the
+    /// IPL events it produced, or gives the message back (`Err`) if it does
+    /// not belong to IPL (the embedding actor's own protocol).
+    pub fn handle_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) -> Result<Vec<IplEvent>, Msg> {
+        // Pool events from the registry.
+        let msg = match unwrap_message::<PoolEvent>(msg) {
+            Ok((_, ev)) => {
+                return Ok(self.on_pool_event(ev));
+            }
+            Err(m) => m,
+        };
+        // Data messages.
+        match unwrap_message::<IplWire>(msg) {
+            Ok((_, wire)) => {
+                if self.receive_ports.contains(&wire.to_port) {
+                    Ok(vec![IplEvent::Upcall {
+                        port: wire.to_port,
+                        from: wire.from,
+                        payload: wire.payload,
+                    }])
+                } else {
+                    // Message for a port we never declared: dropped, as a
+                    // real IPL connection to a missing port would fail.
+                    Ok(vec![])
+                }
+            }
+            Err(m) => Err(m),
+        }
+    }
+
+    fn on_pool_event(&mut self, ev: PoolEvent) -> Vec<IplEvent> {
+        match ev {
+            PoolEvent::JoinAck(members) => {
+                self.joined = true;
+                self.members = members.clone();
+                vec![IplEvent::JoinAck { members }]
+            }
+            PoolEvent::Joined(m) => {
+                if !self.members.iter().any(|x| x.id == m.id) {
+                    self.members.push(m.clone());
+                }
+                vec![IplEvent::Joined(m)]
+            }
+            PoolEvent::Left(m) => {
+                self.members.retain(|x| x.id != m.id);
+                vec![IplEvent::Left(m)]
+            }
+            PoolEvent::Died(m) => {
+                self.members.retain(|x| x.id != m.id);
+                vec![IplEvent::Died(m)]
+            }
+            PoolEvent::Elected { name, winner } => vec![IplEvent::Elected { name, winner }],
+            PoolEvent::Signal { from, content } => vec![IplEvent::Signal { from, content }],
+        }
+    }
+}

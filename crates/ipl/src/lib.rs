@@ -1,0 +1,42 @@
+//! # jc-ipl — the Ibis Portability Layer
+//!
+//! Reproduction of IPL (van Nieuwpoort et al.; §3 of the paper): *"a
+//! communication library specifically designed for use in a Jungle. IPL is
+//! based on the concept of uni-directional connection-oriented message-based
+//! communication. It provides support for fault-tolerance and malleability
+//! [...] an application using IPL will get notified if a machine crashes,
+//! allowing the application to react to and recover from this fault."*
+//!
+//! The pieces:
+//!
+//! * [`registry::RegistryActor`] — the central registry every Ibis instance
+//!   joins. Tracks membership, broadcasts join/leave/died events (died
+//!   events come from watching simulated host crashes), runs first-wins
+//!   elections, and forwards signals. This models the Ibis server process.
+//! * [`ibis::IbisInstance`] — the per-process endpoint, embedded *inside* a
+//!   user actor (the Ibis daemon, a worker proxy, ...). It is a library,
+//!   not an actor: the owning actor forwards incoming messages to
+//!   [`ibis::IbisInstance::handle_msg`] and reacts to the returned
+//!   [`event::IplEvent`]s.
+//! * [`port::SendPort`] / [`port::ReceivePort`] — uni-directional,
+//!   connection-oriented, message-based ports. A send port connects to one
+//!   or more named receive ports (one-to-many); receive ports accept any
+//!   number of senders (many-to-one). Connections are planned through
+//!   SmartSockets, so firewalled/NATed paths transparently use reverse or
+//!   relayed setup.
+//! * [`message`] — message payloads: raw bytes or typed objects with a
+//!   declared simulated wire size.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod ibis;
+pub mod message;
+pub mod port;
+pub mod registry;
+
+pub use event::IplEvent;
+pub use ibis::{IbisConfig, IbisIdentifier, IbisInstance};
+pub use message::Payload;
+pub use port::{PortId, ReceivePortName};
+pub use registry::{RegistryActor, RegistryHandle};

@@ -1,0 +1,104 @@
+//! Message payloads carried by IPL connections.
+
+use std::any::Any;
+
+/// A message payload: either raw bytes (as a real IPL write message would
+/// carry) or a typed in-simulation object with a declared wire size.
+///
+/// Typed payloads keep the simulated stack free of serialization while
+/// still accounting the correct number of bytes on every link.
+pub enum Payload {
+    /// Raw bytes.
+    Bytes(bytes::Bytes),
+    /// A typed object plus the size it would occupy on the wire.
+    Object {
+        /// The object.
+        value: Box<dyn Any>,
+        /// Simulated serialized size in bytes.
+        wire_size: u64,
+    },
+}
+
+impl Payload {
+    /// Wrap a typed value with a declared wire size.
+    pub fn object(value: impl Any, wire_size: u64) -> Payload {
+        Payload::Object { value: Box::new(value), wire_size }
+    }
+
+    /// Wrap raw bytes.
+    pub fn bytes(data: impl Into<bytes::Bytes>) -> Payload {
+        Payload::Bytes(data.into())
+    }
+
+    /// The simulated wire size.
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Payload::Bytes(b) => b.len() as u64,
+            Payload::Object { wire_size, .. } => *wire_size,
+        }
+    }
+
+    /// Try to view the payload as a typed object reference.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match self {
+            Payload::Object { value, .. } => value.downcast_ref(),
+            Payload::Bytes(_) => None,
+        }
+    }
+
+    /// Try to take the payload as a typed object.
+    pub fn downcast<T: Any>(self) -> Result<T, Payload> {
+        match self {
+            Payload::Object { value, wire_size } => match value.downcast::<T>() {
+                Ok(v) => Ok(*v),
+                Err(value) => Err(Payload::Object { value, wire_size }),
+            },
+            other => Err(other),
+        }
+    }
+
+    /// Raw bytes view, if this is a byte payload.
+    pub fn as_bytes(&self) -> Option<&bytes::Bytes> {
+        match self {
+            Payload::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Payload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Payload::Bytes(b) => write!(f, "Payload::Bytes({} B)", b.len()),
+            Payload::Object { wire_size, .. } => write!(f, "Payload::Object({wire_size} B)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_payload_size() {
+        let p = Payload::bytes(vec![0u8; 128]);
+        assert_eq!(p.wire_size(), 128);
+        assert_eq!(p.as_bytes().unwrap().len(), 128);
+    }
+
+    #[test]
+    fn object_payload_round_trip() {
+        let p = Payload::object(vec![1.0f64, 2.0], 16);
+        assert_eq!(p.wire_size(), 16);
+        assert_eq!(p.downcast_ref::<Vec<f64>>().unwrap().len(), 2);
+        let v: Vec<f64> = p.downcast().unwrap();
+        assert_eq!(v, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn downcast_wrong_type_returns_payload() {
+        let p = Payload::object(5u32, 4);
+        let p = p.downcast::<String>().unwrap_err();
+        assert_eq!(p.wire_size(), 4);
+    }
+}

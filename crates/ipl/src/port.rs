@@ -1,0 +1,70 @@
+//! Send and receive ports: IPL's uni-directional message channels.
+
+use crate::ibis::IbisIdentifier;
+use jc_smartsockets::VirtualSocket;
+
+/// Name of a receive port (unique within one Ibis instance).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub struct ReceivePortName(pub String);
+
+impl ReceivePortName {
+    /// Construct a port name.
+    pub fn new(s: impl Into<String>) -> ReceivePortName {
+        ReceivePortName(s.into())
+    }
+}
+
+impl std::fmt::Display for ReceivePortName {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Identifies a send port within one Ibis instance.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PortId(pub usize);
+
+/// One established connection of a send port.
+pub(crate) struct PortConnection {
+    /// The remote instance (kept for monitoring/debug views).
+    #[allow(dead_code)]
+    pub to: IbisIdentifier,
+    /// Remote receive port.
+    pub port: ReceivePortName,
+    /// The underlying SmartSockets connection.
+    pub socket: VirtualSocket,
+}
+
+/// A uni-directional send port. Supports one-to-many: connecting to several
+/// receive ports turns every send into a multicast (used by the Ibis daemon
+/// to broadcast control messages to all worker proxies).
+pub(crate) struct SendPort {
+    #[allow(dead_code)]
+    pub id: PortId,
+    pub connections: Vec<PortConnection>,
+    pub bytes_sent: u64,
+    pub messages_sent: u64,
+}
+
+impl SendPort {
+    pub fn new(id: PortId) -> SendPort {
+        SendPort { id, connections: Vec::new(), bytes_sent: 0, messages_sent: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn port_name_display() {
+        assert_eq!(ReceivePortName::new("amuse.worker.1").to_string(), "amuse.worker.1");
+    }
+
+    #[test]
+    fn send_port_starts_empty() {
+        let p = SendPort::new(PortId(0));
+        assert!(p.connections.is_empty());
+        assert_eq!(p.bytes_sent, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The IPL registry: membership, elections, signals, fault notification.
+//!
+//! Models the Ibis server/registry process. Every [`crate::IbisInstance`]
+//! joins a named pool; the registry broadcasts pool events (joins, graceful
+//! leaves, deaths) to all members, providing the *malleability* and
+//! *fault-tolerance* the paper attributes to IPL.
+
+use crate::ibis::IbisIdentifier;
+use jc_netsim::actor::EngineNotice;
+use jc_netsim::metrics::TrafficClass;
+use jc_netsim::{Actor, ActorId, Ctx, Msg};
+use std::collections::HashMap;
+
+/// Control-plane sizes (bytes) used for traffic accounting.
+pub(crate) const CTRL_MSG_BYTES: u64 = 256;
+
+/// Messages instances send to the registry.
+#[derive(Debug)]
+pub enum RegistryMsg {
+    /// Join the pool.
+    Join(IbisIdentifier),
+    /// Leave the pool gracefully.
+    Leave(u64),
+    /// Stand for election `name`.
+    Elect {
+        /// Election name (e.g. `"server"`).
+        name: String,
+        /// The candidate.
+        candidate: IbisIdentifier,
+    },
+    /// Ask the registry to forward a signal.
+    Signal {
+        /// Sender.
+        from: IbisIdentifier,
+        /// Target instance ids (empty = broadcast).
+        targets: Vec<u64>,
+        /// Signal content.
+        content: String,
+    },
+}
+
+/// Events the registry pushes to pool members.
+#[derive(Debug, Clone)]
+pub enum PoolEvent {
+    /// Acknowledgement of a join, with current membership.
+    JoinAck(Vec<IbisIdentifier>),
+    /// Someone joined.
+    Joined(IbisIdentifier),
+    /// Someone left gracefully.
+    Left(IbisIdentifier),
+    /// Someone's host crashed.
+    Died(IbisIdentifier),
+    /// Election decided (first candidate wins, Ibis semantics).
+    Elected {
+        /// Election name.
+        name: String,
+        /// Winner.
+        winner: IbisIdentifier,
+    },
+    /// A forwarded signal.
+    Signal {
+        /// Originating instance.
+        from: IbisIdentifier,
+        /// Content.
+        content: String,
+    },
+}
+
+/// Address of a deployed registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RegistryHandle {
+    /// The registry actor.
+    pub actor: ActorId,
+}
+
+/// The registry actor. Place it on a well-connected host (the paper runs
+/// the Ibis server alongside the user's coupler machine).
+pub struct RegistryActor {
+    pool: String,
+    members: Vec<IbisIdentifier>,
+    elections: HashMap<String, IbisIdentifier>,
+    events_broadcast: u64,
+}
+
+impl RegistryActor {
+    /// Create a registry for a named pool.
+    pub fn new(pool: impl Into<String>) -> RegistryActor {
+        RegistryActor {
+            pool: pool.into(),
+            members: Vec::new(),
+            elections: HashMap::new(),
+            events_broadcast: 0,
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, ev: PoolEvent, exclude: Option<u64>) {
+        for m in &self.members {
+            if Some(m.id) == exclude {
+                continue;
+            }
+            ctx.send_net(m.actor, CTRL_MSG_BYTES, TrafficClass::Control, ev.clone());
+            self.events_broadcast += 1;
+        }
+    }
+}
+
+impl Actor for RegistryActor {
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        // Host-crash notifications for watched member hosts.
+        let msg = match msg.downcast::<EngineNotice>() {
+            Ok((_, EngineNotice::WatchedHostCrashed(host))) => {
+                let dead: Vec<IbisIdentifier> =
+                    self.members.iter().filter(|m| m.host == host).cloned().collect();
+                self.members.retain(|m| m.host != host);
+                for d in dead {
+                    self.broadcast(ctx, PoolEvent::Died(d), None);
+                }
+                return;
+            }
+            Ok(_) => return,
+            Err(m) => m,
+        };
+        let Ok((_, rm)) = msg.downcast::<RegistryMsg>() else {
+            return;
+        };
+        match rm {
+            RegistryMsg::Join(ident) => {
+                assert_eq!(ident.pool, self.pool, "instance joined wrong pool");
+                self.members.push(ident.clone());
+                ctx.watch_host(ident.host);
+                // Ack to the joiner with full membership...
+                ctx.send_net(
+                    ident.actor,
+                    CTRL_MSG_BYTES + 64 * self.members.len() as u64,
+                    TrafficClass::Control,
+                    PoolEvent::JoinAck(self.members.clone()),
+                );
+                // ...and announce to everyone else.
+                self.broadcast(ctx, PoolEvent::Joined(ident.clone()), Some(ident.id));
+            }
+            RegistryMsg::Leave(id) => {
+                if let Some(pos) = self.members.iter().position(|m| m.id == id) {
+                    let left = self.members.remove(pos);
+                    self.broadcast(ctx, PoolEvent::Left(left), None);
+                }
+            }
+            RegistryMsg::Elect { name, candidate } => {
+                let winner =
+                    self.elections.entry(name.clone()).or_insert_with(|| candidate.clone()).clone();
+                self.broadcast(ctx, PoolEvent::Elected { name, winner }, None);
+            }
+            RegistryMsg::Signal { from, targets, content } => {
+                let recipients: Vec<IbisIdentifier> = self
+                    .members
+                    .iter()
+                    .filter(|m| targets.is_empty() || targets.contains(&m.id))
+                    .cloned()
+                    .collect();
+                for r in recipients {
+                    ctx.send_net(
+                        r.actor,
+                        CTRL_MSG_BYTES + content.len() as u64,
+                        TrafficClass::Control,
+                        PoolEvent::Signal { from: from.clone(), content: content.clone() },
+                    );
+                    self.events_broadcast += 1;
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ipl-registry:{}", self.pool)
+    }
+}

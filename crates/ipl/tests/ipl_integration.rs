@@ -1,0 +1,304 @@
+//! Integration tests: IPL instances over the simulated jungle.
+
+use jc_ipl::registry::RegistryActor;
+use jc_ipl::{IbisConfig, IbisInstance, IplEvent, Payload, RegistryHandle};
+use jc_netsim::compute::CpuSpec;
+use jc_netsim::metrics::TrafficClass;
+use jc_netsim::topology::HostSpec;
+use jc_netsim::{
+    Actor, ActorId, Ctx, FirewallPolicy, HostId, Msg, Sim, SimConfig, SimDuration, SimTime,
+    Topology,
+};
+use jc_smartsockets::Overlay;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Shared observation log for test assertions.
+type Log = Rc<RefCell<Vec<String>>>;
+
+/// A minimal IPL application actor: joins, optionally connects to a peer
+/// named `target` once it appears, sends one message, logs everything.
+struct Peer {
+    ipl: IbisInstance,
+    log: Log,
+    send_to: Option<String>,
+    payload_bytes: u64,
+}
+
+enum PeerCmd {
+    Elect(String),
+    SignalAll(String),
+    Leave,
+}
+
+impl Actor for Peer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.ipl.join(ctx);
+        self.ipl.create_receive_port("in");
+    }
+
+    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match msg.downcast::<PeerCmd>() {
+            Ok((_, cmd)) => {
+                match cmd {
+                    PeerCmd::Elect(name) => self.ipl.elect(ctx, name),
+                    PeerCmd::SignalAll(s) => self.ipl.signal(ctx, vec![], s),
+                    PeerCmd::Leave => self.ipl.leave(ctx),
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match self.ipl.handle_msg(ctx, msg) {
+            Ok(events) => {
+                for ev in events {
+                    match ev {
+                        IplEvent::JoinAck { members } => {
+                            self.log.borrow_mut().push(format!("joined({})", members.len()));
+                            self.try_connect_and_send(ctx);
+                        }
+                        IplEvent::Joined(m) => {
+                            self.log.borrow_mut().push(format!("member+:{}", m.name));
+                            self.try_connect_and_send(ctx);
+                        }
+                        IplEvent::Left(m) => {
+                            self.log.borrow_mut().push(format!("member-:{}", m.name));
+                        }
+                        IplEvent::Died(m) => {
+                            self.log.borrow_mut().push(format!("died:{}", m.name));
+                        }
+                        IplEvent::Upcall { port, from, payload } => {
+                            self.log.borrow_mut().push(format!(
+                                "recv:{}:{}:{}",
+                                port,
+                                from.name,
+                                payload.wire_size()
+                            ));
+                        }
+                        IplEvent::Elected { name, winner } => {
+                            self.log.borrow_mut().push(format!("elected:{}:{}", name, winner.name));
+                        }
+                        IplEvent::Signal { from, content } => {
+                            self.log.borrow_mut().push(format!("signal:{}:{}", from.name, content));
+                        }
+                    }
+                }
+            }
+            Err(_) => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        "peer".into()
+    }
+}
+
+impl Peer {
+    fn try_connect_and_send(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(target_name) = self.send_to.clone() else { return };
+        let Some(target) = self.ipl.members().iter().find(|m| m.name == target_name).cloned()
+        else {
+            return;
+        };
+        let port = jc_ipl::ReceivePortName::new("in");
+        if let Ok((pid, _setup)) = self.ipl.connect(ctx, &target, &port) {
+            self.ipl.send(
+                ctx,
+                pid,
+                Payload::bytes(vec![0u8; self.payload_bytes as usize]),
+                TrafficClass::Ipl,
+            );
+            self.send_to = None; // send once
+        }
+    }
+}
+
+struct World {
+    sim: Sim,
+    registry: RegistryHandle,
+    overlay: Rc<Overlay>,
+    hosts: Vec<HostId>,
+}
+
+fn build_world() -> World {
+    let mut t = Topology::new();
+    let amsterdam = t.add_site("VU", "Amsterdam", FirewallPolicy::Open);
+    let delft = t.add_site("TUD", "Delft", FirewallPolicy::FirewalledInbound);
+    let leiden = t.add_site("LU", "Leiden", FirewallPolicy::Nat);
+    t.add_link(amsterdam, delft, SimDuration::from_millis(2), 10.0, "STARplane");
+    t.add_link(amsterdam, leiden, SimDuration::from_millis(1), 1.0, "1G");
+    t.add_link(delft, leiden, SimDuration::from_millis(2), 1.0, "1G");
+    let h_ams = t.add_host(HostSpec::node("fs0.vu", amsterdam, CpuSpec::generic()).as_front_end());
+    let h_del = t.add_host(HostSpec::node("fs0.tud", delft, CpuSpec::generic()).as_front_end());
+    let h_lei = t.add_host(HostSpec::node("fs0.lu", leiden, CpuSpec::generic()).as_front_end());
+    let mut sim = Sim::new(t, SimConfig::default());
+    let overlay = Rc::new(Overlay::deploy(
+        &mut sim,
+        &[(amsterdam, h_ams), (delft, h_del), (leiden, h_lei)],
+        SimDuration::from_millis(20),
+        5,
+    ));
+    let reg = sim.add_actor(h_ams, Box::new(RegistryActor::new("amuse")));
+    World { sim, registry: RegistryHandle { actor: reg }, overlay, hosts: vec![h_ams, h_del, h_lei] }
+}
+
+fn peer(world: &World, name: &str, log: Log, send_to: Option<&str>) -> Peer {
+    Peer {
+        ipl: IbisInstance::new(IbisConfig {
+            name: name.into(),
+            pool: "amuse".into(),
+            registry: world.registry,
+            overlay: Some(world.overlay.clone()),
+        }),
+        log,
+        send_to: send_to.map(String::from),
+        payload_bytes: 1024,
+    }
+}
+
+#[test]
+fn join_connect_send_across_firewall() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    // sender on open site, receiver behind firewall in Delft: needs reverse setup
+    let receiver = peer(&w, "receiver", log.clone(), None);
+    let sender = peer(&w, "sender", log.clone(), Some("receiver"));
+    w.sim.add_actor(w.hosts[1], Box::new(receiver));
+    w.sim.add_actor(w.hosts[0], Box::new(sender));
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    assert!(
+        entries.iter().any(|e| e == "recv:in:sender:1024"),
+        "receiver got the message: {entries:?}"
+    );
+}
+
+#[test]
+fn firewalled_to_nat_uses_relay_and_delivers() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let receiver = peer(&w, "receiver", log.clone(), None); // NAT site
+    let sender = peer(&w, "sender", log.clone(), Some("receiver")); // firewalled site
+    w.sim.add_actor(w.hosts[2], Box::new(receiver));
+    w.sim.add_actor(w.hosts[1], Box::new(sender));
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    assert!(
+        entries.iter().any(|e| e == "recv:in:sender:1024"),
+        "relofayed delivery: {entries:?}"
+    );
+}
+
+#[test]
+fn crash_produces_died_event() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let a = peer(&w, "a", log.clone(), None);
+    let b = peer(&w, "b", log.clone(), None);
+    w.sim.add_actor(w.hosts[0], Box::new(a));
+    let _ = w.sim.add_actor(w.hosts[1], Box::new(b));
+    w.sim.run_until(SimTime(1_000_000_000));
+    // Crash Delft's front-end (where b lives).
+    w.sim.crash_host_at(w.hosts[1], SimTime(1_500_000_000));
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    assert!(entries.iter().any(|e| e == "died:b"), "a saw b die: {entries:?}");
+}
+
+#[test]
+fn election_first_candidate_wins() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let a = peer(&w, "a", log.clone(), None);
+    let b = peer(&w, "b", log.clone(), None);
+    let ai = w.sim.add_actor(w.hosts[0], Box::new(a));
+    let bi = w.sim.add_actor(w.hosts[1], Box::new(b));
+    w.sim.run_until(SimTime(1_000_000_000));
+    w.sim.post(ai, PeerCmd::Elect("coupler".into()), SimDuration::ZERO);
+    w.sim.run_until(SimTime(2_000_000_000));
+    w.sim.post(bi, PeerCmd::Elect("coupler".into()), SimDuration::ZERO);
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    let elected: Vec<&String> = entries.iter().filter(|e| e.starts_with("elected:")).collect();
+    assert!(!elected.is_empty());
+    assert!(elected.iter().all(|e| e.ends_with(":a")), "first candidate wins: {entries:?}");
+}
+
+#[test]
+fn signal_broadcast_reaches_all_members() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let a = peer(&w, "a", log.clone(), None);
+    let b = peer(&w, "b", log.clone(), None);
+    let c = peer(&w, "c", log.clone(), None);
+    let ai = w.sim.add_actor(w.hosts[0], Box::new(a));
+    w.sim.add_actor(w.hosts[1], Box::new(b));
+    w.sim.add_actor(w.hosts[2], Box::new(c));
+    w.sim.run_until(SimTime(1_000_000_000));
+    w.sim.post(ai, PeerCmd::SignalAll("checkpoint".into()), SimDuration::ZERO);
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    let sigs = entries.iter().filter(|e| e.starts_with("signal:a:checkpoint")).count();
+    assert_eq!(sigs, 3, "all three members (incl. sender) get the signal: {entries:?}");
+}
+
+#[test]
+fn graceful_leave_broadcasts_left() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let a = peer(&w, "a", log.clone(), None);
+    let b = peer(&w, "b", log.clone(), None);
+    w.sim.add_actor(w.hosts[0], Box::new(a));
+    let bi = w.sim.add_actor(w.hosts[1], Box::new(b));
+    w.sim.run_until(SimTime(1_000_000_000));
+    w.sim.post(bi, PeerCmd::Leave, SimDuration::ZERO);
+    w.sim.run_to_quiescence(1_000_000);
+    let entries = log.borrow();
+    assert!(entries.iter().any(|e| e == "member-:b"), "{entries:?}");
+}
+
+#[test]
+fn traffic_is_accounted_as_ipl_class() {
+    let mut w = build_world();
+    let log: Log = Default::default();
+    let receiver = peer(&w, "receiver", log.clone(), None);
+    let sender = peer(&w, "sender", log, Some("receiver"));
+    w.sim.add_actor(w.hosts[1], Box::new(receiver));
+    w.sim.add_actor(w.hosts[0], Box::new(sender));
+    w.sim.run_to_quiescence(1_000_000);
+    let total_ipl: u64 = w
+        .sim
+        .metrics()
+        .link_traffic()
+        .iter()
+        .filter(|(_, c, _)| *c == TrafficClass::Ipl)
+        .map(|(_, _, b)| *b)
+        .sum();
+    assert!(total_ipl >= 1024, "IPL bytes on WAN links: {total_ipl}");
+}
+
+/// Determinism: the whole IPL + smartsockets + registry stack must produce
+/// identical logs on identical seeds.
+#[test]
+fn full_stack_is_deterministic() {
+    let run = || {
+        let mut w = build_world();
+        let log: Log = Default::default();
+        let receiver = peer(&w, "receiver", log.clone(), None);
+        let sender = peer(&w, "sender", log.clone(), Some("receiver"));
+        w.sim.add_actor(w.hosts[2], Box::new(receiver));
+        w.sim.add_actor(w.hosts[0], Box::new(sender));
+        w.sim.run_to_quiescence(1_000_000);
+        let v = log.borrow().clone();
+        (v, w.sim.now().as_nanos())
+    };
+    let (la, ta) = run();
+    let (lb, tb) = run();
+    assert_eq!(la, lb);
+    assert_eq!(ta, tb);
+}
+
+/// ActorId is unused directly but keeps the import list honest if the test
+/// file grows.
+#[allow(dead_code)]
+fn _type_check(_: ActorId) {}

@@ -1,0 +1,123 @@
+//! Energy, angular momentum and structure diagnostics.
+
+use crate::kernels::potential;
+use crate::particle::ParticleSet;
+
+/// Kinetic energy `Σ ½ m v²`.
+pub fn kinetic_energy(set: &ParticleSet) -> f64 {
+    set.mass
+        .iter()
+        .zip(&set.vel)
+        .map(|(m, v)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+        .sum()
+}
+
+/// Potential energy `½ Σ m φ` with softening.
+pub fn potential_energy(set: &ParticleSet, eps2: f64) -> f64 {
+    let phi = potential(&set.pos, &set.mass, &set.pos, eps2, true);
+    0.5 * phi.iter().zip(&set.mass).map(|(p, m)| p * m).sum::<f64>()
+}
+
+/// Total energy.
+pub fn total_energy(set: &ParticleSet, eps2: f64) -> f64 {
+    kinetic_energy(set) + potential_energy(set, eps2)
+}
+
+/// Virial ratio `Q = T / |U|` (0.5 in equilibrium).
+pub fn virial_ratio(set: &ParticleSet, eps2: f64) -> f64 {
+    let u = potential_energy(set, eps2);
+    if u == 0.0 {
+        return f64::INFINITY;
+    }
+    kinetic_energy(set) / u.abs()
+}
+
+/// Total angular momentum vector.
+pub fn angular_momentum(set: &ParticleSet) -> [f64; 3] {
+    let mut l = [0.0; 3];
+    for ((m, p), v) in set.mass.iter().zip(&set.pos).zip(&set.vel) {
+        l[0] += m * (p[1] * v[2] - p[2] * v[1]);
+        l[1] += m * (p[2] * v[0] - p[0] * v[2]);
+        l[2] += m * (p[0] * v[1] - p[1] * v[0]);
+    }
+    l
+}
+
+/// Lagrangian radius enclosing `fraction` of the total mass, measured from
+/// the center of mass.
+pub fn lagrangian_radius(set: &ParticleSet, fraction: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&fraction));
+    if set.is_empty() {
+        return 0.0;
+    }
+    let c = set.center_of_mass();
+    let mut r_m: Vec<(f64, f64)> = set
+        .pos
+        .iter()
+        .zip(&set.mass)
+        .map(|(p, m)| {
+            let d = [(p[0] - c[0]), (p[1] - c[1]), (p[2] - c[2])];
+            ((d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt(), *m)
+        })
+        .collect();
+    r_m.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    let target = fraction * set.total_mass();
+    let mut acc = 0.0;
+    for (r, m) in r_m {
+        acc += m;
+        if acc >= target {
+            return r;
+        }
+    }
+    f64::INFINITY
+}
+
+/// Half-mass radius.
+pub fn half_mass_radius(set: &ParticleSet) -> f64 {
+    lagrangian_radius(set, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair() -> ParticleSet {
+        let mut s = ParticleSet::new();
+        s.push(1.0, [-0.5, 0.0, 0.0], [0.0, -0.5, 0.0]);
+        s.push(1.0, [0.5, 0.0, 0.0], [0.0, 0.5, 0.0]);
+        s
+    }
+
+    #[test]
+    fn energies_of_a_pair() {
+        let s = pair();
+        assert!((kinetic_energy(&s) - 0.25).abs() < 1e-12);
+        assert!((potential_energy(&s, 0.0) + 1.0).abs() < 1e-12);
+        assert!((total_energy(&s, 0.0) + 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_momentum_of_rotating_pair() {
+        let s = pair();
+        let l = angular_momentum(&s);
+        assert!((l[2] - 0.5).abs() < 1e-12, "Lz = {}", l[2]);
+        assert!(l[0].abs() < 1e-15 && l[1].abs() < 1e-15);
+    }
+
+    #[test]
+    fn lagrangian_radii_are_monotone() {
+        let s = crate::plummer::plummer_sphere(256, 11);
+        let r10 = lagrangian_radius(&s, 0.1);
+        let r50 = lagrangian_radius(&s, 0.5);
+        let r90 = lagrangian_radius(&s, 0.9);
+        assert!(r10 < r50 && r50 < r90, "{r10} {r50} {r90}");
+        assert_eq!(half_mass_radius(&s), r50);
+    }
+
+    #[test]
+    fn empty_set_edge_cases() {
+        let s = ParticleSet::new();
+        assert_eq!(kinetic_energy(&s), 0.0);
+        assert_eq!(lagrangian_radius(&s, 0.5), 0.0);
+    }
+}

@@ -1,0 +1,200 @@
+//! Force/jerk computation backends (the "multi-kernel" in multi-kernel).
+
+use rayon::prelude::*;
+
+/// Floating-point operations per pairwise force+jerk interaction, used by
+/// the jungle performance model (counted from the inner loop below:
+/// ~60 flops including the rsqrt).
+pub const FLOPS_PER_PAIR: f64 = 60.0;
+
+/// Which implementation computes the forces.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Backend {
+    /// Single-core reference loop.
+    Scalar,
+    /// Rayon-parallel over targets (the CPU kernel).
+    CpuParallel,
+    /// Same arithmetic as `CpuParallel`; the jungle simulator charges its
+    /// cost to a GPU device model instead of CPU cores.
+    GpuModel,
+}
+
+/// Accelerations and jerks for all `targets` due to all `sources`
+/// (which may be the same set; self-interaction is skipped by index when
+/// `same_set` is true).
+///
+/// Returns `(acc, jerk)`. Deterministic across backends: the accumulation
+/// over sources is sequential within each target.
+#[allow(clippy::too_many_arguments)]
+pub fn acc_jerk(
+    backend: Backend,
+    t_pos: &[[f64; 3]],
+    t_vel: &[[f64; 3]],
+    s_mass: &[f64],
+    s_pos: &[[f64; 3]],
+    s_vel: &[[f64; 3]],
+    eps2: f64,
+    same_set: bool,
+) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
+    let one = |i: usize| -> ([f64; 3], [f64; 3]) {
+        let pi = t_pos[i];
+        let vi = t_vel[i];
+        let mut a = [0.0f64; 3];
+        let mut j = [0.0f64; 3];
+        for (jj, (&mj, (pj, vj))) in s_mass.iter().zip(s_pos.iter().zip(s_vel)).enumerate() {
+            if same_set && jj == i {
+                continue;
+            }
+            let dx = [pj[0] - pi[0], pj[1] - pi[1], pj[2] - pi[2]];
+            let dv = [vj[0] - vi[0], vj[1] - vi[1], vj[2] - vi[2]];
+            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+            let r = r2.sqrt();
+            let inv_r3 = 1.0 / (r2 * r);
+            let rv = dx[0] * dv[0] + dx[1] * dv[1] + dx[2] * dv[2];
+            let alpha = 3.0 * rv / r2;
+            for k in 0..3 {
+                a[k] += mj * dx[k] * inv_r3;
+                j[k] += mj * (dv[k] - alpha * dx[k]) * inv_r3;
+            }
+        }
+        (a, j)
+    };
+
+    let n = t_pos.len();
+    match backend {
+        Backend::Scalar => {
+            let mut acc = Vec::with_capacity(n);
+            let mut jerk = Vec::with_capacity(n);
+            for i in 0..n {
+                let (a, j) = one(i);
+                acc.push(a);
+                jerk.push(j);
+            }
+            (acc, jerk)
+        }
+        Backend::CpuParallel | Backend::GpuModel => {
+            let pairs: Vec<([f64; 3], [f64; 3])> = (0..n).into_par_iter().map(one).collect();
+            let mut acc = Vec::with_capacity(n);
+            let mut jerk = Vec::with_capacity(n);
+            for (a, j) in pairs {
+                acc.push(a);
+                jerk.push(j);
+            }
+            (acc, jerk)
+        }
+    }
+}
+
+/// Gravitational potential of each target due to the sources (for energy
+/// diagnostics). G = 1.
+pub fn potential(
+    t_pos: &[[f64; 3]],
+    s_mass: &[f64],
+    s_pos: &[[f64; 3]],
+    eps2: f64,
+    same_set: bool,
+) -> Vec<f64> {
+    t_pos
+        .par_iter()
+        .enumerate()
+        .map(|(i, pi)| {
+            let mut phi = 0.0;
+            for (jj, (&mj, pj)) in s_mass.iter().zip(s_pos).enumerate() {
+                if same_set && jj == i {
+                    continue;
+                }
+                let dx = [pj[0] - pi[0], pj[1] - pi[1], pj[2] - pi[2]];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+                phi -= mj / r2.sqrt();
+            }
+            phi
+        })
+        .collect()
+}
+
+/// Total flop count for one force evaluation of `n_targets` × `n_sources`.
+pub fn eval_flops(n_targets: usize, n_sources: usize) -> f64 {
+    n_targets as f64 * n_sources as f64 * FLOPS_PER_PAIR
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_body() -> (Vec<f64>, Vec<[f64; 3]>, Vec<[f64; 3]>) {
+        (
+            vec![1.0, 1.0],
+            vec![[-0.5, 0.0, 0.0], [0.5, 0.0, 0.0]],
+            vec![[0.0, -0.5, 0.0], [0.0, 0.5, 0.0]],
+        )
+    }
+
+    #[test]
+    fn two_body_acceleration_points_inwards() {
+        let (m, p, v) = two_body();
+        let (a, _) = acc_jerk(Backend::Scalar, &p, &v, &m, &p, &v, 0.0, true);
+        // |a| = m / r^2 = 1 / 1 = 1
+        assert!((a[0][0] - 1.0).abs() < 1e-12);
+        assert!((a[1][0] + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backends_agree_bitwise() {
+        let mut m = Vec::new();
+        let mut p = Vec::new();
+        let mut v = Vec::new();
+        // deterministic pseudo-random cloud
+        let mut x = 1u64;
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for _ in 0..64 {
+            m.push(1.0 / 64.0);
+            p.push([rnd(), rnd(), rnd()]);
+            v.push([rnd(), rnd(), rnd()]);
+        }
+        let (a0, j0) = acc_jerk(Backend::Scalar, &p, &v, &m, &p, &v, 1e-4, true);
+        let (a1, j1) = acc_jerk(Backend::CpuParallel, &p, &v, &m, &p, &v, 1e-4, true);
+        let (a2, j2) = acc_jerk(Backend::GpuModel, &p, &v, &m, &p, &v, 1e-4, true);
+        assert_eq!(a0, a1);
+        assert_eq!(a0, a2);
+        assert_eq!(j0, j1);
+        assert_eq!(j0, j2);
+    }
+
+    #[test]
+    fn potential_of_pair() {
+        let (m, p, _) = two_body();
+        let phi = potential(&p, &m, &p, 0.0, true);
+        assert!((phi[0] + 1.0).abs() < 1e-12);
+        // total potential energy = 0.5 * sum(m_i phi_i) = -1
+        let e: f64 = 0.5 * phi.iter().zip(&m).map(|(f, mm)| f * mm).sum::<f64>();
+        assert!((e + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softening_caps_close_encounters() {
+        let m = vec![1.0, 1.0];
+        let p = vec![[0.0, 0.0, 0.0], [1e-9, 0.0, 0.0]];
+        let v = vec![[0.0; 3]; 2];
+        let (a, _) = acc_jerk(Backend::Scalar, &p, &v, &m, &p, &v, 1e-4, true);
+        assert!(a[0][0].abs() < 1e7, "softened: {}", a[0][0]);
+    }
+
+    #[test]
+    fn cross_set_interaction_has_no_self_skip() {
+        let m = vec![2.0];
+        let sp = vec![[0.0, 0.0, 1.0]];
+        let sv = vec![[0.0; 3]];
+        let tp = vec![[0.0, 0.0, 0.0]];
+        let tv = vec![[0.0; 3]];
+        let (a, _) = acc_jerk(Backend::Scalar, &tp, &tv, &m, &sp, &sv, 0.0, false);
+        assert!((a[0][2] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flop_accounting() {
+        assert_eq!(eval_flops(10, 20), 10.0 * 20.0 * FLOPS_PER_PAIR);
+    }
+}

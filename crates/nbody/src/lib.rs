@@ -1,0 +1,36 @@
+//! # jc-nbody — PhiGRAPE: direct-summation Hermite N-body dynamics
+//!
+//! Reproduction of the gravitational-dynamics kernel used in the paper's
+//! embedded-cluster simulation: PhiGRAPE (Harfst et al. [7]), *"written in
+//! Fortran, available in both a CPU and a GPU (using CUDA) variant"*.
+//!
+//! The integrator is the classic 4th-order Hermite predictor–corrector with
+//! a shared adaptive timestep (Aarseth criterion) and Plummer softening,
+//! operating in dimensionless N-body units (G = 1). Three force backends
+//! exercise the paper's multi-kernel point:
+//!
+//! * [`kernels::Backend::Scalar`] — one core, reference implementation.
+//! * [`kernels::Backend::CpuParallel`] — rayon data-parallel over targets
+//!   (the "CPU variant").
+//! * [`kernels::Backend::GpuModel`] — the same data-parallel force loop,
+//!   *plus* a device cost model (GFLOP/s + transfer) used by the jungle
+//!   simulator to account virtual time. Results are bit-identical to the
+//!   CPU backends because per-target accumulation is sequential in `j` —
+//!   the backends differ in *where* and *how fast* they run, never in the
+//!   physics, exactly the paper's definition of a multi-kernel model.
+//!
+//! [`plummer`] generates the paper's initial conditions (Plummer spheres
+//! with a Salpeter IMF); [`diagnostics`] provides the energy/virial checks
+//! the tests and EXPERIMENTS.md lean on.
+
+#![warn(missing_docs)]
+
+pub mod diagnostics;
+pub mod hermite;
+pub mod kernels;
+pub mod particle;
+pub mod plummer;
+
+pub use hermite::PhiGrape;
+pub use kernels::Backend;
+pub use particle::ParticleSet;

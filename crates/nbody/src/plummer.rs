@@ -1,0 +1,140 @@
+//! Initial conditions: Plummer spheres and a Salpeter IMF.
+//!
+//! AMUSE's "generating initial conditions" functionality (§4.1) for the
+//! embedded-cluster experiment: a virialized Plummer sphere in standard
+//! N-body units (total mass 1, virial radius 1, E = -1/4).
+
+use crate::particle::ParticleSet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard Hénon scaling: Plummer structural radius for virial radius 1.
+const PLUMMER_A: f64 = 3.0 * std::f64::consts::PI / 16.0;
+
+/// Sample an equal-mass, virialized Plummer sphere of `n` particles in
+/// standard N-body units (deterministic for a given `seed`).
+pub fn plummer_sphere(n: usize, seed: u64) -> ParticleSet {
+    assert!(n > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut set = ParticleSet::with_capacity(n);
+    let m = 1.0 / n as f64;
+    for _ in 0..n {
+        // radius from the cumulative mass profile
+        let x: f64 = rng.gen_range(1e-10..1.0f64);
+        let r = PLUMMER_A / (x.powf(-2.0 / 3.0) - 1.0).sqrt();
+        let pos = iso_vector(&mut rng, r);
+        // velocity from the local escape speed with the standard
+        // rejection sampling of q = v/v_esc against g(q) = q²(1-q²)^3.5
+        let v_esc = std::f64::consts::SQRT_2 * (1.0 + (r / PLUMMER_A).powi(2)).powf(-0.25)
+            / PLUMMER_A.sqrt();
+        let q = loop {
+            let q: f64 = rng.gen_range(0.0..1.0);
+            let y: f64 = rng.gen_range(0.0..0.1);
+            if y < q * q * (1.0 - q * q).powf(3.5) {
+                break q;
+            }
+        };
+        let vel = iso_vector(&mut rng, q * v_esc);
+        set.push(m, pos, vel);
+    }
+    set.to_com_frame();
+    set
+}
+
+/// An isotropically oriented vector of length `r`.
+fn iso_vector(rng: &mut StdRng, r: f64) -> [f64; 3] {
+    let z: f64 = rng.gen_range(-1.0..1.0f64);
+    let phi: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+    let s = (1.0 - z * z).sqrt();
+    [r * s * phi.cos(), r * s * phi.sin(), r * z]
+}
+
+/// Sample `n` stellar masses (MSun) from a Salpeter IMF (dN/dm ∝ m^-2.35)
+/// between `m_lo` and `m_hi`.
+pub fn salpeter_imf(n: usize, m_lo: f64, m_hi: f64, seed: u64) -> Vec<f64> {
+    assert!(n > 0 && m_lo > 0.0 && m_hi > m_lo);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let alpha = -2.35;
+    let a1 = alpha + 1.0;
+    let lo = m_lo.powf(a1);
+    let hi = m_hi.powf(a1);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.gen_range(0.0..1.0);
+            (lo + u * (hi - lo)).powf(1.0 / a1)
+        })
+        .collect()
+}
+
+/// Scale velocities so the set is exactly in virial equilibrium
+/// (2T = -U) for softening `eps2`.
+pub fn virialize(set: &mut ParticleSet, eps2: f64) {
+    let ke = crate::diagnostics::kinetic_energy(set);
+    let pe = crate::diagnostics::potential_energy(set, eps2);
+    if ke <= 0.0 || pe >= 0.0 {
+        return;
+    }
+    let target = -0.5 * pe;
+    let f = (target / ke).sqrt();
+    for v in &mut set.vel {
+        for k in 0..3 {
+            v[k] *= f;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{kinetic_energy, potential_energy, virial_ratio};
+
+    #[test]
+    fn plummer_is_roughly_virial() {
+        let s = plummer_sphere(512, 1);
+        let q = virial_ratio(&s, 0.0);
+        assert!((q - 0.5).abs() < 0.1, "virial ratio {q}");
+    }
+
+    #[test]
+    fn plummer_total_mass_is_one() {
+        let s = plummer_sphere(100, 2);
+        assert!((s.total_mass() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plummer_is_centered() {
+        let s = plummer_sphere(256, 3);
+        let c = s.center_of_mass();
+        for k in 0..3 {
+            assert!(c[k].abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn plummer_deterministic_by_seed() {
+        let a = plummer_sphere(64, 9);
+        let b = plummer_sphere(64, 9);
+        assert_eq!(a.pos, b.pos);
+        let c = plummer_sphere(64, 10);
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    fn virialize_hits_exact_equilibrium() {
+        let mut s = plummer_sphere(128, 4);
+        virialize(&mut s, 1e-4);
+        let ke = kinetic_energy(&s);
+        let pe = potential_energy(&s, 1e-4);
+        assert!((2.0 * ke + pe).abs() < 1e-9 * pe.abs(), "2T+U = {}", 2.0 * ke + pe);
+    }
+
+    #[test]
+    fn salpeter_masses_in_range_and_bottom_heavy() {
+        let m = salpeter_imf(2000, 0.3, 60.0, 5);
+        assert!(m.iter().all(|&x| (0.3..=60.0).contains(&x)));
+        let below_1 = m.iter().filter(|&&x| x < 1.0).count();
+        assert!(below_1 > 1200, "IMF is bottom-heavy: {below_1}/2000 below 1 MSun");
+        // but some massive stars exist in a big draw
+        assert!(m.iter().any(|&x| x > 8.0), "some stars explode later");
+    }
+}

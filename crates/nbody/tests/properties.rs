@@ -1,0 +1,49 @@
+//! Property tests: N-body integrator invariants.
+
+use jc_nbody::diagnostics::{angular_momentum, total_energy};
+use jc_nbody::plummer::{plummer_sphere, salpeter_imf};
+use jc_nbody::{Backend, PhiGrape};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Short integrations of any Plummer sphere conserve energy and
+    /// angular momentum to integrator accuracy.
+    #[test]
+    fn conservation_laws(seed in 0u64..1000, n in 16usize..64) {
+        let ics = plummer_sphere(n, seed);
+        let mut g = PhiGrape::new(ics, Backend::Scalar).with_softening(0.02).with_eta(0.01);
+        let e0 = total_energy(&g.particles, g.eps2);
+        let l0 = angular_momentum(&g.particles);
+        g.evolve_model(0.2);
+        let e1 = total_energy(&g.particles, g.eps2);
+        let l1 = angular_momentum(&g.particles);
+        prop_assert!(((e1 - e0) / e0).abs() < 5e-3, "dE/E = {}", (e1 - e0) / e0);
+        for k in 0..3 {
+            prop_assert!((l1[k] - l0[k]).abs() < 1e-4, "dL = {:?}", l1);
+        }
+    }
+
+    /// Kicks are exactly additive in velocity.
+    #[test]
+    fn kick_linearity(seed in 0u64..100, dvx in -1.0f64..1.0) {
+        let ics = plummer_sphere(8, seed);
+        let mut g = PhiGrape::new(ics, Backend::Scalar);
+        let v0: Vec<[f64; 3]> = g.particles.vel.clone();
+        let dv = vec![[dvx, 0.0, 0.0]; 8];
+        g.kick(&dv);
+        for (v, old) in g.particles.vel.iter().zip(&v0) {
+            prop_assert!((v[0] - (old[0] + dvx)).abs() < 1e-15);
+        }
+    }
+
+    /// Salpeter samples always respect their bounds and are reproducible.
+    #[test]
+    fn imf_bounds(seed in 0u64..5000, n in 1usize..200) {
+        let m = salpeter_imf(n, 0.3, 60.0, seed);
+        prop_assert_eq!(m.len(), n);
+        prop_assert!(m.iter().all(|&x| (0.3..=60.0).contains(&x)));
+        prop_assert_eq!(m, salpeter_imf(n, 0.3, 60.0, seed));
+    }
+}

@@ -1,0 +1,142 @@
+//! Compute devices: CPUs and GPUs with calibrated throughput.
+//!
+//! Kernel performance is modeled as `flops / sustained_gflops`, plus a
+//! host↔device transfer charge for GPUs. The calibration constants for the
+//! paper's hardware (Intel Core2 quad, GeForce 9600GT, Tesla C2050) live in
+//! `jc-core::perfmodel`; this module only defines the mechanics.
+
+use crate::time::SimDuration;
+
+/// CPU description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CpuSpec {
+    /// Marketing name, e.g. `"Intel Core2 Q6600"`.
+    pub model: String,
+    /// Number of cores.
+    pub cores: u32,
+    /// Sustained double-precision GFLOP/s *per core* on the paper's kernels
+    /// (not peak; calibrated).
+    pub gflops_per_core: f64,
+}
+
+impl CpuSpec {
+    /// Construct a CPU spec.
+    pub fn new(model: impl Into<String>, cores: u32, gflops_per_core: f64) -> CpuSpec {
+        assert!(cores > 0 && gflops_per_core > 0.0);
+        CpuSpec { model: model.into(), cores, gflops_per_core }
+    }
+
+    /// A nondescript 4-core CPU for tests.
+    pub fn generic() -> CpuSpec {
+        CpuSpec::new("generic-x86", 4, 2.0)
+    }
+
+    /// Total sustained GFLOP/s with perfect scaling over `n` cores
+    /// (capped at the core count).
+    pub fn gflops(&self, n: u32) -> f64 {
+        self.gflops_per_core * n.min(self.cores) as f64
+    }
+}
+
+/// GPU description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"NVIDIA Tesla C2050"`.
+    pub model: String,
+    /// Sustained GFLOP/s on the paper's kernels (calibrated).
+    pub gflops: f64,
+    /// Host↔device transfer bandwidth, GiB/s (PCIe generation dependent).
+    pub pcie_gibps: f64,
+    /// Fixed kernel-launch overhead per invocation.
+    pub launch_overhead: SimDuration,
+}
+
+impl GpuSpec {
+    /// Construct a GPU spec.
+    pub fn new(model: impl Into<String>, gflops: f64, pcie_gibps: f64) -> GpuSpec {
+        assert!(gflops > 0.0 && pcie_gibps > 0.0);
+        GpuSpec {
+            model: model.into(),
+            gflops,
+            pcie_gibps,
+            launch_overhead: SimDuration::from_micros(20),
+        }
+    }
+}
+
+/// A device a kernel can be placed on.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Device {
+    /// Run on `threads` CPU cores of the host.
+    Cpu {
+        /// Number of cores used.
+        threads: u32,
+    },
+    /// Run on GPU number `index` of the host.
+    Gpu {
+        /// Index into [`crate::HostSpec::gpus`].
+        index: usize,
+    },
+}
+
+/// Compute the virtual duration of a kernel of `flops` floating-point
+/// operations on `device` of a host with the given CPU/GPUs, transferring
+/// `io_bytes` across the host↔device boundary (GPU only).
+pub fn kernel_time(
+    cpu: &CpuSpec,
+    gpus: &[GpuSpec],
+    device: &Device,
+    flops: f64,
+    io_bytes: u64,
+) -> SimDuration {
+    assert!(flops >= 0.0, "negative flops");
+    match device {
+        Device::Cpu { threads } => {
+            let gf = cpu.gflops(*threads);
+            SimDuration::from_secs_f64(flops / (gf * 1e9))
+        }
+        Device::Gpu { index } => {
+            let gpu = gpus.get(*index).expect("host has no such GPU");
+            let compute = flops / (gpu.gflops * 1e9);
+            let transfer = io_bytes as f64 / (gpu.pcie_gibps * 1024.0 * 1024.0 * 1024.0);
+            gpu.launch_overhead + SimDuration::from_secs_f64(compute + transfer)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpu_time_scales_with_cores() {
+        let cpu = CpuSpec::new("test", 4, 1.0); // 1 GFLOP/s per core
+        let one = kernel_time(&cpu, &[], &Device::Cpu { threads: 1 }, 1e9, 0);
+        let four = kernel_time(&cpu, &[], &Device::Cpu { threads: 4 }, 1e9, 0);
+        assert_eq!(one.as_secs_f64(), 1.0);
+        assert_eq!(four.as_secs_f64(), 0.25);
+    }
+
+    #[test]
+    fn thread_count_capped_at_cores() {
+        let cpu = CpuSpec::new("test", 2, 1.0);
+        let t = kernel_time(&cpu, &[], &Device::Cpu { threads: 64 }, 1e9, 0);
+        assert_eq!(t.as_secs_f64(), 0.5);
+    }
+
+    #[test]
+    fn gpu_includes_transfer_and_launch() {
+        let cpu = CpuSpec::generic();
+        let gpu = GpuSpec::new("test-gpu", 100.0, 1.0); // 100 GFLOP/s, 1 GiB/s
+        let t = kernel_time(&cpu, &[gpu], &Device::Gpu { index: 0 }, 100e9, 1 << 30);
+        // 1 s compute + 1 s transfer + 20 us launch
+        assert!((t.as_secs_f64() - 2.00002).abs() < 1e-4, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn missing_gpu_panics() {
+        let cpu = CpuSpec::generic();
+        let _ = kernel_time(&cpu, &[], &Device::Gpu { index: 0 }, 1.0, 0);
+    }
+}

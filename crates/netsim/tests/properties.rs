@@ -1,0 +1,117 @@
+//! Property-based tests for the jungle simulator: routing sanity,
+//! connectivity symmetry, event-order determinism.
+
+use jc_netsim::compute::CpuSpec;
+use jc_netsim::topology::HostSpec;
+use jc_netsim::{Connectivity, FirewallPolicy, SimDuration, Topology};
+use proptest::prelude::*;
+
+fn arb_policy() -> impl Strategy<Value = FirewallPolicy> {
+    prop_oneof![
+        Just(FirewallPolicy::Open),
+        Just(FirewallPolicy::FirewalledInbound),
+        Just(FirewallPolicy::Nat),
+        Just(FirewallPolicy::NonRoutedInternal),
+    ]
+}
+
+/// Build a random jungle: `n` sites in a connected random tree plus some
+/// extra edges, one or two hosts per site.
+fn arb_jungle() -> impl Strategy<Value = (Vec<FirewallPolicy>, Vec<(usize, usize)>, u64)> {
+    (2usize..8).prop_flat_map(|n| {
+        let policies = proptest::collection::vec(arb_policy(), n);
+        // tree edges: parent of node i (i>=1) is in [0, i)
+        let parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
+        (policies, parents, any::<u64>()).prop_map(move |(p, parents, seed)| {
+            let edges: Vec<(usize, usize)> = parents
+                .iter()
+                .enumerate()
+                .map(|(i, &raw)| (i + 1, raw % (i + 1)))
+                .collect();
+            (p, edges, seed)
+        })
+    })
+}
+
+fn build(policies: &[FirewallPolicy], edges: &[(usize, usize)]) -> (Topology, Vec<jc_netsim::HostId>) {
+    let mut t = Topology::new();
+    let sites: Vec<_> = policies
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| t.add_site(format!("S{i}"), "", p))
+        .collect();
+    for &(a, b) in edges {
+        t.add_link(sites[a], sites[b], SimDuration::from_millis(5), 1.0, "e");
+    }
+    let hosts: Vec<_> = sites
+        .iter()
+        .map(|&s| t.add_host(HostSpec::node("h", s, CpuSpec::generic()).as_front_end()))
+        .collect();
+    (t, hosts)
+}
+
+proptest! {
+    /// In a connected jungle every pair of hosts is at least relay-reachable:
+    /// SmartSockets can always fall back to hub routing, so "Unreachable"
+    /// must only occur when no physical path exists.
+    #[test]
+    fn connected_jungle_is_never_unreachable((policies, edges, _seed) in arb_jungle()) {
+        let (mut t, hosts) = build(&policies, &edges);
+        for &a in &hosts {
+            for &b in &hosts {
+                prop_assert_ne!(t.connectivity(a, b), Connectivity::Unreachable);
+            }
+        }
+    }
+
+    /// Direct connectivity implies the reverse direction is at least
+    /// ReverseOnly-capable (if A can dial B, then B asking A to dial back
+    /// works by construction).
+    #[test]
+    fn reverse_of_direct_is_never_relay((policies, edges, _seed) in arb_jungle()) {
+        let (mut t, hosts) = build(&policies, &edges);
+        for &a in &hosts {
+            for &b in &hosts {
+                if a == b { continue; }
+                if t.connectivity(a, b) == Connectivity::Direct {
+                    let back = t.connectivity(b, a);
+                    prop_assert!(
+                        back == Connectivity::Direct || back == Connectivity::ReverseOnly,
+                        "a->b direct but b->a = {:?}", back
+                    );
+                }
+            }
+        }
+    }
+
+    /// Open sites on both ends always yield Direct in both directions.
+    #[test]
+    fn open_to_open_is_direct(edges in proptest::collection::vec((1usize..6, 0usize..6), 1..6)) {
+        let n = 7;
+        let policies = vec![FirewallPolicy::Open; n];
+        let tree: Vec<(usize, usize)> = (1..n).map(|i| (i, (i - 1) / 2)).collect();
+        let mut all = tree;
+        for (a, b) in edges {
+            if a < n && b < n && a != b { all.push((a, b)); }
+        }
+        let (mut t, hosts) = build(&policies, &all);
+        for &a in &hosts {
+            for &b in &hosts {
+                prop_assert_eq!(t.connectivity(a, b), Connectivity::Direct);
+            }
+        }
+    }
+
+    /// Route latency is symmetric (links are bidirectional with equal cost).
+    #[test]
+    fn path_latency_symmetric((policies, edges, _seed) in arb_jungle()) {
+        let (mut t, hosts) = build(&policies, &edges);
+        for &a in &hosts {
+            for &b in &hosts {
+                let ab = t.path_latency(a, b);
+                let ba = t.path_latency(b, a);
+                prop_assert_eq!(ab.map(|d| d.as_nanos()), ba.map(|d| d.as_nanos()));
+            }
+        }
+    }
+}

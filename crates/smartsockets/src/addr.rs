@@ -1,0 +1,54 @@
+//! Virtual addresses: location-independent endpoint names.
+
+use jc_netsim::HostId;
+use std::fmt;
+
+/// A virtual socket address: a host plus a port number.
+///
+/// Real SmartSockets addresses also embed cluster and hub hints; here the
+/// simulator's [`HostId`] already identifies the machine, and the hub hint
+/// is resolved through the [`crate::Overlay`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VirtualAddress {
+    /// The machine.
+    pub host: HostId,
+    /// Port on that machine.
+    pub port: u16,
+}
+
+impl VirtualAddress {
+    /// Construct an address.
+    pub fn new(host: HostId, port: u16) -> VirtualAddress {
+        VirtualAddress { host, port }
+    }
+}
+
+impl fmt::Debug for VirtualAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vsock://h{}:{}", self.host.0, self.port)
+    }
+}
+
+impl fmt::Display for VirtualAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vsock://h{}:{}", self.host.0, self.port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format() {
+        let a = VirtualAddress::new(HostId(3), 8080);
+        assert_eq!(a.to_string(), "vsock://h3:8080");
+    }
+
+    #[test]
+    fn ordering_by_host_then_port() {
+        let a = VirtualAddress::new(HostId(1), 9);
+        let b = VirtualAddress::new(HostId(2), 1);
+        assert!(a < b);
+    }
+}

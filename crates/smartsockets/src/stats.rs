@@ -1,0 +1,58 @@
+//! Connection-attempt statistics (for the connectivity ablation bench).
+
+/// Counters over connection plans, by strategy used.
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct ConnectionStats {
+    /// Plain direct connections.
+    pub direct: u64,
+    /// Reverse connection setups.
+    pub reverse: u64,
+    /// Hub-relayed connections.
+    pub relayed: u64,
+    /// Failed connection attempts.
+    pub failed: u64,
+}
+
+impl ConnectionStats {
+    /// Total attempts.
+    pub fn total(&self) -> u64 {
+        self.direct + self.reverse + self.relayed + self.failed
+    }
+
+    /// Fraction of attempts that succeeded by any strategy.
+    pub fn success_rate(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 1.0;
+        }
+        (t - self.failed) as f64 / t as f64
+    }
+}
+
+impl std::fmt::Display for ConnectionStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "direct={} reverse={} relayed={} failed={} ({}% ok)",
+            self.direct,
+            self.reverse,
+            self.relayed,
+            self.failed,
+            (self.success_rate() * 100.0).round()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_rate() {
+        let s = ConnectionStats { direct: 2, reverse: 1, relayed: 1, failed: 1 };
+        assert_eq!(s.total(), 5);
+        assert!((s.success_rate() - 0.8).abs() < 1e-12);
+        let empty = ConnectionStats::default();
+        assert_eq!(empty.success_rate(), 1.0);
+    }
+}

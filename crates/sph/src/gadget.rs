@@ -1,0 +1,269 @@
+//! The Gadget model: leapfrog KDK over hydro + self-gravity.
+
+use crate::density::{compute_density, NeighborGrid};
+use crate::forces::hydro_rates;
+use crate::particles::GasParticles;
+use jc_treegrav::TreeGravity;
+
+/// Courant factor.
+const C_COURANT: f64 = 0.25;
+
+/// The Gadget-equivalent SPH model.
+pub struct Gadget {
+    /// The gas.
+    pub gas: GasParticles,
+    gravity: TreeGravity,
+    self_gravity: bool,
+    time: f64,
+    /// Accumulated modeled flops (density + forces + gravity).
+    pub flops: f64,
+    /// Steps taken.
+    pub steps: u64,
+    acc: Vec<[f64; 3]>,
+    du: Vec<f64>,
+    rates_valid: bool,
+}
+
+impl Gadget {
+    /// New model over a gas set. Self-gravity on by default.
+    pub fn new(gas: GasParticles) -> Gadget {
+        Gadget {
+            gas,
+            gravity: TreeGravity::new(0.6, 0.05),
+            self_gravity: true,
+            time: 0.0,
+            flops: 0.0,
+            steps: 0,
+            acc: Vec::new(),
+            du: Vec::new(),
+            rates_valid: false,
+        }
+    }
+
+    /// Toggle gas self-gravity (off for pure hydro tests).
+    pub fn with_self_gravity(mut self, on: bool) -> Gadget {
+        self.self_gravity = on;
+        self
+    }
+
+    /// Current model time.
+    pub fn model_time(&self) -> f64 {
+        self.time
+    }
+
+    fn refresh_rates(&mut self) -> f64 {
+        let n = self.gas.len();
+        let inter_d = compute_density(&mut self.gas);
+        let rates = hydro_rates(&self.gas);
+        self.flops += inter_d as f64 * 30.0 + rates.interactions as f64 * 60.0;
+        self.acc = rates.acc;
+        self.du = rates.du;
+        if self.self_gravity && n > 1 {
+            let g = self.gravity.accelerations(&self.gas.pos, &self.gas.pos, &self.gas.mass);
+            self.flops += self.gravity.last_flops();
+            for (a, ga) in self.acc.iter_mut().zip(g) {
+                for k in 0..3 {
+                    a[k] += ga[k];
+                }
+            }
+        }
+        self.rates_valid = true;
+        rates.v_signal_max
+    }
+
+    fn timestep(&self, v_signal: f64) -> f64 {
+        let mut dt: f64 = 5e-3; // cap
+        for i in 0..self.gas.len() {
+            let h = self.gas.h[i];
+            let vs = v_signal.max(self.gas.sound_speed(i)).max(1e-8);
+            dt = dt.min(C_COURANT * h / vs);
+            let a = self.acc[i];
+            let an = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
+            if an > 0.0 {
+                dt = dt.min(C_COURANT * (h / an).sqrt());
+            }
+        }
+        dt.max(1e-7)
+    }
+
+    /// Evolve to absolute time `t_end` (AMUSE `evolve_model`). Returns the
+    /// number of KDK steps.
+    pub fn evolve_model(&mut self, t_end: f64) -> u64 {
+        assert!(t_end + 1e-15 >= self.time, "cannot integrate backwards");
+        if self.gas.is_empty() {
+            self.time = t_end;
+            return 0;
+        }
+        let mut vsig = if self.rates_valid { 0.0 } else { self.refresh_rates() };
+        let mut steps = 0;
+        while self.time < t_end - 1e-12 {
+            let dt = self.timestep(vsig.max(1e-8)).min(t_end - self.time);
+            // kick (half) + drift
+            for i in 0..self.gas.len() {
+                for k in 0..3 {
+                    self.gas.vel[i][k] += 0.5 * dt * self.acc[i][k];
+                    self.gas.pos[i][k] += dt * self.gas.vel[i][k];
+                }
+                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.du[i]).max(1e-10);
+            }
+            // re-evaluate at the drifted state
+            vsig = self.refresh_rates();
+            // kick (half)
+            for i in 0..self.gas.len() {
+                for k in 0..3 {
+                    self.gas.vel[i][k] += 0.5 * dt * self.acc[i][k];
+                }
+                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.du[i]).max(1e-10);
+            }
+            self.time += dt;
+            steps += 1;
+            self.steps += 1;
+            assert!(steps < 10_000_000, "timestep collapse");
+        }
+        steps
+    }
+
+    /// Apply external velocity kicks (BRIDGE coupling).
+    pub fn kick(&mut self, dv: &[[f64; 3]]) {
+        assert_eq!(dv.len(), self.gas.len());
+        for (v, d) in self.gas.vel.iter_mut().zip(dv) {
+            for k in 0..3 {
+                v[k] += d[k];
+            }
+        }
+        self.rates_valid = false;
+    }
+
+    /// Inject `energy` (specific-energy × mass units) thermally into the
+    /// gas within `radius` of `center` — supernova feedback. Falls back to
+    /// the nearest particle when none are in range. Returns the number of
+    /// particles heated.
+    pub fn inject_energy(&mut self, center: [f64; 3], radius: f64, energy: f64) -> usize {
+        if self.gas.is_empty() || energy <= 0.0 {
+            return 0;
+        }
+        let grid = NeighborGrid::build(&self.gas.pos, radius.max(1e-6));
+        let mut targets = grid.within(&self.gas.pos, &center, radius);
+        if targets.is_empty() {
+            // nearest particle
+            let mut best = 0usize;
+            let mut bd = f64::INFINITY;
+            for (i, p) in self.gas.pos.iter().enumerate() {
+                let d = (p[0] - center[0]).powi(2)
+                    + (p[1] - center[1]).powi(2)
+                    + (p[2] - center[2]).powi(2);
+                if d < bd {
+                    bd = d;
+                    best = i;
+                }
+            }
+            targets.push(best as u32);
+        }
+        let m_tot: f64 = targets.iter().map(|&i| self.gas.mass[i as usize]).sum();
+        for &i in &targets {
+            let i = i as usize;
+            // mass-weighted share, converted to specific energy
+            self.gas.u[i] += energy / m_tot;
+        }
+        self.rates_valid = false;
+        targets.len()
+    }
+
+    /// Add gas mass at a position (stellar winds returning mass to the
+    /// ISM). The new particle inherits the local velocity field (zero if
+    /// the set is empty).
+    pub fn add_mass(&mut self, pos: [f64; 3], mass: f64, u: f64) {
+        self.gas.push(mass, pos, [0.0; 3], u.max(1e-10));
+        self.rates_valid = false;
+    }
+
+    /// Total energy (kinetic + thermal; gravitational PE omitted — used
+    /// for *relative* drift checks in pure-hydro mode).
+    pub fn energy_kt(&self) -> f64 {
+        self.gas.kinetic_energy() + self.gas.thermal_energy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particles::plummer_gas;
+
+    #[test]
+    fn static_uniform_gas_stays_put_briefly() {
+        // A pressure-supported ball without gravity expands; with only a
+        // short evolution the center of mass must not move.
+        let gas = plummer_gas(200, 1.0, 11);
+        let mut g = Gadget::new(gas).with_self_gravity(false);
+        g.evolve_model(0.01);
+        let mut com = [0.0; 3];
+        for (m, p) in g.gas.mass.iter().zip(&g.gas.pos) {
+            for k in 0..3 {
+                com[k] += m * p[k];
+            }
+        }
+        for c in com {
+            assert!(c.abs() < 1e-3, "com drifted: {com:?}");
+        }
+        assert!(g.steps > 0);
+    }
+
+    #[test]
+    fn hot_ball_expands() {
+        let mut gas = plummer_gas(300, 1.0, 13);
+        // superheat it
+        for u in &mut gas.u {
+            *u *= 50.0;
+        }
+        let r0 = mean_radius(&gas);
+        let mut g = Gadget::new(gas).with_self_gravity(false);
+        g.evolve_model(0.05);
+        let r1 = mean_radius(&g.gas);
+        assert!(r1 > r0 * 1.02, "expansion: {r0} -> {r1}");
+    }
+
+    #[test]
+    fn energy_injection_heats_neighborhood() {
+        let gas = plummer_gas(300, 1.0, 17);
+        let mut g = Gadget::new(gas);
+        let e0 = g.gas.thermal_energy();
+        let heated = g.inject_energy([0.0, 0.0, 0.0], 0.3, 5.0);
+        assert!(heated > 0);
+        let e1 = g.gas.thermal_energy();
+        assert!(e1 > e0 + 4.0, "thermal energy went {e0} -> {e1}");
+    }
+
+    #[test]
+    fn injection_far_away_hits_nearest() {
+        let gas = plummer_gas(50, 1.0, 19);
+        let mut g = Gadget::new(gas);
+        let heated = g.inject_energy([100.0, 0.0, 0.0], 0.01, 1.0);
+        assert_eq!(heated, 1);
+    }
+
+    #[test]
+    fn kick_and_add_mass() {
+        let gas = plummer_gas(10, 1.0, 23);
+        let mut g = Gadget::new(gas);
+        let dv = vec![[0.1, 0.0, 0.0]; 10];
+        g.kick(&dv);
+        assert!(g.gas.kinetic_energy() > 0.0);
+        g.add_mass([0.0; 3], 0.05, 0.5);
+        assert_eq!(g.gas.len(), 11);
+    }
+
+    #[test]
+    fn empty_model_fast_forwards() {
+        let mut g = Gadget::new(GasParticles::new());
+        assert_eq!(g.evolve_model(2.0), 0);
+        assert_eq!(g.model_time(), 2.0);
+    }
+
+    fn mean_radius(gas: &GasParticles) -> f64 {
+        gas.pos
+            .iter()
+            .map(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt())
+            .sum::<f64>()
+            / gas.len() as f64
+    }
+}

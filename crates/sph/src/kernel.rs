@@ -1,0 +1,101 @@
+//! The cubic-spline SPH kernel (Monaghan & Lattanzio 1985), 3D.
+
+use std::f64::consts::PI;
+
+/// Kernel value W(r, h). Normalized so ∫W dV = 1; compact support 2h...
+/// Gadget convention: support radius = h, i.e. W(r ≥ h) = 0, with
+/// σ = 8/(π h³).
+pub fn w(r: f64, h: f64) -> f64 {
+    debug_assert!(h > 0.0);
+    let q = r / h;
+    let sigma = 8.0 / (PI * h * h * h);
+    if q < 0.5 {
+        sigma * (1.0 - 6.0 * q * q + 6.0 * q * q * q)
+    } else if q < 1.0 {
+        sigma * 2.0 * (1.0 - q).powi(3)
+    } else {
+        0.0
+    }
+}
+
+/// Radial derivative dW/dr.
+pub fn dw_dr(r: f64, h: f64) -> f64 {
+    debug_assert!(h > 0.0);
+    let q = r / h;
+    let sigma = 8.0 / (PI * h * h * h);
+    if q < 0.5 {
+        sigma / h * (-12.0 * q + 18.0 * q * q)
+    } else if q < 1.0 {
+        sigma / h * (-6.0 * (1.0 - q) * (1.0 - q))
+    } else {
+        0.0
+    }
+}
+
+/// Kernel gradient ∇W evaluated for separation vector `dx` (pointing from
+/// j to i), |dx| = r.
+pub fn grad_w(dx: [f64; 3], r: f64, h: f64) -> [f64; 3] {
+    if r <= 0.0 {
+        return [0.0; 3];
+    }
+    let dwr = dw_dr(r, h);
+    [dwr * dx[0] / r, dwr * dx[1] / r, dwr * dx[2] / r]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_is_normalized() {
+        // radial quadrature: ∫0^h W(r) 4πr² dr = 1
+        let h = 1.3;
+        let n = 20_000;
+        let mut sum = 0.0;
+        for i in 0..n {
+            let r = (i as f64 + 0.5) / n as f64 * h;
+            sum += w(r, h) * 4.0 * PI * r * r * (h / n as f64);
+        }
+        assert!((sum - 1.0).abs() < 1e-4, "norm = {sum}");
+    }
+
+    #[test]
+    fn kernel_has_compact_support() {
+        assert_eq!(w(1.0, 1.0), 0.0);
+        assert_eq!(w(1.5, 1.0), 0.0);
+        assert!(w(0.99, 1.0) >= 0.0);
+        assert_eq!(dw_dr(1.01, 1.0), 0.0);
+    }
+
+    #[test]
+    fn kernel_is_monotone_decreasing() {
+        let h = 1.0;
+        let mut last = w(0.0, h);
+        for i in 1..100 {
+            let r = i as f64 / 100.0;
+            let now = w(r, h);
+            assert!(now <= last + 1e-12, "W not monotone at r={r}");
+            last = now;
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let h = 0.8;
+        for &r in &[0.1, 0.3, 0.45, 0.6, 0.75] {
+            let eps = 1e-6;
+            let fd = (w(r + eps, h) - w(r - eps, h)) / (2.0 * eps);
+            let an = dw_dr(r, h);
+            assert!((fd - an).abs() < 1e-4 * an.abs().max(1.0), "r={r}: {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    fn gradient_points_along_separation() {
+        let g = grad_w([0.3, 0.0, 0.0], 0.3, 1.0);
+        assert!(g[0] < 0.0, "attractive direction: {g:?}");
+        assert_eq!(g[1], 0.0);
+        let zero = grad_w([0.0, 0.0, 0.0], 0.0, 1.0);
+        assert_eq!(zero, [0.0; 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! # jc-sph — Gadget-style smoothed-particle hydrodynamics
+//!
+//! Reproduction of the paper's gas-dynamics kernel: Gadget-2 (Springel
+//! [14]), *"a CPU only model, written in C/MPI"*, run on 8 nodes of DAS-4
+//! in the distributed experiments.
+//!
+//! The physics follows the standard SPH formulation Gadget uses:
+//!
+//! * cubic-spline kernel with adaptive smoothing lengths targeting a fixed
+//!   neighbour count ([`kernel`], [`density`]);
+//! * symmetrized pressure forces with Monaghan artificial viscosity and the
+//!   adiabatic energy equation ([`forces`]);
+//! * self-gravity through the shared Barnes–Hut tree (`jc-treegrav`);
+//! * kick–drift–kick leapfrog with a global Courant-limited timestep
+//!   ([`gadget::Gadget::evolve_model`]).
+//!
+//! [`mpi`] reproduces Gadget's *communication structure*: a slab domain
+//! decomposition whose ranks exchange ghost particles and reduce the global
+//! timestep every step. Ranks execute deterministically in-process; the
+//! bytes they would push through MPI are counted exactly and handed to the
+//! jungle performance model (the paper treats MPI as an opaque intra-worker
+//! transport, so fidelity lives in the message pattern and volume, not in
+//! wire-level concurrency).
+//!
+//! Supernova feedback for the embedded-cluster scenario enters through
+//! [`gadget::Gadget::inject_energy`] — thermal energy dumped into the
+//! neighbourhood of an exploding star, which is what eventually expels the
+//! gas in Fig 6.
+
+#![warn(missing_docs)]
+
+pub mod density;
+pub mod forces;
+pub mod gadget;
+pub mod kernel;
+pub mod mpi;
+pub mod particles;
+
+pub use gadget::Gadget;
+pub use particles::GasParticles;

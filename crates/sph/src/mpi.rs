@@ -1,0 +1,169 @@
+//! Gadget's MPI communication structure: slab decomposition, ghost
+//! exchange, timestep reduction.
+//!
+//! The paper runs Gadget as an 8-node C/MPI job inside one worker. This
+//! module reproduces that *communication pattern* so the jungle simulator
+//! can charge the right intra-site traffic (the orange "MPI" lines of
+//! Fig 11): a spatial slab decomposition along x, per-step exchange of
+//! boundary (ghost) particles with slab neighbours, and an allreduce for
+//! the global timestep. Ranks are evaluated deterministically in-process;
+//! the bytes are exact, the wall-clock parallelism is left to the
+//! performance model.
+
+use crate::particles::GasParticles;
+
+/// Bytes per particle on the wire: pos + vel + mass + u + h + rho as f64.
+pub const BYTES_PER_PARTICLE: u64 = 9 * 8;
+
+/// Bytes of one allreduce element.
+pub const ALLREDUCE_BYTES: u64 = 8;
+
+/// The slab decomposition of a gas set over `n_ranks` MPI ranks.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// Number of ranks.
+    pub n_ranks: u32,
+    /// Slab boundaries in x: rank r owns `[cuts[r], cuts[r+1])`.
+    pub cuts: Vec<f64>,
+    /// Particle indices per rank.
+    pub owned: Vec<Vec<u32>>,
+}
+
+/// Per-step communication statistics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CommStats {
+    /// Ghost bytes sent per step, summed over all ranks.
+    pub ghost_bytes: u64,
+    /// Ghost particles exchanged.
+    pub ghost_particles: u64,
+    /// Allreduce volume per step (2 log2(P) × element, the usual
+    /// recursive-doubling cost) summed over ranks.
+    pub allreduce_bytes: u64,
+    /// Particles on the fullest rank (load balance indicator).
+    pub max_rank_particles: u64,
+}
+
+impl Decomposition {
+    /// Equal-count slab decomposition along x.
+    pub fn build(gas: &GasParticles, n_ranks: u32) -> Decomposition {
+        assert!(n_ranks > 0);
+        let n = gas.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_by(|&a, &b| {
+            gas.pos[a as usize][0]
+                .partial_cmp(&gas.pos[b as usize][0])
+                .expect("NaN position")
+        });
+        let mut owned = vec![Vec::new(); n_ranks as usize];
+        let mut cuts = Vec::with_capacity(n_ranks as usize + 1);
+        cuts.push(f64::NEG_INFINITY);
+        for (k, &i) in order.iter().enumerate() {
+            let r = (k * n_ranks as usize / n.max(1)).min(n_ranks as usize - 1);
+            owned[r].push(i);
+        }
+        for r in 1..n_ranks as usize {
+            let x = owned[r]
+                .first()
+                .map(|&i| gas.pos[i as usize][0])
+                .unwrap_or(f64::INFINITY);
+            cuts.push(x);
+        }
+        cuts.push(f64::INFINITY);
+        Decomposition { n_ranks, cuts, owned }
+    }
+
+    /// Communication statistics for one SPH step at the current state:
+    /// every particle within `2 h` of a slab boundary is a ghost for the
+    /// neighbouring rank.
+    pub fn step_comm(&self, gas: &GasParticles) -> CommStats {
+        let mut ghost_particles = 0u64;
+        for r in 0..self.n_ranks as usize {
+            for &i in &self.owned[r] {
+                let x = gas.pos[i as usize][0];
+                let reach = 2.0 * gas.h[i as usize];
+                // left boundary (not for rank 0)
+                if r > 0 && (x - self.cuts[r]).abs() < reach {
+                    ghost_particles += 1;
+                }
+                // right boundary (not for the last rank)
+                if r + 1 < self.n_ranks as usize && (self.cuts[r + 1] - x).abs() < reach {
+                    ghost_particles += 1;
+                }
+            }
+        }
+        let p = self.n_ranks as f64;
+        let allreduce =
+            (2.0 * p.log2().ceil().max(0.0)) as u64 * ALLREDUCE_BYTES * self.n_ranks as u64;
+        CommStats {
+            ghost_bytes: ghost_particles * BYTES_PER_PARTICLE,
+            ghost_particles,
+            allreduce_bytes: allreduce,
+            max_rank_particles: self.owned.iter().map(|v| v.len() as u64).max().unwrap_or(0),
+        }
+    }
+
+    /// Per-rank particle counts.
+    pub fn rank_sizes(&self) -> Vec<usize> {
+        self.owned.iter().map(|v| v.len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::density::compute_density;
+    use crate::particles::plummer_gas;
+
+    #[test]
+    fn slabs_are_balanced() {
+        let gas = plummer_gas(1000, 1.0, 31);
+        let d = Decomposition::build(&gas, 8);
+        let sizes = d.rank_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1000);
+        for s in &sizes {
+            assert!((120..=130).contains(s), "slab sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_ghosts() {
+        let mut gas = plummer_gas(500, 1.0, 37);
+        compute_density(&mut gas);
+        let d = Decomposition::build(&gas, 1);
+        let c = d.step_comm(&gas);
+        assert_eq!(c.ghost_bytes, 0);
+        assert_eq!(c.max_rank_particles, 500);
+    }
+
+    #[test]
+    fn ghost_volume_grows_with_ranks() {
+        let mut gas = plummer_gas(2000, 1.0, 41);
+        compute_density(&mut gas);
+        let c2 = Decomposition::build(&gas, 2).step_comm(&gas);
+        let c8 = Decomposition::build(&gas, 8).step_comm(&gas);
+        assert!(c8.ghost_bytes > c2.ghost_bytes, "{c2:?} vs {c8:?}");
+        assert!(c8.allreduce_bytes > c2.allreduce_bytes);
+    }
+
+    #[test]
+    fn slab_ownership_respects_cuts() {
+        let mut gas = plummer_gas(300, 1.0, 43);
+        compute_density(&mut gas);
+        let d = Decomposition::build(&gas, 4);
+        for r in 0..4usize {
+            for &i in &d.owned[r] {
+                let x = gas.pos[i as usize][0];
+                assert!(x >= d.cuts[r] && x < d.cuts[r + 1] || r == 3 && x >= d.cuts[r]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_gas_decomposes() {
+        let gas = GasParticles::new();
+        let d = Decomposition::build(&gas, 4);
+        assert_eq!(d.rank_sizes(), vec![0, 0, 0, 0]);
+        let c = d.step_comm(&gas);
+        assert_eq!(c.ghost_particles, 0);
+    }
+}

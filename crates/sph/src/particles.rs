@@ -1,0 +1,162 @@
+//! Gas particle storage (SoA) and initial conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Adiabatic index of the gas (monatomic).
+pub const GAMMA: f64 = 5.0 / 3.0;
+
+/// A set of SPH gas particles in N-body units (G = 1).
+#[derive(Clone, Debug, Default)]
+pub struct GasParticles {
+    /// Masses.
+    pub mass: Vec<f64>,
+    /// Positions.
+    pub pos: Vec<[f64; 3]>,
+    /// Velocities.
+    pub vel: Vec<[f64; 3]>,
+    /// Specific internal energies.
+    pub u: Vec<f64>,
+    /// Densities (computed).
+    pub rho: Vec<f64>,
+    /// Smoothing lengths (adapted).
+    pub h: Vec<f64>,
+}
+
+impl GasParticles {
+    /// Empty set.
+    pub fn new() -> GasParticles {
+        GasParticles::default()
+    }
+
+    /// Add a particle.
+    pub fn push(&mut self, mass: f64, pos: [f64; 3], vel: [f64; 3], u: f64) {
+        assert!(mass > 0.0 && u >= 0.0);
+        self.mass.push(mass);
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.u.push(u);
+        self.rho.push(0.0);
+        self.h.push(0.1);
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Empty?
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Total gas mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Pressure of particle `i` (ideal gas): P = (γ-1) ρ u.
+    pub fn pressure(&self, i: usize) -> f64 {
+        (GAMMA - 1.0) * self.rho[i] * self.u[i]
+    }
+
+    /// Sound speed of particle `i`: c = sqrt(γ (γ-1) u).
+    pub fn sound_speed(&self, i: usize) -> f64 {
+        (GAMMA * (GAMMA - 1.0) * self.u[i]).sqrt()
+    }
+
+    /// Kinetic energy.
+    pub fn kinetic_energy(&self) -> f64 {
+        self.mass
+            .iter()
+            .zip(&self.vel)
+            .map(|(m, v)| 0.5 * m * (v[0] * v[0] + v[1] * v[1] + v[2] * v[2]))
+            .sum()
+    }
+
+    /// Thermal energy.
+    pub fn thermal_energy(&self) -> f64 {
+        self.mass.iter().zip(&self.u).map(|(m, u)| m * u).sum()
+    }
+}
+
+/// A Plummer-distributed gas sphere in approximate hydrostatic support:
+/// the embedded-cluster initial condition ("young stars embedded in a
+/// sphere of gas"). Thermal energy is set to a fraction of virial.
+pub fn plummer_gas(n: usize, total_mass: f64, seed: u64) -> GasParticles {
+    assert!(n > 0 && total_mass > 0.0);
+    let a = 3.0 * std::f64::consts::PI / 16.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut gas = GasParticles::new();
+    let m = total_mass / n as f64;
+    for _ in 0..n {
+        let x: f64 = rng.gen_range(1e-10..1.0f64);
+        let r = a / (x.powf(-2.0 / 3.0) - 1.0).sqrt();
+        // clamp the rare far-out tail so the box stays compact
+        let r = r.min(5.0);
+        let z: f64 = rng.gen_range(-1.0..1.0f64);
+        let phi: f64 = rng.gen_range(0.0..2.0 * std::f64::consts::PI);
+        let s = (1.0 - z * z).sqrt();
+        let pos = [r * s * phi.cos(), r * s * phi.sin(), r * z];
+        // thermal support: u ~ |phi|/γ at the local radius, Plummer profile
+        let u = (total_mass / (r * r + a * a).sqrt()) / GAMMA;
+        gas.push(m, pos, [0.0; 3], u);
+    }
+    // recentre: the finite sample's centre of mass is not exactly 0
+    let mt = gas.total_mass();
+    let mut com = [0.0; 3];
+    for (mm, p) in gas.mass.iter().zip(&gas.pos) {
+        for k in 0..3 {
+            com[k] += mm * p[k] / mt;
+        }
+    }
+    for p in &mut gas.pos {
+        for k in 0..3 {
+            p[k] -= com[k];
+        }
+    }
+    gas
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pressure_and_sound_speed() {
+        let mut g = GasParticles::new();
+        g.push(1.0, [0.0; 3], [0.0; 3], 1.5);
+        g.rho[0] = 2.0;
+        let p = g.pressure(0);
+        assert!((p - (GAMMA - 1.0) * 2.0 * 1.5).abs() < 1e-12);
+        assert!(g.sound_speed(0) > 0.0);
+    }
+
+    #[test]
+    fn plummer_gas_mass_and_energy() {
+        let g = plummer_gas(500, 2.0, 1);
+        assert_eq!(g.len(), 500);
+        assert!((g.total_mass() - 2.0).abs() < 1e-9);
+        assert!(g.thermal_energy() > 0.0);
+        assert_eq!(g.kinetic_energy(), 0.0, "starts at rest");
+    }
+
+    #[test]
+    fn plummer_gas_is_centrally_concentrated() {
+        let g = plummer_gas(2000, 1.0, 2);
+        let inner = g.pos.iter().filter(|p| norm(p) < 0.5).count();
+        let outer = g.pos.iter().filter(|p| norm(p) >= 2.0).count();
+        assert!(inner > outer, "inner {inner} vs outer {outer}");
+    }
+
+    fn norm(p: &[f64; 3]) -> f64 {
+        (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()
+    }
+
+    #[test]
+    #[should_panic]
+    fn nonpositive_mass_rejected() {
+        let mut g = GasParticles::new();
+        g.push(0.0, [0.0; 3], [0.0; 3], 1.0);
+    }
+}

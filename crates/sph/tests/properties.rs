@@ -1,0 +1,71 @@
+//! Property tests: SPH invariants under random gas configurations.
+
+use jc_sph::density::compute_density;
+use jc_sph::forces::hydro_rates;
+use jc_sph::particles::GasParticles;
+use proptest::prelude::*;
+
+fn arb_gas(n: usize) -> impl Strategy<Value = GasParticles> {
+    proptest::collection::vec(
+        (
+            (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0),
+            (-0.5f64..0.5, -0.5f64..0.5, -0.5f64..0.5),
+            0.01f64..2.0,
+        ),
+        n,
+    )
+    .prop_map(|v| {
+        let mut g = GasParticles::new();
+        for ((x, y, z), (vx, vy, vz), u) in v {
+            g.push(1.0 / 64.0, [x, y, z], [vx, vy, vz], u);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Pressure + viscosity forces conserve linear momentum exactly
+    /// (pairwise antisymmetry), for any state.
+    #[test]
+    fn momentum_conserved(mut gas in arb_gas(96)) {
+        compute_density(&mut gas);
+        let rates = hydro_rates(&gas);
+        let mut p = [0.0f64; 3];
+        let mut scale = 0.0f64;
+        for (m, a) in gas.mass.iter().zip(&rates.acc) {
+            for k in 0..3 { p[k] += m * a[k]; }
+            scale += m * (a[0]*a[0]+a[1]*a[1]+a[2]*a[2]).sqrt();
+        }
+        for k in 0..3 {
+            prop_assert!(p[k].abs() <= 1e-9 * scale.max(1e-12), "leak {p:?}");
+        }
+    }
+
+    /// Densities are strictly positive and smoothing lengths finite.
+    #[test]
+    fn density_positive(mut gas in arb_gas(64)) {
+        compute_density(&mut gas);
+        for i in 0..gas.len() {
+            prop_assert!(gas.rho[i] > 0.0);
+            prop_assert!(gas.h[i].is_finite() && gas.h[i] > 0.0);
+        }
+    }
+
+    /// Shear-free uniform expansion cools the gas (du < 0 for diverging
+    /// flows): the adiabatic energy equation has the right sign.
+    #[test]
+    fn expansion_cools(seed in 1u64..1000) {
+        let mut gas = jc_sph::particles::plummer_gas(128, 1.0, seed);
+        // radial outflow
+        for i in 0..gas.len() {
+            let p = gas.pos[i];
+            gas.vel[i] = [p[0], p[1], p[2]];
+        }
+        compute_density(&mut gas);
+        let rates = hydro_rates(&gas);
+        let du_tot: f64 = rates.du.iter().sum();
+        prop_assert!(du_tot < 0.0, "expanding gas must cool: {du_tot}");
+    }
+}

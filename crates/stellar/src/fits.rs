@@ -1,0 +1,250 @@
+//! Analytic evolution fits (simplified Hurley-Pols-Tout style).
+//!
+//! All quantities in solar units (MSun, RSun, LSun) and Myr. The fits are
+//! deliberately coarse — the paper's experiments need the right *structure*
+//! (lifetimes ordered by mass, giants brighter and bigger, massive stars
+//! exploding) rather than percent-level stellar physics.
+
+/// Evolutionary phase of a star.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StellarPhase {
+    /// Core hydrogen burning.
+    MainSequence,
+    /// Post-MS expansion (Hertzsprung gap + red giant branch, merged).
+    Giant,
+    /// Core helium burning / AGB (merged late phase).
+    Agb,
+    /// Degenerate remnant: white dwarf.
+    WhiteDwarf,
+    /// Neutron star (formed in a supernova).
+    NeutronStar,
+    /// Black hole (formed in a supernova).
+    BlackHole,
+}
+
+impl StellarPhase {
+    /// Is this a remnant phase?
+    pub fn is_remnant(self) -> bool {
+        matches!(
+            self,
+            StellarPhase::WhiteDwarf | StellarPhase::NeutronStar | StellarPhase::BlackHole
+        )
+    }
+}
+
+/// A point on an evolution track.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TrackPoint {
+    /// Phase at this age.
+    pub phase: StellarPhase,
+    /// Current mass (MSun) after winds/ejecta.
+    pub mass: f64,
+    /// Radius (RSun).
+    pub radius: f64,
+    /// Luminosity (LSun).
+    pub luminosity: f64,
+}
+
+/// Main-sequence lifetime in Myr for a star of `m` MSun at metallicity `z`
+/// (z only mildly perturbs the lifetime, as in the real fits).
+pub fn t_ms_myr(m: f64, z: f64) -> f64 {
+    assert!(m > 0.0, "mass must be positive");
+    // ~10 Gyr for the Sun, steeply shorter for massive stars, with a floor
+    // (even the most massive stars live ~3 Myr).
+    let base = 1.0e4 * m.powf(-2.5);
+    let zfac = 1.0 + 0.3 * (z / 0.02).ln().clamp(-1.0, 1.0) * 0.1;
+    (base * zfac).max(3.0)
+}
+
+/// Giant-branch duration: 10% of the MS lifetime.
+pub fn t_giant_myr(m: f64, z: f64) -> f64 {
+    0.10 * t_ms_myr(m, z)
+}
+
+/// AGB / core-He duration: 2% of the MS lifetime.
+pub fn t_agb_myr(m: f64, z: f64) -> f64 {
+    0.02 * t_ms_myr(m, z)
+}
+
+/// Total nuclear-burning lifetime.
+pub fn t_total_myr(m: f64, z: f64) -> f64 {
+    t_ms_myr(m, z) + t_giant_myr(m, z) + t_agb_myr(m, z)
+}
+
+/// Zero-age main-sequence luminosity (LSun).
+pub fn l_zams(m: f64) -> f64 {
+    if m < 0.43 {
+        0.23 * m.powf(2.3)
+    } else if m < 2.0 {
+        m.powf(4.0)
+    } else if m < 20.0 {
+        1.4 * m.powf(3.5)
+    } else {
+        // linear regime for very massive stars
+        32_000.0 * m / 20.0 * (m / 20.0).powf(1.5)
+    }
+}
+
+/// Zero-age main-sequence radius (RSun).
+pub fn r_zams(m: f64) -> f64 {
+    if m < 1.0 {
+        m.powf(0.9)
+    } else {
+        m.powf(0.6)
+    }
+}
+
+/// Remnant phase and mass for an initial mass `m0`.
+///
+/// * m0 < 8    → white dwarf, Kalirai-like `0.4 + 0.08 m0`
+/// * 8 ≤ m0 < 25 → neutron star, 1.4 MSun (supernova)
+/// * m0 ≥ 25   → black hole, `m0/3` (supernova)
+pub fn remnant_of(m0: f64) -> (StellarPhase, f64) {
+    if m0 < 8.0 {
+        (StellarPhase::WhiteDwarf, (0.4 + 0.08 * m0).min(1.38))
+    } else if m0 < 25.0 {
+        (StellarPhase::NeutronStar, 1.4)
+    } else {
+        (StellarPhase::BlackHole, m0 / 3.0)
+    }
+}
+
+/// Does a star of initial mass `m0` end in a supernova?
+pub fn explodes(m0: f64) -> bool {
+    m0 >= 8.0
+}
+
+/// Evaluate the full track at `age_myr` for initial mass `m0` and
+/// metallicity `z`.
+pub fn evaluate(m0: f64, z: f64, age_myr: f64) -> TrackPoint {
+    assert!(m0 > 0.0 && age_myr >= 0.0);
+    let tms = t_ms_myr(m0, z);
+    let tg = t_giant_myr(m0, z);
+    let tagb = t_agb_myr(m0, z);
+    if age_myr < tms {
+        // Main sequence: slow brightening (~ factor 2 over the MS).
+        let f = age_myr / tms;
+        TrackPoint {
+            phase: StellarPhase::MainSequence,
+            mass: m0,
+            radius: r_zams(m0) * (1.0 + 0.5 * f),
+            luminosity: l_zams(m0) * (1.0 + f),
+        }
+    } else if age_myr < tms + tg {
+        // Giant branch: radius and luminosity climb steeply; winds shed up
+        // to 10% of the envelope across the phase.
+        let f = (age_myr - tms) / tg;
+        let wind = 1.0 - 0.10 * f * envelope_fraction(m0);
+        TrackPoint {
+            phase: StellarPhase::Giant,
+            mass: m0 * wind,
+            radius: r_zams(m0) * (1.0 + 99.0 * f),
+            luminosity: l_zams(m0) * (2.0 + 98.0 * f),
+        }
+    } else if age_myr < tms + tg + tagb {
+        // AGB / core helium burning: heavy winds (another 15% of envelope).
+        let f = (age_myr - tms - tg) / tagb;
+        let wind = (1.0 - 0.10 * envelope_fraction(m0)) - 0.15 * f * envelope_fraction(m0);
+        TrackPoint {
+            phase: StellarPhase::Agb,
+            mass: m0 * wind,
+            radius: r_zams(m0) * 100.0 * (1.0 + f),
+            luminosity: l_zams(m0) * 100.0 * (1.0 + 2.0 * f),
+        }
+    } else {
+        let (phase, mass) = remnant_of(m0);
+        let (radius, luminosity) = match phase {
+            StellarPhase::WhiteDwarf => (0.01, 1e-3),
+            StellarPhase::NeutronStar => (1.4e-5, 1e-5),
+            StellarPhase::BlackHole => (4.24e-6 * mass, 0.0),
+            _ => unreachable!(),
+        };
+        TrackPoint { phase, mass, radius, luminosity }
+    }
+}
+
+/// Fraction of the star that is sheddable envelope (massive stars lose
+/// proportionally more).
+fn envelope_fraction(m0: f64) -> f64 {
+    (0.3 + 0.02 * m0).min(0.8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sun_lives_ten_gyr() {
+        let t = t_ms_myr(1.0, 0.02);
+        assert!((t - 1.0e4).abs() / 1.0e4 < 0.1, "t_MS(sun) = {t} Myr");
+    }
+
+    #[test]
+    fn lifetimes_decrease_with_mass() {
+        let masses = [0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 60.0];
+        for w in masses.windows(2) {
+            assert!(
+                t_ms_myr(w[0], 0.02) >= t_ms_myr(w[1], 0.02),
+                "t_MS({}) < t_MS({})",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn massive_star_lifetime_has_floor() {
+        assert!(t_ms_myr(100.0, 0.02) >= 3.0);
+    }
+
+    #[test]
+    fn giants_are_bigger_and_brighter() {
+        let m = 5.0;
+        let z = 0.02;
+        let on_ms = evaluate(m, z, 0.5 * t_ms_myr(m, z));
+        let giant = evaluate(m, z, t_ms_myr(m, z) + 0.5 * t_giant_myr(m, z));
+        assert_eq!(giant.phase, StellarPhase::Giant);
+        assert!(giant.radius > 10.0 * on_ms.radius);
+        assert!(giant.luminosity > 10.0 * on_ms.luminosity);
+        assert!(giant.mass < m, "wind mass loss");
+    }
+
+    #[test]
+    fn remnant_fates_by_mass() {
+        assert_eq!(remnant_of(1.0).0, StellarPhase::WhiteDwarf);
+        assert_eq!(remnant_of(10.0).0, StellarPhase::NeutronStar);
+        assert_eq!(remnant_of(40.0).0, StellarPhase::BlackHole);
+        assert!(explodes(9.0) && !explodes(7.0));
+    }
+
+    #[test]
+    fn remnant_masses_are_smaller_than_initial() {
+        for m0 in [0.8, 3.0, 8.0, 20.0, 30.0, 60.0] {
+            let (_, mr) = remnant_of(m0);
+            assert!(mr < m0, "remnant of {m0} has mass {mr}");
+        }
+    }
+
+    #[test]
+    fn track_mass_is_monotone_nonincreasing() {
+        let m0 = 12.0;
+        let z = 0.02;
+        let total = t_total_myr(m0, z);
+        let mut last = f64::INFINITY;
+        for i in 0..200 {
+            let age = total * 1.02 * i as f64 / 199.0;
+            let p = evaluate(m0, z, age);
+            assert!(p.mass <= last + 1e-9, "mass grew at age {age}");
+            last = p.mass;
+        }
+    }
+
+    #[test]
+    fn luminosity_positive_until_black_hole() {
+        let p = evaluate(1.0, 0.02, 0.0);
+        assert!(p.luminosity > 0.0);
+        let bh = evaluate(40.0, 0.02, 1e5);
+        assert_eq!(bh.phase, StellarPhase::BlackHole);
+        assert_eq!(bh.luminosity, 0.0);
+    }
+}

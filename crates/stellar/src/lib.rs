@@ -1,0 +1,30 @@
+//! # jc-stellar — SSE-style parameterized stellar evolution
+//!
+//! Reproduction of the role SSE (Hurley, Pols & Tout 2000 [8]) plays in the
+//! paper's embedded-star-cluster simulation: *"SSE is a so-called
+//! parameterized model, which does a simple lookup of a star's age and
+//! initial mass to determine its current state. Since this lookup is nearly
+//! trivial, SSE is simply a sequential (Fortran) application."*
+//!
+//! We implement simplified analytic fits in the spirit of Hurley et al. —
+//! mass-dependent main-sequence lifetimes, luminosity/radius tracks through
+//! giant phases, wind mass loss, and terminal fates (white dwarf / neutron
+//! star / black hole with supernovae for massive stars) — and then, exactly
+//! as SSE does, *tabulate* them into a (mass × age) lookup grid that the
+//! runtime model interpolates ([`table::EvolutionTable`]). The supernova
+//! events drive the gas dynamics of the embedded-cluster scenario ("several
+//! of the bigger stars exploding in a supernova during the simulation").
+//!
+//! The public entry point is [`SseModel`]: a population of stars evolved to
+//! requested times, reporting mass loss and supernova events, which the
+//! AMUSE coupler feeds back into the gravity and gas models.
+
+#![warn(missing_docs)]
+
+pub mod fits;
+pub mod model;
+pub mod table;
+
+pub use fits::{remnant_of, StellarPhase, TrackPoint};
+pub use model::{SseModel, StarState, StellarEvent};
+pub use table::EvolutionTable;

@@ -1,0 +1,235 @@
+//! The SSE worker model: a star population evolved on demand.
+
+use crate::fits;
+use crate::table::{supernova_between, EvolutionTable};
+use crate::StellarPhase;
+
+/// State of one star as reported to the coupler.
+#[derive(Clone, Copy, Debug)]
+pub struct StarState {
+    /// Initial (ZAMS) mass, MSun.
+    pub initial_mass: f64,
+    /// Current mass, MSun.
+    pub mass: f64,
+    /// Radius, RSun.
+    pub radius: f64,
+    /// Luminosity, LSun.
+    pub luminosity: f64,
+    /// Phase.
+    pub phase: StellarPhase,
+    /// Current age, Myr.
+    pub age_myr: f64,
+}
+
+/// Events produced while evolving the population.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StellarEvent {
+    /// A star went supernova between the previous and the new model time.
+    Supernova {
+        /// Index of the star.
+        star: usize,
+        /// Mass ejected into the surrounding gas, MSun.
+        ejected_mass: f64,
+        /// Energy injected, in units of 1e44 J (≈ one canonical SN is 10).
+        energy_foe: f64,
+    },
+    /// Wind mass loss of at least 1e-4 MSun since the last step.
+    WindMassLoss {
+        /// Index of the star.
+        star: usize,
+        /// Mass lost, MSun.
+        mass: f64,
+    },
+}
+
+/// The SSE model: owns a population, a lookup table, and the model clock.
+pub struct SseModel {
+    table: EvolutionTable,
+    z: f64,
+    initial_masses: Vec<f64>,
+    states: Vec<StarState>,
+    time_myr: f64,
+    /// Supernovae that already fired (indices), so each fires once.
+    exploded: Vec<bool>,
+    /// Cumulative lookup count (for the performance model).
+    pub lookups: u64,
+}
+
+impl SseModel {
+    /// Create a model from ZAMS masses at metallicity `z`.
+    pub fn new(initial_masses: Vec<f64>, z: f64) -> SseModel {
+        let table = EvolutionTable::standard(z);
+        let states = initial_masses
+            .iter()
+            .map(|&m| {
+                let p = table.lookup(m, 0.0);
+                StarState {
+                    initial_mass: m,
+                    mass: p.mass,
+                    radius: p.radius,
+                    luminosity: p.luminosity,
+                    phase: p.phase,
+                    age_myr: 0.0,
+                }
+            })
+            .collect();
+        let n = initial_masses.len();
+        SseModel { table, z, initial_masses, states, time_myr: 0.0, exploded: vec![false; n], lookups: 0 }
+    }
+
+    /// Number of stars.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Is the population empty?
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Current model time, Myr.
+    pub fn model_time_myr(&self) -> f64 {
+        self.time_myr
+    }
+
+    /// Star states.
+    pub fn states(&self) -> &[StarState] {
+        &self.states
+    }
+
+    /// Total stellar mass, MSun.
+    pub fn total_mass(&self) -> f64 {
+        self.states.iter().map(|s| s.mass).sum()
+    }
+
+    /// Evolve the population to `t_myr` (must not go backwards), returning
+    /// the events that occurred in `(previous_time, t_myr]`.
+    pub fn evolve_to(&mut self, t_myr: f64) -> Vec<StellarEvent> {
+        assert!(
+            t_myr + 1e-12 >= self.time_myr,
+            "stellar evolution cannot run backwards ({} -> {})",
+            self.time_myr,
+            t_myr
+        );
+        let mut events = Vec::new();
+        let t0 = self.time_myr;
+        for i in 0..self.states.len() {
+            let m0 = self.initial_masses[i];
+            let before = self.states[i].mass;
+            let p = self.table.lookup(m0, t_myr);
+            self.lookups += 1;
+            self.states[i] = StarState {
+                initial_mass: m0,
+                mass: p.mass,
+                radius: p.radius,
+                luminosity: p.luminosity,
+                phase: p.phase,
+                age_myr: t_myr,
+            };
+            if !self.exploded[i] && supernova_between(m0, self.z, t0, t_myr) {
+                self.exploded[i] = true;
+                let (_, remnant) = fits::remnant_of(m0);
+                // everything above the remnant that wasn't already blown
+                // off in winds is ejected now
+                let ejected = (before - remnant).max(0.0);
+                events.push(StellarEvent::Supernova {
+                    star: i,
+                    ejected_mass: ejected,
+                    energy_foe: 10.0,
+                });
+            } else {
+                let lost = before - self.states[i].mass;
+                if lost > 1e-4 {
+                    events.push(StellarEvent::WindMassLoss { star: i, mass: lost });
+                }
+            }
+        }
+        self.time_myr = t_myr;
+        events
+    }
+
+    /// Modeled cost of the last `evolve_to` in floating-point operations.
+    pub fn step_flops(&self) -> f64 {
+        self.states.len() as f64 * EvolutionTable::LOOKUP_FLOPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_evolves_forward() {
+        let mut m = SseModel::new(vec![1.0, 5.0, 20.0], 0.02);
+        assert_eq!(m.len(), 3);
+        let ev = m.evolve_to(1.0);
+        assert!(ev.is_empty(), "{ev:?}");
+        assert_eq!(m.model_time_myr(), 1.0);
+        for s in m.states() {
+            assert_eq!(s.phase, StellarPhase::MainSequence);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn backwards_evolution_panics() {
+        let mut m = SseModel::new(vec![1.0], 0.02);
+        m.evolve_to(5.0);
+        m.evolve_to(1.0);
+    }
+
+    #[test]
+    fn massive_star_explodes_once() {
+        let mut m = SseModel::new(vec![20.0], 0.02);
+        let t_end = fits::t_total_myr(20.0, 0.02);
+        let mut sn = 0;
+        let mut ejected = 0.0;
+        // step across the explosion in small increments
+        let mut t = 0.0;
+        while t < t_end * 1.5 {
+            t += t_end / 20.0;
+            for ev in m.evolve_to(t) {
+                if let StellarEvent::Supernova { ejected_mass, .. } = ev {
+                    sn += 1;
+                    ejected = ejected_mass;
+                }
+            }
+        }
+        assert_eq!(sn, 1, "exactly one supernova");
+        assert!(ejected > 10.0, "a 20 MSun star ejects most of itself: {ejected}");
+        assert_eq!(m.states()[0].phase, StellarPhase::NeutronStar);
+        assert!((m.states()[0].mass - 1.4).abs() < 1e-6);
+    }
+
+    #[test]
+    fn winds_reported_during_giant_phase() {
+        let mut m = SseModel::new(vec![5.0], 0.02);
+        let tms = fits::t_ms_myr(5.0, 0.02);
+        m.evolve_to(tms * 1.001);
+        let ev = m.evolve_to(tms * 1.05);
+        assert!(
+            ev.iter().any(|e| matches!(e, StellarEvent::WindMassLoss { .. })),
+            "{ev:?}"
+        );
+    }
+
+    #[test]
+    fn total_mass_never_increases() {
+        let mut m = SseModel::new(vec![0.5, 1.0, 3.0, 9.0, 30.0], 0.02);
+        let mut last = m.total_mass();
+        for k in 1..100 {
+            m.evolve_to(k as f64 * 2.0);
+            let now = m.total_mass();
+            assert!(now <= last + 1e-9);
+            last = now;
+        }
+    }
+
+    #[test]
+    fn lookup_cost_scales_with_population() {
+        let mut m = SseModel::new(vec![1.0; 100], 0.02);
+        m.evolve_to(1.0);
+        assert_eq!(m.lookups, 100);
+        assert_eq!(m.step_flops(), 100.0 * EvolutionTable::LOOKUP_FLOPS);
+    }
+}

@@ -1,0 +1,70 @@
+//! Property tests: stellar evolution invariants over the full fit range.
+
+use jc_stellar::fits;
+use jc_stellar::{EvolutionTable, SseModel};
+use proptest::prelude::*;
+
+proptest! {
+    /// Mass never increases along any track.
+    #[test]
+    fn mass_monotone(m0 in 0.3f64..60.0, z in 0.004f64..0.03) {
+        let total = fits::t_total_myr(m0, z);
+        let mut last = f64::INFINITY;
+        for i in 0..64 {
+            let age = total * 1.2 * i as f64 / 63.0;
+            let p = fits::evaluate(m0, z, age);
+            prop_assert!(p.mass <= last + 1e-9);
+            last = p.mass;
+        }
+    }
+
+    /// Radius and luminosity stay positive and finite pre-collapse.
+    #[test]
+    fn track_fields_sane(m0 in 0.3f64..60.0, frac in 0.0f64..0.99) {
+        let age = frac * fits::t_total_myr(m0, 0.02);
+        let p = fits::evaluate(m0, 0.02, age);
+        prop_assert!(p.radius > 0.0 && p.radius.is_finite());
+        prop_assert!(p.luminosity >= 0.0 && p.luminosity.is_finite());
+    }
+
+    /// Table lookups agree with the analytic fit to interpolation error.
+    #[test]
+    fn table_tracks_fit(m0 in 0.5f64..50.0, frac in 0.05f64..0.9) {
+        let table = EvolutionTable::standard(0.02);
+        let age = frac * fits::t_total_myr(m0, 0.02);
+        let a = table.lookup(m0, age);
+        let b = fits::evaluate(m0, 0.02, age);
+        // interpolation across phase boundaries is coarse; require the
+        // same phase and same order of magnitude
+        if a.phase == b.phase && b.luminosity > 0.0 {
+            let ratio = a.luminosity / b.luminosity;
+            prop_assert!(ratio > 0.2 && ratio < 5.0, "L ratio {ratio}");
+        }
+    }
+
+    /// A population never gains mass and each massive star explodes at
+    /// most once, whatever the evolve schedule.
+    #[test]
+    fn population_invariants(
+        masses in proptest::collection::vec(0.3f64..40.0, 1..20),
+        steps in proptest::collection::vec(0.1f64..50.0, 1..12),
+    ) {
+        let n = masses.len();
+        let mut model = SseModel::new(masses, 0.02);
+        let mut t = 0.0;
+        let mut total_sn = 0usize;
+        let mut last_mass = model.total_mass();
+        for dt in steps {
+            t += dt;
+            let events = model.evolve_to(t);
+            total_sn += events
+                .iter()
+                .filter(|e| matches!(e, jc_stellar::StellarEvent::Supernova { .. }))
+                .count();
+            let now = model.total_mass();
+            prop_assert!(now <= last_mass + 1e-9);
+            last_mass = now;
+        }
+        prop_assert!(total_sn <= n);
+    }
+}

@@ -1,0 +1,32 @@
+//! # jc-treegrav — Barnes–Hut tree gravity (Octgrav and Fi)
+//!
+//! Reproduction of the paper's *coupling* models: *"For this coupling, the
+//! Octgrav gravitational tree model is used, implemented in C++ and CUDA.
+//! If no GPU is available, the Fi model, written in Fortran, can be used
+//! instead."*
+//!
+//! Both kernels compute the gravitational acceleration exerted by one
+//! particle set (sources) on another (targets) — the "p-kick" phases of the
+//! Fig 7 bridge scheme. They share one octree ([`octree::Octree`]) and one
+//! tree-walk ([`solver::TreeGravity`]); they differ exactly the way the
+//! paper's kernels differ:
+//!
+//! * [`Octgrav`] — GPU-hosted: wider opening angle (the GPU tree code
+//!   trades accuracy for throughput), cost charged to the device model.
+//! * [`Fi`] — CPU-hosted: tighter opening angle, rayon-parallel walk.
+//!
+//! Flop accounting ([`solver::TreeGravity::last_interactions`]) feeds the
+//! jungle performance model: tree gravity is O(N log N) interactions versus
+//! the O(N²) of direct summation, which is why the coupling model dominated
+//! the CPU-only scenario in §6.2.
+
+#![warn(missing_docs)]
+
+pub mod octree;
+pub mod solver;
+
+pub use octree::Octree;
+pub use solver::{Fi, Octgrav, TreeGravity};
+
+/// Floating-point operations per particle–node interaction in the walk.
+pub const FLOPS_PER_INTERACTION: f64 = 24.0;

@@ -1,0 +1,250 @@
+//! The octree: spatial decomposition with per-node mass moments.
+
+/// One node of the octree.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Geometric center of the cell.
+    pub center: [f64; 3],
+    /// Half the cell edge length.
+    pub half_width: f64,
+    /// Total mass in the cell.
+    pub mass: f64,
+    /// Center of mass of the cell.
+    pub com: [f64; 3],
+    /// Indices of the 8 children in the node arena (0 = none).
+    pub children: [u32; 8],
+    /// If a leaf with a single particle: its index, else `u32::MAX`.
+    pub particle: u32,
+    /// Number of particles in the subtree.
+    pub count: u32,
+    /// Mass merged directly into this node (coincident particles in cells
+    /// too small to subdivide further).
+    pub merged_mass: f64,
+    /// Mass-weighted position sum of merged particles.
+    pub merged_mw: [f64; 3],
+}
+
+const NO_PARTICLE: u32 = u32::MAX;
+
+/// An octree over a set of point masses.
+///
+/// Nodes live in a flat arena (`Vec<Node>`), children referenced by index —
+/// cache-friendly and free of `Box` chasing (perf-book: dense arenas over
+/// pointer trees).
+pub struct Octree {
+    nodes: Vec<Node>,
+}
+
+impl Octree {
+    /// Build from positions and masses. Particles at identical positions
+    /// are merged into the same leaf's moments once the cell size
+    /// underflows.
+    pub fn build(pos: &[[f64; 3]], mass: &[f64]) -> Octree {
+        assert_eq!(pos.len(), mass.len());
+        let mut tree = Octree { nodes: Vec::with_capacity(pos.len() * 2) };
+        if pos.is_empty() {
+            return tree;
+        }
+        // bounding cube
+        let mut lo = [f64::INFINITY; 3];
+        let mut hi = [f64::NEG_INFINITY; 3];
+        for p in pos {
+            for k in 0..3 {
+                lo[k] = lo[k].min(p[k]);
+                hi[k] = hi[k].max(p[k]);
+            }
+        }
+        let mut half = 0.0f64;
+        let mut center = [0.0; 3];
+        for k in 0..3 {
+            center[k] = 0.5 * (lo[k] + hi[k]);
+            half = half.max(0.5 * (hi[k] - lo[k]));
+        }
+        half = (half * 1.001).max(1e-12);
+        tree.nodes.push(Node {
+            center,
+            half_width: half,
+            mass: 0.0,
+            com: [0.0; 3],
+            children: [0; 8],
+            particle: NO_PARTICLE,
+            count: 0,
+            merged_mass: 0.0,
+            merged_mw: [0.0; 3],
+        });
+        for i in 0..pos.len() {
+            tree.insert(0, i as u32, pos, mass);
+        }
+        tree.compute_moments(0, pos, mass);
+        tree
+    }
+
+    /// Nodes (arena order; index 0 is the root).
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn octant(center: &[f64; 3], p: &[f64; 3]) -> usize {
+        (usize::from(p[0] >= center[0]))
+            | (usize::from(p[1] >= center[1]) << 1)
+            | (usize::from(p[2] >= center[2]) << 2)
+    }
+
+    fn child_center(center: &[f64; 3], half: f64, oct: usize) -> [f64; 3] {
+        let q = half * 0.5;
+        [
+            center[0] + if oct & 1 != 0 { q } else { -q },
+            center[1] + if oct & 2 != 0 { q } else { -q },
+            center[2] + if oct & 4 != 0 { q } else { -q },
+        ]
+    }
+
+    fn insert(&mut self, node: usize, pi: u32, pos: &[[f64; 3]], mass: &[f64]) {
+        self.nodes[node].count += 1;
+        // Tiny cells: merge into moments without subdividing further
+        // (protects against coincident particles and degenerate bounding
+        // boxes, e.g. a single-particle tree).
+        if self.nodes[node].half_width < 1e-10 {
+            let m = mass[pi as usize];
+            let p = pos[pi as usize];
+            let n = &mut self.nodes[node];
+            n.merged_mass += m;
+            for k in 0..3 {
+                n.merged_mw[k] += m * p[k];
+            }
+            return;
+        }
+        if self.nodes[node].count == 1 {
+            self.nodes[node].particle = pi;
+            return;
+        }
+        // If this node held a single particle, push it down first.
+        if self.nodes[node].particle != NO_PARTICLE {
+            let old = self.nodes[node].particle;
+            self.nodes[node].particle = NO_PARTICLE;
+            self.push_down(node, old, pos, mass);
+        }
+        self.push_down(node, pi, pos, mass);
+    }
+
+    fn push_down(&mut self, node: usize, pi: u32, pos: &[[f64; 3]], mass: &[f64]) {
+        let (center, half) = (self.nodes[node].center, self.nodes[node].half_width);
+        let oct = Self::octant(&center, &pos[pi as usize]);
+        let child = self.nodes[node].children[oct];
+        let child = if child == 0 {
+            let idx = self.nodes.len() as u32;
+            self.nodes.push(Node {
+                center: Self::child_center(&center, half, oct),
+                half_width: half * 0.5,
+                mass: 0.0,
+                com: [0.0; 3],
+                children: [0; 8],
+                particle: NO_PARTICLE,
+                count: 0,
+                merged_mass: 0.0,
+                merged_mw: [0.0; 3],
+            });
+            self.nodes[node].children[oct] = idx;
+            idx
+        } else {
+            child
+        };
+        self.insert(child as usize, pi, pos, mass);
+    }
+
+    fn compute_moments(&mut self, node: usize, pos: &[[f64; 3]], mass: &[f64]) {
+        // post-order accumulation of (mass, com)
+        let children = self.nodes[node].children;
+        let mut m = self.nodes[node].merged_mass;
+        let mut com = self.nodes[node].merged_mw;
+        if self.nodes[node].particle != NO_PARTICLE {
+            let pi = self.nodes[node].particle as usize;
+            m += mass[pi];
+            for k in 0..3 {
+                com[k] += mass[pi] * pos[pi][k];
+            }
+        }
+        for &c in &children {
+            if c != 0 {
+                self.compute_moments(c as usize, pos, mass);
+                let ch = &self.nodes[c as usize];
+                m += ch.mass;
+                for k in 0..3 {
+                    com[k] += ch.mass * ch.com[k];
+                }
+            }
+        }
+        let n = &mut self.nodes[node];
+        n.mass = m;
+        if m > 0.0 {
+            for k in 0..3 {
+                com[k] /= m;
+            }
+            n.com = com;
+        } else {
+            n.com = n.center;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn root_moments_match_totals() {
+        let pos = vec![[0.0, 0.0, 0.0], [1.0, 0.0, 0.0], [0.0, 2.0, 0.0]];
+        let mass = vec![1.0, 2.0, 3.0];
+        let t = Octree::build(&pos, &mass);
+        let root = &t.nodes()[0];
+        assert!((root.mass - 6.0).abs() < 1e-12);
+        // com = (0*1 + 1*2 + 0*3)/6, (0 + 0 + 2*3)/6
+        assert!((root.com[0] - 2.0 / 6.0).abs() < 1e-12);
+        assert!((root.com[1] - 1.0).abs() < 1e-12);
+        assert_eq!(root.count, 3);
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = Octree::build(&[], &[]);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn single_particle_tree() {
+        let t = Octree::build(&[[1.0, 2.0, 3.0]], &[5.0]);
+        let root = &t.nodes()[0];
+        assert_eq!(root.count, 1);
+        assert_eq!(root.com, [1.0, 2.0, 3.0]);
+        assert_eq!(root.mass, 5.0);
+    }
+
+    #[test]
+    fn coincident_particles_do_not_hang() {
+        let pos = vec![[0.5, 0.5, 0.5]; 10];
+        let mass = vec![1.0; 10];
+        let t = Octree::build(&pos, &mass);
+        assert_eq!(t.nodes()[0].count, 10);
+    }
+
+    #[test]
+    fn node_count_is_linearish() {
+        let mut pos = Vec::new();
+        let mut x = 1u64;
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (x >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..1000 {
+            pos.push([rnd(), rnd(), rnd()]);
+        }
+        let mass = vec![1.0; 1000];
+        let t = Octree::build(&pos, &mass);
+        assert!(t.nodes().len() < 10_000, "arena size {}", t.nodes().len());
+    }
+}

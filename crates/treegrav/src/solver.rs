@@ -1,0 +1,244 @@
+//! The Barnes–Hut walk and the two kernel personalities (Octgrav / Fi).
+
+use crate::octree::Octree;
+use crate::FLOPS_PER_INTERACTION;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A tree-gravity solver: builds an octree over the sources, then walks it
+/// for each target with the Barnes–Hut multipole acceptance criterion
+/// `cell_size / distance < theta`.
+pub struct TreeGravity {
+    /// Opening angle.
+    pub theta: f64,
+    /// Softening squared.
+    pub eps2: f64,
+    interactions: AtomicU64,
+}
+
+impl TreeGravity {
+    /// New solver with opening angle `theta` and softening `eps`.
+    pub fn new(theta: f64, eps: f64) -> TreeGravity {
+        assert!(theta > 0.0 && theta < 2.0);
+        TreeGravity { theta, eps2: eps * eps, interactions: AtomicU64::new(0) }
+    }
+
+    /// Accelerations on `targets` due to `(s_pos, s_mass)`. G = 1.
+    pub fn accelerations(
+        &self,
+        targets: &[[f64; 3]],
+        s_pos: &[[f64; 3]],
+        s_mass: &[f64],
+    ) -> Vec<[f64; 3]> {
+        if s_pos.is_empty() || targets.is_empty() {
+            return vec![[0.0; 3]; targets.len()];
+        }
+        let tree = Octree::build(s_pos, s_mass);
+        let count = AtomicU64::new(0);
+        let out: Vec<[f64; 3]> = targets
+            .par_iter()
+            .map(|t| {
+                let (a, n) = self.walk(&tree, t);
+                count.fetch_add(n, Ordering::Relaxed);
+                a
+            })
+            .collect();
+        self.interactions.store(count.into_inner(), Ordering::Relaxed);
+        out
+    }
+
+    /// Particle–node interactions performed by the last
+    /// [`TreeGravity::accelerations`] call.
+    pub fn last_interactions(&self) -> u64 {
+        self.interactions.load(Ordering::Relaxed)
+    }
+
+    /// Modeled flop count of the last call.
+    pub fn last_flops(&self) -> f64 {
+        self.last_interactions() as f64 * FLOPS_PER_INTERACTION
+    }
+
+    fn walk(&self, tree: &Octree, t: &[f64; 3]) -> ([f64; 3], u64) {
+        let nodes = tree.nodes();
+        let mut acc = [0.0f64; 3];
+        let mut n_inter = 0u64;
+        // explicit stack; reused small Vec per target
+        let mut stack: Vec<u32> = Vec::with_capacity(64);
+        stack.push(0);
+        while let Some(ni) = stack.pop() {
+            let node = &nodes[ni as usize];
+            if node.count == 0 || node.mass == 0.0 {
+                continue;
+            }
+            let dx = [node.com[0] - t[0], node.com[1] - t[1], node.com[2] - t[2]];
+            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+            let size = 2.0 * node.half_width;
+            let is_leaf = node.particle != u32::MAX || node.children.iter().all(|&c| c == 0);
+            if is_leaf || size * size < self.theta * self.theta * r2 {
+                if r2 == 0.0 && self.eps2 == 0.0 {
+                    continue; // the target sits exactly on the node com
+                }
+                let r2s = r2 + self.eps2;
+                let inv_r3 = 1.0 / (r2s * r2s.sqrt());
+                for k in 0..3 {
+                    acc[k] += node.mass * dx[k] * inv_r3;
+                }
+                n_inter += 1;
+            } else {
+                for &c in &node.children {
+                    if c != 0 {
+                        stack.push(c);
+                    }
+                }
+            }
+        }
+        (acc, n_inter)
+    }
+}
+
+/// The Octgrav personality: GPU tree code with a wide opening angle.
+pub struct Octgrav {
+    /// The solver.
+    pub solver: TreeGravity,
+}
+
+impl Octgrav {
+    /// Octgrav defaults: θ = 0.75 (GPU codes run wide), ε = 0.01.
+    pub fn new() -> Octgrav {
+        Octgrav { solver: TreeGravity::new(0.75, 0.01) }
+    }
+}
+
+impl Default for Octgrav {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The Fi personality: CPU tree code with a tighter opening angle.
+pub struct Fi {
+    /// The solver.
+    pub solver: TreeGravity,
+}
+
+impl Fi {
+    /// Fi defaults: θ = 0.5, ε = 0.01.
+    pub fn new() -> Fi {
+        Fi { solver: TreeGravity::new(0.5, 0.01) }
+    }
+}
+
+impl Default for Fi {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+        let mut x = seed.max(1);
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let pos: Vec<[f64; 3]> = (0..n).map(|_| [rnd(), rnd(), rnd()]).collect();
+        let mass = vec![1.0 / n as f64; n];
+        (pos, mass)
+    }
+
+    fn direct(targets: &[[f64; 3]], s_pos: &[[f64; 3]], s_mass: &[f64], eps2: f64) -> Vec<[f64; 3]> {
+        targets
+            .iter()
+            .map(|t| {
+                let mut a = [0.0; 3];
+                for (p, m) in s_pos.iter().zip(s_mass) {
+                    let dx = [p[0] - t[0], p[1] - t[1], p[2] - t[2]];
+                    let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+                    if r2 == 0.0 {
+                        continue;
+                    }
+                    let inv_r3 = 1.0 / (r2 * r2.sqrt());
+                    for k in 0..3 {
+                        a[k] += m * dx[k] * inv_r3;
+                    }
+                }
+                a
+            })
+            .collect()
+    }
+
+    fn rel_err(a: &[[f64; 3]], b: &[[f64; 3]]) -> f64 {
+        let mut max = 0.0f64;
+        for (x, y) in a.iter().zip(b) {
+            let d = ((x[0] - y[0]).powi(2) + (x[1] - y[1]).powi(2) + (x[2] - y[2]).powi(2)).sqrt();
+            let n = (y[0] * y[0] + y[1] * y[1] + y[2] * y[2]).sqrt().max(1e-12);
+            max = max.max(d / n);
+        }
+        max
+    }
+
+    #[test]
+    fn fi_is_accurate_to_percent_level() {
+        let (pos, mass) = cloud(500, 3);
+        let (tpos, _) = cloud(64, 9);
+        let fi = Fi::new();
+        let approx = fi.solver.accelerations(&tpos, &pos, &mass);
+        let exact = direct(&tpos, &pos, &mass, fi.solver.eps2);
+        let err = rel_err(&approx, &exact);
+        assert!(err < 0.05, "Fi error {err}");
+    }
+
+    #[test]
+    fn octgrav_is_coarser_but_cheaper_than_fi() {
+        let (pos, mass) = cloud(2000, 5);
+        let (tpos, _) = cloud(128, 8);
+        let fi = Fi::new();
+        let oct = Octgrav::new();
+        let a_fi = fi.solver.accelerations(&tpos, &pos, &mass);
+        let n_fi = fi.solver.last_interactions();
+        let a_oct = oct.solver.accelerations(&tpos, &pos, &mass);
+        let n_oct = oct.solver.last_interactions();
+        assert!(n_oct < n_fi, "octgrav does fewer interactions: {n_oct} vs {n_fi}");
+        let exact = direct(&tpos, &pos, &mass, fi.solver.eps2);
+        assert!(rel_err(&a_oct, &exact) < 0.15, "octgrav still reasonable");
+        assert!(rel_err(&a_fi, &exact) <= rel_err(&a_oct, &exact) + 0.01);
+    }
+
+    #[test]
+    fn tree_beats_direct_asymptotically_in_interactions() {
+        let (pos, mass) = cloud(4000, 1);
+        let fi = Fi::new();
+        let _ = fi.solver.accelerations(&pos, &pos, &mass);
+        let inter = fi.solver.last_interactions();
+        let direct_pairs = 4000u64 * 4000;
+        assert!(
+            inter * 4 < direct_pairs,
+            "tree {inter} vs direct {direct_pairs} interactions"
+        );
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let fi = Fi::new();
+        assert!(fi.solver.accelerations(&[], &[], &[]).is_empty());
+        let a = fi.solver.accelerations(&[[0.0; 3]], &[], &[]);
+        assert_eq!(a, vec![[0.0; 3]]);
+    }
+
+    #[test]
+    fn single_source_matches_pointmass() {
+        let fi = TreeGravity::new(0.5, 0.0);
+        let a = fi.accelerations(&[[0.0, 0.0, 0.0]], &[[0.0, 0.0, 2.0]], &[4.0]);
+        assert!((a[0][2] - 1.0).abs() < 1e-12, "{:?}", a[0]);
+    }
+
+    #[test]
+    fn target_on_source_with_softening_is_finite() {
+        let fi = TreeGravity::new(0.5, 0.01);
+        let a = fi.accelerations(&[[0.0; 3]], &[[0.0; 3]], &[1.0]);
+        assert!(a[0].iter().all(|x| x.is_finite()));
+    }
+}

@@ -1,0 +1,81 @@
+//! Property tests: the Barnes-Hut approximation against direct summation.
+
+use jc_treegrav::TreeGravity;
+use proptest::prelude::*;
+
+fn direct(targets: &[[f64; 3]], s_pos: &[[f64; 3]], s_mass: &[f64], eps2: f64) -> Vec<[f64; 3]> {
+    targets
+        .iter()
+        .map(|t| {
+            let mut a = [0.0; 3];
+            for (p, m) in s_pos.iter().zip(s_mass) {
+                let dx = [p[0] - t[0], p[1] - t[1], p[2] - t[2]];
+                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+                if r2 == 0.0 {
+                    continue;
+                }
+                let inv_r3 = 1.0 / (r2 * r2.sqrt());
+                for k in 0..3 {
+                    a[k] += m * dx[k] * inv_r3;
+                }
+            }
+            a
+        })
+        .collect()
+}
+
+fn arb_cloud(n: usize) -> impl Strategy<Value = (Vec<[f64; 3]>, Vec<f64>)> {
+    (
+        proptest::collection::vec(
+            (-1.0f64..1.0, -1.0f64..1.0, -1.0f64..1.0).prop_map(|(x, y, z)| [x, y, z]),
+            n,
+        ),
+        proptest::collection::vec(0.01f64..1.0, n),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tree accelerations stay within a few percent of direct summation
+    /// for any random cloud.
+    #[test]
+    fn tree_matches_direct((pos, mass) in arb_cloud(200)) {
+        let solver = TreeGravity::new(0.5, 0.05);
+        let approx = solver.accelerations(&pos, &pos, &mass);
+        let exact = direct(&pos, &pos, &mass, solver.eps2);
+        for (a, e) in approx.iter().zip(&exact) {
+            let d = ((a[0]-e[0]).powi(2)+(a[1]-e[1]).powi(2)+(a[2]-e[2]).powi(2)).sqrt();
+            let n = (e[0]*e[0]+e[1]*e[1]+e[2]*e[2]).sqrt().max(1e-9);
+            prop_assert!(d / n < 0.10, "rel err {}", d / n);
+        }
+    }
+
+    /// Root node moments always equal total mass / center of mass.
+    #[test]
+    fn octree_root_moments((pos, mass) in arb_cloud(64)) {
+        let tree = jc_treegrav::Octree::build(&pos, &mass);
+        let root = &tree.nodes()[0];
+        let mt: f64 = mass.iter().sum();
+        prop_assert!((root.mass - mt).abs() < 1e-9 * mt);
+        let mut com = [0.0; 3];
+        for (p, m) in pos.iter().zip(&mass) {
+            for k in 0..3 { com[k] += m * p[k] / mt; }
+        }
+        for k in 0..3 {
+            prop_assert!((root.com[k] - com[k]).abs() < 1e-9, "com mismatch");
+        }
+    }
+
+    /// Wider opening angles never do more interactions.
+    #[test]
+    fn theta_monotonicity((pos, mass) in arb_cloud(300)) {
+        let tight = TreeGravity::new(0.3, 0.05);
+        let wide = TreeGravity::new(1.0, 0.05);
+        tight.accelerations(&pos, &pos, &mass);
+        let n_tight = tight.last_interactions();
+        wide.accelerations(&pos, &pos, &mass);
+        let n_wide = wide.last_interactions();
+        prop_assert!(n_wide <= n_tight, "{n_wide} > {n_tight}");
+    }
+}

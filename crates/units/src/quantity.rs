@@ -1,0 +1,328 @@
+//! Dimension-checked scalar and 3-vector quantities.
+
+use crate::dimension::Dim;
+use crate::unit::{Unit, UnitError};
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// A scalar physical quantity: a value stored in SI base units plus its
+/// dimension.
+///
+/// All arithmetic is dimension-checked. Multiplication and division always
+/// succeed (dimensions compose); addition, subtraction and comparison return
+/// `Err(UnitError::Incompatible)` when the dimensions differ. To keep call
+/// sites readable, `*` and `/` are also offered on `Result<Quantity, _>` so
+/// checked expressions chain: `(m * v * v)` is a `Result`.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Quantity {
+    value_si: f64,
+    dim: Dim,
+}
+
+impl Quantity {
+    /// Create a quantity from a value expressed in `unit`.
+    pub fn new(value: f64, unit: Unit) -> Quantity {
+        Quantity { value_si: value * unit.si_factor, dim: unit.dim }
+    }
+
+    /// Create a quantity directly from an SI value and dimension.
+    pub fn from_si(value_si: f64, dim: Dim) -> Quantity {
+        Quantity { value_si, dim }
+    }
+
+    /// A dimensionless quantity.
+    pub fn scalar(value: f64) -> Quantity {
+        Quantity { value_si: value, dim: Dim::NONE }
+    }
+
+    /// Zero with the dimension of `unit`.
+    pub fn zero(unit: Unit) -> Quantity {
+        Quantity { value_si: 0.0, dim: unit.dim }
+    }
+
+    /// The dimension of this quantity.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Raw SI value (use sparingly; prefer [`Quantity::value_in`]).
+    pub fn si_value(&self) -> f64 {
+        self.value_si
+    }
+
+    /// Convert to a value expressed in `unit`, checking dimensions.
+    pub fn value_in(&self, unit: Unit) -> Result<f64, UnitError> {
+        if self.dim != unit.dim {
+            return Err(UnitError::Incompatible { left: self.dim, right: unit.dim });
+        }
+        Ok(self.value_si / unit.si_factor)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        if self.dim != rhs.dim {
+            return Err(UnitError::Incompatible { left: self.dim, right: rhs.dim });
+        }
+        Ok(Quantity { value_si: self.value_si + rhs.value_si, dim: self.dim })
+    }
+
+    /// Checked subtraction.
+    pub fn checked_sub(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        self.checked_add(-rhs)
+    }
+
+    /// Integer power.
+    pub fn powi(self, n: i8) -> Quantity {
+        Quantity { value_si: self.value_si.powi(n as i32), dim: self.dim.pow(n) }
+    }
+
+    /// Square root; dimension exponents must all be even.
+    pub fn sqrt(self) -> Result<Quantity, UnitError> {
+        let mut exps = [0i8; crate::dimension::NUM_BASE];
+        for (o, &e) in exps.iter_mut().zip(&self.dim.exps) {
+            if e % 2 != 0 {
+                return Err(UnitError::IllegalValue {
+                    what: format!("sqrt of dimension {} with odd exponent", self.dim),
+                });
+            }
+            *o = e / 2;
+        }
+        Ok(Quantity { value_si: self.value_si.sqrt(), dim: Dim { exps } })
+    }
+
+    /// Validate the value is finite — the coupler's "checking for illegal
+    /// values" (§4.1) applied at model boundaries.
+    pub fn validated(self) -> Result<Quantity, UnitError> {
+        if self.value_si.is_finite() {
+            Ok(self)
+        } else {
+            Err(UnitError::IllegalValue { what: format!("non-finite value {}", self.value_si) })
+        }
+    }
+
+    /// Checked comparison.
+    pub fn partial_cmp_checked(&self, rhs: &Quantity) -> Result<std::cmp::Ordering, UnitError> {
+        if self.dim != rhs.dim {
+            return Err(UnitError::Incompatible { left: self.dim, right: rhs.dim });
+        }
+        self.value_si
+            .partial_cmp(&rhs.value_si)
+            .ok_or_else(|| UnitError::IllegalValue { what: "NaN in comparison".into() })
+    }
+}
+
+impl fmt::Debug for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]", self.value_si, self.dim)
+    }
+}
+
+impl fmt::Display for Quantity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.value_si, self.dim)
+    }
+}
+
+impl Neg for Quantity {
+    type Output = Quantity;
+    fn neg(self) -> Quantity {
+        Quantity { value_si: -self.value_si, dim: self.dim }
+    }
+}
+
+impl Mul for Quantity {
+    type Output = Quantity;
+    fn mul(self, rhs: Quantity) -> Quantity {
+        Quantity { value_si: self.value_si * rhs.value_si, dim: self.dim + rhs.dim }
+    }
+}
+
+impl Div for Quantity {
+    type Output = Quantity;
+    fn div(self, rhs: Quantity) -> Quantity {
+        Quantity { value_si: self.value_si / rhs.value_si, dim: self.dim - rhs.dim }
+    }
+}
+
+impl Mul<f64> for Quantity {
+    type Output = Quantity;
+    fn mul(self, rhs: f64) -> Quantity {
+        Quantity { value_si: self.value_si * rhs, dim: self.dim }
+    }
+}
+
+impl Div<f64> for Quantity {
+    type Output = Quantity;
+    fn div(self, rhs: f64) -> Quantity {
+        Quantity { value_si: self.value_si / rhs, dim: self.dim }
+    }
+}
+
+impl Add for Quantity {
+    type Output = Result<Quantity, UnitError>;
+    fn add(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        self.checked_add(rhs)
+    }
+}
+
+impl Sub for Quantity {
+    type Output = Result<Quantity, UnitError>;
+    fn sub(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        self.checked_sub(rhs)
+    }
+}
+
+// Chaining helpers so `(m * v * v)` style expressions work where an
+// intermediate is already a Result.
+impl Mul<Quantity> for Result<Quantity, UnitError> {
+    type Output = Result<Quantity, UnitError>;
+    fn mul(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        self.map(|q| q * rhs)
+    }
+}
+
+impl Div<Quantity> for Result<Quantity, UnitError> {
+    type Output = Result<Quantity, UnitError>;
+    fn div(self, rhs: Quantity) -> Result<Quantity, UnitError> {
+        self.map(|q| q / rhs)
+    }
+}
+
+/// A 3-vector quantity (position, velocity, acceleration, …) with a single
+/// shared dimension.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct VectorQuantity {
+    /// SI components.
+    pub value_si: [f64; 3],
+    dim: Dim,
+}
+
+impl VectorQuantity {
+    /// Create from components expressed in `unit`.
+    pub fn new(value: [f64; 3], unit: Unit) -> VectorQuantity {
+        VectorQuantity {
+            value_si: [
+                value[0] * unit.si_factor,
+                value[1] * unit.si_factor,
+                value[2] * unit.si_factor,
+            ],
+            dim: unit.dim,
+        }
+    }
+
+    /// Create from SI components.
+    pub fn from_si(value_si: [f64; 3], dim: Dim) -> VectorQuantity {
+        VectorQuantity { value_si, dim }
+    }
+
+    /// The dimension of the vector.
+    pub fn dim(&self) -> Dim {
+        self.dim
+    }
+
+    /// Convert components into `unit`, checking dimensions.
+    pub fn value_in(&self, unit: Unit) -> Result<[f64; 3], UnitError> {
+        if self.dim != unit.dim {
+            return Err(UnitError::Incompatible { left: self.dim, right: unit.dim });
+        }
+        Ok([
+            self.value_si[0] / unit.si_factor,
+            self.value_si[1] / unit.si_factor,
+            self.value_si[2] / unit.si_factor,
+        ])
+    }
+
+    /// Euclidean norm as a scalar quantity.
+    pub fn norm(&self) -> Quantity {
+        let [x, y, z] = self.value_si;
+        Quantity::from_si((x * x + y * y + z * z).sqrt(), self.dim)
+    }
+
+    /// Checked addition.
+    pub fn checked_add(self, rhs: VectorQuantity) -> Result<VectorQuantity, UnitError> {
+        if self.dim != rhs.dim {
+            return Err(UnitError::Incompatible { left: self.dim, right: rhs.dim });
+        }
+        Ok(VectorQuantity {
+            value_si: [
+                self.value_si[0] + rhs.value_si[0],
+                self.value_si[1] + rhs.value_si[1],
+                self.value_si[2] + rhs.value_si[2],
+            ],
+            dim: self.dim,
+        })
+    }
+
+    /// Scale by a scalar quantity (e.g. velocity * time -> displacement).
+    pub fn scale(self, s: Quantity) -> VectorQuantity {
+        VectorQuantity {
+            value_si: [
+                self.value_si[0] * s.si_value(),
+                self.value_si[1] * s.si_value(),
+                self.value_si[2] * s.si_value(),
+            ],
+            dim: self.dim + s.dim(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{astro, si};
+
+    #[test]
+    fn kinetic_energy_checks_out() {
+        let m = Quantity::new(2.0, si::KILOGRAM);
+        let v = Quantity::new(3.0, si::METER_PER_SECOND);
+        let e = m * v * v * 0.5;
+        assert_eq!(e.value_in(si::JOULE).unwrap(), 9.0);
+    }
+
+    #[test]
+    fn adding_mass_to_length_fails() {
+        let m = Quantity::new(1.0, si::KILOGRAM);
+        let l = Quantity::new(1.0, si::METER);
+        assert!((m + l).is_err());
+    }
+
+    #[test]
+    fn msun_to_kg() {
+        let m = Quantity::new(1.0, astro::MSUN);
+        assert!((m.value_in(si::KILOGRAM).unwrap() - 1.98847e30).abs() < 1e25);
+    }
+
+    #[test]
+    fn sqrt_even_exponents() {
+        let a = Quantity::new(9.0, si::METER.pow(2));
+        assert_eq!(a.sqrt().unwrap().value_in(si::METER).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn sqrt_odd_exponent_fails() {
+        let a = Quantity::new(9.0, si::METER);
+        assert!(a.sqrt().is_err());
+    }
+
+    #[test]
+    fn validated_rejects_nan() {
+        assert!(Quantity::scalar(f64::NAN).validated().is_err());
+        assert!(Quantity::scalar(1.0).validated().is_ok());
+    }
+
+    #[test]
+    fn vector_norm_and_conversion() {
+        let v = VectorQuantity::new([3.0, 4.0, 0.0], astro::KMS);
+        assert_eq!(v.norm().value_in(astro::KMS).unwrap(), 5.0);
+        assert_eq!(v.value_in(si::METER_PER_SECOND).unwrap(), [3000.0, 4000.0, 0.0]);
+        assert!(v.value_in(si::METER).is_err());
+    }
+
+    #[test]
+    fn vector_scale_changes_dimension() {
+        let v = VectorQuantity::new([1.0, 0.0, 0.0], si::METER_PER_SECOND);
+        let dt = Quantity::new(10.0, si::SECOND);
+        let dx = v.scale(dt);
+        assert_eq!(dx.value_in(si::METER).unwrap(), [10.0, 0.0, 0.0]);
+    }
+}

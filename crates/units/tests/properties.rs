@@ -1,0 +1,85 @@
+//! Property-based tests for the unit algebra.
+
+use jc_units::{astro, si, Dim, NBodyConverter, Quantity};
+use proptest::prelude::*;
+
+fn small_exp() -> impl Strategy<Value = i8> {
+    -4i8..=4
+}
+
+fn arb_dim() -> impl Strategy<Value = Dim> {
+    (small_exp(), small_exp(), small_exp()).prop_map(|(l, m, t)| Dim::lmt(l, m, t))
+}
+
+proptest! {
+    /// Dim forms an abelian group under `+` with identity NONE.
+    #[test]
+    fn dim_group_laws(a in arb_dim(), b in arb_dim(), c in arb_dim()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert_eq!(a + Dim::NONE, a);
+        prop_assert_eq!(a + (-a), Dim::NONE);
+    }
+
+    /// pow distributes over the group operation.
+    #[test]
+    fn dim_pow_is_repeated_add(a in arb_dim(), n in 0i8..=4) {
+        let mut acc = Dim::NONE;
+        for _ in 0..n { acc = acc + a; }
+        prop_assert_eq!(a.pow(n), acc);
+    }
+
+    /// Converting value -> unit -> value round-trips.
+    #[test]
+    fn quantity_conversion_round_trip(v in -1.0e6f64..1.0e6) {
+        let q = Quantity::new(v, astro::PARSEC);
+        let out = q.value_in(astro::PARSEC).unwrap();
+        prop_assert!((out - v).abs() <= 1e-9 * v.abs().max(1.0));
+    }
+
+    /// Multiplication of quantities adds dimensions.
+    #[test]
+    fn quantity_mul_dims(a in arb_dim(), b in arb_dim(), x in 0.1f64..10.0, y in 0.1f64..10.0) {
+        let qa = Quantity::from_si(x, a);
+        let qb = Quantity::from_si(y, b);
+        prop_assert_eq!((qa * qb).dim(), a + b);
+        prop_assert_eq!((qa / qb).dim(), a - b);
+    }
+
+    /// Incompatible additions always error; compatible ones never do.
+    #[test]
+    fn addition_checked(a in arb_dim(), b in arb_dim(), x in -10.0f64..10.0, y in -10.0f64..10.0) {
+        let qa = Quantity::from_si(x, a);
+        let qb = Quantity::from_si(y, b);
+        prop_assert_eq!(qa.checked_add(qb).is_ok(), a == b);
+    }
+
+    /// N-body conversion round-trips for any (L, M, T) dimension.
+    #[test]
+    fn nbody_round_trip(d in arb_dim(), v in 0.001f64..1000.0) {
+        let conv = NBodyConverter::new(
+            Quantity::new(100.0, astro::MSUN),
+            Quantity::new(0.5, astro::PARSEC),
+        ).unwrap();
+        let q = Quantity::from_si(v, d);
+        let code = conv.to_nbody(q).unwrap();
+        let back = conv.to_physical(code, d).unwrap();
+        let rel = (back.si_value() - v).abs() / v;
+        prop_assert!(rel < 1e-9, "rel err {rel}");
+    }
+
+    /// sqrt of q*q recovers |q| and halves the dimension.
+    #[test]
+    fn sqrt_of_square(d in arb_dim(), v in 0.0f64..1.0e3) {
+        let q = Quantity::from_si(v, d);
+        let sq = q * q;
+        let root = sq.sqrt().unwrap();
+        prop_assert_eq!(root.dim(), d);
+        prop_assert!((root.si_value() - v).abs() < 1e-6 * v.max(1.0));
+    }
+}
+
+#[test]
+fn si_prefix_sanity() {
+    assert_eq!(si::KILOMETER.conversion_factor_to(si::CENTIMETER).unwrap(), 1.0e5);
+}

@@ -1,0 +1,22 @@
+//! # jc-zorilla — peer-to-peer grid middleware
+//!
+//! Reproduction of Zorilla (Drost et al. [4]; §3 of the paper): *"a
+//! prototype middleware based on Peer-to-Peer techniques. Zorilla is ideal
+//! in cases where no middleware is available, and can turn any collection
+//! of machines into a cluster-like system in minutes."*
+//!
+//! Peers form an unstructured overlay by membership gossip. Job submission
+//! uses *flood scheduling*: a job advertisement floods the overlay with a
+//! TTL; peers with free slots race to claim it from the originator, which
+//! grants the job to the first claimant (one grant per job). Completion is
+//! reported back to the originator.
+//!
+//! The GAT `zorilla` adapter (crate `jc-gat`) submits jobs through
+//! [`PeerActor`]s, which is how the paper's stack uses Zorilla when no
+//! conventional middleware is installed on a resource.
+
+#![warn(missing_docs)]
+
+pub mod peer;
+
+pub use peer::{JobOutcome, JobSpec, PeerActor, PeerMsg, PeerProbe, ZorillaJobId};

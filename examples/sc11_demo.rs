@@ -1,0 +1,38 @@
+//! The SC11 demonstration (Figs 8–11): coupler on a laptop in Seattle, all
+//! models in the Netherlands behind a transatlantic 1G lightpath, with the
+//! IbisDeploy monitoring views rendered as text.
+//!
+//! ```text
+//! cargo run --release --example sc11_demo
+//! ```
+
+use jungle::core::scenarios::run_sc11;
+use jungle::deploy::monitor::MonitorView;
+use jungle::netsim::SimDuration;
+
+fn main() {
+    println!("SC11 demonstration: worst case — coupler in Seattle, models in NL\n");
+    let run = run_sc11(1);
+
+    println!(
+        "one bridge iteration took {:.1} virtual seconds across the Atlantic",
+        run.result.seconds_per_iteration
+    );
+    println!(
+        "WAN IPL traffic {:.1} MiB, intra-worker MPI traffic {:.1} MiB, {} RPC calls\n",
+        run.result.wan_ipl_bytes as f64 / (1 << 20) as f64,
+        run.result.mpi_bytes as f64 / (1 << 20) as f64,
+        run.result.calls_per_iteration
+    );
+
+    let mut sim = run.sim.borrow_mut();
+    let now = sim.now();
+    let overlay_view = run.overlay.view(sim.topology());
+    let (topo, metrics) = sim.monitor_parts();
+    let mut view =
+        MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    println!("{}", view.render_resource_map(&run.realm));
+    println!("{}", view.render_jobs(&run.jobs));
+    println!("{}", overlay_view.render());
+    println!("{}", view.render_traffic());
+}

@@ -1,0 +1,20 @@
+//! # jungle — umbrella crate for the Jungle Computing / distributed AMUSE reproduction
+//!
+//! Re-exports every workspace crate under one roof so the examples and
+//! integration tests can `use jungle::...`. See the README for the map of
+//! the system and DESIGN.md for the full inventory.
+
+pub use jc_amuse as amuse;
+pub use jc_cesm as cesm;
+pub use jc_core as core;
+pub use jc_deploy as deploy;
+pub use jc_gat as gat;
+pub use jc_ipl as ipl;
+pub use jc_nbody as nbody;
+pub use jc_netsim as netsim;
+pub use jc_smartsockets as smartsockets;
+pub use jc_sph as sph;
+pub use jc_stellar as stellar;
+pub use jc_treegrav as treegrav;
+pub use jc_units as units;
+pub use jc_zorilla as zorilla;

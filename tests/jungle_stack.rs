@@ -1,0 +1,66 @@
+//! Integration tests over the middleware half of the stack: deploy a grid
+//! description end-to-end and exercise SmartSockets + IPL + GAT together.
+
+use jungle::deploy::{Deployment, GridDescription};
+use jungle::netsim::SimConfig;
+use jungle::smartsockets::EdgeKind;
+
+const GRID: &str = r#"{
+    "resources": [
+        {"name": "laptop", "location": "Seattle, WA, USA", "nodes": 1,
+         "client": true, "middlewares": ["local"], "firewall": "firewalled"},
+        {"name": "VU", "location": "Amsterdam, NL", "nodes": 4,
+         "middlewares": ["pbs", "ssh"], "firewall": "open"},
+        {"name": "LGM", "location": "Leiden, NL", "nodes": 2,
+         "middlewares": ["sge"], "firewall": "nat",
+         "gpus": [{"model": "Tesla C2050", "gflops": 300.0}]}
+    ],
+    "links": [
+        {"a": "laptop", "b": "VU", "latency_ms": 45.0, "gbps": 1.0,
+         "label": "transatlantic"},
+        {"a": "VU", "b": "LGM", "latency_ms": 1.0, "gbps": 10.0}
+    ]
+}"#;
+
+#[test]
+fn grid_json_to_running_world() {
+    let grid = GridDescription::from_json(GRID).expect("valid grid json");
+    let mut d = Deployment::build(grid, SimConfig::default()).expect("builds");
+    assert!(d.converge_overlay(10_000_000), "hubs gossip to convergence");
+    // the overlay must classify the firewalled/NAT edges
+    let view = d.overlay.view(d.sim.topology());
+    assert_eq!(view.edges.len(), 3, "three hub pairs");
+    assert!(
+        view.count(EdgeKind::Bidirectional) < 3,
+        "restricted sites cannot all be bidirectional: {}",
+        view.render()
+    );
+}
+
+#[test]
+fn firewalled_client_can_still_reach_nat_resource() {
+    use jungle::smartsockets::{ConnectionPlan, VirtualAddress};
+    let grid = GridDescription::from_json(GRID).unwrap();
+    let mut d = Deployment::build(grid, SimConfig::default()).unwrap();
+    d.converge_overlay(10_000_000);
+    let laptop = d.placements["laptop"].front_end;
+    let lgm_node = d.placements["LGM"].nodes[0];
+    let plan = ConnectionPlan::plan(
+        d.sim.topology(),
+        Some(&d.overlay),
+        VirtualAddress::new(laptop, 1),
+        VirtualAddress::new(lgm_node, 1),
+    );
+    assert!(
+        plan.is_usable(),
+        "SmartSockets must find a path (reverse or relay): {plan:?}"
+    );
+}
+
+#[test]
+fn grid_description_round_trips_through_json() {
+    let grid = GridDescription::from_json(GRID).unwrap();
+    let json = grid.to_json();
+    let again = GridDescription::from_json(&json).unwrap();
+    assert_eq!(grid, again);
+}

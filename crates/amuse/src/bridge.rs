@@ -88,7 +88,16 @@ impl Bridge {
         cfg: BridgeConfig,
     ) -> Bridge {
         assert!(cfg.dt > 0.0 && cfg.substeps > 0 && cfg.stellar_interval > 0);
-        Bridge { gravity, hydro, coupling, stellar, cfg, time: 0.0, iterations: 0, total_supernovae: 0 }
+        Bridge {
+            gravity,
+            hydro,
+            coupling,
+            stellar,
+            cfg,
+            time: 0.0,
+            iterations: 0,
+            total_supernovae: 0,
+        }
     }
 
     /// Current model time (N-body units).
@@ -145,7 +154,9 @@ impl Bridge {
             self.kick(0.5 * self.cfg.dt, &mut rep);
             let t_next = self.time + self.cfg.dt;
             if rep.trace.len() < 64 && self.cfg.trace {
-                rep.trace.push(format!("evolve gravity -> t={t_next:.5} || evolve hydro -> t={t_next:.5}"));
+                rep.trace.push(format!(
+                    "evolve gravity -> t={t_next:.5} || evolve hydro -> t={t_next:.5}"
+                ));
             }
             // parallel evolve ("The evolve step can be done in parallel")
             self.gravity.submit(Request::EvolveTo(t_next));
@@ -158,7 +169,7 @@ impl Bridge {
             self.time = t_next;
         }
         self.iterations += 1;
-        if self.iterations % self.cfg.stellar_interval as u64 == 0 {
+        if self.iterations.is_multiple_of(self.cfg.stellar_interval as u64) {
             self.stellar_exchange(&mut rep);
         }
         rep.time = self.time;
@@ -188,10 +199,8 @@ impl Bridge {
         let acc_stars = self.compute_kick(stars.pos.clone(), gas.pos.clone(), gas.mass.clone());
         // stars pull on gas
         let acc_gas = self.compute_kick(gas.pos.clone(), stars.pos.clone(), stars.mass.clone());
-        let dv_stars: Vec<[f64; 3]> = acc_stars
-            .iter()
-            .map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt])
-            .collect();
+        let dv_stars: Vec<[f64; 3]> =
+            acc_stars.iter().map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt]).collect();
         let dv_gas: Vec<[f64; 3]> =
             acc_gas.iter().map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt]).collect();
         let r1 = self.gravity.call(Request::Kick(dv_stars));
@@ -230,8 +239,7 @@ impl Bridge {
         };
         assert_eq!(masses_msun.len(), stars.mass.len(), "star population mismatch");
         // push updated masses into the dynamics (MSun -> N-body units)
-        let masses_nb: Vec<f64> =
-            masses_msun.iter().map(|m| m / self.cfg.mass_unit_msun).collect();
+        let masses_nb: Vec<f64> = masses_msun.iter().map(|m| m / self.cfg.mass_unit_msun).collect();
         let r = self.gravity.call(Request::SetMasses(masses_nb));
         assert!(matches!(r, Response::Ok { .. }), "set masses failed: {r:?}");
         // feedback into the gas

@@ -139,7 +139,14 @@ impl ThreadChannel {
                 }
             })
             .expect("spawn worker thread");
-        ThreadChannel { tx, rx, stats: ChannelStats::default(), pending_bytes: None, name, handle: Some(handle) }
+        ThreadChannel {
+            tx,
+            rx,
+            stats: ChannelStats::default(),
+            pending_bytes: None,
+            name,
+            handle: Some(handle),
+        }
     }
 }
 

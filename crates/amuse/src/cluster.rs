@@ -97,8 +97,11 @@ impl EmbeddedCluster {
         let backend = if use_gpu { Backend::GpuModel } else { Backend::CpuParallel };
         let gravity = Box::new(GravityWorker::new(self.stars.clone(), backend));
         let hydro = Box::new(HydroWorker::new(self.gas.clone()));
-        let coupling: Box<dyn ModelWorker> =
-            if use_gpu { Box::new(CouplingWorker::octgrav()) } else { Box::new(CouplingWorker::fi()) };
+        let coupling: Box<dyn ModelWorker> = if use_gpu {
+            Box::new(CouplingWorker::octgrav())
+        } else {
+            Box::new(CouplingWorker::fi())
+        };
         let stellar = Box::new(StellarWorker::new(self.star_masses_msun.clone(), 0.02));
         (gravity, hydro, coupling, stellar)
     }

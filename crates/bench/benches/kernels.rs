@@ -10,8 +10,7 @@ fn bench_hermite(c: &mut Criterion) {
     let mut group = c.benchmark_group("phigrape_evolve");
     group.sample_size(10);
     for &n in &[128usize, 256, 512] {
-        for (name, backend) in
-            [("scalar", Backend::Scalar), ("cpu-parallel", Backend::CpuParallel)]
+        for (name, backend) in [("scalar", Backend::Scalar), ("cpu-parallel", Backend::CpuParallel)]
         {
             group.bench_with_input(BenchmarkId::new(name, n), &n, |b, &n| {
                 b.iter_batched(

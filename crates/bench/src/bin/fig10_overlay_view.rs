@@ -10,7 +10,8 @@ fn main() {
     let now = sim.now();
     let overlay_view = run.overlay.view(sim.topology());
     let (topo, metrics) = sim.monitor_parts();
-    let mut view = MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    let mut view =
+        MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
     println!("{}", view.render_resource_map(&run.realm));
     println!("{}", view.render_jobs(&run.jobs));
     println!("{}", overlay_view.render());

@@ -11,7 +11,8 @@ fn main() {
     let mut sim = run.sim.borrow_mut();
     let now = sim.now();
     let (topo, metrics) = sim.monitor_parts();
-    let mut view = MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    let mut view =
+        MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
     println!("{}", view.render_traffic());
     println!("(GPU-hosted models leave their CPUs nearly idle, matching the");
     println!(" paper's observation about the load bars)");

@@ -17,7 +17,10 @@ fn main() {
         Some(Box::new(LocalChannel::new(s))),
         cfg,
     );
-    println!("{:>6} {:>9} {:>11} {:>10} {:>10} {:>5}", "iter", "t [Myr]", "bound gas", "r_h stars", "r_h gas", "SNe");
+    println!(
+        "{:>6} {:>9} {:>11} {:>10} {:>10} {:>5}",
+        "iter", "t [Myr]", "bound gas", "r_h stars", "r_h gas", "SNe"
+    );
     let mut sne = 0;
     for i in 0..24 {
         let rep = bridge.iteration();

@@ -29,6 +29,9 @@ fn main() {
     let (gs, hs, cs, ss) = bridge.channel_stats();
     println!(
         "\ncalls: gravity {}, hydro {}, coupling {}, stellar {}",
-        gs.calls, hs.calls, cs.calls, ss.map(|x| x.calls).unwrap_or(0)
+        gs.calls,
+        hs.calls,
+        cs.calls,
+        ss.map(|x| x.calls).unwrap_or(0)
     );
 }

@@ -17,6 +17,7 @@ fn main() {
     let mut sim = run.sim.borrow_mut();
     let now = sim.now();
     let (topo, metrics) = sim.monitor_parts();
-    let mut view = MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
+    let mut view =
+        MonitorView { topo, metrics, window: SimDuration::from_nanos(now.as_nanos().max(1)) };
     println!("{}", view.render_traffic());
 }

@@ -4,8 +4,7 @@ use jc_core::scenarios::{format_table1, run_scenario};
 use jc_core::Scenario;
 
 fn main() {
-    let results: Vec<_> =
-        Scenario::all().into_iter().map(|s| run_scenario(s, 1).result).collect();
+    let results: Vec<_> = Scenario::all().into_iter().map(|s| run_scenario(s, 1).result).collect();
     println!("{}", format_table1(&results));
     for r in &results {
         println!(

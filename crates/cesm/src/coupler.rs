@@ -72,7 +72,8 @@ impl Coupler {
 
     /// Run `n` steps, returning the final state.
     pub fn run(&mut self, n: u64) -> ClimateState {
-        let mut last = ClimateState { steps: self.steps, global_mean: 0.0, routed_flux: self.routed };
+        let mut last =
+            ClimateState { steps: self.steps, global_mean: 0.0, routed_flux: self.routed };
         for _ in 0..n {
             last = self.step();
         }
@@ -107,12 +108,8 @@ mod tests {
     #[test]
     #[should_panic]
     fn missing_component_rejected() {
-        let comps: Vec<Box<dyn Component>> = vec![Box::new(ActiveComponent::new(
-            ComponentKind::Atmosphere,
-            4,
-            4,
-            1.0,
-        ))];
+        let comps: Vec<Box<dyn Component>> =
+            vec![Box::new(ActiveComponent::new(ComponentKind::Atmosphere, 4, 4, 1.0))];
         Coupler::new(comps, 4, 4);
     }
 

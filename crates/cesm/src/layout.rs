@@ -79,8 +79,7 @@ impl Layout {
             }
         }
         // coupler cost: 10% of total component cost, parallel over its nodes
-        let cpl: f64 =
-            0.1 * ComponentKind::all().iter().map(|k| k.relative_cost()).sum::<f64>();
+        let cpl: f64 = 0.1 * ComponentKind::all().iter().map(|k| k.relative_cost()).sum::<f64>();
         for &n in &self.coupler_nodes {
             node_time[n as usize] += cpl / self.coupler_nodes.len() as f64;
         }

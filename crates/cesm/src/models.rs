@@ -70,7 +70,12 @@ pub enum ComponentKind {
 impl ComponentKind {
     /// All four components.
     pub fn all() -> [ComponentKind; 4] {
-        [ComponentKind::Atmosphere, ComponentKind::Ocean, ComponentKind::Land, ComponentKind::SeaIce]
+        [
+            ComponentKind::Atmosphere,
+            ComponentKind::Ocean,
+            ComponentKind::Land,
+            ComponentKind::SeaIce,
+        ]
     }
 
     /// Relative compute cost per step (atmosphere dominates, as in CESM
@@ -207,8 +212,7 @@ mod tests {
 
     #[test]
     fn data_component_replays_and_cycles() {
-        let series =
-            vec![GridField::constant(2, 2, 1.0), GridField::constant(2, 2, 2.0)];
+        let series = vec![GridField::constant(2, 2, 1.0), GridField::constant(2, 2, 2.0)];
         let mut d = DataComponent::new(ComponentKind::SeaIce, series);
         let dummy = GridField::constant(2, 2, 99.0);
         assert_eq!(d.step(&dummy).mean(), 1.0);

@@ -4,7 +4,9 @@ use crate::proxy::{CallEnvelope, ReplyEnvelope};
 use jc_amuse::worker::Response;
 use jc_netsim::metrics::TrafficClass;
 use jc_netsim::{Actor, ActorId, Ctx, Msg, Sim};
-use jc_smartsockets::{hub::unwrap_message, ConnectionPlan, Overlay, VirtualAddress, VirtualSocket};
+use jc_smartsockets::{
+    hub::unwrap_message, ConnectionPlan, Overlay, VirtualAddress, VirtualSocket,
+};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
@@ -96,10 +98,7 @@ impl Actor for IbisDaemon {
         // calls from the coupler: forward over the WAN
         let msg = match msg.downcast::<CallEnvelope>() {
             Ok((_, env)) => {
-                let sock = self
-                    .sockets
-                    .get_mut(&env.worker)
-                    .expect("call to unregistered worker");
+                let sock = self.sockets.get_mut(&env.worker).expect("call to unregistered worker");
                 let bytes = env.wire_bytes;
                 sock.send(ctx, bytes, TrafficClass::Ipl, env);
                 return;

@@ -33,7 +33,12 @@ pub struct Requirements {
 
 impl Requirements {
     /// Convenience constructor.
-    pub fn new(worker: impl Into<String>, needs_gpu: bool, nodes: u32, min_gflops: f64) -> Requirements {
+    pub fn new(
+        worker: impl Into<String>,
+        needs_gpu: bool,
+        nodes: u32,
+        min_gflops: f64,
+    ) -> Requirements {
         assert!(nodes > 0);
         Requirements { worker: worker.into(), needs_gpu, nodes, min_gflops }
     }
@@ -91,11 +96,8 @@ pub fn discover(
 ) -> Result<Vec<Discovered>, DiscoveryError> {
     // remaining free nodes per resource (client machines participate too —
     // running locally is a valid placement, as scenarios 1–3 show)
-    let mut free: HashMap<&str, u32> = grid
-        .resources
-        .iter()
-        .map(|r| (r.name.as_str(), r.nodes.max(1)))
-        .collect();
+    let mut free: HashMap<&str, u32> =
+        grid.resources.iter().map(|r| (r.name.as_str(), r.nodes.max(1))).collect();
     let mut out = Vec::with_capacity(requirements.len());
     for req in requirements {
         let mut best: Option<(&ResourceEntry, f64)> = None;
@@ -117,9 +119,8 @@ pub fn discover(
                 best = Some((r, gf));
             }
         }
-        let (r, gf) = best.ok_or_else(|| DiscoveryError::NoSuitableResource {
-            worker: req.worker.clone(),
-        })?;
+        let (r, gf) =
+            best.ok_or_else(|| DiscoveryError::NoSuitableResource { worker: req.worker.clone() })?;
         *free.get_mut(r.name.as_str()).expect("seen above") -= req.nodes;
         out.push(Discovered { worker: req.worker.clone(), resource: r.name.clone(), gflops: gf });
     }
@@ -128,9 +129,7 @@ pub fn discover(
 
 /// The embedded-cluster run's standard worker requirements, demanding
 /// workers first: coupling (GPU), gravity (GPU), gas (8 nodes), stellar.
-pub fn discover_for_cluster_run(
-    grid: &GridDescription,
-) -> Result<Vec<Discovered>, DiscoveryError> {
+pub fn discover_for_cluster_run(grid: &GridDescription) -> Result<Vec<Discovered>, DiscoveryError> {
     discover(
         grid,
         &[
@@ -166,8 +165,7 @@ mod tests {
     #[test]
     fn gpu_requirement_is_respected() {
         let grid = lab_grid();
-        let placed =
-            discover(&grid, &[Requirements::new("render", true, 1, 0.0)]).unwrap();
+        let placed = discover(&grid, &[Requirements::new("render", true, 1, 0.0)]).unwrap();
         // any resource chosen must actually have GPUs
         let r = grid.resource(&placed[0].resource).unwrap();
         assert!(!r.gpus.is_empty());
@@ -189,10 +187,7 @@ mod tests {
         // must be placed without double-booking LGM's single node
         let placed = discover(
             &grid,
-            &[
-                Requirements::new("a", true, 1, 100.0),
-                Requirements::new("b", true, 1, 100.0),
-            ],
+            &[Requirements::new("a", true, 1, 100.0), Requirements::new("b", true, 1, 100.0)],
         )
         .unwrap();
         assert_eq!(placed[0].resource, "LGM (LU)");

@@ -111,8 +111,8 @@ mod tests {
     #[test]
     fn scenario1_analytic_sum_matches_paper() {
         // CPU-only: everything serialized on the Core2 quad.
-        let t = (work::COUPLING_GFLOP + work::GRAVITY_GFLOP + work::GAS_GFLOP)
-            / devices::CORE2_QUAD;
+        let t =
+            (work::COUPLING_GFLOP + work::GRAVITY_GFLOP + work::GAS_GFLOP) / devices::CORE2_QUAD;
         assert!((t - 353.0).abs() < 2.0, "S1 analytic = {t}");
     }
 
@@ -138,11 +138,8 @@ mod tests {
     #[test]
     fn work_profile_splits_budgets_over_substeps() {
         let p = PerfProfile { kind: ModelKind::Coupling, substeps: 8 };
-        let kick = Request::ComputeKick {
-            targets: vec![],
-            source_pos: vec![],
-            source_mass: vec![],
-        };
+        let kick =
+            Request::ComputeKick { targets: vec![], source_pos: vec![], source_mass: vec![] };
         // 4 kicks per substep × 8 substeps = 32 calls per iteration
         assert!((p.work_gflop(&kick) * 32.0 - work::COUPLING_GFLOP).abs() < 1e-9);
         let g = PerfProfile { kind: ModelKind::Gravity, substeps: 8 };

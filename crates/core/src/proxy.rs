@@ -116,11 +116,7 @@ impl WorkerProxy {
             let host = ctx.host();
             ctx.topo().host(host).site
         };
-        let link = ctx
-            .topo()
-            .links()
-            .find(|(_, l)| l.a == site && l.b == site)
-            .map(|(id, _)| id);
+        let link = ctx.topo().links().find(|(_, l)| l.a == site && l.b == site).map(|(id, _)| id);
         if let Some(link) = link {
             ctx.metrics().record_link(link, TrafficClass::Mpi, bytes.max(1));
         }

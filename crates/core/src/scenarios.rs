@@ -155,10 +155,34 @@ pub fn lab_grid() -> GridDescription {
             },
         ],
         links: vec![
-            LinkEntry { a: "Desktop (VU)".into(), b: "DAS-4 (VU)".into(), latency_ms: 0.2, gbps: 1.0, label: "1GbE".into() },
-            LinkEntry { a: "DAS-4 (VU)".into(), b: "DAS-4 (UvA)".into(), latency_ms: 0.3, gbps: 10.0, label: "10G lightpath (STARplane)".into() },
-            LinkEntry { a: "DAS-4 (VU)".into(), b: "DAS-4 (TUD)".into(), latency_ms: 0.5, gbps: 10.0, label: "10G lightpath (STARplane)".into() },
-            LinkEntry { a: "DAS-4 (TUD)".into(), b: "LGM (LU)".into(), latency_ms: 0.5, gbps: 1.0, label: "1G lightpath".into() },
+            LinkEntry {
+                a: "Desktop (VU)".into(),
+                b: "DAS-4 (VU)".into(),
+                latency_ms: 0.2,
+                gbps: 1.0,
+                label: "1GbE".into(),
+            },
+            LinkEntry {
+                a: "DAS-4 (VU)".into(),
+                b: "DAS-4 (UvA)".into(),
+                latency_ms: 0.3,
+                gbps: 10.0,
+                label: "10G lightpath (STARplane)".into(),
+            },
+            LinkEntry {
+                a: "DAS-4 (VU)".into(),
+                b: "DAS-4 (TUD)".into(),
+                latency_ms: 0.5,
+                gbps: 10.0,
+                label: "10G lightpath (STARplane)".into(),
+            },
+            LinkEntry {
+                a: "DAS-4 (TUD)".into(),
+                b: "LGM (LU)".into(),
+                latency_ms: 0.5,
+                gbps: 1.0,
+                label: "1G lightpath".into(),
+            },
         ],
     }
 }
@@ -240,28 +264,172 @@ fn placements(s: Scenario) -> [Placement; 4] {
     const GPU: u8 = 1;
     match s {
         Scenario::CpuOnly => [
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Coupling, label: "fi" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Gravity, label: "phigrape-cpu" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Hydro, label: "gadget" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Stellar, label: "sse" },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Coupling,
+                label: "fi",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Gravity,
+                label: "phigrape-cpu",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Hydro,
+                label: "gadget",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Stellar,
+                label: "sse",
+            },
         ],
         Scenario::LocalGpu => [
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::GEFORCE_9600GT, device_tag: GPU, mpi_ranks: 1, kind: Coupling, label: "octgrav" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::GEFORCE_9600GT, device_tag: GPU, mpi_ranks: 1, kind: Gravity, label: "phigrape-gpu" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Hydro, label: "gadget" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Stellar, label: "sse" },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::GEFORCE_9600GT,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Coupling,
+                label: "octgrav",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::GEFORCE_9600GT,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Gravity,
+                label: "phigrape-gpu",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Hydro,
+                label: "gadget",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Stellar,
+                label: "sse",
+            },
         ],
         Scenario::RemoteGpu => [
-            Placement { resource: "LGM (LU)", nodes: 1, adapter: Ssh, gflops: devices::TESLA_C2050, device_tag: GPU, mpi_ranks: 1, kind: Coupling, label: "octgrav" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::GEFORCE_9600GT, device_tag: GPU, mpi_ranks: 1, kind: Gravity, label: "phigrape-gpu" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Hydro, label: "gadget" },
-            Placement { resource: "Desktop (VU)", nodes: 1, adapter: Local, gflops: devices::CORE2_QUAD, device_tag: CPU, mpi_ranks: 1, kind: Stellar, label: "sse" },
+            Placement {
+                resource: "LGM (LU)",
+                nodes: 1,
+                adapter: Ssh,
+                gflops: devices::TESLA_C2050,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Coupling,
+                label: "octgrav",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::GEFORCE_9600GT,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Gravity,
+                label: "phigrape-gpu",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Hydro,
+                label: "gadget",
+            },
+            Placement {
+                resource: "Desktop (VU)",
+                nodes: 1,
+                adapter: Local,
+                gflops: devices::CORE2_QUAD,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Stellar,
+                label: "sse",
+            },
         ],
         Scenario::FullJungle => [
-            Placement { resource: "DAS-4 (TUD)", nodes: 2, adapter: Pbs, gflops: 2.0 * devices::DAS4_GTX480, device_tag: GPU, mpi_ranks: 1, kind: Coupling, label: "octgrav" },
-            Placement { resource: "LGM (LU)", nodes: 1, adapter: Ssh, gflops: devices::TESLA_C2050, device_tag: GPU, mpi_ranks: 1, kind: Gravity, label: "phigrape-gpu" },
-            Placement { resource: "DAS-4 (VU)", nodes: 8, adapter: Pbs, gflops: 8.0 * devices::DAS4_NODE, device_tag: CPU, mpi_ranks: 8, kind: Hydro, label: "gadget" },
-            Placement { resource: "DAS-4 (UvA)", nodes: 1, adapter: Pbs, gflops: devices::DAS4_NODE, device_tag: CPU, mpi_ranks: 1, kind: Stellar, label: "sse" },
+            Placement {
+                resource: "DAS-4 (TUD)",
+                nodes: 2,
+                adapter: Pbs,
+                gflops: 2.0 * devices::DAS4_GTX480,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Coupling,
+                label: "octgrav",
+            },
+            Placement {
+                resource: "LGM (LU)",
+                nodes: 1,
+                adapter: Ssh,
+                gflops: devices::TESLA_C2050,
+                device_tag: GPU,
+                mpi_ranks: 1,
+                kind: Gravity,
+                label: "phigrape-gpu",
+            },
+            Placement {
+                resource: "DAS-4 (VU)",
+                nodes: 8,
+                adapter: Pbs,
+                gflops: 8.0 * devices::DAS4_NODE,
+                device_tag: CPU,
+                mpi_ranks: 8,
+                kind: Hydro,
+                label: "gadget",
+            },
+            Placement {
+                resource: "DAS-4 (UvA)",
+                nodes: 1,
+                adapter: Pbs,
+                gflops: devices::DAS4_NODE,
+                device_tag: CPU,
+                mpi_ranks: 1,
+                kind: Stellar,
+                label: "sse",
+            },
         ],
     }
 }
@@ -424,11 +592,11 @@ fn run_on_grid_inner(
     let star_scale = byte_scale(TOY_STARS, production::N_STARS);
 
     for (wid, ((worker, kind), p)) in workers.into_iter().zip(&place).enumerate() {
-        assert_eq!(*&p.kind, kind, "placement order matches worker order");
+        assert_eq!(p.kind, kind, "placement order matches worker order");
         let resource = realm.resource(p.resource).expect("resource in grid");
         let cell: Rc<RefCell<Option<Box<dyn ModelWorker>>>> = Rc::new(RefCell::new(Some(worker)));
         let id = WorkerId(wid as u32);
-        let profile = PerfProfile { kind: *&p.kind, substeps: SUBSTEPS };
+        let profile = PerfProfile { kind: p.kind, substeps: SUBSTEPS };
         let scale = match p.kind {
             ModelKind::Hydro | ModelKind::Coupling => gas_scale,
             _ => star_scale,

@@ -6,10 +6,7 @@ use jc_core::Scenario;
 
 #[test]
 fn lab_scenarios_reproduce_paper_shape() {
-    let results: Vec<_> = Scenario::all()
-        .into_iter()
-        .map(|s| run_scenario(s, 1).result)
-        .collect();
+    let results: Vec<_> = Scenario::all().into_iter().map(|s| run_scenario(s, 1).result).collect();
     println!("{}", format_table1(&results));
     let secs: Vec<f64> = results.iter().map(|r| r.seconds_per_iteration).collect();
     // ordering: CPU-only slowest, each subsequent scenario faster

@@ -164,12 +164,8 @@ impl Deployment {
                 hub_placements.push((p.site, p.front_end));
             }
         }
-        let overlay = Rc::new(Overlay::deploy(
-            &mut sim,
-            &hub_placements,
-            SimDuration::from_millis(100),
-            20,
-        ));
+        let overlay =
+            Rc::new(Overlay::deploy(&mut sim, &hub_placements, SimDuration::from_millis(100), 20));
 
         // GAT brokers.
         let mut realm = GatRealm::new();
@@ -177,20 +173,17 @@ impl Deployment {
             if r.middlewares.is_empty() {
                 continue;
             }
-            let kinds = r
-                .middlewares
-                .iter()
-                .map(|m| parse_middleware(m))
-                .collect::<Result<Vec<_>, _>>()?;
+            let kinds =
+                r.middlewares.iter().map(|m| parse_middleware(m)).collect::<Result<Vec<_>, _>>()?;
             let p = &placements[&r.name];
             // client machines with no separate nodes run jobs on the
             // front-end itself (the "local" adapter case)
-            let nodes =
-                if p.nodes.is_empty() { vec![p.front_end] } else { p.nodes.clone() };
+            let nodes = if p.nodes.is_empty() { vec![p.front_end] } else { p.nodes.clone() };
             realm.install(&mut sim, r.name.clone(), p.site, p.front_end, nodes, kinds);
         }
 
-        let client_host = client_host.unwrap_or_else(|| placements[&grid.resources[0].name].front_end);
+        let client_host =
+            client_host.unwrap_or_else(|| placements[&grid.resources[0].name].front_end);
         Ok(Deployment { sim, realm, overlay, placements, client_host, grid })
     }
 

@@ -8,7 +8,9 @@
 //! * [`descriptor`] — the configuration files: a *grid description* (the
 //!   resources a user has access to, their locations, middlewares,
 //!   firewalls and the links between them) and *application/experiment
-//!   descriptions*. They serialize to JSON via serde.
+//!   descriptions*. They serialize to JSON via the built-in [`json`]
+//!   module (no external dependencies), and malformed input is rejected
+//!   with a field path instead of a panic.
 //! * [`build`] — turns a grid description into a running simulated world:
 //!   topology, SmartSockets hub per resource ("IbisDeploy automatically
 //!   starts the hubs required by SmartSockets on each resource used"), and
@@ -21,8 +23,11 @@
 
 pub mod build;
 pub mod descriptor;
+pub mod json;
 pub mod monitor;
 
 pub use build::Deployment;
-pub use descriptor::{ApplicationDescription, GridDescription, LinkEntry, ResourceEntry};
+pub use descriptor::{
+    ApplicationDescription, DescriptorError, GridDescription, LinkEntry, ResourceEntry,
+};
 pub use monitor::{JobRow, MonitorView};

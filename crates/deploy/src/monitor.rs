@@ -44,7 +44,9 @@ impl<'a> MonitorView<'a> {
             let site = self.topo.site(r.site);
             out.push_str(&format!(
                 "  [{}] {} — {} node(s), middleware head present\n",
-                site.location, name, r.nodes.len()
+                site.location,
+                name,
+                r.nodes.len()
             ));
         }
         out
@@ -53,10 +55,7 @@ impl<'a> MonitorView<'a> {
     /// Fig 10, bottom half: the job table.
     pub fn render_jobs(&self, jobs: &[JobRow]) -> String {
         let mut out = String::from("Jobs:\n");
-        out.push_str(&format!(
-            "  {:<18} {:<16} {:>5}  {}\n",
-            "NAME", "RESOURCE", "NODES", "STATE"
-        ));
+        out.push_str(&format!("  {:<18} {:<16} {:>5}  {}\n", "NAME", "RESOURCE", "NODES", "STATE"));
         for j in jobs {
             out.push_str(&format!(
                 "  {:<18} {:<16} {:>5}  {:?}\n",
@@ -83,11 +82,8 @@ impl<'a> MonitorView<'a> {
             .topo
             .links()
             .map(|(id, l)| {
-                let label = if l.label.is_empty() {
-                    format!("link{}", id.0)
-                } else {
-                    l.label.clone()
-                };
+                let label =
+                    if l.label.is_empty() { format!("link{}", id.0) } else { l.label.clone() };
                 (id, label)
             })
             .collect();
@@ -105,11 +101,8 @@ impl<'a> MonitorView<'a> {
             ));
         }
         out.push_str("Host load (red) / memory (blue):\n");
-        let hosts: Vec<(jc_netsim::HostId, String, u32)> = self
-            .topo
-            .hosts()
-            .map(|(id, h)| (id, h.name.clone(), h.memory_gib))
-            .collect();
+        let hosts: Vec<(jc_netsim::HostId, String, u32)> =
+            self.topo.hosts().map(|(id, h)| (id, h.name.clone(), h.memory_gib)).collect();
         for (id, name, mem_gib) in hosts {
             let load = self.metrics.host_load(id, self.window);
             if load == 0.0 && self.metrics.host_memory_mib(id).is_none() {

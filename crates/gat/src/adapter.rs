@@ -80,11 +80,7 @@ pub fn select_adapter(
 ) -> Result<MiddlewareKind, AdapterError> {
     let order: &[MiddlewareKind] =
         if preference.is_empty() { &DEFAULT_PREFERENCE } else { preference };
-    order
-        .iter()
-        .copied()
-        .find(|k| supported.contains(k))
-        .ok_or(AdapterError::NoAdapter)
+    order.iter().copied().find(|k| supported.contains(k)).ok_or(AdapterError::NoAdapter)
 }
 
 #[cfg(test)]

@@ -363,7 +363,8 @@ impl GatRealm {
         supported: Vec<MiddlewareKind>,
     ) -> Rc<ResourceDesc> {
         let name = name.into();
-        let broker = sim.add_actor(head, Box::new(MiddlewareActor::new(name.clone(), nodes.clone())));
+        let broker =
+            sim.add_actor(head, Box::new(MiddlewareActor::new(name.clone(), nodes.clone())));
         let desc = Rc::new(ResourceDesc { name: name.clone(), site, nodes, supported, broker });
         self.resources.insert(name, desc.clone());
         desc

@@ -13,24 +13,8 @@ use std::rc::Rc;
 
 type Events = Rc<RefCell<Vec<(u64, JobState, String)>>>;
 
-/// A worker process that computes for `flops` then exits.
-struct FiniteWorker {
-    flops: f64,
-}
-
-impl Actor for FiniteWorker {
-    fn handle(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        if let Ok((_, start)) = msg.downcast::<ProcStart>() {
-            let d = ctx.compute(&Device::Cpu { threads: 1 }, self.flops, 0);
-            ctx.schedule_self(d, start);
-            self.flops = -1.0; // next ProcStart-typed message means "done"
-            return;
-        }
-    }
-}
-
-/// Corrected worker: first ProcStart triggers compute; we re-deliver the
-/// same ProcStart as the completion timer, then report exit.
+/// A worker process: the first ProcStart triggers compute; we re-deliver
+/// the same ProcStart as the completion timer, then report exit.
 struct Worker {
     computed: bool,
     flops: f64,
@@ -255,7 +239,7 @@ fn reservation_expiry_kills_long_job() {
     assert!(detail.contains("reservation expired"), "{detail}");
     // killed right around the 30 s walltime (plus overheads)
     let t = w.sim.now().as_secs_f64();
-    assert!(t >= 30.0 && t < 35.0, "kill time {t}");
+    assert!((30.0..35.0).contains(&t), "kill time {t}");
 }
 
 #[test]
@@ -325,9 +309,6 @@ fn adapter_selection_for_resource() {
     // default preference picks ssh over pbs
     assert_eq!(select_adapter(&r.supported, &[]), Ok(MiddlewareKind::Ssh));
     // explicit preference for batch
-    assert_eq!(
-        select_adapter(&r.supported, &[MiddlewareKind::Pbs]),
-        Ok(MiddlewareKind::Pbs)
-    );
+    assert_eq!(select_adapter(&r.supported, &[MiddlewareKind::Pbs]), Ok(MiddlewareKind::Pbs));
     assert_eq!(w.realm.names(), vec!["DAS-4 (VU)".to_string()]);
 }

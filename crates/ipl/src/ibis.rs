@@ -6,7 +6,9 @@ use crate::port::{PortConnection, PortId, ReceivePortName, SendPort};
 use crate::registry::{PoolEvent, RegistryHandle, RegistryMsg, CTRL_MSG_BYTES};
 use jc_netsim::metrics::TrafficClass;
 use jc_netsim::{ActorId, Ctx, HostId, Msg, SimDuration};
-use jc_smartsockets::{hub::unwrap_message, ConnectionPlan, Overlay, VirtualAddress, VirtualSocket};
+use jc_smartsockets::{
+    hub::unwrap_message, ConnectionPlan, Overlay, VirtualAddress, VirtualSocket,
+};
 use std::collections::HashSet;
 use std::rc::Rc;
 
@@ -156,10 +158,7 @@ impl IbisInstance {
         to: &IbisIdentifier,
         port: &ReceivePortName,
     ) -> Result<SimDuration, ConnectError> {
-        let mut sp = std::mem::replace(
-            &mut self.send_ports[port_id.0],
-            SendPort::new(port_id),
-        );
+        let mut sp = std::mem::replace(&mut self.send_ports[port_id.0], SendPort::new(port_id));
         let result = self.attach(ctx, &mut sp, to, port);
         self.send_ports[port_id.0] = sp;
         result

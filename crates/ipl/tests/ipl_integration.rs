@@ -49,42 +49,39 @@ impl Actor for Peer {
             }
             Err(m) => m,
         };
-        match self.ipl.handle_msg(ctx, msg) {
-            Ok(events) => {
-                for ev in events {
-                    match ev {
-                        IplEvent::JoinAck { members } => {
-                            self.log.borrow_mut().push(format!("joined({})", members.len()));
-                            self.try_connect_and_send(ctx);
-                        }
-                        IplEvent::Joined(m) => {
-                            self.log.borrow_mut().push(format!("member+:{}", m.name));
-                            self.try_connect_and_send(ctx);
-                        }
-                        IplEvent::Left(m) => {
-                            self.log.borrow_mut().push(format!("member-:{}", m.name));
-                        }
-                        IplEvent::Died(m) => {
-                            self.log.borrow_mut().push(format!("died:{}", m.name));
-                        }
-                        IplEvent::Upcall { port, from, payload } => {
-                            self.log.borrow_mut().push(format!(
-                                "recv:{}:{}:{}",
-                                port,
-                                from.name,
-                                payload.wire_size()
-                            ));
-                        }
-                        IplEvent::Elected { name, winner } => {
-                            self.log.borrow_mut().push(format!("elected:{}:{}", name, winner.name));
-                        }
-                        IplEvent::Signal { from, content } => {
-                            self.log.borrow_mut().push(format!("signal:{}:{}", from.name, content));
-                        }
+        if let Ok(events) = self.ipl.handle_msg(ctx, msg) {
+            for ev in events {
+                match ev {
+                    IplEvent::JoinAck { members } => {
+                        self.log.borrow_mut().push(format!("joined({})", members.len()));
+                        self.try_connect_and_send(ctx);
+                    }
+                    IplEvent::Joined(m) => {
+                        self.log.borrow_mut().push(format!("member+:{}", m.name));
+                        self.try_connect_and_send(ctx);
+                    }
+                    IplEvent::Left(m) => {
+                        self.log.borrow_mut().push(format!("member-:{}", m.name));
+                    }
+                    IplEvent::Died(m) => {
+                        self.log.borrow_mut().push(format!("died:{}", m.name));
+                    }
+                    IplEvent::Upcall { port, from, payload } => {
+                        self.log.borrow_mut().push(format!(
+                            "recv:{}:{}:{}",
+                            port,
+                            from.name,
+                            payload.wire_size()
+                        ));
+                    }
+                    IplEvent::Elected { name, winner } => {
+                        self.log.borrow_mut().push(format!("elected:{}:{}", name, winner.name));
+                    }
+                    IplEvent::Signal { from, content } => {
+                        self.log.borrow_mut().push(format!("signal:{}:{}", from.name, content));
                     }
                 }
             }
-            Err(_) => {}
         }
     }
 
@@ -139,7 +136,12 @@ fn build_world() -> World {
         5,
     ));
     let reg = sim.add_actor(h_ams, Box::new(RegistryActor::new("amuse")));
-    World { sim, registry: RegistryHandle { actor: reg }, overlay, hosts: vec![h_ams, h_del, h_lei] }
+    World {
+        sim,
+        registry: RegistryHandle { actor: reg },
+        overlay,
+        hosts: vec![h_ams, h_del, h_lei],
+    }
 }
 
 fn peer(world: &World, name: &str, log: Log, send_to: Option<&str>) -> Peer {
@@ -183,10 +185,7 @@ fn firewalled_to_nat_uses_relay_and_delivers() {
     w.sim.add_actor(w.hosts[1], Box::new(sender));
     w.sim.run_to_quiescence(1_000_000);
     let entries = log.borrow();
-    assert!(
-        entries.iter().any(|e| e == "recv:in:sender:1024"),
-        "relofayed delivery: {entries:?}"
-    );
+    assert!(entries.iter().any(|e| e == "recv:in:sender:1024"), "relofayed delivery: {entries:?}");
 }
 
 #[test]

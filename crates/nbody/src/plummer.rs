@@ -77,8 +77,8 @@ pub fn virialize(set: &mut ParticleSet, eps2: f64) {
     let target = -0.5 * pe;
     let f = (target / ke).sqrt();
     for v in &mut set.vel {
-        for k in 0..3 {
-            v[k] *= f;
+        for x in v {
+            *x *= f;
         }
     }
 }
@@ -105,8 +105,8 @@ mod tests {
     fn plummer_is_centered() {
         let s = plummer_sphere(256, 3);
         let c = s.center_of_mass();
-        for k in 0..3 {
-            assert!(c[k].abs() < 1e-12);
+        for x in c {
+            assert!(x.abs() < 1e-12);
         }
     }
 

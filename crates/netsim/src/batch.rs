@@ -205,7 +205,13 @@ mod tests {
         let big = q.submit(4, None);
         let small = q.submit(1, None);
         q.advance(SimTime::ZERO);
-        assert_eq!(q.state(a), BatchJobState::Running { started: SimTime::ZERO, deadline: SimTime::ZERO + SimDuration::from_secs(900) });
+        assert_eq!(
+            q.state(a),
+            BatchJobState::Running {
+                started: SimTime::ZERO,
+                deadline: SimTime::ZERO + SimDuration::from_secs(900)
+            }
+        );
         // strict FIFO: small cannot jump over big
         assert_eq!(q.state(big), BatchJobState::Queued);
         assert_eq!(q.state(small), BatchJobState::Queued);

@@ -88,7 +88,13 @@ impl Inner {
 
     /// Compute delivery time and account traffic for a message of `bytes`
     /// from the host of `from` to the host of `to`.
-    fn transfer(&mut self, from_host: HostId, to_host: HostId, bytes: u64, class: TrafficClass) -> SimDuration {
+    fn transfer(
+        &mut self,
+        from_host: HostId,
+        to_host: HostId,
+        bytes: u64,
+        class: TrafficClass,
+    ) -> SimDuration {
         let now = self.clock;
         if from_host == to_host {
             let lat = self.topo.loopback_latency;
@@ -214,8 +220,7 @@ impl Sim {
     /// Schedule an initial message to an actor.
     pub fn post(&mut self, to: ActorId, payload: impl Any, after: SimDuration) {
         let time = self.inner.clock + after;
-        self.inner
-            .push_event(time, EventKind::Deliver { to, msg: Msg::new(None, payload) });
+        self.inner.push_event(time, EventKind::Deliver { to, msg: Msg::new(None, payload) });
     }
 
     /// Schedule a host crash at an absolute time.
@@ -312,7 +317,9 @@ impl Sim {
                 "{} -> {} [{}]",
                 self.inner.clock,
                 self.inner.actor_names[idx],
-                msg.from.map(|f| self.inner.actor_names[f.0 as usize].clone()).unwrap_or_else(|| "timer".into())
+                msg.from
+                    .map(|f| self.inner.actor_names[f.0 as usize].clone())
+                    .unwrap_or_else(|| "timer".into())
             );
             self.inner.trace.push(entry);
         }
@@ -404,7 +411,10 @@ impl<'a> Ctx<'a> {
             let me = self.self_id;
             self.inner.push_event(
                 t,
-                EventKind::Deliver { to: me, msg: Msg::new(None, EngineNotice::DeliveryFailed { to }) },
+                EventKind::Deliver {
+                    to: me,
+                    msg: Msg::new(None, EngineNotice::DeliveryFailed { to }),
+                },
             );
             self.inner.metrics.record_drop();
             return;
@@ -412,7 +422,10 @@ impl<'a> Ctx<'a> {
         let d = self.inner.transfer(from_host, to_host, bytes, class);
         let t = self.inner.clock + d;
         let from = Some(self.self_id);
-        self.inner.push_event(t, EventKind::Deliver { to, msg: Msg { from, payload: Box::new(payload) } });
+        self.inner.push_event(
+            t,
+            EventKind::Deliver { to, msg: Msg { from, payload: Box::new(payload) } },
+        );
     }
 
     /// Schedule a message to self after a delay (a timer).
@@ -426,7 +439,8 @@ impl<'a> Ctx<'a> {
     /// network transfer (engine-internal coordination; use sparingly).
     pub fn schedule_for(&mut self, to: ActorId, after: SimDuration, payload: impl Any) {
         let t = self.inner.clock + after;
-        self.inner.push_event(t, EventKind::Deliver { to, msg: Msg::new(Some(self.self_id), payload) });
+        self.inner
+            .push_event(t, EventKind::Deliver { to, msg: Msg::new(Some(self.self_id), payload) });
     }
 
     /// Model a kernel execution on this actor's host: returns the modeled
@@ -550,7 +564,8 @@ mod tests {
                 ctx.watch_host(self.target);
             }
             fn handle(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
-                if let Ok((_, EngineNotice::WatchedHostCrashed(_))) = msg.downcast::<EngineNotice>() {
+                if let Ok((_, EngineNotice::WatchedHostCrashed(_))) = msg.downcast::<EngineNotice>()
+                {
                     self.saw_crash = true;
                 }
             }

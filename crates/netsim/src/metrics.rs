@@ -81,11 +81,7 @@ impl Metrics {
 
     /// Total bytes over a link, all classes.
     pub fn link_bytes_total(&self, link: LinkId) -> u64 {
-        self.link_bytes
-            .iter()
-            .filter(|((l, _), _)| *l == link)
-            .map(|(_, b)| *b)
-            .sum()
+        self.link_bytes.iter().filter(|((l, _), _)| *l == link).map(|(_, b)| *b).sum()
     }
 
     /// Message count over a link for a class.
@@ -123,11 +119,7 @@ impl Metrics {
 
     /// Iterate (link, class, bytes) triples, deterministically sorted.
     pub fn link_traffic(&self) -> Vec<(LinkId, TrafficClass, u64)> {
-        let mut v: Vec<_> = self
-            .link_bytes
-            .iter()
-            .map(|(&(l, c), &b)| (l, c, b))
-            .collect();
+        let mut v: Vec<_> = self.link_bytes.iter().map(|(&(l, c), &b)| (l, c, b)).collect();
         v.sort_by_key(|&(l, c, _)| (l, c.label()));
         v
     }

@@ -71,7 +71,14 @@ pub struct HostSpec {
 impl HostSpec {
     /// Convenience constructor for an ordinary compute node.
     pub fn node(name: impl Into<String>, site: SiteId, cpu: CpuSpec) -> HostSpec {
-        HostSpec { name: name.into(), site, cpu, gpus: Vec::new(), memory_gib: 24, front_end: false }
+        HostSpec {
+            name: name.into(),
+            site,
+            cpu,
+            gpus: Vec::new(),
+            memory_gib: 24,
+            front_end: false,
+        }
     }
 
     /// Add a GPU.
@@ -224,10 +231,7 @@ impl Topology {
 
     /// Hosts of a site.
     pub fn hosts_of(&self, site: SiteId) -> Vec<HostId> {
-        self.hosts()
-            .filter(|(_, h)| h.site == site)
-            .map(|(id, _)| id)
-            .collect()
+        self.hosts().filter(|(_, h)| h.site == site).map(|(id, _)| id).collect()
     }
 
     /// The front-end host of a site, if one is designated.

@@ -23,23 +23,20 @@ fn arb_jungle() -> impl Strategy<Value = (Vec<FirewallPolicy>, Vec<(usize, usize
         // tree edges: parent of node i (i>=1) is in [0, i)
         let parents = proptest::collection::vec(0usize..usize::MAX, n - 1);
         (policies, parents, any::<u64>()).prop_map(move |(p, parents, seed)| {
-            let edges: Vec<(usize, usize)> = parents
-                .iter()
-                .enumerate()
-                .map(|(i, &raw)| (i + 1, raw % (i + 1)))
-                .collect();
+            let edges: Vec<(usize, usize)> =
+                parents.iter().enumerate().map(|(i, &raw)| (i + 1, raw % (i + 1))).collect();
             (p, edges, seed)
         })
     })
 }
 
-fn build(policies: &[FirewallPolicy], edges: &[(usize, usize)]) -> (Topology, Vec<jc_netsim::HostId>) {
+fn build(
+    policies: &[FirewallPolicy],
+    edges: &[(usize, usize)],
+) -> (Topology, Vec<jc_netsim::HostId>) {
     let mut t = Topology::new();
-    let sites: Vec<_> = policies
-        .iter()
-        .enumerate()
-        .map(|(i, &p)| t.add_site(format!("S{i}"), "", p))
-        .collect();
+    let sites: Vec<_> =
+        policies.iter().enumerate().map(|(i, &p)| t.add_site(format!("S{i}"), "", p)).collect();
     for &(a, b) in edges {
         t.add_link(sites[a], sites[b], SimDuration::from_millis(5), 1.0, "e");
     }

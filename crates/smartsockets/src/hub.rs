@@ -74,13 +74,17 @@ pub struct HubActor {
 }
 
 /// Shared observation point for hub membership (see [`HubActor::with_probe`]).
-pub type MembershipProbe =
-    std::rc::Rc<std::cell::RefCell<HashMap<ActorId, Vec<HubInfo>>>>;
+pub type MembershipProbe = std::rc::Rc<std::cell::RefCell<HashMap<ActorId, Vec<HubInfo>>>>;
 
 impl HubActor {
     /// Create a hub that bootstraps from `seeds` and gossips every
     /// `interval` for at most `max_rounds` rounds (0 = forever).
-    pub fn new(label: impl Into<String>, seeds: Vec<HubInfo>, interval: SimDuration, max_rounds: u64) -> HubActor {
+    pub fn new(
+        label: impl Into<String>,
+        seeds: Vec<HubInfo>,
+        interval: SimDuration,
+        max_rounds: u64,
+    ) -> HubActor {
         HubActor {
             me: None,
             known: Vec::new(),
@@ -187,7 +191,12 @@ impl Actor for HubActor {
                     let peer = peers[idx];
                     // gossip message size: ~32 bytes per entry
                     let bytes = 32 * self.known.len() as u64 + 16;
-                    ctx.send_net(peer.actor, bytes, TrafficClass::Control, HubMsg::Gossip(self.known.clone()));
+                    ctx.send_net(
+                        peer.actor,
+                        bytes,
+                        TrafficClass::Control,
+                        HubMsg::Gossip(self.known.clone()),
+                    );
                 }
                 if self.max_rounds == 0 || self.rounds < self.max_rounds {
                     ctx.schedule_self(self.interval, HubMsg::GossipTick);
@@ -231,7 +240,9 @@ mod tests {
             if let Some(p) = prev {
                 t.add_link(p, s, SimDuration::from_millis(2), 1.0, "l");
             }
-            hosts.push(t.add_host(HostSpec::node(format!("h{i}"), s, CpuSpec::generic()).as_front_end()));
+            hosts.push(
+                t.add_host(HostSpec::node(format!("h{i}"), s, CpuSpec::generic()).as_front_end()),
+            );
             prev = Some(s);
         }
         (t, hosts)
@@ -256,8 +267,13 @@ mod tests {
             sim.add_actor(
                 h,
                 Box::new(
-                    HubActor::new(format!("hub{i}"), vec![seed_info], SimDuration::from_millis(50), 40)
-                        .with_probe(probe.clone()),
+                    HubActor::new(
+                        format!("hub{i}"),
+                        vec![seed_info],
+                        SimDuration::from_millis(50),
+                        40,
+                    )
+                    .with_probe(probe.clone()),
                 ),
             );
         }

@@ -23,11 +23,7 @@ impl NeighborGrid {
     }
 
     fn key(p: &[f64; 3], cell: f64) -> (i32, i32, i32) {
-        (
-            (p[0] / cell).floor() as i32,
-            (p[1] / cell).floor() as i32,
-            (p[2] / cell).floor() as i32,
-        )
+        ((p[0] / cell).floor() as i32, (p[1] / cell).floor() as i32, (p[2] / cell).floor() as i32)
     }
 
     /// Indices of particles within `radius` of `center` (inclusive of the
@@ -87,10 +83,8 @@ pub fn compute_density(gas: &mut GasParticles) -> u64 {
     let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2) + (hi[2] - lo[2]).powi(2))
         .sqrt()
         .max(1e-6);
-    let h_mean = (vol / n as f64 * N_NEIGHBORS as f64)
-        .cbrt()
-        .max(diag / (n as f64).cbrt())
-        .max(1e-6);
+    let h_mean =
+        (vol / n as f64 * N_NEIGHBORS as f64).cbrt().max(diag / (n as f64).cbrt()).max(1e-6);
     for h in &mut gas.h {
         if *h <= 0.0 || !h.is_finite() {
             *h = h_mean;
@@ -172,7 +166,7 @@ mod tests {
         }
         compute_density(&mut gas);
         let expected = 1.0 / (spacing * spacing * spacing); // mass density
-        // check an interior particle (index of center-ish particle)
+                                                            // check an interior particle (index of center-ish particle)
         let mid = (n_side / 2 * n_side * n_side + n_side / 2 * n_side + n_side / 2) as usize;
         let rel = (gas.rho[mid] - expected).abs() / expected;
         assert!(rel < 0.15, "rho = {} vs {expected}", gas.rho[mid]);
@@ -205,12 +199,7 @@ mod tests {
 
     #[test]
     fn grid_within_finds_all_in_radius() {
-        let pos = vec![
-            [0.0, 0.0, 0.0],
-            [0.05, 0.0, 0.0],
-            [0.2, 0.0, 0.0],
-            [1.0, 1.0, 1.0],
-        ];
+        let pos = vec![[0.0, 0.0, 0.0], [0.05, 0.0, 0.0], [0.2, 0.0, 0.0], [1.0, 1.0, 1.0]];
         let grid = NeighborGrid::build(&pos, 0.1);
         let mut got = grid.within(&pos, &[0.0, 0.0, 0.0], 0.1);
         got.sort();

@@ -52,11 +52,7 @@ pub fn hydro_rates(gas: &GasParticles) -> HydroRates {
                 if j == i {
                     continue;
                 }
-                let dx = [
-                    pos[i][0] - pos[j][0],
-                    pos[i][1] - pos[j][1],
-                    pos[i][2] - pos[j][2],
-                ];
+                let dx = [pos[i][0] - pos[j][0], pos[i][1] - pos[j][1], pos[i][2] - pos[j][2]];
                 let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
                 let h_ij = 0.5 * (gas.h[i] + gas.h[j]);
                 if r2 >= h_ij * h_ij || r2 == 0.0 {

@@ -260,10 +260,7 @@ mod tests {
     }
 
     fn mean_radius(gas: &GasParticles) -> f64 {
-        gas.pos
-            .iter()
-            .map(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt())
-            .sum::<f64>()
+        gas.pos.iter().map(|p| (p[0] * p[0] + p[1] * p[1] + p[2] * p[2]).sqrt()).sum::<f64>()
             / gas.len() as f64
     }
 }

@@ -50,9 +50,7 @@ impl Decomposition {
         let n = gas.len();
         let mut order: Vec<u32> = (0..n as u32).collect();
         order.sort_by(|&a, &b| {
-            gas.pos[a as usize][0]
-                .partial_cmp(&gas.pos[b as usize][0])
-                .expect("NaN position")
+            gas.pos[a as usize][0].partial_cmp(&gas.pos[b as usize][0]).expect("NaN position")
         });
         let mut owned = vec![Vec::new(); n_ranks as usize];
         let mut cuts = Vec::with_capacity(n_ranks as usize + 1);
@@ -61,11 +59,8 @@ impl Decomposition {
             let r = (k * n_ranks as usize / n.max(1)).min(n_ranks as usize - 1);
             owned[r].push(i);
         }
-        for r in 1..n_ranks as usize {
-            let x = owned[r]
-                .first()
-                .map(|&i| gas.pos[i as usize][0])
-                .unwrap_or(f64::INFINITY);
+        for rank in owned.iter().take(n_ranks as usize).skip(1) {
+            let x = rank.first().map(|&i| gas.pos[i as usize][0]).unwrap_or(f64::INFINITY);
             cuts.push(x);
         }
         cuts.push(f64::INFINITY);
@@ -153,7 +148,7 @@ mod tests {
         for r in 0..4usize {
             for &i in &d.owned[r] {
                 let x = gas.pos[i as usize][0];
-                assert!(x >= d.cuts[r] && x < d.cuts[r + 1] || r == 3 && x >= d.cuts[r]);
+                assert!(x >= d.cuts[r] && (x < d.cuts[r + 1] || r == 3));
             }
         }
     }

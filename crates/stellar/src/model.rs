@@ -74,7 +74,15 @@ impl SseModel {
             })
             .collect();
         let n = initial_masses.len();
-        SseModel { table, z, initial_masses, states, time_myr: 0.0, exploded: vec![false; n], lookups: 0 }
+        SseModel {
+            table,
+            z,
+            initial_masses,
+            states,
+            time_myr: 0.0,
+            exploded: vec![false; n],
+            lookups: 0,
+        }
     }
 
     /// Number of stars.
@@ -207,10 +215,7 @@ mod tests {
         let tms = fits::t_ms_myr(5.0, 0.02);
         m.evolve_to(tms * 1.001);
         let ev = m.evolve_to(tms * 1.05);
-        assert!(
-            ev.iter().any(|e| matches!(e, StellarEvent::WindMassLoss { .. })),
-            "{ev:?}"
-        );
+        assert!(ev.iter().any(|e| matches!(e, StellarEvent::WindMassLoss { .. })), "{ev:?}");
     }
 
     #[test]

@@ -11,8 +11,8 @@ use crate::fits::{self, TrackPoint};
 /// A precomputed evolution table for one metallicity.
 pub struct EvolutionTable {
     z: f64,
-    masses: Vec<f64>,        // grid of initial masses (MSun), log-spaced
-    age_fracs: Vec<f64>,     // grid of age / t_total in [0, 1.1]
+    masses: Vec<f64>,    // grid of initial masses (MSun), log-spaced
+    age_fracs: Vec<f64>, // grid of age / t_total in [0, 1.1]
     // rows: mass-major [mass][age_frac]
     lum: Vec<f64>,
     rad: Vec<f64>,

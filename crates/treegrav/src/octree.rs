@@ -114,8 +114,8 @@ impl Octree {
             let p = pos[pi as usize];
             let n = &mut self.nodes[node];
             n.merged_mass += m;
-            for k in 0..3 {
-                n.merged_mw[k] += m * p[k];
+            for (w, pk) in n.merged_mw.iter_mut().zip(&p) {
+                *w += m * pk;
             }
             return;
         }
@@ -174,16 +174,16 @@ impl Octree {
                 self.compute_moments(c as usize, pos, mass);
                 let ch = &self.nodes[c as usize];
                 m += ch.mass;
-                for k in 0..3 {
-                    com[k] += ch.mass * ch.com[k];
+                for (acc, x) in com.iter_mut().zip(&ch.com) {
+                    *acc += ch.mass * x;
                 }
             }
         }
         let n = &mut self.nodes[node];
         n.mass = m;
         if m > 0.0 {
-            for k in 0..3 {
-                com[k] /= m;
+            for c in &mut com {
+                *c /= m;
             }
             n.com = com;
         } else {

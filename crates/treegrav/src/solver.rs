@@ -6,8 +6,10 @@ use rayon::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A tree-gravity solver: builds an octree over the sources, then walks it
-/// for each target with the Barnes–Hut multipole acceptance criterion
-/// `cell_size / distance < theta`.
+/// for each target with the offset-aware (Salmon–Warren) multipole
+/// acceptance criterion: a cell of size `s` whose center of mass sits a
+/// distance `delta` from its geometric center is accepted when
+/// `distance > s / theta + delta`.
 pub struct TreeGravity {
     /// Opening angle.
     pub theta: f64,
@@ -74,7 +76,21 @@ impl TreeGravity {
             let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
             let size = 2.0 * node.half_width;
             let is_leaf = node.particle != u32::MAX || node.children.iter().all(|&c| c == 0);
-            if is_leaf || size * size < self.theta * self.theta * r2 {
+            // Offset-aware acceptance criterion (Salmon & Warren): the
+            // plain `size/d < theta` test mis-weights cells whose center
+            // of mass sits far from the geometric center; requiring
+            // `d > size/theta + |com - center|` bounds the worst-case
+            // monopole error instead of only the typical one.
+            let delta2 = {
+                let ox = [
+                    node.com[0] - node.center[0],
+                    node.com[1] - node.center[1],
+                    node.com[2] - node.center[2],
+                ];
+                ox[0] * ox[0] + ox[1] * ox[1] + ox[2] * ox[2]
+            };
+            let open_dist = size / self.theta + delta2.sqrt();
+            if is_leaf || r2 > open_dist * open_dist {
                 if r2 == 0.0 && self.eps2 == 0.0 {
                     continue; // the target sits exactly on the node com
                 }
@@ -149,7 +165,12 @@ mod tests {
         (pos, mass)
     }
 
-    fn direct(targets: &[[f64; 3]], s_pos: &[[f64; 3]], s_mass: &[f64], eps2: f64) -> Vec<[f64; 3]> {
+    fn direct(
+        targets: &[[f64; 3]],
+        s_pos: &[[f64; 3]],
+        s_mass: &[f64],
+        eps2: f64,
+    ) -> Vec<[f64; 3]> {
         targets
             .iter()
             .map(|t| {
@@ -214,10 +235,7 @@ mod tests {
         let _ = fi.solver.accelerations(&pos, &pos, &mass);
         let inter = fi.solver.last_interactions();
         let direct_pairs = 4000u64 * 4000;
-        assert!(
-            inter * 4 < direct_pairs,
-            "tree {inter} vs direct {direct_pairs} interactions"
-        );
+        assert!(inter * 4 < direct_pairs, "tree {inter} vs direct {direct_pairs} interactions");
     }
 
     #[test]

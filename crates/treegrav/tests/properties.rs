@@ -60,10 +60,12 @@ proptest! {
         prop_assert!((root.mass - mt).abs() < 1e-9 * mt);
         let mut com = [0.0; 3];
         for (p, m) in pos.iter().zip(&mass) {
-            for k in 0..3 { com[k] += m * p[k] / mt; }
+            for (acc, x) in com.iter_mut().zip(p) {
+                *acc += m * x / mt;
+            }
         }
-        for k in 0..3 {
-            prop_assert!((root.com[k] - com[k]).abs() < 1e-9, "com mismatch");
+        for (got, want) in root.com.iter().zip(&com) {
+            prop_assert!((got - want).abs() < 1e-9, "com mismatch");
         }
     }
 

@@ -73,6 +73,8 @@ impl Dim {
 
 impl Mul for Dim {
     type Output = Dim;
+    // Multiplying quantities adds their dimension exponents.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn mul(self, rhs: Dim) -> Dim {
         self + rhs
     }
@@ -82,8 +84,8 @@ impl Add for Dim {
     type Output = Dim;
     fn add(self, rhs: Dim) -> Dim {
         let mut exps = [0i8; NUM_BASE];
-        for i in 0..NUM_BASE {
-            exps[i] = self.exps[i] + rhs.exps[i];
+        for (e, (a, b)) in exps.iter_mut().zip(self.exps.iter().zip(&rhs.exps)) {
+            *e = a + b;
         }
         Dim { exps }
     }
@@ -100,8 +102,8 @@ impl Neg for Dim {
     type Output = Dim;
     fn neg(self) -> Dim {
         let mut exps = [0i8; NUM_BASE];
-        for i in 0..NUM_BASE {
-            exps[i] = -self.exps[i];
+        for (e, a) in exps.iter_mut().zip(&self.exps) {
+            *e = -a;
         }
         Dim { exps }
     }

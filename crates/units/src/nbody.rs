@@ -101,11 +101,8 @@ mod tests {
     use crate::si;
 
     fn converter() -> NBodyConverter {
-        NBodyConverter::new(
-            Quantity::new(1000.0, astro::MSUN),
-            Quantity::new(1.0, astro::PARSEC),
-        )
-        .unwrap()
+        NBodyConverter::new(Quantity::new(1000.0, astro::MSUN), Quantity::new(1.0, astro::PARSEC))
+            .unwrap()
     }
 
     #[test]

@@ -61,13 +61,23 @@ impl Unit {
     }
 
     /// Product of two units (symbol is lost; dimension and factor compose).
+    #[allow(clippy::should_implement_trait)] // const-friendly named method, like `uom`
     pub fn mul(self, rhs: Unit) -> Unit {
-        Unit { symbol: "<derived>", dim: self.dim + rhs.dim, si_factor: self.si_factor * rhs.si_factor }
+        Unit {
+            symbol: "<derived>",
+            dim: self.dim + rhs.dim,
+            si_factor: self.si_factor * rhs.si_factor,
+        }
     }
 
     /// Quotient of two units.
+    #[allow(clippy::should_implement_trait)] // const-friendly named method, like `uom`
     pub fn div(self, rhs: Unit) -> Unit {
-        Unit { symbol: "<derived>", dim: self.dim - rhs.dim, si_factor: self.si_factor / rhs.si_factor }
+        Unit {
+            symbol: "<derived>",
+            dim: self.dim - rhs.dim,
+            si_factor: self.si_factor / rhs.si_factor,
+        }
     }
 
     /// Integer power of a unit.

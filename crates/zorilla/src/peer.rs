@@ -250,7 +250,12 @@ impl Actor for PeerActor {
                             // we granted the job to ourselves
                             ctx.schedule_self(SimDuration::ZERO, PeerMsg::Grant { job: spec });
                         } else {
-                            ctx.send_net(from, 256, TrafficClass::Control, PeerMsg::Grant { job: spec });
+                            ctx.send_net(
+                                from,
+                                256,
+                                TrafficClass::Control,
+                                PeerMsg::Grant { job: spec },
+                            );
                         }
                     }
                 }
@@ -268,7 +273,12 @@ impl Actor for PeerActor {
                     // local shortcut
                     ctx.schedule_self(SimDuration::ZERO, PeerMsg::Done { job: job.id, by: me });
                 } else {
-                    ctx.send_net(origin, 128, TrafficClass::Control, PeerMsg::Done { job: job.id, by: me });
+                    ctx.send_net(
+                        origin,
+                        128,
+                        TrafficClass::Control,
+                        PeerMsg::Done { job: job.id, by: me },
+                    );
                 }
             }
             PeerMsg::Done { job, by } => {
@@ -307,8 +317,7 @@ mod tests {
         // one open site per peer, star topology around site 0
         let mut t = Topology::new();
         let hub_site = t.add_site("S0", "", FirewallPolicy::Open);
-        let mut hosts =
-            vec![t.add_host(HostSpec::node("h0", hub_site, CpuSpec::generic()))];
+        let mut hosts = vec![t.add_host(HostSpec::node("h0", hub_site, CpuSpec::generic()))];
         for i in 1..n {
             let s = t.add_site(format!("S{i}"), "", FirewallPolicy::Open);
             t.add_link(hub_site, s, SimDuration::from_millis(1), 1.0, "l");
@@ -317,7 +326,12 @@ mod tests {
         (Sim::new(t, SimConfig::default()), hosts)
     }
 
-    fn deploy_peers(sim: &mut Sim, hosts: &[HostId], slots: u32, probe: &PeerProbe) -> Vec<ActorId> {
+    fn deploy_peers(
+        sim: &mut Sim,
+        hosts: &[HostId],
+        slots: u32,
+        probe: &PeerProbe,
+    ) -> Vec<ActorId> {
         let mut peers = Vec::new();
         let first = sim.add_actor(
             hosts[0],
@@ -331,8 +345,14 @@ mod tests {
             let p = sim.add_actor(
                 h,
                 Box::new(
-                    PeerActor::new(format!("p{i}"), vec![first], slots, SimDuration::from_millis(20), 30)
-                        .with_probe(probe.clone()),
+                    PeerActor::new(
+                        format!("p{i}"),
+                        vec![first],
+                        slots,
+                        SimDuration::from_millis(20),
+                        30,
+                    )
+                    .with_probe(probe.clone()),
                 ),
             );
             peers.push(p);

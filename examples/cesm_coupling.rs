@@ -43,7 +43,10 @@ fn main() {
 
     // Layout exploration: partitioned vs shared over a node range.
     println!("\nnode-layout cost (one coupling interval, relative units):");
-    println!("  {:>6} {:>14} {:>14} {:>12} {:>12}", "nodes", "part makespan", "shared makespan", "part util", "shared util");
+    println!(
+        "  {:>6} {:>14} {:>14} {:>12} {:>12}",
+        "nodes", "part makespan", "shared makespan", "part util", "shared util"
+    );
     for nodes in [5u32, 8, 12, 16, 32] {
         let p = Layout::partitioned(nodes).cost();
         let sh = Layout::shared(nodes).cost();
@@ -56,5 +59,7 @@ fn main() {
             sh.utilization * 100.0
         );
     }
-    println!("\n(the sweep is the experimenting the paper wants to automate for a jungle-aware CESM)");
+    println!(
+        "\n(the sweep is the experimenting the paper wants to automate for a jungle-aware CESM)"
+    );
 }

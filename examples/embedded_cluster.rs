@@ -25,9 +25,8 @@ fn main() {
     let stars = cluster.stars.clone();
     let gas = cluster.gas.clone();
     let imf = cluster.star_masses_msun.clone();
-    let gravity = ThreadChannel::spawn("phigrape", move || {
-        GravityWorker::new(stars, Backend::CpuParallel)
-    });
+    let gravity =
+        ThreadChannel::spawn("phigrape", move || GravityWorker::new(stars, Backend::CpuParallel));
     let hydro = ThreadChannel::spawn("gadget", move || HydroWorker::new(gas));
     let coupling = ThreadChannel::spawn("fi", CouplingWorker::fi);
     let stellar = ThreadChannel::spawn("sse", move || StellarWorker::new(imf, 0.02));

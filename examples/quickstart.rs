@@ -6,7 +6,7 @@
 
 use jungle::amuse::channel::LocalChannel;
 use jungle::amuse::cluster::{bound_gas_fraction, half_mass_radius, EmbeddedCluster};
-use jungle::amuse::{Bridge, Channel};
+use jungle::amuse::Bridge;
 
 fn main() {
     // 1. Build an embedded star cluster: 64 stars (Salpeter IMF) inside a
@@ -35,7 +35,10 @@ fn main() {
     );
 
     // 3. Run a few iterations of the Fig 7 combined solver.
-    println!("\n{:>5} {:>9} {:>12} {:>12} {:>9} {:>6}", "iter", "t [Myr]", "bound gas", "r_h stars", "calls", "SNe");
+    println!(
+        "\n{:>5} {:>9} {:>12} {:>12} {:>9} {:>6}",
+        "iter", "t [Myr]", "bound gas", "r_h stars", "calls", "SNe"
+    );
     for i in 0..6 {
         let rep = bridge.iteration();
         let (stars, gas) = bridge.snapshots();

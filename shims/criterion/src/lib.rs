@@ -1,0 +1,222 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `Throughput`, `BatchSize`, `black_box`) with a simple
+//! median-of-samples timing loop instead of criterion's full
+//! statistical machinery. Good enough to keep the paper-figure benches
+//! runnable and honest about relative cost; not a precision harness.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How a batched iteration sizes its batches (accepted, ignored).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measurement.
+    PerIteration,
+}
+
+/// Declared throughput of one iteration, for rate reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes moved per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop driver handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    last_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, repeated over the sample budget.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        self.last_ns = best;
+    }
+
+    /// Time `routine` on fresh input from `setup` each sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut best = f64::INFINITY;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            best = best.min(t0.elapsed().as_secs_f64() * 1e9);
+        }
+        self.last_ns = best;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Cap measurement wall time (accepted, ignored by the shim).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declare per-iteration throughput for rate reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples, last_ns: 0.0 };
+        f(&mut b);
+        self.report(&id.id, b.last_ns);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.samples, last_ns: 0.0 };
+        f(&mut b, input);
+        self.report(&id.id, b.last_ns);
+        self
+    }
+
+    fn report(&self, id: &str, ns: f64) {
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) if ns > 0.0 => {
+                let gibps = bytes as f64 / (ns / 1e9) / (1u64 << 30) as f64;
+                println!("{}/{:<40} {:>12.1} ns  ({:.2} GiB/s)", self.name, id, ns, gibps);
+            }
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let meps = n as f64 / (ns / 1e9) / 1e6;
+                println!("{}/{:<40} {:>12.1} ns  ({:.2} Melem/s)", self.name, id, ns, meps);
+            }
+            _ => println!("{}/{:<40} {:>12.1} ns", self.name, id, ns),
+        }
+    }
+
+    /// Finish the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark harness state.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 10, throughput: None, _parent: self }
+    }
+
+    /// Run an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            name: "bench".to_string(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        };
+        g.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -51,10 +51,7 @@ fn firewalled_client_can_still_reach_nat_resource() {
         VirtualAddress::new(laptop, 1),
         VirtualAddress::new(lgm_node, 1),
     );
-    assert!(
-        plan.is_usable(),
-        "SmartSockets must find a path (reverse or relay): {plan:?}"
-    );
+    assert!(plan.is_usable(), "SmartSockets must find a path (reverse or relay): {plan:?}");
 }
 
 #[test]

@@ -66,6 +66,18 @@ pub struct IterationReport {
     pub trace: Vec<String>,
 }
 
+/// Reusable buffers for the p-kick phases, held across steps so a kick
+/// over in-process channels constructs no `Vec`s: snapshots land in
+/// reused [`ParticleData`]s, the coupling accelerations in reused output
+/// buffers that are then scaled to velocity kicks in place.
+#[derive(Default)]
+struct KickScratch {
+    stars: ParticleData,
+    gas: ParticleData,
+    dv_stars: Vec<[f64; 3]>,
+    dv_gas: Vec<[f64; 3]>,
+}
+
 /// The combined solver.
 pub struct Bridge {
     gravity: Box<dyn Channel>,
@@ -76,6 +88,7 @@ pub struct Bridge {
     time: f64,
     iterations: u64,
     total_supernovae: u32,
+    scratch: KickScratch,
 }
 
 impl Bridge {
@@ -97,6 +110,7 @@ impl Bridge {
             time: 0.0,
             iterations: 0,
             total_supernovae: 0,
+            scratch: KickScratch::default(),
         }
     }
 
@@ -186,39 +200,37 @@ impl Bridge {
     }
 
     /// One p-kick phase: mutual gravitational kicks between the star and
-    /// gas systems, computed by the coupling model.
+    /// gas systems, computed by the coupling model. All buffers come from
+    /// the bridge-held scratch, so over in-process channels the phase
+    /// allocates nothing once warm.
     fn kick(&mut self, half_dt: f64, rep: &mut IterationReport) {
         if self.cfg.trace && rep.trace.len() < 64 {
             rep.trace.push(format!("p-kick (dt/2 = {half_dt:.5})"));
         }
-        let (stars, gas) = self.snapshots();
+        assert!(self.gravity.snapshot_into(&mut self.scratch.stars), "gravity snapshot failed");
+        assert!(self.hydro.snapshot_into(&mut self.scratch.gas), "hydro snapshot failed");
+        let (stars, gas) = (&self.scratch.stars, &self.scratch.gas);
         if stars.mass.is_empty() || gas.mass.is_empty() {
             return;
         }
         // gas pulls on stars
-        let acc_stars = self.compute_kick(stars.pos.clone(), gas.pos.clone(), gas.mass.clone());
+        self.coupling
+            .compute_kick_into(&stars.pos, &gas.pos, &gas.mass, &mut self.scratch.dv_stars)
+            .expect("coupling kick failed");
         // stars pull on gas
-        let acc_gas = self.compute_kick(gas.pos.clone(), stars.pos.clone(), stars.mass.clone());
-        let dv_stars: Vec<[f64; 3]> =
-            acc_stars.iter().map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt]).collect();
-        let dv_gas: Vec<[f64; 3]> =
-            acc_gas.iter().map(|a| [a[0] * half_dt, a[1] * half_dt, a[2] * half_dt]).collect();
-        let r1 = self.gravity.call(Request::Kick(dv_stars));
-        let r2 = self.hydro.call(Request::Kick(dv_gas));
+        self.coupling
+            .compute_kick_into(&gas.pos, &stars.pos, &stars.mass, &mut self.scratch.dv_gas)
+            .expect("coupling kick failed");
+        // scale accelerations to velocity kicks in place
+        for a in self.scratch.dv_stars.iter_mut().chain(&mut self.scratch.dv_gas) {
+            for k in a {
+                *k *= half_dt;
+            }
+        }
+        let r1 = self.gravity.kick_slice(&self.scratch.dv_stars);
+        let r2 = self.hydro.kick_slice(&self.scratch.dv_gas);
         assert!(matches!(r1, Response::Ok { .. }), "star kick failed: {r1:?}");
         assert!(matches!(r2, Response::Ok { .. }), "gas kick failed: {r2:?}");
-    }
-
-    fn compute_kick(
-        &mut self,
-        targets: Vec<[f64; 3]>,
-        source_pos: Vec<[f64; 3]>,
-        source_mass: Vec<f64>,
-    ) -> Vec<[f64; 3]> {
-        match self.coupling.call(Request::ComputeKick { targets, source_pos, source_mass }) {
-            Response::Accelerations { acc, .. } => acc,
-            other => panic!("coupling kick failed: {other:?}"),
-        }
     }
 
     /// The slower stellar-evolution exchange.

@@ -12,7 +12,7 @@
 //! * The Ibis channel is `jc_core::IbisChannel`, routing these same
 //!   requests through the simulated jungle.
 
-use crate::worker::{ModelWorker, Request, Response};
+use crate::worker::{ModelWorker, ParticleData, Request, Response};
 use crossbeam::channel as xchan;
 
 /// Cumulative per-channel accounting (the coupler-side view of traffic).
@@ -29,6 +29,13 @@ pub struct ChannelStats {
 }
 
 /// An RPC channel to one worker.
+///
+/// The `*_into`/`*_slice` methods are borrowing fast paths used by the
+/// bridge's per-step hot loop. The defaults route through the ordinary
+/// RPC (a remote channel must move full copies over the wire anyway, and
+/// the accounting stays identical); [`LocalChannel`] overrides them to
+/// hand borrowed slices straight to the worker, so an in-process bridge
+/// step constructs no payload `Vec`s.
 pub trait Channel {
     /// Synchronous call.
     fn call(&mut self, req: Request) -> Response;
@@ -41,6 +48,47 @@ pub trait Channel {
     fn stats(&self) -> ChannelStats;
     /// Worker name.
     fn worker_name(&self) -> String;
+
+    /// Snapshot the worker's particles into `out` (reusing its buffers).
+    /// Counts as one [`Request::GetParticles`] call in the stats.
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        match self.call(Request::GetParticles) {
+            Response::Particles(p) => {
+                *out = p;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Apply velocity kicks from a borrowed slice. Counts as one
+    /// [`Request::Kick`] call in the stats.
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        self.call(Request::Kick(dv.to_vec()))
+    }
+
+    /// Compute coupling accelerations into `out` (cleared and refilled).
+    /// Counts as one [`Request::ComputeKick`] call in the stats. Returns
+    /// the modeled flops, or `None` on failure.
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        match self.call(Request::ComputeKick {
+            targets: targets.to_vec(),
+            source_pos: source_pos.to_vec(),
+            source_mass: source_mass.to_vec(),
+        }) {
+            Response::Accelerations { acc, flops } => {
+                *out = acc;
+                Some(flops)
+            }
+            _ => None,
+        }
+    }
 }
 
 fn account(stats: &mut ChannelStats, req_bytes: u64, resp: &Response) {
@@ -90,6 +138,66 @@ impl Channel for LocalChannel {
 
     fn worker_name(&self) -> String {
         self.worker.name()
+    }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        if self.worker.snapshot_into(out) {
+            // account exactly like the Request::GetParticles round trip
+            self.stats.calls += 1;
+            self.stats.bytes_out += Request::GetParticles.wire_size();
+            self.stats.bytes_in += out.wire_size() + 32;
+            true
+        } else {
+            match self.call(Request::GetParticles) {
+                Response::Particles(p) => {
+                    *out = p;
+                    true
+                }
+                _ => false,
+            }
+        }
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        match self.worker.kick_slice(dv) {
+            Some(flops) => {
+                let resp = Response::Ok { flops };
+                account(&mut self.stats, 24 * dv.len() as u64 + 32, &resp);
+                resp
+            }
+            None => self.call(Request::Kick(dv.to_vec())),
+        }
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        match self.worker.compute_kick_into(targets, source_pos, source_mass, out) {
+            Some(flops) => {
+                self.stats.calls += 1;
+                self.stats.bytes_out += 24 * (targets.len() + source_pos.len()) as u64
+                    + 8 * source_mass.len() as u64
+                    + 32;
+                self.stats.bytes_in += 24 * out.len() as u64 + 32;
+                self.stats.flops += flops;
+                Some(flops)
+            }
+            None => match self.call(Request::ComputeKick {
+                targets: targets.to_vec(),
+                source_pos: source_pos.to_vec(),
+                source_mass: source_mass.to_vec(),
+            }) {
+                Response::Accelerations { acc, flops } => {
+                    *out = acc;
+                    Some(flops)
+                }
+                _ => None,
+            },
+        }
     }
 }
 

@@ -21,6 +21,17 @@ impl ParticleData {
     pub fn wire_size(&self) -> u64 {
         (self.mass.len() * 7 * 8) as u64
     }
+
+    /// Overwrite with a copy of the given columns, reusing this
+    /// snapshot's buffers (no allocation once warm).
+    pub fn copy_from(&mut self, mass: &[f64], pos: &[[f64; 3]], vel: &[[f64; 3]]) {
+        self.mass.clear();
+        self.mass.extend_from_slice(mass);
+        self.pos.clear();
+        self.pos.extend_from_slice(pos);
+        self.vel.clear();
+        self.vel.extend_from_slice(vel);
+    }
 }
 
 /// An RPC request to a worker (the union over all model types; workers
@@ -148,11 +159,40 @@ impl Response {
 }
 
 /// A model worker: one kernel behind the RPC boundary.
+///
+/// The three `*_into`/`*_slice` methods are borrowing fast paths for
+/// in-process channels: same semantics as the corresponding [`Request`]s
+/// but without constructing request/response payload `Vec`s, so the
+/// bridge's per-step kick phases stay allocation-free. Workers that don't
+/// implement a fast path return `false`/`None` and the channel falls back
+/// to the RPC.
 pub trait ModelWorker {
     /// Execute one request.
     fn handle(&mut self, req: Request) -> Response;
     /// Worker name (shows up in monitoring and job tables).
     fn name(&self) -> String;
+    /// Write a particle snapshot into `out` ([`Request::GetParticles`]
+    /// fast path).
+    fn snapshot_into(&mut self, _out: &mut ParticleData) -> bool {
+        false
+    }
+    /// Apply velocity kicks from a borrowed slice ([`Request::Kick`] fast
+    /// path). Returns the modeled flops, or `None` if unsupported or the
+    /// length does not match (the RPC fallback then reports the error).
+    fn kick_slice(&mut self, _dv: &[[f64; 3]]) -> Option<f64> {
+        None
+    }
+    /// Compute coupling accelerations into `out`
+    /// ([`Request::ComputeKick`] fast path). Returns the modeled flops.
+    fn compute_kick_into(
+        &mut self,
+        _targets: &[[f64; 3]],
+        _source_pos: &[[f64; 3]],
+        _source_mass: &[f64],
+        _out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -219,6 +259,20 @@ impl ModelWorker for GravityWorker {
     fn name(&self) -> String {
         self.label.clone()
     }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        let p = &self.model.particles;
+        out.copy_from(&p.mass, &p.pos, &p.vel);
+        true
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Option<f64> {
+        if dv.len() != self.model.particles.len() {
+            return None;
+        }
+        self.model.kick(dv);
+        Some(dv.len() as f64 * 3.0)
+    }
 }
 
 /// The SPH gas-dynamics worker (Gadget).
@@ -273,6 +327,20 @@ impl ModelWorker for HydroWorker {
 
     fn name(&self) -> String {
         "gadget".into()
+    }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        let g = &self.model.gas;
+        out.copy_from(&g.mass, &g.pos, &g.vel);
+        true
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Option<f64> {
+        if dv.len() != self.model.gas.len() {
+            return None;
+        }
+        self.model.kick(dv);
+        Some(dv.len() as f64 * 3.0)
     }
 }
 
@@ -349,6 +417,20 @@ impl ModelWorker for CouplingWorker {
 
     fn name(&self) -> String {
         self.label.clone()
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        if source_pos.len() != source_mass.len() {
+            return None;
+        }
+        self.solver.accelerations_into(targets, source_pos, source_mass, out);
+        Some(self.solver.last_flops())
     }
 }
 

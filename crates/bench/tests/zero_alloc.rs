@@ -1,0 +1,100 @@
+//! Steady-state zero-allocation proof for every kernel hot path.
+//!
+//! A counting global allocator tracks allocations made by the *current
+//! thread* (worker threads are irrelevant here: the kernels are pinned to
+//! their strictly sequential mode, `max_threads = 1` / `Backend::Scalar`,
+//! which is exactly the mode whose steady state must be allocation-free;
+//! the parallel modes additionally pay thread-spawn bookkeeping by
+//! design). Each kernel is warmed until its scratch buffers reach their
+//! high-water mark, then the measured steady-state call must perform
+//! zero heap allocations.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+struct CountingAlloc;
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Allocations made by `f` on this thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    let before = ALLOCS.with(|c| c.get());
+    f();
+    ALLOCS.with(|c| c.get()) - before
+}
+
+#[test]
+fn sph_density_and_forces_steady_state_allocates_nothing() {
+    let mut gas = jc_sph::particles::plummer_gas(800, 1.0, 5);
+    let mut scratch = jc_sph::SphScratch::new();
+    scratch.max_threads = 1;
+    let mut rates = jc_sph::HydroRates::new();
+    // warm: adapt h to its fixed point and grow every buffer to its
+    // high-water mark
+    for _ in 0..3 {
+        jc_sph::density::compute_density_with(&mut gas, &mut scratch);
+        jc_sph::forces::hydro_rates_into(&gas, &mut scratch, &mut rates);
+    }
+    let n = count_allocs(|| {
+        jc_sph::density::compute_density_with(&mut gas, &mut scratch);
+        jc_sph::forces::hydro_rates_into(&gas, &mut scratch, &mut rates);
+    });
+    assert_eq!(n, 0, "SPH density+forces steady state made {n} heap allocations");
+    assert!(rates.interactions > 0, "sanity: work actually happened");
+}
+
+#[test]
+fn hermite_step_steady_state_allocates_nothing() {
+    let ics = jc_nbody::plummer::plummer_sphere(128, 3);
+    let mut g = jc_nbody::PhiGrape::new(ics, jc_nbody::Backend::Scalar).with_softening(0.01);
+    g.evolve_model(0.02); // warm: forces valid, scratch sized
+    let evals0 = g.force_evals;
+    let n = count_allocs(|| {
+        g.evolve_model(0.03);
+    });
+    assert_eq!(n, 0, "Hermite steps made {n} heap allocations");
+    assert!(g.force_evals > evals0, "sanity: steps actually ran");
+}
+
+#[test]
+fn tree_build_and_walk_steady_state_allocates_nothing() {
+    let mut x = 11u64;
+    let mut rnd = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let pos: Vec<[f64; 3]> = (0..2000).map(|_| [rnd(), rnd(), rnd()]).collect();
+    let mass = vec![1.0 / 2000.0; 2000];
+    let mut solver = jc_treegrav::TreeGravity::new(0.5, 0.01);
+    solver.max_threads = 1;
+    let mut acc = Vec::new();
+    // warm: arena, stacks and output grow to their high-water mark
+    solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    let n = count_allocs(|| {
+        solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    });
+    assert_eq!(n, 0, "octree rebuild + walk made {n} heap allocations");
+    assert!(solver.last_interactions() > 0, "sanity: the walk actually ran");
+}

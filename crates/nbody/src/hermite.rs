@@ -1,7 +1,31 @@
 //! The 4th-order Hermite predictor–corrector integrator (PhiGRAPE).
 
-use crate::kernels::{acc_jerk, eval_flops, Backend};
+use crate::kernels::{acc_jerk_into, eval_flops, Backend};
 use crate::particle::ParticleSet;
+
+/// Reusable per-integrator step buffers: saved state for the
+/// predictor–corrector plus the force/jerk output slices. Held across
+/// steps so the steady-state Hermite step performs no heap allocation
+/// (with [`Backend::Scalar`]; the parallel backends allocate only
+/// thread-spawn bookkeeping).
+#[derive(Default)]
+struct HermiteScratch {
+    pos0: Vec<[f64; 3]>,
+    vel0: Vec<[f64; 3]>,
+    acc0: Vec<[f64; 3]>,
+    jerk0: Vec<[f64; 3]>,
+}
+
+impl HermiteScratch {
+    /// Validate/resize every buffer for `n` particles — called once per
+    /// step (not per force evaluation).
+    fn ensure(&mut self, n: usize) {
+        self.pos0.resize(n, [0.0; 3]);
+        self.vel0.resize(n, [0.0; 3]);
+        self.acc0.resize(n, [0.0; 3]);
+        self.jerk0.resize(n, [0.0; 3]);
+    }
+}
 
 /// The PhiGRAPE-equivalent gravitational dynamics model.
 ///
@@ -20,6 +44,7 @@ pub struct PhiGrape {
     time: f64,
     acc: Vec<[f64; 3]>,
     jerk: Vec<[f64; 3]>,
+    scratch: HermiteScratch,
     forces_valid: bool,
     /// Count of force evaluations (each is one N² pass), for the
     /// performance model.
@@ -39,6 +64,7 @@ impl PhiGrape {
             time: 0.0,
             acc: Vec::new(),
             jerk: Vec::new(),
+            scratch: HermiteScratch::default(),
             forces_valid: false,
             force_evals: 0,
             flops: 0.0,
@@ -65,7 +91,9 @@ impl PhiGrape {
 
     fn refresh_forces(&mut self) {
         let n = self.particles.len();
-        let (a, j) = acc_jerk(
+        self.acc.resize(n, [0.0; 3]);
+        self.jerk.resize(n, [0.0; 3]);
+        acc_jerk_into(
             self.backend,
             &self.particles.pos,
             &self.particles.vel,
@@ -74,9 +102,9 @@ impl PhiGrape {
             &self.particles.vel,
             self.eps2,
             true,
+            &mut self.acc,
+            &mut self.jerk,
         );
-        self.acc = a;
-        self.jerk = j;
         self.force_evals += 1;
         self.flops += eval_flops(n, n);
         self.forces_valid = true;
@@ -96,14 +124,23 @@ impl PhiGrape {
     }
 
     /// One Hermite step of size `dt`. Invalidates nothing; forces at the
-    /// new time are kept for the next step.
+    /// new time are kept for the next step. State is staged in the
+    /// reusable scratch (lengths validated once here, not per force
+    /// call), so the steady-state step allocates nothing.
     fn step(&mut self, dt: f64) {
         let n = self.particles.len();
-        let (pos0, vel0) = (self.particles.pos.clone(), self.particles.vel.clone());
-        let (acc0, jerk0) = (self.acc.clone(), self.jerk.clone());
+        self.scratch.ensure(n);
+        self.scratch.pos0.copy_from_slice(&self.particles.pos);
+        self.scratch.vel0.copy_from_slice(&self.particles.vel);
+        // the current forces become the step's t0 forces; refresh_forces
+        // then overwrites acc/jerk in place at the predicted state
+        std::mem::swap(&mut self.scratch.acc0, &mut self.acc);
+        std::mem::swap(&mut self.scratch.jerk0, &mut self.jerk);
 
         // predictor
         for i in 0..n {
+            let (pos0, vel0) = (&self.scratch.pos0, &self.scratch.vel0);
+            let (acc0, jerk0) = (&self.scratch.acc0, &self.scratch.jerk0);
             for k in 0..3 {
                 self.particles.pos[i][k] = pos0[i][k]
                     + vel0[i][k] * dt
@@ -117,6 +154,8 @@ impl PhiGrape {
         self.refresh_forces();
         // corrector (Hermite 4th order, Makino form)
         for i in 0..n {
+            let (pos0, vel0) = (&self.scratch.pos0, &self.scratch.vel0);
+            let (acc0, jerk0) = (&self.scratch.acc0, &self.scratch.jerk0);
             for k in 0..3 {
                 let (a0, a1) = (acc0[i][k], self.acc[i][k]);
                 let (j0, j1) = (jerk0[i][k], self.jerk[i][k]);

@@ -1,7 +1,5 @@
 //! Force/jerk computation backends (the "multi-kernel" in multi-kernel).
 
-use rayon::prelude::*;
-
 /// Floating-point operations per pairwise force+jerk interaction, used by
 /// the jungle performance model (counted from the inner loop below:
 /// ~60 flops including the rsqrt).
@@ -23,8 +21,8 @@ pub enum Backend {
 /// (which may be the same set; self-interaction is skipped by index when
 /// `same_set` is true).
 ///
-/// Returns `(acc, jerk)`. Deterministic across backends: the accumulation
-/// over sources is sequential within each target.
+/// Returns `(acc, jerk)`. Allocating convenience wrapper over
+/// [`acc_jerk_into`]; hot callers hold the output buffers across steps.
 #[allow(clippy::too_many_arguments)]
 pub fn acc_jerk(
     backend: Backend,
@@ -36,11 +34,47 @@ pub fn acc_jerk(
     eps2: f64,
     same_set: bool,
 ) -> (Vec<[f64; 3]>, Vec<[f64; 3]>) {
-    let one = |i: usize| -> ([f64; 3], [f64; 3]) {
+    let n = t_pos.len();
+    let mut acc = vec![[0.0; 3]; n];
+    let mut jerk = vec![[0.0; 3]; n];
+    acc_jerk_into(backend, t_pos, t_vel, s_mass, s_pos, s_vel, eps2, same_set, &mut acc, &mut jerk);
+    (acc, jerk)
+}
+
+/// Minimum targets per worker thread before the parallel backends fan
+/// out to scoped threads.
+const PAR_GRAIN: usize = 64;
+
+/// [`acc_jerk`] writing into caller-provided slices (`acc.len() ==
+/// jerk.len() == t_pos.len()`, validated once per call) — the
+/// zero-allocation steady-state path for [`Backend::Scalar`]. The
+/// parallel backends write each target's row in place from scoped worker
+/// threads and allocate only thread-spawn bookkeeping.
+///
+/// Deterministic across backends: the accumulation over sources is
+/// sequential within each target, so all three backends produce bitwise
+/// identical results (property-tested).
+#[allow(clippy::too_many_arguments)]
+pub fn acc_jerk_into(
+    backend: Backend,
+    t_pos: &[[f64; 3]],
+    t_vel: &[[f64; 3]],
+    s_mass: &[f64],
+    s_pos: &[[f64; 3]],
+    s_vel: &[[f64; 3]],
+    eps2: f64,
+    same_set: bool,
+    acc: &mut [[f64; 3]],
+    jerk: &mut [[f64; 3]],
+) {
+    let n = t_pos.len();
+    assert_eq!(acc.len(), n, "acc buffer length mismatch");
+    assert_eq!(jerk.len(), n, "jerk buffer length mismatch");
+    let one = |i: usize, a: &mut [f64; 3], j: &mut [f64; 3]| {
         let pi = t_pos[i];
         let vi = t_vel[i];
-        let mut a = [0.0f64; 3];
-        let mut j = [0.0f64; 3];
+        *a = [0.0f64; 3];
+        *j = [0.0f64; 3];
         for (jj, (&mj, (pj, vj))) in s_mass.iter().zip(s_pos.iter().zip(s_vel)).enumerate() {
             if same_set && jj == i {
                 continue;
@@ -57,33 +91,51 @@ pub fn acc_jerk(
                 j[k] += mj * (dv[k] - alpha * dx[k]) * inv_r3;
             }
         }
-        (a, j)
     };
 
-    let n = t_pos.len();
     match backend {
         Backend::Scalar => {
-            let mut acc = Vec::with_capacity(n);
-            let mut jerk = Vec::with_capacity(n);
-            for i in 0..n {
-                let (a, j) = one(i);
-                acc.push(a);
-                jerk.push(j);
+            for (i, (a, j)) in acc.iter_mut().zip(jerk.iter_mut()).enumerate() {
+                one(i, a, j);
             }
-            (acc, jerk)
         }
         Backend::CpuParallel | Backend::GpuModel => {
-            let pairs: Vec<([f64; 3], [f64; 3])> = (0..n).into_par_iter().map(one).collect();
-            let mut acc = Vec::with_capacity(n);
-            let mut jerk = Vec::with_capacity(n);
-            for (a, j) in pairs {
-                acc.push(a);
-                jerk.push(j);
+            let workers = std::thread::available_parallelism()
+                .map(|c| c.get())
+                .unwrap_or(1)
+                .min(n.div_ceil(PAR_GRAIN))
+                .max(1);
+            if workers <= 1 {
+                for (i, (a, j)) in acc.iter_mut().zip(jerk.iter_mut()).enumerate() {
+                    one(i, a, j);
+                }
+                return;
             }
-            (acc, jerk)
+            let chunk = n.div_ceil(workers);
+            std::thread::scope(|s| {
+                let mut acc_rest = acc;
+                let mut jerk_rest = jerk;
+                let mut start = 0usize;
+                while !acc_rest.is_empty() {
+                    let take = chunk.min(acc_rest.len());
+                    let (ac, ar) = acc_rest.split_at_mut(take);
+                    acc_rest = ar;
+                    let (jc, jr) = jerk_rest.split_at_mut(take);
+                    jerk_rest = jr;
+                    let s0 = start;
+                    start += take;
+                    s.spawn(move || {
+                        for (k, (a, j)) in ac.iter_mut().zip(jc.iter_mut()).enumerate() {
+                            one(s0 + k, a, j);
+                        }
+                    });
+                }
+            });
         }
     }
 }
+
+use rayon::prelude::*;
 
 /// Gravitational potential of each target due to the sources (for energy
 /// diagnostics). G = 1.

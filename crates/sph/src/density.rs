@@ -1,77 +1,230 @@
-//! Neighbour search (cell grid) and adaptive density estimation.
+//! Adaptive density estimation over the CSR neighbour grid.
+//!
+//! The hot path is allocation-free in steady state: the grid, the
+//! per-thread candidate buffers and the cached per-particle neighbour
+//! lists all live in a [`SphScratch`] owned by the caller and are reused
+//! across steps. Results are bitwise-identical to the pre-refactor
+//! HashMap-grid pass (`crate::legacy`): same cell decomposition, same
+//! candidate visit order, same accumulation order.
 
+use crate::grid::CsrGrid;
 use crate::kernel::w;
 use crate::particles::GasParticles;
-use rayon::prelude::*;
-use std::collections::HashMap;
-
-/// A uniform cell grid for fixed-radius neighbour queries.
-pub struct NeighborGrid {
-    cell: f64,
-    map: HashMap<(i32, i32, i32), Vec<u32>>,
-}
-
-impl NeighborGrid {
-    /// Build over positions with the given cell size.
-    pub fn build(pos: &[[f64; 3]], cell: f64) -> NeighborGrid {
-        assert!(cell > 0.0);
-        let mut map: HashMap<(i32, i32, i32), Vec<u32>> = HashMap::new();
-        for (i, p) in pos.iter().enumerate() {
-            map.entry(Self::key(p, cell)).or_default().push(i as u32);
-        }
-        NeighborGrid { cell, map }
-    }
-
-    fn key(p: &[f64; 3], cell: f64) -> (i32, i32, i32) {
-        ((p[0] / cell).floor() as i32, (p[1] / cell).floor() as i32, (p[2] / cell).floor() as i32)
-    }
-
-    /// Indices of particles within `radius` of `center` (inclusive of the
-    /// querying particle if it lies in range).
-    pub fn within(&self, pos: &[[f64; 3]], center: &[f64; 3], radius: f64) -> Vec<u32> {
-        let r = (radius / self.cell).ceil() as i32;
-        let (cx, cy, cz) = Self::key(center, self.cell);
-        let r2 = radius * radius;
-        let mut out = Vec::new();
-        for dx in -r..=r {
-            for dy in -r..=r {
-                for dz in -r..=r {
-                    if let Some(bucket) = self.map.get(&(cx + dx, cy + dy, cz + dz)) {
-                        for &i in bucket {
-                            let p = &pos[i as usize];
-                            let d = [p[0] - center[0], p[1] - center[1], p[2] - center[2]];
-                            if d[0] * d[0] + d[1] * d[1] + d[2] * d[2] <= r2 {
-                                out.push(i);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        out
-    }
-}
 
 /// Desired neighbour count (Gadget's `DesNumNgb` is 64 in 3D by default;
 /// we use 32 because our test problems are small).
 pub const N_NEIGHBORS: usize = 32;
 
 /// Maximum h-adaptation iterations per density pass.
-const H_ITERS: usize = 4;
+pub(crate) const H_ITERS: usize = 4;
 
-/// Compute densities with adaptive smoothing lengths. Each particle's `h`
-/// is adapted so roughly [`N_NEIGHBORS`] particles fall inside it.
-/// Returns the total number of neighbour interactions (for the cost
-/// model).
-pub fn compute_density(gas: &mut GasParticles) -> u64 {
-    let n = gas.len();
-    if n == 0 {
-        return 0;
+/// Minimum particles per worker thread before fanning out.
+const PAR_GRAIN: usize = 64;
+
+/// Candidate buffer entry: (particle index, squared distance).
+type Candidate = (u32, f64);
+
+/// Reusable scratch for the SPH kernels: the CSR grid, per-thread
+/// candidate buffers, and the cached per-particle neighbour lists that
+/// [`crate::forces::hydro_rates_into`] consumes.
+///
+/// Ownership contract: the caller owns the scratch and keeps it across
+/// steps; [`compute_density_with`] (re)builds the grid each call and
+/// marks the neighbour cache stale; `hydro_rates_into` refreshes the
+/// cache lazily from that grid, validating once per call that the grid
+/// was built for the current particle count.
+pub struct SphScratch {
+    /// Worker-thread cap: 0 = auto (one per core, subject to a minimum
+    /// grain), 1 = strictly sequential. The sequential path performs zero
+    /// heap allocations in steady state; parallel runs allocate only
+    /// thread-spawn bookkeeping.
+    pub max_threads: usize,
+    pub(crate) grid: CsrGrid,
+    /// Cached-neighbour CSR offsets (`n + 1` entries) and indices. List
+    /// `i` holds every particle within `(h[i] + max(h))/2` of particle
+    /// `i`, which covers every symmetrized pair support `h_ij`.
+    nbr_off: Vec<u32>,
+    nbr_idx: Vec<u32>,
+    /// One candidate buffer per worker thread.
+    bufs: Vec<Vec<Candidate>>,
+    /// Per-worker staging areas for the cache fill (one grid query per
+    /// particle: ids staged here, then memcpy'd into `nbr_idx`).
+    stage: Vec<Vec<u32>>,
+    /// Scratch copy of `h` for the median cell-size estimate.
+    h_tmp: Vec<f64>,
+    /// Per-particle legacy-grid sort keys: the adaptation runs on a finer
+    /// grid than the legacy pass, so the final density sum re-sorts its
+    /// candidates into the legacy visit order (coarse cell, then index)
+    /// to stay bitwise-reproducible.
+    sort_key: Vec<u128>,
+    /// Particle count the neighbour cache was built for.
+    cached_n: usize,
+    /// Particle count the grid was built for.
+    grid_for: usize,
+}
+
+impl Default for SphScratch {
+    fn default() -> Self {
+        Self::new()
     }
-    // initial guess for h from the mean interparticle spacing
+}
+
+impl SphScratch {
+    /// Empty scratch (no allocation until first use).
+    pub fn new() -> SphScratch {
+        SphScratch {
+            max_threads: 0,
+            grid: CsrGrid::new(),
+            nbr_off: Vec::new(),
+            nbr_idx: Vec::new(),
+            bufs: Vec::new(),
+            stage: Vec::new(),
+            h_tmp: Vec::new(),
+            sort_key: Vec::new(),
+            cached_n: usize::MAX,
+            grid_for: usize::MAX,
+        }
+    }
+
+    /// Worker count for a problem of size `n` (shared by the density,
+    /// cache-fill and force passes). Core detection is lazy:
+    /// `available_parallelism` allocates, so the sequential mode
+    /// (`max_threads == 1`) must never call it.
+    pub(crate) fn threads_for(&self, n: usize) -> usize {
+        let cap = if self.max_threads == 0 {
+            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+        } else {
+            self.max_threads
+        };
+        cap.min(n.div_ceil(PAR_GRAIN)).max(1)
+    }
+
+    /// Cached neighbour list of particle `i`.
+    pub(crate) fn neighbors(&self, i: usize) -> &[u32] {
+        &self.nbr_idx[self.nbr_off[i] as usize..self.nbr_off[i + 1] as usize]
+    }
+
+    /// Particle count the neighbour cache is valid for (`None` if never
+    /// built).
+    pub fn cached_for(&self) -> Option<usize> {
+        (self.cached_n != usize::MAX).then_some(self.cached_n)
+    }
+
+    /// Total cached neighbour entries.
+    pub fn cached_neighbor_entries(&self) -> usize {
+        self.nbr_idx.len()
+    }
+
+    /// Build the neighbour cache for `gas` without re-adapting smoothing
+    /// lengths (for callers that computed densities separately; the
+    /// Gadget path gets the cache for free from [`compute_density_with`]).
+    pub fn cache_neighbors(&mut self, gas: &GasParticles) {
+        let n = gas.len();
+        if n == 0 {
+            self.nbr_off.clear();
+            self.nbr_off.push(0);
+            self.nbr_idx.clear();
+            self.cached_n = 0;
+            return;
+        }
+        let mean_h = (gas.h.iter().sum::<f64>() / n as f64).max(1e-6);
+        self.grid.build_into(&gas.pos, mean_h);
+        self.grid_for = n;
+        self.fill_neighbor_cache(&gas.pos, &gas.h);
+    }
+
+    /// Ensure the neighbour cache is current for `gas`, filling it from
+    /// the grid the density pass built (the force pass's entry point).
+    /// Panics if the grid itself is stale — the caller must run
+    /// [`compute_density_with`] (or [`SphScratch::cache_neighbors`])
+    /// for this particle set first.
+    pub(crate) fn ensure_cache(&mut self, gas: &GasParticles) {
+        let n = gas.len();
+        if self.cached_n == n {
+            return;
+        }
+        assert_eq!(
+            self.grid_for, n,
+            "stale neighbour grid: run compute_density_with (or cache_neighbors) for this gas first"
+        );
+        self.fill_neighbor_cache(&gas.pos, &gas.h);
+    }
+
+    /// Fill `nbr_off`/`nbr_idx` from the already-built grid: list `i`
+    /// holds neighbours within `(h[i] + h_max)/2`, which contains every
+    /// pair with `r < h_ij` regardless of which side is larger. One grid
+    /// query per particle: each worker stages its chunk's ids in a
+    /// reusable buffer and records the per-particle counts, then the
+    /// stages are concatenated into the CSR arrays.
+    fn fill_neighbor_cache(&mut self, pos: &[[f64; 3]], h: &[f64]) {
+        let n = pos.len();
+        let h_max = h.iter().cloned().fold(0.0f64, f64::max).max(1e-6);
+        let threads = self.threads_for(n);
+        let grid = &self.grid;
+        self.nbr_off.clear();
+        self.nbr_off.resize(n + 1, 0);
+        self.stage.resize_with(threads, Vec::new);
+        for stage in &mut self.stage {
+            stage.clear(); // a previous call may have used more workers
+        }
+        let counts = &mut self.nbr_off[1..];
+        let chunk = n.div_ceil(threads);
+        if threads <= 1 {
+            let stage = &mut self.stage[0];
+            stage.clear();
+            for (i, c) in counts.iter_mut().enumerate() {
+                let before = stage.len();
+                grid.for_each_within(pos, &pos[i], 0.5 * (h[i] + h_max), |j, _| stage.push(j));
+                *c = (stage.len() - before) as u32;
+            }
+        } else {
+            std::thread::scope(|s| {
+                let mut counts_rest = counts;
+                let mut start = 0usize;
+                for stage in self.stage.iter_mut() {
+                    let take = chunk.min(counts_rest.len());
+                    if take == 0 {
+                        break;
+                    }
+                    let (cc, cr) = counts_rest.split_at_mut(take);
+                    counts_rest = cr;
+                    let s0 = start;
+                    start += take;
+                    s.spawn(move || {
+                        stage.clear();
+                        for (k, c) in cc.iter_mut().enumerate() {
+                            let i = s0 + k;
+                            let before = stage.len();
+                            grid.for_each_within(pos, &pos[i], 0.5 * (h[i] + h_max), |j, _| {
+                                stage.push(j)
+                            });
+                            *c = (stage.len() - before) as u32;
+                        }
+                    });
+                }
+            });
+        }
+        for i in 1..=n {
+            self.nbr_off[i] += self.nbr_off[i - 1];
+        }
+        // stages are in ascending-chunk order: concatenation is the CSR
+        // index array
+        self.nbr_idx.clear();
+        for stage in &self.stage {
+            self.nbr_idx.extend_from_slice(stage);
+        }
+        debug_assert_eq!(self.nbr_idx.len(), self.nbr_off[n] as usize);
+        self.cached_n = n;
+    }
+}
+
+/// Mean-interparticle-spacing smoothing length estimate (shared with the
+/// legacy reference pass so both seed the adaptation identically).
+pub(crate) fn h_mean_of(pos: &[[f64; 3]]) -> f64 {
+    let n = pos.len();
     let mut lo = [f64::INFINITY; 3];
     let mut hi = [f64::NEG_INFINITY; 3];
-    for p in &gas.pos {
+    for p in pos {
         for k in 0..3 {
             lo[k] = lo[k].min(p[k]);
             hi[k] = hi[k].max(p[k]);
@@ -83,60 +236,185 @@ pub fn compute_density(gas: &mut GasParticles) -> u64 {
     let diag = ((hi[0] - lo[0]).powi(2) + (hi[1] - lo[1]).powi(2) + (hi[2] - lo[2]).powi(2))
         .sqrt()
         .max(1e-6);
-    let h_mean =
-        (vol / n as f64 * N_NEIGHBORS as f64).cbrt().max(diag / (n as f64).cbrt()).max(1e-6);
+    (vol / n as f64 * N_NEIGHBORS as f64).cbrt().max(diag / (n as f64).cbrt()).max(1e-6)
+}
+
+/// Compute densities with adaptive smoothing lengths (temporary scratch;
+/// prefer [`compute_density_with`] on a hot path).
+pub fn compute_density(gas: &mut GasParticles) -> u64 {
+    compute_density_with(gas, &mut SphScratch::new())
+}
+
+/// Compute densities with adaptive smoothing lengths, reusing `scratch`.
+/// Each particle's `h` is adapted so roughly [`N_NEIGHBORS`] particles
+/// fall inside it. Marks the cached neighbour lists stale; the force pass
+/// ([`crate::forces::hydro_rates_into`]) refreshes them lazily from the
+/// grid built here. Returns the total number of neighbour interactions
+/// of the adaptation (for the cost model).
+pub fn compute_density_with(gas: &mut GasParticles, scratch: &mut SphScratch) -> u64 {
+    let n = gas.len();
+    scratch.cached_n = usize::MAX;
+    if n == 0 {
+        scratch.nbr_off.clear();
+        scratch.nbr_off.push(0);
+        scratch.nbr_idx.clear();
+        scratch.cached_n = 0;
+        scratch.grid_for = 0;
+        return 0;
+    }
+    let h_mean = h_mean_of(&gas.pos);
     for h in &mut gas.h {
         if *h <= 0.0 || !h.is_finite() {
             *h = h_mean;
         }
     }
-    let grid = NeighborGrid::build(&gas.pos, h_mean.max(1e-6));
-    let pos = &gas.pos;
-    let mass = &gas.mass;
-    let results: Vec<(f64, f64, u64)> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let mut h = gas.h[i].min(h_mean * 8.0).max(h_mean * 0.05);
-            let mut rho = 0.0;
-            let mut inter = 0u64;
-            for _ in 0..H_ITERS {
-                let nbr = grid.within(pos, &pos[i], h);
-                inter += nbr.len() as u64;
-                let found = nbr.len().max(1);
-                if found as f64 > 0.8 * N_NEIGHBORS as f64
-                    && (found as f64) < 1.3 * N_NEIGHBORS as f64
-                {
-                    rho = sum_density(&nbr, pos, mass, &pos[i], h);
+    // The legacy pass gridded at cell = h_mean, a bbox-volume estimate
+    // that a halo inflates far past the typical smoothing length, leaving
+    // dense regions packed into a handful of cells. Grid at the median
+    // incoming h instead (clamped to the legacy cell): candidate SETS —
+    // and so neighbour counts, h trajectories and interaction totals —
+    // are cell-size-independent, and the final density sums restore the
+    // legacy accumulation order via the per-particle sort keys below.
+    let cell_legacy = h_mean.max(1e-6);
+    scratch.h_tmp.clear();
+    scratch.h_tmp.extend_from_slice(&gas.h);
+    let mid = scratch.h_tmp.len() / 2;
+    let (_, median_h, _) = scratch.h_tmp.select_nth_unstable_by(mid, |a, b| a.total_cmp(b));
+    let cell = median_h.clamp(cell_legacy / 16.0, cell_legacy).max(1e-6);
+    scratch.grid.build_into(&gas.pos, cell);
+    scratch.grid_for = n;
+    scratch.sort_key.clear();
+    scratch.sort_key.extend(gas.pos.iter().map(|p| CsrGrid::pack(CsrGrid::key(p, cell_legacy))));
+    let threads = scratch.threads_for(n);
+    scratch.bufs.resize_with(threads, Vec::new);
+    let GasParticles { pos, mass, rho, h, .. } = gas;
+    let (pos, mass) = (&*pos, &*mass);
+    let grid = &scratch.grid;
+    let sort_key = &*scratch.sort_key;
+    let total: u64 = if threads <= 1 {
+        let buf = &mut scratch.bufs[0];
+        let mut inter = 0u64;
+        for i in 0..n {
+            let (r, hh, it) = adapt_one(i, pos, mass, grid, sort_key, h[i], h_mean, buf);
+            rho[i] = r;
+            h[i] = hh;
+            inter += it;
+        }
+        inter
+    } else {
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|s| {
+            let mut rho_rest = rho.as_mut_slice();
+            let mut h_rest = h.as_mut_slice();
+            let mut start = 0usize;
+            let mut handles = Vec::with_capacity(threads);
+            for buf in scratch.bufs.iter_mut() {
+                let take = chunk.min(rho_rest.len());
+                if take == 0 {
                     break;
                 }
-                // adapt towards the target count
-                h *= (N_NEIGHBORS as f64 / found as f64).cbrt().clamp(0.5, 2.0);
-                h = h.clamp(h_mean * 0.05, h_mean * 8.0);
-                rho = sum_density(&grid.within(pos, &pos[i], h), pos, mass, &pos[i], h);
+                let (rc, rr) = rho_rest.split_at_mut(take);
+                rho_rest = rr;
+                let (hc, hr) = h_rest.split_at_mut(take);
+                h_rest = hr;
+                let s0 = start;
+                start += take;
+                handles.push(s.spawn(move || {
+                    let mut inter = 0u64;
+                    for (k, (r, hh)) in rc.iter_mut().zip(hc.iter_mut()).enumerate() {
+                        let (rv, hv, it) =
+                            adapt_one(s0 + k, pos, mass, grid, sort_key, *hh, h_mean, buf);
+                        *r = rv;
+                        *hh = hv;
+                        inter += it;
+                    }
+                    inter
+                }));
             }
-            if rho <= 0.0 {
-                // lone particle: density of itself
-                rho = mass[i] * w(0.0, h);
-            }
-            (rho, h, inter)
+            handles.into_iter().map(|t| t.join().expect("density worker panicked")).sum()
         })
-        .collect();
-    let mut total = 0;
-    for (i, (rho, h, inter)) in results.into_iter().enumerate() {
-        gas.rho[i] = rho;
-        gas.h[i] = h;
-        total += inter;
-    }
+    };
     total
 }
 
-fn sum_density(nbr: &[u32], pos: &[[f64; 3]], mass: &[f64], c: &[f64; 3], h: f64) -> f64 {
+/// One particle's h-adaptation. Three departures from the legacy loop,
+/// none observable in the results:
+///
+/// * where the legacy pass re-queries the grid for an unchanged `h` (the
+///   post-adapt query is repeated verbatim at the top of the next
+///   iteration, and a clamped adaptation can leave `h` in place), the
+///   staged candidate buffer is reused;
+/// * a shrinking `h` filters the buffer in order on the stored squared
+///   distances instead of re-scanning the grid (the new candidate set is
+///   a subset of the old one);
+/// * the per-iteration density sums — all dead values except the last —
+///   are dropped; the one surviving sum runs over the final buffer,
+///   re-sorted into the legacy accumulation order (coarse legacy cell in
+///   lexicographic order, then ascending index), term-for-term identical
+///   to the pre-refactor pass.
+#[allow(clippy::too_many_arguments)]
+fn adapt_one(
+    i: usize,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    grid: &CsrGrid,
+    sort_key: &[u128],
+    h_in: f64,
+    h_mean: f64,
+    buf: &mut Vec<Candidate>,
+) -> (f64, f64, u64) {
+    let c = pos[i];
+    let mut h = h_in.min(h_mean * 8.0).max(h_mean * 0.05);
+    let mut inter = 0u64;
+    let mut buf_h = f64::NAN; // the h the buffer currently holds
+    for _ in 0..H_ITERS {
+        if buf_h != h {
+            fill_candidates(buf, grid, pos, &c, h);
+            buf_h = h;
+        }
+        inter += buf.len() as u64;
+        let found = buf.len().max(1);
+        if found as f64 > 0.8 * N_NEIGHBORS as f64 && (found as f64) < 1.3 * N_NEIGHBORS as f64 {
+            break;
+        }
+        // adapt towards the target count
+        h *= (N_NEIGHBORS as f64 / found as f64).cbrt().clamp(0.5, 2.0);
+        h = h.clamp(h_mean * 0.05, h_mean * 8.0);
+        if buf_h != h {
+            if h < buf_h {
+                let r2 = h * h;
+                buf.retain(|&(_, d2)| d2 <= r2);
+            } else {
+                fill_candidates(buf, grid, pos, &c, h);
+            }
+            buf_h = h;
+        }
+    }
+    buf.sort_unstable_by_key(|&(j, _)| (sort_key[j as usize], j));
+    let mut rho = sum_density(buf, mass, h);
+    if rho <= 0.0 {
+        // lone particle: density of itself
+        rho = mass[i] * w(0.0, h);
+    }
+    (rho, h, inter)
+}
+
+#[inline]
+fn fill_candidates(
+    buf: &mut Vec<Candidate>,
+    grid: &CsrGrid,
+    pos: &[[f64; 3]],
+    c: &[f64; 3],
+    h: f64,
+) {
+    buf.clear();
+    grid.for_each_within(pos, c, h, |j, d2| buf.push((j, d2)));
+}
+
+fn sum_density(buf: &[Candidate], mass: &[f64], h: f64) -> f64 {
     let mut rho = 0.0;
-    for &j in nbr {
-        let p = &pos[j as usize];
-        let d = [p[0] - c[0], p[1] - c[1], p[2] - c[2]];
-        let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
-        rho += mass[j as usize] * w(r, h);
+    for &(j, d2) in buf {
+        rho += mass[j as usize] * w(d2.sqrt(), h);
     }
     rho
 }
@@ -180,7 +458,7 @@ mod tests {
             g
         };
         // check neighbor count within h for a sample of interior particles
-        let grid = NeighborGrid::build(&gas.pos, 0.1);
+        let grid = CsrGrid::build(&gas.pos, 0.1);
         let mut ok = 0;
         let mut total = 0;
         for i in (0..gas.len()).step_by(50) {
@@ -198,19 +476,78 @@ mod tests {
     }
 
     #[test]
-    fn grid_within_finds_all_in_radius() {
-        let pos = vec![[0.0, 0.0, 0.0], [0.05, 0.0, 0.0], [0.2, 0.0, 0.0], [1.0, 1.0, 1.0]];
-        let grid = NeighborGrid::build(&pos, 0.1);
-        let mut got = grid.within(&pos, &[0.0, 0.0, 0.0], 0.1);
-        got.sort();
-        assert_eq!(got, vec![0, 1]);
-        let all = grid.within(&pos, &[0.0, 0.0, 0.0], 2.0);
-        assert_eq!(all.len(), 4);
+    fn empty_gas_is_fine() {
+        let mut gas = GasParticles::new();
+        let mut scratch = SphScratch::new();
+        assert_eq!(compute_density_with(&mut gas, &mut scratch), 0);
+        assert_eq!(scratch.cached_for(), Some(0));
     }
 
     #[test]
-    fn empty_gas_is_fine() {
-        let mut gas = GasParticles::new();
-        assert_eq!(compute_density(&mut gas), 0);
+    fn scratch_reuse_is_deterministic() {
+        let mut a = crate::particles::plummer_gas(300, 1.0, 5);
+        let mut b = a.clone();
+        let mut scratch = SphScratch::new();
+        // warm the scratch on an unrelated set, then reuse
+        let mut warm = crate::particles::plummer_gas(100, 1.0, 9);
+        compute_density_with(&mut warm, &mut scratch);
+        let ia = compute_density_with(&mut a, &mut scratch);
+        let ib = compute_density(&mut b);
+        assert_eq!(ia, ib);
+        for i in 0..a.len() {
+            assert_eq!(a.rho[i].to_bits(), b.rho[i].to_bits());
+            assert_eq!(a.h[i].to_bits(), b.h[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn sequential_matches_parallel_bitwise() {
+        let mut a = crate::particles::plummer_gas(1500, 1.0, 7);
+        let mut b = a.clone();
+        let mut seq = SphScratch::new();
+        seq.max_threads = 1;
+        let mut par = SphScratch::new();
+        par.max_threads = 8;
+        let ia = compute_density_with(&mut a, &mut seq);
+        let ib = compute_density_with(&mut b, &mut par);
+        assert_eq!(ia, ib);
+        for i in 0..a.len() {
+            assert_eq!(a.rho[i].to_bits(), b.rho[i].to_bits());
+            assert_eq!(a.h[i].to_bits(), b.h[i].to_bits());
+        }
+        seq.ensure_cache(&a);
+        par.ensure_cache(&b);
+        assert_eq!(seq.cached_neighbor_entries(), par.cached_neighbor_entries());
+        assert_eq!(seq.nbr_idx, par.nbr_idx, "cached lists diverge");
+    }
+
+    #[test]
+    fn neighbor_cache_covers_pair_supports() {
+        let mut gas = crate::particles::plummer_gas(400, 1.0, 11);
+        let mut scratch = SphScratch::new();
+        compute_density_with(&mut gas, &mut scratch);
+        scratch.ensure_cache(&gas);
+        assert_eq!(scratch.cached_for(), Some(gas.len()));
+        let h_max = gas.h.iter().cloned().fold(0.0f64, f64::max);
+        // every pair with r < h_ij must be present in i's cached list
+        for i in (0..gas.len()).step_by(37) {
+            let nbr = scratch.neighbors(i);
+            for j in 0..gas.len() {
+                let d = [
+                    gas.pos[i][0] - gas.pos[j][0],
+                    gas.pos[i][1] - gas.pos[j][1],
+                    gas.pos[i][2] - gas.pos[j][2],
+                ];
+                let r2 = d[0] * d[0] + d[1] * d[1] + d[2] * d[2];
+                let h_ij = 0.5 * (gas.h[i] + gas.h[j]);
+                if r2 < h_ij * h_ij {
+                    assert!(
+                        nbr.contains(&(j as u32)),
+                        "pair ({i},{j}) missing from cache (r={}, h_ij={h_ij}, h_max={h_max})",
+                        r2.sqrt()
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,16 +1,22 @@
 //! SPH pressure forces, artificial viscosity and the energy equation.
+//!
+//! The force pass gathers from the per-particle neighbour lists cached by
+//! the density pass ([`crate::density::SphScratch`]) instead of re-querying
+//! the grid at the global maximum smoothing length, and writes into a
+//! caller-owned [`HydroRates`] — allocation-free in steady state.
 
-use crate::density::NeighborGrid;
+use crate::density::SphScratch;
 use crate::kernel::grad_w;
 use crate::particles::GasParticles;
-use rayon::prelude::*;
 
 /// Monaghan viscosity α.
 const ALPHA: f64 = 1.0;
 /// Monaghan viscosity β.
 const BETA: f64 = 2.0;
 
-/// Hydrodynamic accelerations and energy derivatives.
+/// Hydrodynamic accelerations and energy derivatives. Reused across steps
+/// by [`hydro_rates_into`]; the vectors keep their capacity.
+#[derive(Default)]
 pub struct HydroRates {
     /// dv/dt per particle.
     pub acc: Vec<[f64; 3]>,
@@ -22,90 +28,149 @@ pub struct HydroRates {
     pub v_signal_max: f64,
 }
 
+impl HydroRates {
+    /// Empty rates (no allocation until first use).
+    pub fn new() -> HydroRates {
+        HydroRates::default()
+    }
+}
+
 /// Compute SPH rates for the current state (densities must be fresh).
+/// Convenience wrapper over [`hydro_rates_into`] with temporary buffers.
+pub fn hydro_rates(gas: &GasParticles) -> HydroRates {
+    let mut scratch = SphScratch::new();
+    scratch.cache_neighbors(gas);
+    let mut out = HydroRates::new();
+    hydro_rates_into(gas, &mut scratch, &mut out);
+    out
+}
+
+/// Compute SPH rates into `out`, gathering from the per-particle
+/// neighbour lists cached in `scratch`. The cache is refreshed lazily
+/// from the grid the density pass built (lengths validated once per
+/// call: the grid must have been built for this particle count by
+/// [`crate::density::compute_density_with`] or
+/// [`SphScratch::cache_neighbors`]).
 ///
 /// Symmetrized Monaghan form: both sides of a pair use the h-averaged
 /// kernel gradient, so momentum is conserved to round-off (property-tested
 /// in this crate's test suite).
-pub fn hydro_rates(gas: &GasParticles) -> HydroRates {
+pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut HydroRates) {
     let n = gas.len();
+    out.acc.clear();
+    out.acc.resize(n, [0.0; 3]);
+    out.du.clear();
+    out.du.resize(n, 0.0);
+    out.interactions = 0;
+    out.v_signal_max = 0.0;
     if n == 0 {
-        return HydroRates { acc: vec![], du: vec![], interactions: 0, v_signal_max: 0.0 };
+        return;
     }
-    let h_max = gas.h.iter().cloned().fold(0.0f64, f64::max).max(1e-6);
-    let grid = NeighborGrid::build(&gas.pos, h_max);
-    let pos = &gas.pos;
-    let results: Vec<([f64; 3], f64, u64, f64)> = (0..n)
-        .into_par_iter()
-        .map(|i| {
-            let pi = gas.pressure(i);
-            let ci = gas.sound_speed(i);
-            let rhoi = gas.rho[i].max(1e-12);
-            let mut acc = [0.0f64; 3];
-            let mut du = 0.0f64;
-            let mut vsig: f64 = ci;
-            // search within the largest possible pair support
-            let nbr = grid.within(pos, &pos[i], h_max.max(gas.h[i]));
-            let mut inter = 0u64;
-            for &j32 in &nbr {
-                let j = j32 as usize;
-                if j == i {
-                    continue;
-                }
-                let dx = [pos[i][0] - pos[j][0], pos[i][1] - pos[j][1], pos[i][2] - pos[j][2]];
-                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-                let h_ij = 0.5 * (gas.h[i] + gas.h[j]);
-                if r2 >= h_ij * h_ij || r2 == 0.0 {
-                    continue;
-                }
-                inter += 1;
-                let r = r2.sqrt();
-                let dv = [
-                    gas.vel[i][0] - gas.vel[j][0],
-                    gas.vel[i][1] - gas.vel[j][1],
-                    gas.vel[i][2] - gas.vel[j][2],
-                ];
-                let vr = dv[0] * dx[0] + dv[1] * dx[1] + dv[2] * dx[2];
-                let rhoj = gas.rho[j].max(1e-12);
-                let pj = gas.pressure(j);
-                // artificial viscosity
-                let mut visc = 0.0;
-                if vr < 0.0 {
-                    let cj = gas.sound_speed(j);
-                    let mu = h_ij * vr / (r2 + 0.01 * h_ij * h_ij);
-                    let c_mean = 0.5 * (ci + cj);
-                    let rho_mean = 0.5 * (rhoi + rhoj);
-                    visc = (-ALPHA * c_mean * mu + BETA * mu * mu) / rho_mean;
-                    vsig = vsig.max(c_mean - mu);
-                }
-                let gw = grad_w(dx, r, h_ij);
-                let coeff = pi / (rhoi * rhoi) + pj / (rhoj * rhoj) + visc;
-                let mj = gas.mass[j];
-                for k in 0..3 {
-                    acc[k] -= mj * coeff * gw[k];
-                }
-                du += 0.5 * mj * coeff * (dv[0] * gw[0] + dv[1] * gw[1] + dv[2] * gw[2]);
+    scratch.ensure_cache(gas);
+    let scratch = &*scratch;
+    let threads = scratch.threads_for(n);
+    let one = |i: usize, acc: &mut [f64; 3], du: &mut f64| -> (u64, f64) {
+        let pi = gas.pressure(i);
+        let ci = gas.sound_speed(i);
+        let rhoi = gas.rho[i].max(1e-12);
+        let pos = &gas.pos;
+        let mut vsig: f64 = ci;
+        let mut inter = 0u64;
+        for &j32 in scratch.neighbors(i) {
+            let j = j32 as usize;
+            if j == i {
+                continue;
             }
-            (acc, du, inter, vsig)
-        })
-        .collect();
-    let mut acc = Vec::with_capacity(n);
-    let mut du = Vec::with_capacity(n);
-    let mut interactions = 0;
-    let mut v_signal_max = 0.0f64;
-    for (a, d, i, v) in results {
-        acc.push(a);
-        du.push(d);
-        interactions += i;
-        v_signal_max = v_signal_max.max(v);
+            let dx = [pos[i][0] - pos[j][0], pos[i][1] - pos[j][1], pos[i][2] - pos[j][2]];
+            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+            let h_ij = 0.5 * (gas.h[i] + gas.h[j]);
+            if r2 >= h_ij * h_ij || r2 == 0.0 {
+                continue;
+            }
+            inter += 1;
+            let r = r2.sqrt();
+            let dv = [
+                gas.vel[i][0] - gas.vel[j][0],
+                gas.vel[i][1] - gas.vel[j][1],
+                gas.vel[i][2] - gas.vel[j][2],
+            ];
+            let vr = dv[0] * dx[0] + dv[1] * dx[1] + dv[2] * dx[2];
+            let rhoj = gas.rho[j].max(1e-12);
+            let pj = gas.pressure(j);
+            // artificial viscosity
+            let mut visc = 0.0;
+            if vr < 0.0 {
+                let cj = gas.sound_speed(j);
+                let mu = h_ij * vr / (r2 + 0.01 * h_ij * h_ij);
+                let c_mean = 0.5 * (ci + cj);
+                let rho_mean = 0.5 * (rhoi + rhoj);
+                visc = (-ALPHA * c_mean * mu + BETA * mu * mu) / rho_mean;
+                vsig = vsig.max(c_mean - mu);
+            }
+            let gw = grad_w(dx, r, h_ij);
+            let coeff = pi / (rhoi * rhoi) + pj / (rhoj * rhoj) + visc;
+            let mj = gas.mass[j];
+            for k in 0..3 {
+                acc[k] -= mj * coeff * gw[k];
+            }
+            *du += 0.5 * mj * coeff * (dv[0] * gw[0] + dv[1] * gw[1] + dv[2] * gw[2]);
+        }
+        (inter, vsig)
+    };
+    if threads <= 1 {
+        let mut inter = 0u64;
+        let mut vsig = 0.0f64;
+        for i in 0..n {
+            let (it, vs) = one(i, &mut out.acc[i], &mut out.du[i]);
+            inter += it;
+            vsig = vsig.max(vs);
+        }
+        out.interactions = inter;
+        out.v_signal_max = vsig;
+    } else {
+        let chunk = n.div_ceil(threads);
+        let (inter, vsig) = std::thread::scope(|s| {
+            let mut acc_rest = out.acc.as_mut_slice();
+            let mut du_rest = out.du.as_mut_slice();
+            let mut start = 0usize;
+            let mut handles = Vec::with_capacity(threads);
+            while !acc_rest.is_empty() {
+                let take = chunk.min(acc_rest.len());
+                let (ac, ar) = acc_rest.split_at_mut(take);
+                acc_rest = ar;
+                let (dc, dr) = du_rest.split_at_mut(take);
+                du_rest = dr;
+                let s0 = start;
+                start += take;
+                handles.push(s.spawn(move || {
+                    let mut inter = 0u64;
+                    let mut vsig = 0.0f64;
+                    for (k, (a, d)) in ac.iter_mut().zip(dc.iter_mut()).enumerate() {
+                        let (it, vs) = one(s0 + k, a, d);
+                        inter += it;
+                        vsig = vsig.max(vs);
+                    }
+                    (inter, vsig)
+                }));
+            }
+            let mut inter = 0u64;
+            let mut vsig = 0.0f64;
+            for t in handles {
+                let (it, vs) = t.join().expect("hydro worker panicked");
+                inter += it;
+                vsig = vsig.max(vs);
+            }
+            (inter, vsig)
+        });
+        out.interactions = inter;
+        out.v_signal_max = vsig;
     }
-    HydroRates { acc, du, interactions, v_signal_max }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::density::compute_density;
+    use crate::density::{compute_density, compute_density_with};
     use crate::particles::plummer_gas;
 
     #[test]
@@ -164,5 +229,47 @@ mod tests {
         let rates = hydro_rates(&gas);
         let max_c = (0..gas.len()).map(|i| gas.sound_speed(i)).fold(0.0f64, f64::max);
         assert!(rates.v_signal_max >= max_c * 0.999);
+    }
+
+    #[test]
+    fn cached_path_matches_standalone_pair_set() {
+        // the density-built cache and a standalone cache_neighbors cache
+        // use different grid cells but must accept the same physical pairs
+        let mut gas = plummer_gas(500, 1.0, 13);
+        let mut scratch = crate::density::SphScratch::new();
+        compute_density_with(&mut gas, &mut scratch);
+        let mut cached = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut cached);
+        let standalone = hydro_rates(&gas);
+        assert_eq!(cached.interactions, standalone.interactions);
+        for (a, b) in cached.acc.iter().zip(&standalone.acc) {
+            for k in 0..3 {
+                assert!((a[k] - b[k]).abs() <= 1e-12 * a[k].abs().max(1.0), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "stale neighbour grid")]
+    fn stale_cache_is_rejected() {
+        let mut gas = plummer_gas(50, 1.0, 3);
+        let mut scratch = crate::density::SphScratch::new();
+        compute_density_with(&mut gas, &mut scratch);
+        gas.push(1.0, [0.0; 3], [0.0; 3], 1.0); // grid now stale
+        let mut out = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut out);
+    }
+
+    #[test]
+    fn rates_buffers_are_reused() {
+        let mut gas = plummer_gas(200, 1.0, 15);
+        let mut scratch = crate::density::SphScratch::new();
+        compute_density_with(&mut gas, &mut scratch);
+        let mut out = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut out);
+        let cap = out.acc.capacity();
+        hydro_rates_into(&gas, &mut scratch, &mut out);
+        assert_eq!(out.acc.capacity(), cap, "acc buffer reallocated");
+        assert_eq!(out.acc.len(), gas.len());
     }
 }

@@ -1,7 +1,8 @@
 //! The Gadget model: leapfrog KDK over hydro + self-gravity.
 
-use crate::density::{compute_density, NeighborGrid};
-use crate::forces::hydro_rates;
+use crate::density::{compute_density_with, SphScratch};
+use crate::forces::{hydro_rates_into, HydroRates};
+use crate::grid::CsrGrid;
 use crate::particles::GasParticles;
 use jc_treegrav::TreeGravity;
 
@@ -19,8 +20,11 @@ pub struct Gadget {
     pub flops: f64,
     /// Steps taken.
     pub steps: u64,
-    acc: Vec<[f64; 3]>,
-    du: Vec<f64>,
+    /// Reusable kernel scratch: CSR grid, candidate buffers, neighbour
+    /// cache. Held across steps so the hot loop never allocates.
+    scratch: SphScratch,
+    rates: HydroRates,
+    g_acc: Vec<[f64; 3]>,
     rates_valid: bool,
 }
 
@@ -34,10 +38,19 @@ impl Gadget {
             time: 0.0,
             flops: 0.0,
             steps: 0,
-            acc: Vec::new(),
-            du: Vec::new(),
+            scratch: SphScratch::new(),
+            rates: HydroRates::new(),
+            g_acc: Vec::new(),
             rates_valid: false,
         }
+    }
+
+    /// Cap the kernel worker threads (1 = strictly sequential; the
+    /// steady-state step then performs zero heap allocations).
+    pub fn with_max_threads(mut self, threads: usize) -> Gadget {
+        self.scratch.max_threads = threads;
+        self.gravity.max_threads = threads;
+        self
     }
 
     /// Toggle gas self-gravity (off for pure hydro tests).
@@ -53,22 +66,25 @@ impl Gadget {
 
     fn refresh_rates(&mut self) -> f64 {
         let n = self.gas.len();
-        let inter_d = compute_density(&mut self.gas);
-        let rates = hydro_rates(&self.gas);
-        self.flops += inter_d as f64 * 30.0 + rates.interactions as f64 * 60.0;
-        self.acc = rates.acc;
-        self.du = rates.du;
+        let inter_d = compute_density_with(&mut self.gas, &mut self.scratch);
+        hydro_rates_into(&self.gas, &mut self.scratch, &mut self.rates);
+        self.flops += inter_d as f64 * 30.0 + self.rates.interactions as f64 * 60.0;
         if self.self_gravity && n > 1 {
-            let g = self.gravity.accelerations(&self.gas.pos, &self.gas.pos, &self.gas.mass);
+            self.gravity.accelerations_into(
+                &self.gas.pos,
+                &self.gas.pos,
+                &self.gas.mass,
+                &mut self.g_acc,
+            );
             self.flops += self.gravity.last_flops();
-            for (a, ga) in self.acc.iter_mut().zip(g) {
+            for (a, ga) in self.rates.acc.iter_mut().zip(&self.g_acc) {
                 for k in 0..3 {
                     a[k] += ga[k];
                 }
             }
         }
         self.rates_valid = true;
-        rates.v_signal_max
+        self.rates.v_signal_max
     }
 
     fn timestep(&self, v_signal: f64) -> f64 {
@@ -77,7 +93,7 @@ impl Gadget {
             let h = self.gas.h[i];
             let vs = v_signal.max(self.gas.sound_speed(i)).max(1e-8);
             dt = dt.min(C_COURANT * h / vs);
-            let a = self.acc[i];
+            let a = self.rates.acc[i];
             let an = (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt();
             if an > 0.0 {
                 dt = dt.min(C_COURANT * (h / an).sqrt());
@@ -101,19 +117,19 @@ impl Gadget {
             // kick (half) + drift
             for i in 0..self.gas.len() {
                 for k in 0..3 {
-                    self.gas.vel[i][k] += 0.5 * dt * self.acc[i][k];
+                    self.gas.vel[i][k] += 0.5 * dt * self.rates.acc[i][k];
                     self.gas.pos[i][k] += dt * self.gas.vel[i][k];
                 }
-                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.du[i]).max(1e-10);
+                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.rates.du[i]).max(1e-10);
             }
             // re-evaluate at the drifted state
             vsig = self.refresh_rates();
             // kick (half)
             for i in 0..self.gas.len() {
                 for k in 0..3 {
-                    self.gas.vel[i][k] += 0.5 * dt * self.acc[i][k];
+                    self.gas.vel[i][k] += 0.5 * dt * self.rates.acc[i][k];
                 }
-                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.du[i]).max(1e-10);
+                self.gas.u[i] = (self.gas.u[i] + 0.5 * dt * self.rates.du[i]).max(1e-10);
             }
             self.time += dt;
             steps += 1;
@@ -142,7 +158,7 @@ impl Gadget {
         if self.gas.is_empty() || energy <= 0.0 {
             return 0;
         }
-        let grid = NeighborGrid::build(&self.gas.pos, radius.max(1e-6));
+        let grid = CsrGrid::build(&self.gas.pos, radius.max(1e-6));
         let mut targets = grid.within(&self.gas.pos, &center, radius);
         if targets.is_empty() {
             // nearest particle

@@ -32,9 +32,14 @@
 pub mod density;
 pub mod forces;
 pub mod gadget;
+pub mod grid;
 pub mod kernel;
+pub mod legacy;
 pub mod mpi;
 pub mod particles;
 
+pub use density::SphScratch;
+pub use forces::HydroRates;
 pub use gadget::Gadget;
+pub use grid::CsrGrid;
 pub use particles::GasParticles;

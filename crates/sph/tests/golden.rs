@@ -1,0 +1,97 @@
+//! Golden-vector determinism tests: the CSR-grid density pass must
+//! reproduce the pre-refactor HashMap-grid pass bitwise — same cells,
+//! same candidate order, same accumulation order. Captured from the
+//! original implementation (64-particle Plummer gas, seed 3) before the
+//! refactor.
+
+use jc_sph::density::{compute_density, compute_density_with, SphScratch};
+use jc_sph::particles::plummer_gas;
+
+const N: usize = 64;
+const GOLDEN_INTERACTIONS: u64 = 2241;
+
+#[rustfmt::skip]
+const GOLDEN_RHO: [u64; N] = [
+    0x3fd8e445cea4f979, 0x3f91ad38f6e2788a, 0x3fcf3ae91654666a, 0x3fe847ba8e7ad4da,
+    0x3fd1099a72f3aca1, 0x3fb4d55ff235f13a, 0x3f966d34d14cf905, 0x3fd99a3303f79624,
+    0x3f92e9247a67ba6f, 0x3fb2b6027ada38d4, 0x3f6720858664c935, 0x3fd19aa8e6e9b1d0,
+    0x3fe32e65bb590855, 0x3f79747040f66879, 0x3fe284ce068973fb, 0x3f7690086a0e20c1,
+    0x3fbb74be2b3b2549, 0x3fb4aac65150b3b3, 0x3fecc62a71139bea, 0x3f680b53d3dee3da,
+    0x3fe9dca121d493d4, 0x3fe31e498aac0dbf, 0x3fc0c0f2ae293473, 0x3f75a27647748c62,
+    0x3f6ee574fc9dc283, 0x3f83c7e2573eb479, 0x3fc3c91df2163e00, 0x3fe15541a2b6bdbc,
+    0x3fa5eda7f5862041, 0x3fb390b16ac18feb, 0x3fa102ab8cb68c15, 0x3fc1c1a490901cc7,
+    0x3fcd3d9fe698fb80, 0x3fe7b2f206d6c784, 0x3f93882e0e609344, 0x3f8c278891793032,
+    0x3fd9ebf4117c8a74, 0x3fcad39ceed7c512, 0x3fbcd6d2c380a9bd, 0x3f64eaf63642544c,
+    0x3f8ce59f33068d99, 0x3fc37697cf2f8056, 0x3fcc83c1c8081cf7, 0x3f949739ac81adb4,
+    0x3fa0509c1c03c2d6, 0x3fe804491e2724ef, 0x3fa19e1e80c6a5b9, 0x3fe3c6996b790de3,
+    0x3fc7898158258a4d, 0x3f7b0035da731f31, 0x3fd5c3ea65af5d85, 0x3fe6dd992f519021,
+    0x3fad74cca46a2ae2, 0x3fdff9f9a122cf0f, 0x3f6a308b87d2454b, 0x3fa2abd5e4e15122,
+    0x3fb5e4ee7809e243, 0x3fc2665878e29a15, 0x3fd43c6419cc616e, 0x3fd98465b9c5ec0c,
+    0x3f91590d4ed1f197, 0x3fc7979d7a97747d, 0x3fc1ae87f17f1396, 0x3fb6acf61eb22a0a,
+];
+
+#[rustfmt::skip]
+const GOLDEN_H: [u64; N] = [
+    0x3fe79ca05cb0dc8a, 0x3ffe28172415969a, 0x3feee6011c336d8c, 0x3fe590d018a13eb1,
+    0x3fea581ec27216a3, 0x3ff3dcb64e5bcae3, 0x3ff79ca05cb0dc88, 0x3fe8a3c2db54239e,
+    0x400005e8fcb87fe8, 0x3ff2ff5a299d0072, 0x4005bf2605dd7a8c, 0x3fed5cd5c1f9ed8b,
+    0x3fe96f605ce8b80f, 0x4005bf2605dd7a8c, 0x3fe867b2926cae9a, 0x4005bf2605dd7a8c,
+    0x3ff142a61220b4af, 0x3ff2ff5a299d0072, 0x3fe6287f7429f04a, 0x4005bf2605dd7a8c,
+    0x3fe6c768e5a6646d, 0x3fe5865640b5aaaa, 0x3ff142a61220b4af, 0x4005bf2605dd7a8c,
+    0x4005bf2605dd7a8c, 0x4005bf2605dd7a8c, 0x3ff098878b883711, 0x3fe8b507443baabf,
+    0x3ff5bf2605dd7a8c, 0x3ff5bf2605dd7a8c, 0x3ffad9d8b18583a2, 0x3ff142a61220b4af,
+    0x3fed5cd5c1f9ed8b, 0x3fe68dab52c03803, 0x400098878b883711, 0x4002ff5a299d0072,
+    0x3fe874afc26b1a62, 0x3fec7a48fc8b42a4, 0x3ff098878b883711, 0x4005bf2605dd7a8c,
+    0x400142a61220b4af, 0x3ff098878b883711, 0x3febfeb2736d6966, 0x3ffbfeb2736d6966,
+    0x3ff5bf2605dd7a8c, 0x3fe5dfb139cd0809, 0x3ffa581ec27216a3, 0x3fe874afc26b1a63,
+    0x3ff098878b883711, 0x4005bf2605dd7a8c, 0x3fe7ef70972b0bd9, 0x3fe7caa73c1a8b2e,
+    0x3ff43015381f0c96, 0x3fe895a35dbe80ea, 0x4005bf2605dd7a8c, 0x3ff5bf2605dd7a8c,
+    0x3ff43015381f0c96, 0x3ff098878b883711, 0x3feb9dd68367877f, 0x3fe7ef70972b0bd8,
+    0x400098878b883711, 0x3feb662ae8f37e2d, 0x3ff005e8fcb87fe8, 0x3ff2ff5a299d0072,
+];
+
+fn check(gas: &jc_sph::GasParticles) {
+    for i in 0..N {
+        assert_eq!(
+            gas.rho[i].to_bits(),
+            GOLDEN_RHO[i],
+            "rho[{i}] = {} diverges from the pre-refactor density pass",
+            gas.rho[i]
+        );
+        assert_eq!(
+            gas.h[i].to_bits(),
+            GOLDEN_H[i],
+            "h[{i}] = {} diverges from the pre-refactor density pass",
+            gas.h[i]
+        );
+    }
+}
+
+#[test]
+fn density_matches_pre_refactor_golden() {
+    let mut gas = plummer_gas(N, 1.0, 3);
+    assert_eq!(compute_density(&mut gas), GOLDEN_INTERACTIONS);
+    check(&gas);
+}
+
+#[test]
+fn density_with_scratch_matches_golden_sequential_and_parallel() {
+    for threads in [1, 0] {
+        let mut gas = plummer_gas(N, 1.0, 3);
+        let mut scratch = SphScratch::new();
+        scratch.max_threads = threads;
+        assert_eq!(
+            compute_density_with(&mut gas, &mut scratch),
+            GOLDEN_INTERACTIONS,
+            "threads = {threads}"
+        );
+        check(&gas);
+    }
+}
+
+#[test]
+fn legacy_reference_still_matches_golden() {
+    let mut gas = plummer_gas(N, 1.0, 3);
+    assert_eq!(jc_sph::legacy::compute_density(&mut gas), GOLDEN_INTERACTIONS);
+    check(&gas);
+}

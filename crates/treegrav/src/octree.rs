@@ -36,15 +36,31 @@ pub struct Octree {
 }
 
 impl Octree {
+    /// An empty tree whose node arena can be reused via
+    /// [`Octree::build_into`].
+    pub fn new() -> Octree {
+        Octree { nodes: Vec::new() }
+    }
+
     /// Build from positions and masses. Particles at identical positions
     /// are merged into the same leaf's moments once the cell size
     /// underflows.
     pub fn build(pos: &[[f64; 3]], mass: &[f64]) -> Octree {
-        assert_eq!(pos.len(), mass.len());
         let mut tree = Octree { nodes: Vec::with_capacity(pos.len() * 2) };
+        tree.build_into(pos, mass);
+        tree
+    }
+
+    /// Rebuild over a new particle set, reusing the node arena. Once the
+    /// arena is warm (capacity ≥ node count), rebuilding allocates
+    /// nothing — this is what the p-kick phases call every step.
+    pub fn build_into(&mut self, pos: &[[f64; 3]], mass: &[f64]) {
+        assert_eq!(pos.len(), mass.len());
+        self.nodes.clear();
         if pos.is_empty() {
-            return tree;
+            return;
         }
+        let tree = self;
         // bounding cube
         let mut lo = [f64::INFINITY; 3];
         let mut hi = [f64::NEG_INFINITY; 3];
@@ -76,7 +92,6 @@ impl Octree {
             tree.insert(0, i as u32, pos, mass);
         }
         tree.compute_moments(0, pos, mass);
-        tree
     }
 
     /// Nodes (arena order; index 0 is the root).
@@ -192,9 +207,34 @@ impl Octree {
     }
 }
 
+impl Default for Octree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn arena_is_reused_across_rebuilds() {
+        let mut pos: Vec<[f64; 3]> = (0..200)
+            .map(|i| [(i as f64 * 0.7).sin(), (i as f64 * 0.3).cos(), i as f64 * 1e-3])
+            .collect();
+        let mass = vec![1.0 / 200.0; 200];
+        let mut t = Octree::new();
+        t.build_into(&pos, &mass);
+        let fresh = Octree::build(&pos, &mass);
+        assert_eq!(t.nodes().len(), fresh.nodes().len());
+        let cap = t.nodes.capacity();
+        for p in &mut pos {
+            p[0] += 1e-4;
+        }
+        t.build_into(&pos, &mass);
+        assert!(t.nodes.capacity() >= cap, "arena shrank");
+        assert!((t.nodes()[0].mass - 1.0).abs() < 1e-12);
+    }
 
     #[test]
     fn root_moments_match_totals() {

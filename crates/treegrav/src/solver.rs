@@ -15,17 +15,37 @@ pub struct TreeGravity {
     pub theta: f64,
     /// Softening squared.
     pub eps2: f64,
+    /// Worker-thread cap for [`TreeGravity::accelerations_into`]: 0 =
+    /// auto, 1 = strictly sequential (the steady-state walk then performs
+    /// zero heap allocations).
+    pub max_threads: usize,
     interactions: AtomicU64,
+    /// Reused octree arena (rebuilt in place every call).
+    tree: Octree,
+    /// Reused per-worker traversal stacks.
+    stacks: Vec<Vec<u32>>,
 }
+
+/// Minimum targets per worker thread before fanning out.
+const PAR_GRAIN: usize = 64;
 
 impl TreeGravity {
     /// New solver with opening angle `theta` and softening `eps`.
     pub fn new(theta: f64, eps: f64) -> TreeGravity {
         assert!(theta > 0.0 && theta < 2.0);
-        TreeGravity { theta, eps2: eps * eps, interactions: AtomicU64::new(0) }
+        TreeGravity {
+            theta,
+            eps2: eps * eps,
+            max_threads: 0,
+            interactions: AtomicU64::new(0),
+            tree: Octree::new(),
+            stacks: Vec::new(),
+        }
     }
 
     /// Accelerations on `targets` due to `(s_pos, s_mass)`. G = 1.
+    /// Allocating convenience path; hot callers use
+    /// [`TreeGravity::accelerations_into`].
     pub fn accelerations(
         &self,
         targets: &[[f64; 3]],
@@ -40,17 +60,85 @@ impl TreeGravity {
         let out: Vec<[f64; 3]> = targets
             .par_iter()
             .map(|t| {
-                let (a, n) = self.walk(&tree, t);
+                let mut stack: Vec<u32> = Vec::with_capacity(64);
+                let mut acc = [0.0f64; 3];
+                let n = walk_into(&tree, self.theta, self.eps2, t, &mut acc, &mut stack);
                 count.fetch_add(n, Ordering::Relaxed);
-                a
+                acc
             })
             .collect();
         self.interactions.store(count.into_inner(), Ordering::Relaxed);
         out
     }
 
+    /// Accelerations on `targets` written into `out` (cleared and
+    /// resized), reusing the solver's octree arena and traversal stacks —
+    /// the zero-allocation steady-state path. Results are bitwise
+    /// identical to [`TreeGravity::accelerations`].
+    pub fn accelerations_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        s_pos: &[[f64; 3]],
+        s_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) {
+        out.clear();
+        out.resize(targets.len(), [0.0; 3]);
+        if s_pos.is_empty() || targets.is_empty() {
+            self.interactions.store(0, Ordering::Relaxed);
+            return;
+        }
+        self.tree.build_into(s_pos, s_mass);
+        let n = targets.len();
+        // core detection is lazy: `available_parallelism` allocates, so
+        // the sequential mode must never call it
+        let cap = if self.max_threads == 0 {
+            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
+        } else {
+            self.max_threads
+        };
+        let threads = cap.min(n.div_ceil(PAR_GRAIN)).max(1);
+        self.stacks.resize_with(threads, Vec::new);
+        let (tree, theta, eps2) = (&self.tree, self.theta, self.eps2);
+        let total: u64 = if threads <= 1 {
+            let stack = &mut self.stacks[0];
+            let mut inter = 0u64;
+            for (t, a) in targets.iter().zip(out.iter_mut()) {
+                inter += walk_into(tree, theta, eps2, t, a, stack);
+            }
+            inter
+        } else {
+            let chunk = n.div_ceil(threads);
+            std::thread::scope(|s| {
+                let mut out_rest = out.as_mut_slice();
+                let mut t_rest = targets;
+                let mut handles = Vec::with_capacity(threads);
+                for stack in self.stacks.iter_mut() {
+                    let take = chunk.min(out_rest.len());
+                    if take == 0 {
+                        break;
+                    }
+                    let (oc, or) = out_rest.split_at_mut(take);
+                    out_rest = or;
+                    let (tc, tr) = t_rest.split_at(take);
+                    t_rest = tr;
+                    handles.push(s.spawn(move || {
+                        let mut inter = 0u64;
+                        for (t, a) in tc.iter().zip(oc.iter_mut()) {
+                            inter += walk_into(tree, theta, eps2, t, a, stack);
+                        }
+                        inter
+                    }));
+                }
+                handles.into_iter().map(|h| h.join().expect("walk worker panicked")).sum()
+            })
+        };
+        self.interactions.store(total, Ordering::Relaxed);
+    }
+
     /// Particle–node interactions performed by the last
-    /// [`TreeGravity::accelerations`] call.
+    /// [`TreeGravity::accelerations`] / [`TreeGravity::accelerations_into`]
+    /// call.
     pub fn last_interactions(&self) -> u64 {
         self.interactions.load(Ordering::Relaxed)
     }
@@ -59,57 +147,64 @@ impl TreeGravity {
     pub fn last_flops(&self) -> f64 {
         self.last_interactions() as f64 * FLOPS_PER_INTERACTION
     }
+}
 
-    fn walk(&self, tree: &Octree, t: &[f64; 3]) -> ([f64; 3], u64) {
-        let nodes = tree.nodes();
-        let mut acc = [0.0f64; 3];
-        let mut n_inter = 0u64;
-        // explicit stack; reused small Vec per target
-        let mut stack: Vec<u32> = Vec::with_capacity(64);
-        stack.push(0);
-        while let Some(ni) = stack.pop() {
-            let node = &nodes[ni as usize];
-            if node.count == 0 || node.mass == 0.0 {
-                continue;
+/// One Barnes–Hut walk; `acc` must start zeroed, `stack` is reused across
+/// calls (no allocation once warm). Returns the interaction count.
+fn walk_into(
+    tree: &Octree,
+    theta: f64,
+    eps2: f64,
+    t: &[f64; 3],
+    acc: &mut [f64; 3],
+    stack: &mut Vec<u32>,
+) -> u64 {
+    let nodes = tree.nodes();
+    let mut n_inter = 0u64;
+    stack.clear();
+    stack.push(0);
+    while let Some(ni) = stack.pop() {
+        let node = &nodes[ni as usize];
+        if node.count == 0 || node.mass == 0.0 {
+            continue;
+        }
+        let dx = [node.com[0] - t[0], node.com[1] - t[1], node.com[2] - t[2]];
+        let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+        let size = 2.0 * node.half_width;
+        let is_leaf = node.particle != u32::MAX || node.children.iter().all(|&c| c == 0);
+        // Offset-aware acceptance criterion (Salmon & Warren): the
+        // plain `size/d < theta` test mis-weights cells whose center
+        // of mass sits far from the geometric center; requiring
+        // `d > size/theta + |com - center|` bounds the worst-case
+        // monopole error instead of only the typical one.
+        let delta2 = {
+            let ox = [
+                node.com[0] - node.center[0],
+                node.com[1] - node.center[1],
+                node.com[2] - node.center[2],
+            ];
+            ox[0] * ox[0] + ox[1] * ox[1] + ox[2] * ox[2]
+        };
+        let open_dist = size / theta + delta2.sqrt();
+        if is_leaf || r2 > open_dist * open_dist {
+            if r2 == 0.0 && eps2 == 0.0 {
+                continue; // the target sits exactly on the node com
             }
-            let dx = [node.com[0] - t[0], node.com[1] - t[1], node.com[2] - t[2]];
-            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-            let size = 2.0 * node.half_width;
-            let is_leaf = node.particle != u32::MAX || node.children.iter().all(|&c| c == 0);
-            // Offset-aware acceptance criterion (Salmon & Warren): the
-            // plain `size/d < theta` test mis-weights cells whose center
-            // of mass sits far from the geometric center; requiring
-            // `d > size/theta + |com - center|` bounds the worst-case
-            // monopole error instead of only the typical one.
-            let delta2 = {
-                let ox = [
-                    node.com[0] - node.center[0],
-                    node.com[1] - node.center[1],
-                    node.com[2] - node.center[2],
-                ];
-                ox[0] * ox[0] + ox[1] * ox[1] + ox[2] * ox[2]
-            };
-            let open_dist = size / self.theta + delta2.sqrt();
-            if is_leaf || r2 > open_dist * open_dist {
-                if r2 == 0.0 && self.eps2 == 0.0 {
-                    continue; // the target sits exactly on the node com
-                }
-                let r2s = r2 + self.eps2;
-                let inv_r3 = 1.0 / (r2s * r2s.sqrt());
-                for k in 0..3 {
-                    acc[k] += node.mass * dx[k] * inv_r3;
-                }
-                n_inter += 1;
-            } else {
-                for &c in &node.children {
-                    if c != 0 {
-                        stack.push(c);
-                    }
+            let r2s = r2 + eps2;
+            let inv_r3 = 1.0 / (r2s * r2s.sqrt());
+            for k in 0..3 {
+                acc[k] += node.mass * dx[k] * inv_r3;
+            }
+            n_inter += 1;
+        } else {
+            for &c in &node.children {
+                if c != 0 {
+                    stack.push(c);
                 }
             }
         }
-        (acc, n_inter)
     }
+    n_inter
 }
 
 /// The Octgrav personality: GPU tree code with a wide opening angle.
@@ -199,6 +294,25 @@ mod tests {
             max = max.max(d / n);
         }
         max
+    }
+
+    #[test]
+    fn into_path_matches_allocating_path_bitwise() {
+        let (pos, mass) = cloud(800, 17);
+        let (tpos, _) = cloud(128, 4);
+        let mut solver = TreeGravity::new(0.5, 0.01);
+        let a = solver.accelerations(&tpos, &pos, &mass);
+        let n_a = solver.last_interactions();
+        let mut b = Vec::new();
+        solver.accelerations_into(&tpos, &pos, &mass, &mut b);
+        assert_eq!(a, b);
+        assert_eq!(n_a, solver.last_interactions());
+        // sequential mode agrees too, and reuses the arena across calls
+        solver.max_threads = 1;
+        let mut c = Vec::new();
+        solver.accelerations_into(&tpos, &pos, &mass, &mut c);
+        solver.accelerations_into(&tpos, &pos, &mass, &mut c);
+        assert_eq!(a, c);
     }
 
     #[test]

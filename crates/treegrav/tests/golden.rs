@@ -1,0 +1,79 @@
+//! Golden-vector determinism tests: the tree walk over the reused node
+//! arena must reproduce the pre-refactor build-from-scratch walk bitwise.
+//! Captured from the original implementation (96-source / 16-target LCG
+//! clouds, θ = 0.5, ε = 0.01) before the scratch refactor.
+
+use jc_treegrav::TreeGravity;
+
+const NT: usize = 16;
+const GOLDEN_INTERACTIONS: u64 = 1014;
+
+#[rustfmt::skip]
+const GOLDEN_ACC: [u64; NT * 3] = [
+    0x3ffb49779bfeccb9, 0xbfe842a87ad56f78, 0xc00339d15f211832,
+    0x3ff73cbc8f57cbfb, 0xbfef3f1b731be84c, 0x3ff2aaea72f64ab9,
+    0x3fdd3906992b292a, 0x3fccb155a3122e2f, 0xbffb2086b6f685f5,
+    0x400253a941b3eeb1, 0x3fdb9a9326a83b3d, 0xbff10a4583c906e3,
+    0xbfdc8abd5a31f5af, 0x40069e32e9bcd6c5, 0xbff86584fd997a43,
+    0x4008bcef7edf162d, 0xbfecd506acd2f69e, 0x3fe9b280a385c54a,
+    0xbfff9b2f577c8091, 0x3fe84f1646fe940d, 0x3ffbdfa64ec92bcf,
+    0x4001bec854f617e0, 0xbff714dcfbcd96c8, 0x3ff4e4ebee9e7d07,
+    0xbfdebf1ae2e4a8e3, 0x3ff6629b7da3707b, 0xc00922f0cb0a7ebc,
+    0x3ff76d391b018e44, 0x3ff0b4ee56db7b08, 0x3fea4ba94f66c540,
+    0x3ff8320af82574c2, 0x3ff2946f5b117697, 0xbfc1c984a7f6a7bb,
+    0x3fd57efda43dbced, 0x3ff68c27d20be8d6, 0x3fe12c7b9354d46a,
+    0xbfeb7507b0c5a088, 0x3fee8c95e5804c7f, 0x3ffdc17230db1bc2,
+    0xc001488fc7d6cb68, 0x3fd9ddab4798b7a7, 0x3ff4acae01841e7d,
+    0x3fffcf5cf0d691f1, 0x3ff81c229e8debb8, 0x3ff4bfccd7ae1328,
+    0xbfe2296a67e753b5, 0xbfd66dd824521019, 0x3ff520c0b4bc2ba8,
+];
+
+fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut x = seed.max(1);
+    let mut rnd = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let pos: Vec<[f64; 3]> = (0..n).map(|_| [rnd(), rnd(), rnd()]).collect();
+    let mass = vec![1.0 / n as f64; n];
+    (pos, mass)
+}
+
+fn assert_bits(got: &[[f64; 3]]) {
+    for (i, a) in got.iter().enumerate() {
+        for k in 0..3 {
+            assert_eq!(
+                a[k].to_bits(),
+                GOLDEN_ACC[i * 3 + k],
+                "acc[{i}][{k}] = {} diverges from the pre-refactor walk",
+                a[k]
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_walk_matches_pre_refactor_golden() {
+    let (pos, mass) = cloud(96, 3);
+    let (tpos, _) = cloud(NT, 9);
+    let fi = TreeGravity::new(0.5, 0.01);
+    let acc = fi.accelerations(&tpos, &pos, &mass);
+    assert_bits(&acc);
+    assert_eq!(fi.last_interactions(), GOLDEN_INTERACTIONS);
+}
+
+#[test]
+fn reused_arena_walk_matches_pre_refactor_golden() {
+    let (pos, mass) = cloud(96, 3);
+    let (tpos, _) = cloud(NT, 9);
+    for threads in [0, 1] {
+        let mut fi = TreeGravity::new(0.5, 0.01);
+        fi.max_threads = threads;
+        let mut acc = Vec::new();
+        // warm the arena on a different set, then rebuild into it
+        fi.accelerations_into(&tpos, &tpos, &[1.0; NT], &mut acc);
+        fi.accelerations_into(&tpos, &pos, &mass, &mut acc);
+        assert_bits(&acc);
+        assert_eq!(fi.last_interactions(), GOLDEN_INTERACTIONS, "threads = {threads}");
+    }
+}

@@ -24,6 +24,17 @@
 //!   same requests across the simulated jungle lives in `jc-core`, exactly
 //!   as the paper adds its Ibis channel next to the existing MPI and socket
 //!   channels.
+//! * [`wire`] — the length-prefixed, versioned binary codec for
+//!   requests and responses; the physical frame size of every message
+//!   equals its modeled `wire_size`, so socket-channel accounting and
+//!   simulated accounting agree exactly.
+//! * [`socket`] — the real socket channel: [`socket::SocketChannel`]
+//!   speaks [`wire`] over TCP, [`socket::WorkerServer`] serves any
+//!   [`worker::ModelWorker`] behind a `TcpListener` (the `jungle-worker`
+//!   binary in `jc-deploy` wraps it).
+//! * [`shard`] — [`shard::ShardedChannel`] fans one logical model out
+//!   over a pool of workers: particle-range decomposition for state
+//!   ops, target scatter–gather for the coupling kick.
 //! * [`bridge`] — the Fig 7 combined gravitational/hydro/stellar solver:
 //!   kick–drift–kick coupling via the tree-gravity worker, parallel evolve
 //!   of gas and stars, and the slower stellar-evolution exchange every
@@ -38,11 +49,17 @@
 pub mod bridge;
 pub mod channel;
 pub mod cluster;
+pub mod shard;
+pub mod socket;
+pub mod wire;
 pub mod worker;
 
 pub use bridge::{Bridge, BridgeConfig, IterationReport};
 pub use channel::{Channel, ChannelStats, LocalChannel, ThreadChannel};
 pub use cluster::EmbeddedCluster;
+pub use shard::ShardedChannel;
+pub use socket::{spawn_tcp_worker, SocketChannel, WorkerServer};
+pub use wire::WireError;
 pub use worker::{
     CouplingWorker, GravityWorker, HydroWorker, ModelWorker, Request, Response, StellarWorker,
 };

@@ -1,0 +1,569 @@
+//! Sharding: one logical model fanned out over a pool of workers.
+//!
+//! A [`ShardedChannel`] owns K inner [`Channel`]s and presents them to
+//! the bridge as a single worker. Requests are decomposed per particle:
+//!
+//! * **Range decomposition** — each shard owns one contiguous particle
+//!   range (first shards get the ceil-sized chunk). [`Request::Kick`]
+//!   and [`Request::SetMasses`] scatter the matching slice to each
+//!   shard; [`Request::GetParticles`] gathers the sub-snapshots back in
+//!   shard order.
+//! * **Scatter–gather** — [`Request::ComputeKick`] splits the *targets*
+//!   across shards and broadcasts the sources; since the coupling
+//!   solver evaluates each target independently against a tree built
+//!   from the sources alone, the gathered accelerations are bitwise
+//!   identical to the unsharded answer.
+//! * **Broadcast** — `Ping`/`EvolveTo`/`EvolveStars`/`InjectEnergy`/
+//!   `Stop` go to every shard; flops are summed. A stellar update
+//!   gathers the per-shard masses in order and remaps event star
+//!   indices by each shard's base offset.
+//! * **Routing** — [`Request::AddGas`] goes to the last shard (whose
+//!   range grows by one).
+//!
+//! Exactness: sharding is bitwise-exact for any request whose semantics
+//! decompose per particle — the coupling kick, SSE stellar evolution,
+//! and all state ops (snapshot/kick/set-masses). Broadcasting
+//! `EvolveTo` to a *tightly coupled* model (PhiGRAPE, Gadget) evolves
+//! each shard's particles in isolation, and `InjectEnergy` normalizes
+//! its deposit per shard — both are domain-decomposition
+//! approximations, not bitwise reproductions; shard those models only
+//! when that is understood.
+//!
+//! The asynchronous `submit`/`collect` path fans out to every shard
+//! before collecting, so shards genuinely overlap (K socket workers run
+//! concurrently). The borrowing fast paths instead run shard-by-shard
+//! against per-shard scratch buffers, keeping the bridge's hot loop
+//! allocation-free once warm.
+//!
+//! Failure semantics: a scatter is *not* atomic across shards. If one
+//! shard fails a `Kick`/`SetMasses`, the shards already addressed have
+//! applied their slices and the rest have not — the pool's state is
+//! inconsistent and the error response means "this pool is failed",
+//! not "retry the same request" (a retry would double-apply on the
+//! shards that succeeded). The bridge treats any kick failure as fatal
+//! for exactly this reason.
+
+use crate::channel::{Channel, ChannelStats};
+use crate::worker::{ParticleData, Request, Response};
+use jc_stellar::StellarEvent;
+
+/// Contiguous range sizes for `total` particles over `k` shards: the
+/// first shards get `ceil(total / k)` until the remainder runs out.
+/// (`jungle-worker --shard i/K` slices with the same rule, so a worker
+/// pool launched from the CLI lines up with the coupler's scatter.)
+pub fn partition(total: usize, k: usize) -> Vec<usize> {
+    assert!(k > 0, "at least one shard");
+    let chunk = total.div_ceil(k);
+    let mut counts = Vec::with_capacity(k);
+    let mut left = total;
+    for _ in 0..k {
+        let c = chunk.min(left);
+        counts.push(c);
+        left -= c;
+    }
+    counts
+}
+
+/// How to reassemble the outstanding fan-out.
+enum Pending {
+    /// All shards answered `Ok`; sum flops.
+    Broadcast,
+    /// Concatenate particle snapshots in shard order.
+    Concat,
+    /// Concatenate stellar masses; remap event star indices.
+    Stellar,
+    /// Concatenate accelerations in shard order; sum flops.
+    Gather,
+    /// Only this shard was addressed; `grow` bumps its range size on
+    /// success (AddGas).
+    Single {
+        /// Shard index.
+        shard: usize,
+        /// Grow the shard's particle count on an `Ok` response.
+        grow: bool,
+    },
+    /// Scatter validation failed before any shard was addressed; no
+    /// fan-out is outstanding and `collect` returns the stored error.
+    Failed(Response),
+}
+
+/// One logical worker spread over K shard channels.
+pub struct ShardedChannel {
+    shards: Vec<Box<dyn Channel>>,
+    /// Particles owned per shard (0 for stateless/non-particle workers).
+    counts: Vec<usize>,
+    pending: Option<Pending>,
+    /// Per-shard snapshot scratch for the gathering fast path.
+    snap_scratch: Vec<ParticleData>,
+    /// Per-shard acceleration scratch for the compute-kick fast path.
+    acc_scratch: Vec<Vec<[f64; 3]>>,
+}
+
+impl ShardedChannel {
+    /// Assemble a sharded channel, probing each shard with one particle
+    /// snapshot to learn its range size (counted in the shard's stats as
+    /// one `GetParticles` call; shards that do not hold particles —
+    /// coupling, stellar — report 0 and are exempt from range
+    /// validation).
+    pub fn new(shards: Vec<Box<dyn Channel>>) -> ShardedChannel {
+        assert!(!shards.is_empty(), "at least one shard");
+        let mut ch = ShardedChannel::with_counts(shards, Vec::new());
+        let mut probe = ParticleData::default();
+        for i in 0..ch.shards.len() {
+            ch.counts[i] =
+                if ch.shards[i].snapshot_into(&mut probe) { probe.mass.len() } else { 0 };
+        }
+        ch
+    }
+
+    /// Assemble with known per-shard particle counts (skips the probe;
+    /// an empty `counts` means a stateless pool and is normalized to
+    /// one zero per shard).
+    pub fn with_counts(shards: Vec<Box<dyn Channel>>, counts: Vec<usize>) -> ShardedChannel {
+        assert!(!shards.is_empty(), "at least one shard");
+        assert!(counts.is_empty() || counts.len() == shards.len());
+        let k = shards.len();
+        let counts = if counts.is_empty() { vec![0; k] } else { counts };
+        ShardedChannel {
+            shards,
+            counts,
+            pending: None,
+            snap_scratch: (0..k).map(|_| ParticleData::default()).collect(),
+            acc_scratch: (0..k).map(|_| Vec::new()).collect(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total particles across all shards (as last observed).
+    pub fn total_particles(&self) -> usize {
+        self.counts.iter().sum()
+    }
+
+    /// `[start, end)` of shard `i`'s particle range (`counts` always
+    /// holds one entry per shard; a stateless pool is all zeros).
+    fn range(&self, i: usize) -> (usize, usize) {
+        let start: usize = self.counts[..i].iter().sum();
+        (start, start + self.counts[i])
+    }
+
+    /// Scatter a per-particle vector into per-shard slices, submitting
+    /// `make(slice)` to each shard. Errors if the length disagrees with
+    /// the known decomposition.
+    fn scatter_submit<T: Clone>(
+        &mut self,
+        data: &[T],
+        make: impl Fn(Vec<T>) -> Request,
+    ) -> Result<(), Response> {
+        if data.len() != self.total_particles() {
+            return Err(Response::Error(format!(
+                "sharded scatter length mismatch: got {}, shards own {}",
+                data.len(),
+                self.total_particles()
+            )));
+        }
+        for i in 0..self.shards.len() {
+            let (a, b) = self.range(i);
+            self.shards[i].submit(make(data[a..b].to_vec()));
+        }
+        Ok(())
+    }
+
+    fn collect_broadcast(&mut self) -> Response {
+        let mut flops = 0.0;
+        let mut failure: Option<Response> = None;
+        for s in &mut self.shards {
+            match s.collect() {
+                Response::Ok { flops: f } => flops += f,
+                other => {
+                    if failure.is_none() {
+                        failure = Some(other);
+                    }
+                }
+            }
+        }
+        failure.unwrap_or(Response::Ok { flops })
+    }
+
+    fn collect_concat(&mut self) -> Response {
+        let mut all = ParticleData::default();
+        for i in 0..self.shards.len() {
+            match self.shards[i].collect() {
+                Response::Particles(p) => {
+                    self.counts[i] = p.mass.len(); // refresh the observed layout
+                    all.mass.extend_from_slice(&p.mass);
+                    all.pos.extend_from_slice(&p.pos);
+                    all.vel.extend_from_slice(&p.vel);
+                }
+                other => return self.drain_after_failure(i + 1, other),
+            }
+        }
+        Response::Particles(all)
+    }
+
+    fn collect_stellar(&mut self) -> Response {
+        let mut masses = Vec::new();
+        let mut events = Vec::new();
+        for i in 0..self.shards.len() {
+            match self.shards[i].collect() {
+                Response::StellarUpdate { masses: m, events: ev } => {
+                    let base = masses.len();
+                    masses.extend_from_slice(&m);
+                    events.extend(ev.into_iter().map(|e| match e {
+                        StellarEvent::Supernova { star, ejected_mass, energy_foe } => {
+                            StellarEvent::Supernova { star: star + base, ejected_mass, energy_foe }
+                        }
+                        StellarEvent::WindMassLoss { star, mass } => {
+                            StellarEvent::WindMassLoss { star: star + base, mass }
+                        }
+                    }));
+                }
+                other => return self.drain_after_failure(i + 1, other),
+            }
+        }
+        Response::StellarUpdate { masses, events }
+    }
+
+    fn collect_gather(&mut self) -> Response {
+        let mut acc = Vec::new();
+        let mut flops = 0.0;
+        for i in 0..self.shards.len() {
+            match self.shards[i].collect() {
+                Response::Accelerations { acc: a, flops: f } => {
+                    acc.extend_from_slice(&a);
+                    flops += f;
+                }
+                other => return self.drain_after_failure(i + 1, other),
+            }
+        }
+        Response::Accelerations { acc, flops }
+    }
+
+    /// A shard answered wrongly mid-gather: drain the remaining shards
+    /// (their pipelines must be left clean) and surface the failure.
+    fn drain_after_failure(&mut self, next: usize, failure: Response) -> Response {
+        for s in &mut self.shards[next..] {
+            let _ = s.collect();
+        }
+        failure
+    }
+}
+
+impl Channel for ShardedChannel {
+    fn call(&mut self, req: Request) -> Response {
+        self.submit(req);
+        self.collect()
+    }
+
+    fn submit(&mut self, req: Request) {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        let pending = match req {
+            Request::GetParticles => {
+                for s in &mut self.shards {
+                    s.submit(Request::GetParticles);
+                }
+                Pending::Concat
+            }
+            Request::Kick(dv) => match self.scatter_submit(&dv, Request::Kick) {
+                Ok(()) => Pending::Broadcast,
+                Err(resp) => Pending::Failed(resp),
+            },
+            Request::SetMasses(m) => match self.scatter_submit(&m, Request::SetMasses) {
+                Ok(()) => Pending::Broadcast,
+                Err(resp) => Pending::Failed(resp),
+            },
+            Request::ComputeKick { targets, source_pos, source_mass } => {
+                let counts = partition(targets.len(), self.shards.len());
+                let mut off = 0usize;
+                for (i, c) in counts.iter().enumerate() {
+                    self.shards[i].submit(Request::ComputeKick {
+                        targets: targets[off..off + c].to_vec(),
+                        source_pos: source_pos.clone(),
+                        source_mass: source_mass.clone(),
+                    });
+                    off += c;
+                }
+                Pending::Gather
+            }
+            Request::EvolveStars(t) => {
+                for s in &mut self.shards {
+                    s.submit(Request::EvolveStars(t));
+                }
+                Pending::Stellar
+            }
+            Request::AddGas { pos, mass, u } => {
+                let last = self.shards.len() - 1;
+                self.shards[last].submit(Request::AddGas { pos, mass, u });
+                Pending::Single { shard: last, grow: true }
+            }
+            other => {
+                // Ping / EvolveTo / InjectEnergy / Stop: plain broadcast
+                for s in &mut self.shards {
+                    s.submit(other.clone());
+                }
+                Pending::Broadcast
+            }
+        };
+        self.pending = Some(pending);
+    }
+
+    fn collect(&mut self) -> Response {
+        match self.pending.take().expect("no outstanding call") {
+            Pending::Broadcast => self.collect_broadcast(),
+            Pending::Concat => self.collect_concat(),
+            Pending::Stellar => self.collect_stellar(),
+            Pending::Gather => self.collect_gather(),
+            Pending::Single { shard, grow } => {
+                let resp = self.shards[shard].collect();
+                if grow && matches!(resp, Response::Ok { .. }) {
+                    self.counts[shard] += 1;
+                }
+                resp
+            }
+            Pending::Failed(resp) => resp,
+        }
+    }
+
+    fn stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.calls += st.calls;
+            total.bytes_out += st.bytes_out;
+            total.bytes_in += st.bytes_in;
+            total.flops += st.flops;
+        }
+        total
+    }
+
+    fn worker_name(&self) -> String {
+        format!("{}×{}", self.shards[0].worker_name(), self.shards.len())
+    }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        out.mass.clear();
+        out.pos.clear();
+        out.vel.clear();
+        for i in 0..self.shards.len() {
+            let scratch = &mut self.snap_scratch[i];
+            if !self.shards[i].snapshot_into(scratch) {
+                return false;
+            }
+            self.counts[i] = scratch.mass.len();
+            out.mass.extend_from_slice(&scratch.mass);
+            out.pos.extend_from_slice(&scratch.pos);
+            out.vel.extend_from_slice(&scratch.vel);
+        }
+        true
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        if dv.len() != self.total_particles() {
+            return Response::Error(format!(
+                "sharded kick length mismatch: got {}, shards own {}",
+                dv.len(),
+                self.total_particles()
+            ));
+        }
+        let mut flops = 0.0;
+        for i in 0..self.shards.len() {
+            let (a, b) = self.range(i);
+            match self.shards[i].kick_slice(&dv[a..b]) {
+                Response::Ok { flops: f } => flops += f,
+                other => return other,
+            }
+        }
+        Response::Ok { flops }
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        let counts = partition(targets.len(), self.shards.len());
+        let mut flops = 0.0;
+        let mut off = 0usize;
+        for (i, c) in counts.iter().enumerate() {
+            let acc = &mut self.acc_scratch[i];
+            flops += self.shards[i].compute_kick_into(
+                &targets[off..off + c],
+                source_pos,
+                source_mass,
+                acc,
+            )?;
+            off += c;
+        }
+        out.clear();
+        for acc in &self.acc_scratch {
+            out.extend_from_slice(acc);
+        }
+        Some(flops)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::LocalChannel;
+    use crate::worker::{CouplingWorker, GravityWorker, StellarWorker};
+    use jc_nbody::plummer::plummer_sphere;
+    use jc_nbody::Backend;
+
+    fn local(w: impl crate::worker::ModelWorker + 'static) -> Box<dyn Channel> {
+        Box::new(LocalChannel::new(Box::new(w)))
+    }
+
+    #[test]
+    fn partition_covers_everything_contiguously() {
+        assert_eq!(partition(10, 3), vec![4, 4, 2]);
+        assert_eq!(partition(3, 4), vec![1, 1, 1, 0]);
+        assert_eq!(partition(0, 2), vec![0, 0]);
+        assert_eq!(partition(7, 1), vec![7]);
+    }
+
+    #[test]
+    fn sharded_coupling_matches_unsharded_bitwise() {
+        let ics = plummer_sphere(97, 5);
+        let mut single = CouplingWorker::fi();
+        let reference = match crate::worker::ModelWorker::handle(
+            &mut single,
+            Request::ComputeKick {
+                targets: ics.pos.clone(),
+                source_pos: ics.pos.clone(),
+                source_mass: ics.mass.clone(),
+            },
+        ) {
+            Response::Accelerations { acc, .. } => acc,
+            other => panic!("{other:?}"),
+        };
+        for k in 1..=3 {
+            let shards: Vec<Box<dyn Channel>> =
+                (0..k).map(|_| local(CouplingWorker::fi())).collect();
+            let mut sharded = ShardedChannel::new(shards);
+            let resp = sharded.call(Request::ComputeKick {
+                targets: ics.pos.clone(),
+                source_pos: ics.pos.clone(),
+                source_mass: ics.mass.clone(),
+            });
+            match resp {
+                Response::Accelerations { acc, .. } => {
+                    assert_eq!(acc.len(), reference.len());
+                    for (a, b) in acc.iter().zip(&reference) {
+                        for j in 0..3 {
+                            assert_eq!(a[j].to_bits(), b[j].to_bits(), "k={k}");
+                        }
+                    }
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stellar_remaps_event_indices() {
+        let masses: Vec<f64> = vec![1.0, 30.0, 2.0, 25.0, 0.8];
+        let mut single = local(StellarWorker::new(masses.clone(), 0.02));
+        let reference = single.call(Request::EvolveStars(8.0));
+        let counts = partition(masses.len(), 2);
+        let mut off = 0;
+        let shards: Vec<Box<dyn Channel>> = counts
+            .iter()
+            .map(|&c| {
+                let w = StellarWorker::new(masses[off..off + c].to_vec(), 0.02);
+                off += c;
+                local(w)
+            })
+            .collect();
+        let mut sharded = ShardedChannel::with_counts(shards, vec![0; 2]);
+        let resp = sharded.call(Request::EvolveStars(8.0));
+        match (reference, resp) {
+            (
+                Response::StellarUpdate { masses: m1, events: e1 },
+                Response::StellarUpdate { masses: m2, events: e2 },
+            ) => {
+                assert_eq!(m1, m2);
+                assert_eq!(e1, e2);
+                assert!(!e1.is_empty(), "sanity: the 30 and 25 MSun stars explode by 8 Myr");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_state_ops_match_unsharded() {
+        let ics = plummer_sphere(23, 8);
+        let dv: Vec<[f64; 3]> = (0..23).map(|i| [i as f64 * 1e-4, -1e-5, 2e-5]).collect();
+
+        let mut single = local(GravityWorker::new(ics.clone(), Backend::Scalar));
+        let _ = single.call(Request::Kick(dv.clone()));
+        let reference = match single.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("{other:?}"),
+        };
+
+        let counts = partition(23, 3);
+        let mut off = 0;
+        let shards: Vec<Box<dyn Channel>> = counts
+            .iter()
+            .map(|&c| {
+                let sub = ics.slice(off, off + c);
+                off += c;
+                local(GravityWorker::new(sub, Backend::Scalar))
+            })
+            .collect();
+        let mut sharded = ShardedChannel::new(shards);
+        assert_eq!(sharded.total_particles(), 23);
+        let r = sharded.call(Request::Kick(dv));
+        assert!(matches!(r, Response::Ok { .. }), "{r:?}");
+        match sharded.call(Request::GetParticles) {
+            Response::Particles(p) => {
+                assert_eq!(p.mass, reference.mass);
+                assert_eq!(p.pos, reference.pos);
+                assert_eq!(p.vel, reference.vel);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn stateless_pool_survives_zero_length_scatter() {
+        // empty `counts` (stateless pool) + a zero-length scatter must
+        // not panic: every shard just gets an empty slice
+        let shards: Vec<Box<dyn Channel>> = (0..2).map(|_| local(CouplingWorker::fi())).collect();
+        let mut pool = ShardedChannel::with_counts(shards, Vec::new());
+        assert_eq!(pool.total_particles(), 0);
+        let r = pool.call(Request::Kick(Vec::new()));
+        assert!(matches!(r, Response::Unsupported), "{r:?}");
+        let r = pool.kick_slice(&[]);
+        assert!(matches!(r, Response::Unsupported), "{r:?}");
+
+        // a pool built with empty counts over particle-holding shards
+        // discovers its layout from the first snapshot instead of
+        // panicking on the counts refresh
+        let shards: Vec<Box<dyn Channel>> = (0..2)
+            .map(|i| local(GravityWorker::new(plummer_sphere(4, i), Backend::Scalar)))
+            .collect();
+        let mut pool = ShardedChannel::with_counts(shards, Vec::new());
+        match pool.call(Request::GetParticles) {
+            Response::Particles(p) => assert_eq!(p.mass.len(), 8),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(pool.total_particles(), 8, "counts refreshed from the gather");
+    }
+
+    #[test]
+    fn mismatched_scatter_is_an_error() {
+        let shards: Vec<Box<dyn Channel>> = (0..2)
+            .map(|i| local(GravityWorker::new(plummer_sphere(4, i), Backend::Scalar)))
+            .collect();
+        let mut sharded = ShardedChannel::new(shards);
+        let r = sharded.kick_slice(&[[0.0; 3]; 3]);
+        assert!(matches!(r, Response::Error(_)), "{r:?}");
+    }
+}

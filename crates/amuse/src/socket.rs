@@ -1,0 +1,450 @@
+//! The socket channel: real TCP between coupler and worker.
+//!
+//! This is the paper's "channel based on sockets": the same
+//! [`Channel`] RPC surface as [`crate::LocalChannel`] and
+//! [`crate::ThreadChannel`], but every call is one wire frame (see
+//! [`crate::wire`]) over a `std::net::TcpStream`. The server side,
+//! [`WorkerServer`], serves any [`ModelWorker`] over a
+//! `std::net::TcpListener` — it is what the `jungle-worker` binary
+//! wraps.
+//!
+//! Both sides keep one reusable encode buffer and one reusable decode
+//! buffer, and the borrowing fast paths (`snapshot_into`, `kick_slice`,
+//! `compute_kick_into`) encode straight from the caller's slices and
+//! decode straight into the caller's buffers — a warm bridge step over
+//! a `SocketChannel` performs no coupler-side heap allocation.
+//!
+//! Because every frame is physically [`Request::wire_size`]/
+//! [`Response::wire_size`] bytes long, the [`ChannelStats`] this channel
+//! accumulates from *actual* bytes sent and received agree exactly with
+//! the modeled accounting of the in-process channels.
+
+use crate::channel::{Channel, ChannelStats};
+use crate::wire::{self, WireError};
+use crate::worker::{ModelWorker, ParticleData, Request, Response};
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+/// An RPC channel to a worker behind a TCP socket.
+pub struct SocketChannel {
+    stream: TcpStream,
+    name: String,
+    stats: ChannelStats,
+    /// The outstanding asynchronous call: request bytes sent, or the
+    /// send error to surface from `collect` (submit must not panic —
+    /// a dead peer is reported the same way the synchronous path
+    /// reports it, as a `Response::Error`).
+    pending: Option<Result<u64, WireError>>,
+    /// First wire-level failure seen on this stream. After one, frame
+    /// alignment can no longer be trusted (a half-read payload would be
+    /// parsed as headers), so the channel fails fast with this error
+    /// instead of returning garbage forever — the same
+    /// connection-fatal treatment the server gives protocol errors.
+    poisoned: Option<WireError>,
+    /// Reused encode buffer.
+    wbuf: Vec<u8>,
+    /// Reused decode buffer (scratch: only the leading frame is live).
+    rbuf: Vec<u8>,
+}
+
+impl SocketChannel {
+    /// Connect to a worker server. `name` is the local display name for
+    /// monitoring (the wire protocol has no name exchange).
+    pub fn connect(
+        addr: impl ToSocketAddrs,
+        name: impl Into<String>,
+    ) -> std::io::Result<SocketChannel> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(SocketChannel {
+            stream,
+            name: name.into(),
+            stats: ChannelStats::default(),
+            pending: None,
+            poisoned: None,
+            wbuf: Vec::new(),
+            rbuf: Vec::new(),
+        })
+    }
+
+    /// The peer address.
+    pub fn peer_addr(&self) -> std::io::Result<SocketAddr> {
+        self.stream.peer_addr()
+    }
+
+    /// Send the frame currently in `wbuf`; record its bytes.
+    fn send(&mut self) -> Result<u64, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let bytes = self.wbuf.len() as u64;
+        match wire::write_frame(&mut self.stream, &self.wbuf) {
+            Ok(()) => Ok(bytes),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Receive one frame into `rbuf`; returns its byte count.
+    fn recv(&mut self) -> Result<u64, WireError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match wire::read_frame(&mut self.stream, &mut self.rbuf) {
+            Ok(n) => Ok(n as u64),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    /// Complete one round trip for a request already encoded in `wbuf`,
+    /// updating the stats from the actual bytes moved.
+    fn transact(&mut self) -> Result<(), WireError> {
+        let out = self.send()?;
+        let inb = self.recv()?;
+        self.stats.calls += 1;
+        self.stats.bytes_out += out;
+        self.stats.bytes_in += inb;
+        Ok(())
+    }
+}
+
+impl Channel for SocketChannel {
+    fn call(&mut self, req: Request) -> Response {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        wire::encode_request(&req, &mut self.wbuf);
+        if let Err(e) = self.transact() {
+            self.stats.calls += 1;
+            return Response::Error(format!("wire error: {e}"));
+        }
+        match wire::decode_response(&self.rbuf) {
+            Ok(resp) => {
+                self.stats.flops += resp.flops();
+                resp
+            }
+            Err(e) => Response::Error(format!("wire error: {e}")),
+        }
+    }
+
+    fn submit(&mut self, req: Request) {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        wire::encode_request(&req, &mut self.wbuf);
+        self.pending = Some(self.send());
+    }
+
+    fn collect(&mut self) -> Response {
+        let out = match self.pending.take().expect("no outstanding call") {
+            Ok(bytes) => bytes,
+            Err(e) => {
+                self.stats.calls += 1;
+                return Response::Error(format!("wire error: {e}"));
+            }
+        };
+        match self.recv() {
+            Ok(inb) => {
+                self.stats.calls += 1;
+                self.stats.bytes_out += out;
+                self.stats.bytes_in += inb;
+                match wire::decode_response(&self.rbuf) {
+                    Ok(resp) => {
+                        self.stats.flops += resp.flops();
+                        resp
+                    }
+                    Err(e) => Response::Error(format!("wire error: {e}")),
+                }
+            }
+            Err(e) => {
+                self.stats.calls += 1;
+                self.stats.bytes_out += out;
+                Response::Error(format!("wire error: {e}"))
+            }
+        }
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.stats
+    }
+
+    fn worker_name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        wire::encode_simple_request(wire::op::GET_PARTICLES, &mut self.wbuf);
+        if self.transact().is_err() {
+            return false;
+        }
+        wire::decode_particles_into(&self.rbuf, out).is_ok()
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        wire::encode_kick(dv, &mut self.wbuf);
+        if let Err(e) = self.transact() {
+            self.stats.calls += 1;
+            return Response::Error(format!("wire error: {e}"));
+        }
+        match wire::decode_ok(&self.rbuf) {
+            Ok(flops) => {
+                self.stats.flops += flops;
+                Response::Ok { flops }
+            }
+            // not an Ok frame: surface whatever the worker actually said
+            Err(WireError::Unexpected(_)) => wire::decode_response(&self.rbuf)
+                .unwrap_or_else(|e| Response::Error(format!("wire error: {e}"))),
+            Err(e) => Response::Error(format!("wire error: {e}")),
+        }
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        assert!(self.pending.is_none(), "one outstanding call per channel");
+        wire::encode_compute_kick(targets, source_pos, source_mass, &mut self.wbuf);
+        if self.transact().is_err() {
+            return None;
+        }
+        match wire::decode_accelerations_into(&self.rbuf, out) {
+            Ok(flops) => {
+                self.stats.flops += flops;
+                Some(flops)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+impl Drop for SocketChannel {
+    fn drop(&mut self) {
+        // Best-effort shutdown so the server's serve loop can exit. A
+        // dropped-while-outstanding channel (e.g. the coupler unwinding
+        // mid-fan-out) first drains the pending response — bounded by a
+        // read timeout so a wedged worker cannot hang the drop — and
+        // then sends Stop like the idle path; otherwise the server
+        // would return to `accept` and wait for a client that never
+        // comes.
+        if self.poisoned.is_none() {
+            if matches!(self.pending.take(), Some(Ok(_))) {
+                let _ = self.stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+                let _ = wire::read_frame(&mut self.stream, &mut self.rbuf);
+            }
+            wire::encode_simple_request(wire::op::STOP, &mut self.wbuf);
+            let _ = wire::write_frame(&mut self.stream, &self.wbuf);
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A TCP server hosting one [`ModelWorker`].
+///
+/// Connections are served sequentially (the AMUSE worker model: one
+/// coupler drives one worker). A clean disconnect returns the server to
+/// `accept`; a [`Request::Stop`] shuts the server down after replying.
+pub struct WorkerServer {
+    listener: TcpListener,
+}
+
+impl WorkerServer {
+    /// Bind a listener. Use port 0 for an ephemeral port and read it
+    /// back with [`WorkerServer::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs) -> std::io::Result<WorkerServer> {
+        Ok(WorkerServer { listener: TcpListener::bind(addr)? })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serve `worker` until a [`Request::Stop`] arrives. Frame and
+    /// encode buffers are reused across requests and connections, so a
+    /// steady-state request costs the server no allocation either.
+    pub fn serve(&self, worker: &mut dyn ModelWorker) -> std::io::Result<()> {
+        let mut frame = Vec::new();
+        let mut out = Vec::new();
+        loop {
+            let (mut stream, _peer) = self.listener.accept()?;
+            stream.set_nodelay(true)?;
+            if serve_connection(&mut stream, worker, &mut frame, &mut out) {
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// Serve one established connection; returns `true` if a `Stop` request
+/// asked the whole server to shut down.
+///
+/// Protocol errors are connection-fatal: framing can no longer be
+/// trusted, so the server replies with a [`Response::Error`] frame
+/// (best-effort) and drops the connection — it never panics and stays
+/// available for the next `accept`.
+fn serve_connection(
+    stream: &mut TcpStream,
+    worker: &mut dyn ModelWorker,
+    frame: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> bool {
+    loop {
+        match wire::read_frame(stream, frame) {
+            Ok(_len) => {}
+            Err(WireError::Closed) => return false,
+            Err(e) => {
+                wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
+                let _ = wire::write_frame(stream, out);
+                return false;
+            }
+        }
+        let req = match wire::decode_request(frame) {
+            Ok(r) => r,
+            Err(e) => {
+                wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
+                let _ = wire::write_frame(stream, out);
+                return false;
+            }
+        };
+        let stop = matches!(req, Request::Stop);
+        let resp = worker.handle(req);
+        wire::encode_response(&resp, out);
+        if wire::write_frame(stream, out).is_err() {
+            let _ = stream.flush();
+            return stop;
+        }
+        if stop {
+            return true;
+        }
+    }
+}
+
+/// Spawn a worker on its own thread behind a loopback TCP server bound
+/// to an ephemeral port. The factory runs on the server thread (so
+/// non-`Send` kernels still work); returns the address to
+/// [`SocketChannel::connect`] to and the server thread's handle. The
+/// server exits when a `Stop` request arrives — which
+/// [`SocketChannel`]'s `Drop` sends automatically.
+pub fn spawn_tcp_worker<F, W>(
+    name: impl Into<String>,
+    factory: F,
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>)
+where
+    F: FnOnce() -> W + Send + 'static,
+    W: ModelWorker + 'static,
+{
+    let server = WorkerServer::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+    let addr = server.local_addr().expect("listener address");
+    let name = name.into();
+    let handle = std::thread::Builder::new()
+        .name(format!("tcp-worker-{name}"))
+        .spawn(move || {
+            let mut worker = factory();
+            server.serve(&mut worker)
+        })
+        .expect("spawn worker server thread");
+    (addr, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{GravityWorker, StellarWorker};
+    use jc_nbody::plummer::plummer_sphere;
+    use jc_nbody::Backend;
+
+    #[test]
+    fn socket_channel_round_trips_over_real_tcp() {
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(8, 1), Backend::Scalar));
+        let mut c = SocketChannel::connect(addr, "grav").unwrap();
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        match c.call(Request::GetParticles) {
+            Response::Particles(p) => assert_eq!(p.mass.len(), 8),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().calls, 2);
+        drop(c); // sends Stop
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn socket_channel_async_overlap() {
+        let (a_addr, ah) = spawn_tcp_worker("sse-a", || StellarWorker::new(vec![1.0, 9.0], 0.02));
+        let (b_addr, bh) = spawn_tcp_worker("sse-b", || StellarWorker::new(vec![2.0], 0.02));
+        let mut a = SocketChannel::connect(a_addr, "sse-a").unwrap();
+        let mut b = SocketChannel::connect(b_addr, "sse-b").unwrap();
+        a.submit(Request::EvolveStars(5.0));
+        b.submit(Request::EvolveStars(5.0));
+        match a.collect() {
+            Response::StellarUpdate { masses, .. } => assert_eq!(masses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        match b.collect() {
+            Response::StellarUpdate { masses, .. } => assert_eq!(masses.len(), 1),
+            other => panic!("{other:?}"),
+        }
+        drop(a);
+        drop(b);
+        ah.join().unwrap().unwrap();
+        bh.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn channel_poisons_itself_after_a_wire_failure() {
+        // a server that slams the connection mid-conversation: every
+        // later call on the channel must fail fast with the original
+        // error, not misparse a desynchronized stream
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let killer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // immediate close, no response ever
+        });
+        let mut c = SocketChannel::connect(addr, "doomed").unwrap();
+        killer.join().unwrap();
+        let r1 = c.call(Request::Ping);
+        assert!(matches!(r1, Response::Error(_)), "{r1:?}");
+        let r2 = c.call(Request::GetParticles);
+        match (&r1, &r2) {
+            (Response::Error(e1), Response::Error(e2)) => {
+                assert_eq!(e1, e2, "poisoned channel echoes the original failure");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(!c.snapshot_into(&mut crate::worker::ParticleData::default()));
+    }
+
+    #[test]
+    fn dropping_mid_submit_still_stops_the_server() {
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(8, 3), Backend::Scalar));
+        let mut c = SocketChannel::connect(addr, "grav").unwrap();
+        c.submit(Request::EvolveTo(1e-3));
+        drop(c); // drains the outstanding response, then sends Stop
+        handle.join().unwrap().unwrap(); // must not hang on accept()
+    }
+
+    #[test]
+    fn server_survives_a_dirty_connection() {
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(4, 2), Backend::Scalar));
+        // hostile client: garbage bytes, then hang up
+        {
+            let mut raw = TcpStream::connect(addr).unwrap();
+            raw.write_all(b"definitely not a frame, far more than thirty-two bytes").unwrap();
+            let _ = raw.shutdown(std::net::Shutdown::Write);
+        }
+        // a well-behaved client still gets served afterwards
+        let mut c = SocketChannel::connect(addr, "grav").unwrap();
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        drop(c);
+        handle.join().unwrap().unwrap();
+    }
+}

@@ -1,0 +1,756 @@
+//! The binary wire protocol for remote workers.
+//!
+//! Every RPC crossing a real transport is one *frame*: a fixed 32-byte
+//! header followed by a payload of little-endian scalars. The layout is
+//! chosen so that the physical frame size of every message equals the
+//! modeled [`Request::wire_size`]/[`Response::wire_size`] exactly — the
+//! traffic accounting the in-process channels simulate is what a
+//! [`crate::SocketChannel`] actually puts on the wire.
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------------
+//!      0     4  magic 0x4A43_5752 ("JCWR", little-endian u32)
+//!      4     1  version (currently 1)
+//!      5     1  opcode (request 0x01..=0x0A, response 0x81..=0x86)
+//!      6     2  reserved (ignored on decode, zero on encode)
+//!      8     8  payload length in bytes (u64)
+//!     16     8  aux0 — opcode-specific count / bits (u64)
+//!     24     8  aux1 — opcode-specific count / bits (u64)
+//!     32     …  payload
+//! ```
+//!
+//! Floats travel as raw IEEE-754 bits (`f64::to_le_bytes`), so NaN
+//! payloads and signed zeros round-trip bit-exactly. Decoding never
+//! panics and never allocates more than the received payload: the length
+//! is capped at [`MAX_PAYLOAD`] and validated against the opcode's aux
+//! counts *before* any buffer is sized from it.
+//!
+//! The `decode_*_into` functions are the coupler-side fast paths: they
+//! parse a response frame straight into caller-owned buffers, so a warm
+//! [`crate::SocketChannel`] round trip performs no heap allocation.
+
+use crate::worker::{ParticleData, Request, Response};
+use jc_stellar::StellarEvent;
+use std::io::{Read, Write};
+
+/// Frame magic ("JCWR" as a little-endian u32).
+pub const MAGIC: u32 = 0x4A43_5752;
+/// Current protocol version.
+pub const VERSION: u8 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Maximum accepted payload size (256 MiB). A length prefix beyond this
+/// is rejected before any allocation happens.
+pub const MAX_PAYLOAD: u64 = 1 << 28;
+/// Receive-buffer growth step: [`read_frame`] grows its scratch towards
+/// the declared payload length one chunk at a time, as bytes arrive.
+pub const READ_CHUNK: usize = 1 << 16;
+
+/// Request opcodes.
+pub mod op {
+    /// [`super::Request::Ping`]
+    pub const PING: u8 = 0x01;
+    /// [`super::Request::EvolveTo`]
+    pub const EVOLVE_TO: u8 = 0x02;
+    /// [`super::Request::GetParticles`]
+    pub const GET_PARTICLES: u8 = 0x03;
+    /// [`super::Request::SetMasses`]
+    pub const SET_MASSES: u8 = 0x04;
+    /// [`super::Request::Kick`]
+    pub const KICK: u8 = 0x05;
+    /// [`super::Request::ComputeKick`]
+    pub const COMPUTE_KICK: u8 = 0x06;
+    /// [`super::Request::EvolveStars`]
+    pub const EVOLVE_STARS: u8 = 0x07;
+    /// [`super::Request::InjectEnergy`]
+    pub const INJECT_ENERGY: u8 = 0x08;
+    /// [`super::Request::AddGas`]
+    pub const ADD_GAS: u8 = 0x09;
+    /// [`super::Request::Stop`]
+    pub const STOP: u8 = 0x0A;
+    /// [`super::Response::Ok`]
+    pub const RESP_OK: u8 = 0x81;
+    /// [`super::Response::Particles`]
+    pub const RESP_PARTICLES: u8 = 0x82;
+    /// [`super::Response::Accelerations`]
+    pub const RESP_ACCELERATIONS: u8 = 0x83;
+    /// [`super::Response::StellarUpdate`]
+    pub const RESP_STELLAR_UPDATE: u8 = 0x84;
+    /// [`super::Response::Unsupported`]
+    pub const RESP_UNSUPPORTED: u8 = 0x85;
+    /// [`super::Response::Error`]
+    pub const RESP_ERROR: u8 = 0x86;
+}
+
+/// Everything that can go wrong on the wire. Decoding is total: corrupt
+/// or hostile input yields one of these, never a panic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The peer closed the connection cleanly (EOF between frames).
+    Closed,
+    /// An I/O error from the underlying transport.
+    Io(std::io::ErrorKind),
+    /// The stream ended inside a frame.
+    Truncated {
+        /// Bytes the frame needed.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The frame does not start with [`MAGIC`].
+    BadMagic(u32),
+    /// The version byte is not [`VERSION`].
+    BadVersion(u8),
+    /// The opcode byte names no known message.
+    UnknownOpcode(u8),
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversized(u64),
+    /// The payload length is inconsistent with the opcode's aux counts.
+    BadLength {
+        /// Offending opcode.
+        opcode: u8,
+        /// Declared payload length.
+        len: u64,
+        /// Declared aux0.
+        aux0: u64,
+        /// Declared aux1.
+        aux1: u64,
+    },
+    /// A stellar event record has an unknown kind tag.
+    BadEventKind(u64),
+    /// An error string payload is not valid UTF-8.
+    Utf8,
+    /// A fast-path decoder got a different (valid) response opcode.
+    Unexpected(u8),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Closed => write!(f, "connection closed"),
+            WireError::Io(k) => write!(f, "i/o error: {k:?}"),
+            WireError::Truncated { expected, got } => {
+                write!(f, "truncated frame: needed {expected} bytes, got {got}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:#010x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownOpcode(o) => write!(f, "unknown opcode {o:#04x}"),
+            WireError::Oversized(n) => {
+                write!(f, "payload length {n} exceeds cap {MAX_PAYLOAD}")
+            }
+            WireError::BadLength { opcode, len, aux0, aux1 } => write!(
+                f,
+                "payload length {len} inconsistent with opcode {opcode:#04x} (aux {aux0}, {aux1})"
+            ),
+            WireError::BadEventKind(k) => write!(f, "unknown stellar event kind {k}"),
+            WireError::Utf8 => write!(f, "error string is not valid UTF-8"),
+            WireError::Unexpected(o) => write!(f, "unexpected response opcode {o:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A parsed frame header.
+#[derive(Clone, Copy, Debug)]
+pub struct Header {
+    /// Message opcode.
+    pub opcode: u8,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// Opcode-specific count / bits.
+    pub aux0: u64,
+    /// Opcode-specific count / bits.
+    pub aux1: u64,
+}
+
+// --------------------------------------------------------------------------
+// encoding
+
+#[inline]
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+#[inline]
+fn put_v3(buf: &mut Vec<u8>, v: &[f64; 3]) {
+    put_f64(buf, v[0]);
+    put_f64(buf, v[1]);
+    put_f64(buf, v[2]);
+}
+
+/// Clear `buf` and write a frame header for `opcode` with the given
+/// payload length and aux fields; the payload follows.
+fn begin_frame(buf: &mut Vec<u8>, opcode: u8, payload_len: u64, aux0: u64, aux1: u64) {
+    buf.clear();
+    buf.reserve(HEADER_LEN + payload_len as usize);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.push(VERSION);
+    buf.push(opcode);
+    buf.extend_from_slice(&[0u8; 2]);
+    put_u64(buf, payload_len);
+    put_u64(buf, aux0);
+    put_u64(buf, aux1);
+}
+
+/// Encode a header-only request (`Ping`/`GetParticles`/`Stop`).
+pub fn encode_simple_request(opcode: u8, buf: &mut Vec<u8>) {
+    begin_frame(buf, opcode, 0, 0, 0);
+}
+
+/// Encode `EvolveTo`/`EvolveStars` (8-byte time payload).
+pub fn encode_evolve(opcode: u8, t: f64, buf: &mut Vec<u8>) {
+    begin_frame(buf, opcode, 8, 0, 0);
+    put_f64(buf, t);
+}
+
+/// Encode `SetMasses` from a borrowed slice.
+pub fn encode_set_masses(masses: &[f64], buf: &mut Vec<u8>) {
+    begin_frame(buf, op::SET_MASSES, 8 * masses.len() as u64, masses.len() as u64, 0);
+    for &m in masses {
+        put_f64(buf, m);
+    }
+}
+
+/// Encode `Kick` from a borrowed slice (the coupler's per-step fast path).
+pub fn encode_kick(dv: &[[f64; 3]], buf: &mut Vec<u8>) {
+    begin_frame(buf, op::KICK, 24 * dv.len() as u64, dv.len() as u64, 0);
+    for v in dv {
+        put_v3(buf, v);
+    }
+}
+
+/// Encode `ComputeKick` from borrowed slices. `source_pos` and
+/// `source_mass` must have equal length.
+pub fn encode_compute_kick(
+    targets: &[[f64; 3]],
+    source_pos: &[[f64; 3]],
+    source_mass: &[f64],
+    buf: &mut Vec<u8>,
+) {
+    assert_eq!(source_pos.len(), source_mass.len(), "source arrays length mismatch");
+    let len = 24 * (targets.len() + source_pos.len()) as u64 + 8 * source_mass.len() as u64;
+    begin_frame(buf, op::COMPUTE_KICK, len, targets.len() as u64, source_pos.len() as u64);
+    for v in targets {
+        put_v3(buf, v);
+    }
+    for v in source_pos {
+        put_v3(buf, v);
+    }
+    for &m in source_mass {
+        put_f64(buf, m);
+    }
+}
+
+/// Encode any [`Request`] into `buf` (cleared first). The encoded frame
+/// is exactly [`Request::wire_size`] bytes long.
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    match req {
+        Request::Ping => encode_simple_request(op::PING, buf),
+        Request::GetParticles => encode_simple_request(op::GET_PARTICLES, buf),
+        Request::Stop => encode_simple_request(op::STOP, buf),
+        Request::EvolveTo(t) => encode_evolve(op::EVOLVE_TO, *t, buf),
+        Request::EvolveStars(t) => encode_evolve(op::EVOLVE_STARS, *t, buf),
+        Request::SetMasses(m) => encode_set_masses(m, buf),
+        Request::Kick(dv) => encode_kick(dv, buf),
+        Request::ComputeKick { targets, source_pos, source_mass } => {
+            encode_compute_kick(targets, source_pos, source_mass, buf)
+        }
+        Request::InjectEnergy { center, radius, energy } => {
+            begin_frame(buf, op::INJECT_ENERGY, 40, 0, 0);
+            put_v3(buf, center);
+            put_f64(buf, *radius);
+            put_f64(buf, *energy);
+        }
+        Request::AddGas { pos, mass, u } => {
+            begin_frame(buf, op::ADD_GAS, 40, 0, 0);
+            put_v3(buf, pos);
+            put_f64(buf, *mass);
+            put_f64(buf, *u);
+        }
+    }
+    debug_assert_eq!(buf.len() as u64, req.wire_size(), "frame size != modeled wire size");
+}
+
+/// Encode any [`Response`] into `buf` (cleared first). The encoded frame
+/// is exactly [`Response::wire_size`] bytes long.
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    match resp {
+        Response::Ok { flops } => {
+            begin_frame(buf, op::RESP_OK, 8, 0, 0);
+            put_f64(buf, *flops);
+        }
+        Response::Particles(p) => {
+            let n = p.mass.len();
+            assert!(p.pos.len() == n && p.vel.len() == n, "ragged particle snapshot");
+            begin_frame(buf, op::RESP_PARTICLES, 56 * n as u64, n as u64, 0);
+            for &m in &p.mass {
+                put_f64(buf, m);
+            }
+            for v in &p.pos {
+                put_v3(buf, v);
+            }
+            for v in &p.vel {
+                put_v3(buf, v);
+            }
+        }
+        Response::Accelerations { acc, flops } => {
+            // flops ride in aux1 so the payload stays the modeled 24·n
+            begin_frame(
+                buf,
+                op::RESP_ACCELERATIONS,
+                24 * acc.len() as u64,
+                acc.len() as u64,
+                flops.to_bits(),
+            );
+            for v in acc {
+                put_v3(buf, v);
+            }
+        }
+        Response::StellarUpdate { masses, events } => {
+            let len = 8 * masses.len() as u64 + 32 * events.len() as u64;
+            begin_frame(
+                buf,
+                op::RESP_STELLAR_UPDATE,
+                len,
+                masses.len() as u64,
+                events.len() as u64,
+            );
+            for &m in masses {
+                put_f64(buf, m);
+            }
+            for ev in events {
+                match ev {
+                    StellarEvent::Supernova { star, ejected_mass, energy_foe } => {
+                        put_u64(buf, 0);
+                        put_u64(buf, *star as u64);
+                        put_f64(buf, *ejected_mass);
+                        put_f64(buf, *energy_foe);
+                    }
+                    StellarEvent::WindMassLoss { star, mass } => {
+                        put_u64(buf, 1);
+                        put_u64(buf, *star as u64);
+                        put_f64(buf, *mass);
+                        put_f64(buf, 0.0);
+                    }
+                }
+            }
+        }
+        Response::Unsupported => begin_frame(buf, op::RESP_UNSUPPORTED, 0, 0, 0),
+        Response::Error(e) => {
+            begin_frame(buf, op::RESP_ERROR, e.len() as u64, 0, 0);
+            buf.extend_from_slice(e.as_bytes());
+        }
+    }
+    debug_assert_eq!(buf.len() as u64, resp.wire_size(), "frame size != modeled wire size");
+}
+
+// --------------------------------------------------------------------------
+// decoding
+
+#[inline]
+fn get_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+#[inline]
+fn get_f64(b: &[u8], off: usize) -> f64 {
+    f64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+#[inline]
+fn get_v3(b: &[u8], off: usize) -> [f64; 3] {
+    [get_f64(b, off), get_f64(b, off + 8), get_f64(b, off + 16)]
+}
+
+/// Parse and validate a frame header from its first [`HEADER_LEN`] bytes.
+pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated { expected: HEADER_LEN, got: bytes.len() });
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    if bytes[4] != VERSION {
+        return Err(WireError::BadVersion(bytes[4]));
+    }
+    let len = get_u64(bytes, 8);
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized(len));
+    }
+    Ok(Header { opcode: bytes[5], len, aux0: get_u64(bytes, 16), aux1: get_u64(bytes, 24) })
+}
+
+/// Parse a full frame (header + payload in one slice), validating that
+/// the payload is entirely present.
+fn parse_frame(frame: &[u8]) -> Result<(Header, &[u8]), WireError> {
+    let h = parse_header(frame)?;
+    let need = HEADER_LEN + h.len as usize;
+    if frame.len() < need {
+        return Err(WireError::Truncated { expected: need, got: frame.len() });
+    }
+    Ok((h, &frame[HEADER_LEN..need]))
+}
+
+fn bad_length(h: &Header) -> WireError {
+    WireError::BadLength { opcode: h.opcode, len: h.len, aux0: h.aux0, aux1: h.aux1 }
+}
+
+/// Counted payloads: validate `len == count * stride` (with the count
+/// also bounded by the already-capped length) and return the count.
+fn checked_count(h: &Header, count: u64, stride: u64, remaining: u64) -> Result<usize, WireError> {
+    if count.checked_mul(stride) != Some(remaining) {
+        return Err(bad_length(h));
+    }
+    Ok(count as usize)
+}
+
+/// Decode a request frame.
+pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
+    let (h, p) = parse_frame(frame)?;
+    match h.opcode {
+        op::PING | op::GET_PARTICLES | op::STOP => {
+            if h.len != 0 {
+                return Err(bad_length(&h));
+            }
+            Ok(match h.opcode {
+                op::PING => Request::Ping,
+                op::GET_PARTICLES => Request::GetParticles,
+                _ => Request::Stop,
+            })
+        }
+        op::EVOLVE_TO | op::EVOLVE_STARS => {
+            if h.len != 8 {
+                return Err(bad_length(&h));
+            }
+            let t = get_f64(p, 0);
+            Ok(if h.opcode == op::EVOLVE_TO {
+                Request::EvolveTo(t)
+            } else {
+                Request::EvolveStars(t)
+            })
+        }
+        op::SET_MASSES => {
+            let n = checked_count(&h, h.aux0, 8, h.len)?;
+            Ok(Request::SetMasses((0..n).map(|i| get_f64(p, 8 * i)).collect()))
+        }
+        op::KICK => {
+            let n = checked_count(&h, h.aux0, 24, h.len)?;
+            Ok(Request::Kick((0..n).map(|i| get_v3(p, 24 * i)).collect()))
+        }
+        op::COMPUTE_KICK => {
+            let (t, s) = (h.aux0, h.aux1);
+            let expect =
+                t.checked_mul(24).and_then(|a| s.checked_mul(32).and_then(|b| a.checked_add(b)));
+            if expect != Some(h.len) {
+                return Err(bad_length(&h));
+            }
+            let (t, s) = (t as usize, s as usize);
+            let off_sp = 24 * t;
+            let off_sm = off_sp + 24 * s;
+            Ok(Request::ComputeKick {
+                targets: (0..t).map(|i| get_v3(p, 24 * i)).collect(),
+                source_pos: (0..s).map(|i| get_v3(p, off_sp + 24 * i)).collect(),
+                source_mass: (0..s).map(|i| get_f64(p, off_sm + 8 * i)).collect(),
+            })
+        }
+        op::INJECT_ENERGY | op::ADD_GAS => {
+            if h.len != 40 {
+                return Err(bad_length(&h));
+            }
+            let v = get_v3(p, 0);
+            let (a, b) = (get_f64(p, 24), get_f64(p, 32));
+            Ok(if h.opcode == op::INJECT_ENERGY {
+                Request::InjectEnergy { center: v, radius: a, energy: b }
+            } else {
+                Request::AddGas { pos: v, mass: a, u: b }
+            })
+        }
+        other => Err(WireError::UnknownOpcode(other)),
+    }
+}
+
+/// Decode a response frame.
+pub fn decode_response(frame: &[u8]) -> Result<Response, WireError> {
+    let (h, p) = parse_frame(frame)?;
+    match h.opcode {
+        op::RESP_OK => {
+            if h.len != 8 {
+                return Err(bad_length(&h));
+            }
+            Ok(Response::Ok { flops: get_f64(p, 0) })
+        }
+        op::RESP_PARTICLES => {
+            let mut out = ParticleData::default();
+            decode_particles_into(frame, &mut out)?;
+            Ok(Response::Particles(out))
+        }
+        op::RESP_ACCELERATIONS => {
+            let mut acc = Vec::new();
+            let flops = decode_accelerations_into(frame, &mut acc)?;
+            Ok(Response::Accelerations { acc, flops })
+        }
+        op::RESP_STELLAR_UPDATE => {
+            let m = h.aux0;
+            let e = h.aux1;
+            let expect =
+                m.checked_mul(8).and_then(|a| e.checked_mul(32).and_then(|b| a.checked_add(b)));
+            if expect != Some(h.len) {
+                return Err(bad_length(&h));
+            }
+            let (m, e) = (m as usize, e as usize);
+            let masses = (0..m).map(|i| get_f64(p, 8 * i)).collect();
+            let base = 8 * m;
+            let mut events = Vec::with_capacity(e);
+            for i in 0..e {
+                let off = base + 32 * i;
+                let kind = get_u64(p, off);
+                let star = get_u64(p, off + 8) as usize;
+                let (a, b) = (get_f64(p, off + 16), get_f64(p, off + 24));
+                events.push(match kind {
+                    0 => StellarEvent::Supernova { star, ejected_mass: a, energy_foe: b },
+                    1 => StellarEvent::WindMassLoss { star, mass: a },
+                    k => return Err(WireError::BadEventKind(k)),
+                });
+            }
+            Ok(Response::StellarUpdate { masses, events })
+        }
+        op::RESP_UNSUPPORTED => {
+            if h.len != 0 {
+                return Err(bad_length(&h));
+            }
+            Ok(Response::Unsupported)
+        }
+        op::RESP_ERROR => match std::str::from_utf8(p) {
+            Ok(s) => Ok(Response::Error(s.to_string())),
+            Err(_) => Err(WireError::Utf8),
+        },
+        other => Err(WireError::UnknownOpcode(other)),
+    }
+}
+
+/// Fast path: decode a `Particles` response straight into `out`,
+/// reusing its buffers (no allocation once warm). Any other valid
+/// response opcode yields [`WireError::Unexpected`].
+pub fn decode_particles_into(frame: &[u8], out: &mut ParticleData) -> Result<(), WireError> {
+    let (h, p) = parse_frame(frame)?;
+    if h.opcode != op::RESP_PARTICLES {
+        return Err(WireError::Unexpected(h.opcode));
+    }
+    let n = checked_count(&h, h.aux0, 56, h.len)?;
+    out.mass.clear();
+    out.mass.extend((0..n).map(|i| get_f64(p, 8 * i)));
+    let off_pos = 8 * n;
+    out.pos.clear();
+    out.pos.extend((0..n).map(|i| get_v3(p, off_pos + 24 * i)));
+    let off_vel = off_pos + 24 * n;
+    out.vel.clear();
+    out.vel.extend((0..n).map(|i| get_v3(p, off_vel + 24 * i)));
+    Ok(())
+}
+
+/// Fast path: decode an `Accelerations` response into `out` (cleared
+/// and refilled), returning the modeled flops carried in aux1.
+pub fn decode_accelerations_into(frame: &[u8], out: &mut Vec<[f64; 3]>) -> Result<f64, WireError> {
+    let (h, p) = parse_frame(frame)?;
+    if h.opcode != op::RESP_ACCELERATIONS {
+        return Err(WireError::Unexpected(h.opcode));
+    }
+    let n = checked_count(&h, h.aux0, 24, h.len)?;
+    out.clear();
+    out.extend((0..n).map(|i| get_v3(p, 24 * i)));
+    Ok(f64::from_bits(h.aux1))
+}
+
+/// Fast path: decode an `Ok` response, returning its flops.
+pub fn decode_ok(frame: &[u8]) -> Result<f64, WireError> {
+    let (h, p) = parse_frame(frame)?;
+    if h.opcode != op::RESP_OK {
+        return Err(WireError::Unexpected(h.opcode));
+    }
+    if h.len != 8 {
+        return Err(bad_length(&h));
+    }
+    Ok(get_f64(p, 0))
+}
+
+// --------------------------------------------------------------------------
+// framed I/O
+
+/// Write one already-encoded frame.
+pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), WireError> {
+    w.write_all(frame).map_err(|e| WireError::Io(e.kind()))?;
+    w.flush().map_err(|e| WireError::Io(e.kind()))
+}
+
+/// Read one frame into `buf`, returning the frame's length in bytes.
+///
+/// `buf` is a reusable scratch buffer: it is grown monotonically (never
+/// shrunk, never re-zeroed below its high-water mark, so a warm steady
+/// state pays no memset) and `buf[..returned_len]` holds the frame —
+/// bytes past the returned length are stale and must be ignored, which
+/// every decoder does by trusting the header's length field.
+///
+/// Distinguishes a clean close *between* frames ([`WireError::Closed`])
+/// from a mid-frame truncation. The header is validated (magic, version,
+/// length cap) before the payload buffer is sized, and the buffer grows
+/// in [`READ_CHUNK`] steps as bytes arrive — so a hostile length prefix
+/// never triggers an allocation beyond one chunk past what the peer has
+/// actually sent.
+pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<usize, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    let mut got = 0usize;
+    while got < HEADER_LEN {
+        match r.read(&mut header[got..]) {
+            Ok(0) => {
+                return Err(if got == 0 {
+                    WireError::Closed
+                } else {
+                    WireError::Truncated { expected: HEADER_LEN, got }
+                });
+            }
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    let h = parse_header(&header)?;
+    let total = HEADER_LEN + h.len as usize;
+    if buf.len() < HEADER_LEN {
+        buf.resize(HEADER_LEN, 0);
+    }
+    buf[..HEADER_LEN].copy_from_slice(&header);
+    let mut got = HEADER_LEN;
+    while got < total {
+        // Grow the scratch towards `total` only as bytes actually
+        // arrive: a hostile length prefix from a stalled peer pins at
+        // most one chunk, never the full declared payload. A warm
+        // buffer already covers `total` and takes the no-resize path.
+        let end = total.min(got + READ_CHUNK).max(buf.len().min(total));
+        if buf.len() < end {
+            buf.resize(end, 0);
+        }
+        match r.read(&mut buf[got..end]) {
+            Ok(0) => return Err(WireError::Truncated { expected: total, got }),
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(WireError::Io(e.kind())),
+        }
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_frames_match_modeled_wire_size() {
+        let reqs = [
+            Request::Ping,
+            Request::Stop,
+            Request::GetParticles,
+            Request::EvolveTo(0.25),
+            Request::EvolveStars(12.5),
+            Request::SetMasses(vec![1.0, 2.0, 3.0]),
+            Request::Kick(vec![[0.1, -0.2, 0.3]; 5]),
+            Request::ComputeKick {
+                targets: vec![[1.0; 3]; 4],
+                source_pos: vec![[2.0; 3]; 7],
+                source_mass: vec![0.5; 7],
+            },
+            Request::InjectEnergy { center: [1.0, 2.0, 3.0], radius: 0.2, energy: 1.5 },
+            Request::AddGas { pos: [0.0; 3], mass: 0.01, u: 0.5 },
+        ];
+        let mut buf = Vec::new();
+        for req in &reqs {
+            encode_request(req, &mut buf);
+            assert_eq!(buf.len() as u64, req.wire_size(), "{req:?}");
+            let back = decode_request(&buf).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{req:?}"));
+        }
+    }
+
+    #[test]
+    fn response_frames_match_modeled_wire_size() {
+        let resps = [
+            Response::Ok { flops: 123.0 },
+            Response::Particles(ParticleData {
+                mass: vec![1.0, 2.0],
+                pos: vec![[0.0; 3]; 2],
+                vel: vec![[1.0; 3]; 2],
+            }),
+            Response::Accelerations { acc: vec![[9.0; 3]; 3], flops: 77.0 },
+            Response::StellarUpdate {
+                masses: vec![1.0, 8.0],
+                events: vec![
+                    StellarEvent::Supernova { star: 1, ejected_mass: 6.0, energy_foe: 10.0 },
+                    StellarEvent::WindMassLoss { star: 0, mass: 1e-3 },
+                ],
+            },
+            Response::Unsupported,
+            Response::Error("boom".into()),
+        ];
+        let mut buf = Vec::new();
+        for resp in &resps {
+            encode_response(resp, &mut buf);
+            assert_eq!(buf.len() as u64, resp.wire_size(), "{resp:?}");
+            let back = decode_response(&buf).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{resp:?}"));
+        }
+    }
+
+    #[test]
+    fn nan_and_infinity_round_trip_bit_exactly() {
+        let dv = vec![[f64::NAN, f64::INFINITY, f64::NEG_INFINITY], [-0.0, 0.0, 1e-308]];
+        let mut buf = Vec::new();
+        encode_request(&Request::Kick(dv.clone()), &mut buf);
+        match decode_request(&buf).unwrap() {
+            Request::Kick(back) => {
+                for (a, b) in dv.iter().zip(&back) {
+                    for k in 0..3 {
+                        assert_eq!(a[k].to_bits(), b[k].to_bits());
+                    }
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn framed_io_round_trips() {
+        let mut buf = Vec::new();
+        encode_request(&Request::EvolveTo(1.5), &mut buf);
+        let mut cursor = std::io::Cursor::new(buf.clone());
+        let mut rbuf = Vec::new();
+        let n = read_frame(&mut cursor, &mut rbuf).unwrap();
+        assert_eq!(&rbuf[..n], &buf[..]);
+        // a second read on the drained stream is a clean close
+        assert_eq!(read_frame(&mut cursor, &mut rbuf), Err(WireError::Closed));
+    }
+
+    #[test]
+    fn read_frame_scratch_buffer_is_reusable_across_frame_sizes() {
+        // big frame, then a small one: the stale tail must not confuse
+        // the decoders (the header's length field governs)
+        let mut big = Vec::new();
+        encode_request(&Request::Kick(vec![[7.0; 3]; 100]), &mut big);
+        let mut small = Vec::new();
+        encode_request(&Request::EvolveTo(0.5), &mut small);
+        let mut rbuf = Vec::new();
+        let n = read_frame(&mut std::io::Cursor::new(&big), &mut rbuf).unwrap();
+        assert_eq!(n, big.len());
+        assert!(matches!(decode_request(&rbuf).unwrap(), Request::Kick(v) if v.len() == 100));
+        let n = read_frame(&mut std::io::Cursor::new(&small), &mut rbuf).unwrap();
+        assert_eq!(n, small.len());
+        assert!(rbuf.len() > n, "scratch keeps its high-water mark");
+        assert!(matches!(decode_request(&rbuf).unwrap(), Request::EvolveTo(t) if t == 0.5));
+    }
+}

@@ -7,11 +7,17 @@
 //! the results as JSON so every perf PR leaves a trajectory point behind.
 //!
 //! ```text
-//! perfsuite [--quick] [--out PATH] [--check BASELINE] [--repeats K]
+//! perfsuite [--quick] [--socket] [--out PATH] [--check BASELINE] [--repeats K]
 //! ```
 //!
 //! * `--quick` — small-N subset (CI per-PR job)
-//! * `--out` — output path (default `BENCH_PR2.json`)
+//! * `--socket` — add transport-overhead rows: one bridge-style RPC
+//!   round trip (snapshot + kick) per channel kind — in-process
+//!   `LocalChannel` versus loopback-TCP `SocketChannel` — so the
+//!   BENCH_*.json trajectory tracks what the wire costs on top of the
+//!   kernel (`interactions_per_s` holds payload bytes/s for these rows)
+//! * `--out` — output path (default `bench.json`; pass an explicit
+//!   `BENCH_PRn.json` when recording a committed baseline)
 //! * `--check` — compare against a committed baseline JSON and exit
 //!   non-zero if any matching kernel regressed more than 2× in ns/step
 //! * `--repeats` — timing repeats per kernel (default 3; best is kept)
@@ -39,13 +45,17 @@ struct Sample {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out_path = String::from("BENCH_PR2.json");
+    let mut socket = false;
+    // not a committed BENCH_*.json: a bare run must never clobber a
+    // checked-in baseline
+    let mut out_path = String::from("bench.json");
     let mut check_path: Option<String> = None;
     let mut repeats = 3usize;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--socket" => socket = true,
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
             "--repeats" => {
@@ -54,7 +64,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfsuite [--quick] [--out PATH] [--check BASELINE] [--repeats K]"
+                    "usage: perfsuite [--quick] [--socket] [--out PATH] [--check BASELINE] \
+                     [--repeats K]"
                 );
                 std::process::exit(2);
             }
@@ -78,6 +89,13 @@ fn main() {
         samples.push(bench_sph_density_legacy(n, repeats));
         samples.push(bench_sph_forces(n, repeats));
     }
+    if socket {
+        let channel_ns: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
+        for &n in channel_ns {
+            samples.push(bench_channel_roundtrip(n, repeats, false));
+            samples.push(bench_channel_roundtrip(n, repeats, true));
+        }
+    }
 
     for s in &samples {
         println!(
@@ -86,6 +104,7 @@ fn main() {
         );
     }
     report_speedup(&samples);
+    report_transport_overhead(&samples);
 
     let json = render_json(&samples, quick);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
@@ -230,6 +249,67 @@ fn bench_sph_forces(n: usize, repeats: usize) -> Sample {
     }
 }
 
+/// One bridge-style RPC round trip — a full particle snapshot plus a
+/// kick — over an in-process channel or a loopback TCP socket. The
+/// same worker, the same payloads: the difference between the two rows
+/// is pure transport (encode + syscalls + wire + decode).
+/// `interactions_per_s` reports payload bytes/s for these rows.
+fn bench_channel_roundtrip(n: usize, repeats: usize, socket: bool) -> Sample {
+    use jc_amuse::channel::{Channel, LocalChannel};
+    use jc_amuse::worker::{GravityWorker, ParticleData, Request, Response};
+    use jc_amuse::SocketChannel;
+    use jc_nbody::Backend;
+
+    let ics = plummer_sphere(n, 21);
+    let mut snap = ParticleData::default();
+    let dv = vec![[0.0; 3]; n];
+    let bytes_per_step =
+        (Request::GetParticles.wire_size() + 32 + 56 * n as u64) + (24 * n as u64 + 32 + 40); // snapshot req+resp, kick req+resp
+
+    let mut run = |ch: &mut dyn Channel| {
+        let ns = best_ns(repeats, || {
+            assert!(ch.snapshot_into(&mut snap));
+            assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
+        });
+        Sample {
+            kernel: if socket { "channel_roundtrip_socket" } else { "channel_roundtrip_local" },
+            n,
+            ns_per_step: ns,
+            interactions_per_s: bytes_per_step as f64 / ns * 1e9,
+        }
+    };
+
+    if socket {
+        let (addr, handle) = jc_amuse::spawn_tcp_worker("perf-grav", move || {
+            GravityWorker::new(ics, Backend::Scalar)
+        });
+        let mut ch = SocketChannel::connect(addr, "perf-grav").expect("connect loopback worker");
+        let sample = run(&mut ch);
+        drop(ch); // sends Stop
+        let _ = handle.join();
+        sample
+    } else {
+        let mut ch = LocalChannel::new(Box::new(GravityWorker::new(ics, Backend::Scalar)));
+        run(&mut ch)
+    }
+}
+
+/// Print the socket-vs-local transport overhead per N.
+fn report_transport_overhead(samples: &[Sample]) {
+    for s in samples.iter().filter(|s| s.kernel == "channel_roundtrip_socket") {
+        if let Some(local) =
+            samples.iter().find(|l| l.kernel == "channel_roundtrip_local" && l.n == s.n)
+        {
+            println!(
+                "socket transport overhead at N={}: {:.2}x local round trip ({:.1} MB/s payload)",
+                s.n,
+                s.ns_per_step / local.ns_per_step,
+                s.interactions_per_s / 1e6
+            );
+        }
+    }
+}
+
 fn render_json(samples: &[Sample], quick: bool) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -276,7 +356,10 @@ fn machine_calibration(samples: &[Sample], baseline: &jc_deploy::json::Value) ->
     if count == 0 {
         1.0
     } else {
-        (log_sum / count as f64).exp()
+        // In --quick runs the calibration rests on a single legacy
+        // measurement; clamp it so one noisy sample on a shared runner
+        // cannot rescale every kernel into a spurious pass or fail.
+        (log_sum / count as f64).exp().clamp(0.5, 2.0)
     }
 }
 
@@ -307,6 +390,29 @@ fn check_against(samples: &[Sample], baseline_path: &str) -> i32 {
     for s in samples {
         if s.kernel == "sph_density_legacy" {
             continue; // the calibration kernel cannot regress by code
+        }
+        // Transport rows are dominated by syscall/loopback latency, which
+        // the CPU-bound calibration cannot normalize — on shared CI
+        // runners they would gate PRs on the machine, not the code.
+        // Report them for the trajectory, never fail on them.
+        if s.kernel.starts_with("channel_roundtrip") {
+            if let Some(base_ns) = results
+                .iter()
+                .find(|r| {
+                    r.get("kernel").and_then(|k| k.as_str()) == Some(s.kernel)
+                        && r.get("n").and_then(|n| n.as_f64()) == Some(s.n as f64)
+                })
+                .and_then(|b| b.get("ns_per_step"))
+                .and_then(|v| v.as_f64())
+            {
+                println!(
+                    "check {:<24} N={:<6} {:.2}x of baseline (info only: latency-bound)",
+                    s.kernel,
+                    s.n,
+                    s.ns_per_step / base_ns / calibration
+                );
+            }
+            continue;
         }
         let base = results.iter().find(|r| {
             r.get("kernel").and_then(|k| k.as_str()) == Some(s.kernel)

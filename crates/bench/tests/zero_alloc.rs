@@ -78,6 +78,92 @@ fn hermite_step_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn socket_channel_coupler_hot_path_allocates_nothing() {
+    // A real TCP round trip: the coupler-side fast paths must encode
+    // straight from borrowed slices into the channel's reused write
+    // buffer and decode straight into caller-owned buffers. The server
+    // runs on its own thread, so its work is invisible to this thread's
+    // allocation counter — exactly the boundary we are proving.
+    use jc_amuse::{Channel, Response, SocketChannel};
+    let n = 256usize;
+    let (addr, handle) = jc_amuse::spawn_tcp_worker("grav", move || {
+        jc_amuse::GravityWorker::new(
+            jc_nbody::plummer::plummer_sphere(n, 9),
+            jc_nbody::Backend::Scalar,
+        )
+    });
+    let mut ch = SocketChannel::connect(addr, "grav").unwrap();
+    let mut snap = jc_amuse::worker::ParticleData::default();
+    let dv = vec![[1e-9; 3]; n];
+    // warm: grow the channel's encode/decode buffers and the snapshot
+    for _ in 0..3 {
+        assert!(ch.snapshot_into(&mut snap));
+        assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
+    }
+    let allocs = count_allocs(|| {
+        assert!(ch.snapshot_into(&mut snap));
+        assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
+    });
+    assert_eq!(allocs, 0, "socket snapshot+kick made {allocs} heap allocations");
+    assert_eq!(snap.mass.len(), n, "sanity: snapshots actually crossed the wire");
+    drop(ch); // sends Stop so the server thread exits
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn socket_compute_kick_steady_state_allocates_nothing() {
+    use jc_amuse::{Channel, SocketChannel};
+    let (addr, handle) = jc_amuse::spawn_tcp_worker("fi", jc_amuse::CouplingWorker::fi);
+    let mut ch = SocketChannel::connect(addr, "fi").unwrap();
+    let scene = jc_nbody::plummer::plummer_sphere(512, 4);
+    let mut acc = Vec::new();
+    for _ in 0..2 {
+        ch.compute_kick_into(&scene.pos, &scene.pos, &scene.mass, &mut acc).unwrap();
+    }
+    let allocs = count_allocs(|| {
+        ch.compute_kick_into(&scene.pos, &scene.pos, &scene.mass, &mut acc).unwrap();
+    });
+    assert_eq!(allocs, 0, "socket compute-kick made {allocs} heap allocations");
+    assert_eq!(acc.len(), 512, "sanity: accelerations actually crossed the wire");
+    drop(ch);
+    handle.join().unwrap().unwrap();
+}
+
+#[test]
+fn sharded_local_pool_hot_path_allocates_nothing() {
+    // The sharded fast paths gather through per-shard scratch buffers;
+    // over in-process shards the whole scatter-gather must go quiet too.
+    use jc_amuse::{Channel, LocalChannel, Response, ShardedChannel};
+    let ics = jc_nbody::plummer::plummer_sphere(96, 6);
+    let counts = jc_amuse::shard::partition(96, 3);
+    let mut off = 0usize;
+    let shards: Vec<Box<dyn Channel>> = counts
+        .iter()
+        .map(|&c| {
+            let sub = ics.slice(off, off + c);
+            off += c;
+            Box::new(LocalChannel::new(Box::new(jc_amuse::GravityWorker::new(
+                sub,
+                jc_nbody::Backend::Scalar,
+            )))) as Box<dyn Channel>
+        })
+        .collect();
+    let mut pool = ShardedChannel::new(shards);
+    let mut snap = jc_amuse::worker::ParticleData::default();
+    let dv = vec![[1e-9; 3]; 96];
+    for _ in 0..3 {
+        assert!(pool.snapshot_into(&mut snap));
+        assert!(matches!(pool.kick_slice(&dv), Response::Ok { .. }));
+    }
+    let allocs = count_allocs(|| {
+        assert!(pool.snapshot_into(&mut snap));
+        assert!(matches!(pool.kick_slice(&dv), Response::Ok { .. }));
+    });
+    assert_eq!(allocs, 0, "sharded snapshot+kick made {allocs} heap allocations");
+    assert_eq!(snap.mass.len(), 96);
+}
+
+#[test]
 fn tree_build_and_walk_steady_state_allocates_nothing() {
     let mut x = 11u64;
     let mut rnd = || {

@@ -38,6 +38,16 @@ impl ParticleSet {
         self.mass.len() - 1
     }
 
+    /// Copy of the contiguous particle range `[start, end)` — the
+    /// shard-worker slice (every column cut identically).
+    pub fn slice(&self, start: usize, end: usize) -> ParticleSet {
+        ParticleSet {
+            mass: self.mass[start..end].to_vec(),
+            pos: self.pos[start..end].to_vec(),
+            vel: self.vel[start..end].to_vec(),
+        }
+    }
+
     /// Number of particles.
     pub fn len(&self) -> usize {
         self.mass.len()

@@ -154,7 +154,11 @@ impl CsrGrid {
         let budget = n.saturating_mul(DENSE_CELL_BUDGET_PER_PARTICLE).max(DENSE_CELL_FLOOR);
         let span = |a: usize| (hi[a] - lo[a] + 1) as u128;
         let ncells = span(0).saturating_mul(span(1)).saturating_mul(span(2));
-        self.dense = ncells <= budget as u128;
+        // `slot_of` stores flat cell ids as u32, so the dense layout is
+        // only valid while every id fits — beyond that (possible once the
+        // per-particle budget admits > 2^32 cells) fall through to the
+        // sparse sorted-key path instead of silently truncating ids.
+        self.dense = ncells <= budget as u128 && ncells <= u32::MAX as u128;
         if self.dense {
             let ncells = ncells as usize;
             self.dims = [span(0) as usize, span(1) as usize, span(2) as usize];

@@ -29,6 +29,19 @@ impl GasParticles {
         GasParticles::default()
     }
 
+    /// Copy of the contiguous particle range `[start, end)` — the
+    /// shard-worker slice (every column cut identically).
+    pub fn slice(&self, start: usize, end: usize) -> GasParticles {
+        GasParticles {
+            mass: self.mass[start..end].to_vec(),
+            pos: self.pos[start..end].to_vec(),
+            vel: self.vel[start..end].to_vec(),
+            u: self.u[start..end].to_vec(),
+            rho: self.rho[start..end].to_vec(),
+            h: self.h[start..end].to_vec(),
+        }
+    }
+
     /// Add a particle.
     pub fn push(&mut self, mass: f64, pos: [f64; 3], vel: [f64; 3], u: f64) {
         assert!(mass > 0.0 && u >= 0.0);

@@ -7,8 +7,21 @@
 //! "at a slower rate". This module reproduces that calling sequence over
 //! [`Channel`]s, so the identical bridge runs against in-process workers,
 //! thread workers, or workers spread across the simulated jungle.
+//!
+//! Beyond the paper: the bridge is *fault-tolerant*, removing the §5
+//! limitation ("if one worker crashes, the entire simulation crashes").
+//! [`Bridge::snapshot`] captures the complete solver state as a
+//! [`Checkpoint`] (saveable to a framed binary file);
+//! [`Bridge::try_iteration`] reports a dead worker as a [`BridgeError`]
+//! instead of aborting; and [`Bridge::iteration_recovering`] closes the
+//! loop — heal the channels (shard pools respawn or exclude dead
+//! workers), [`Bridge::restore`] the last checkpoint, and replay the
+//! iteration. Because every kernel's state is bitwise-restorable at
+//! iteration boundaries, a recovered run is bitwise-identical to one
+//! that never failed.
 
 use crate::channel::Channel;
+use crate::checkpoint::{Checkpoint, CheckpointError, ModelState, Role};
 use crate::worker::{ParticleData, Request, Response};
 use jc_stellar::StellarEvent;
 
@@ -48,6 +61,72 @@ impl Default for BridgeConfig {
             sn_radius: 0.2,
             trace: false,
         }
+    }
+}
+
+/// A bridge-level failure (a worker died, answered wrongly, or a
+/// checkpoint operation failed). Carried by [`Bridge::try_iteration`]
+/// so the caller can decide between aborting (the paper's §5 behavior)
+/// and recovering ([`Bridge::iteration_recovering`]).
+#[derive(Clone, Debug)]
+pub enum BridgeError {
+    /// A worker call failed or answered with the wrong response kind.
+    Worker {
+        /// Which bridge slot failed.
+        role: Role,
+        /// The operation that failed ("evolve", "kick", …).
+        op: &'static str,
+        /// The offending response or error text.
+        detail: String,
+    },
+    /// Serializing or applying a checkpoint failed.
+    Checkpoint(String),
+    /// Recovery was attempted and gave up (channels could not be healed
+    /// or retries were exhausted).
+    Unrecoverable {
+        /// Recovery attempts made.
+        attempts: u32,
+        /// The final underlying failure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BridgeError::Worker { role, op, detail } => {
+                write!(f, "{} {op} failed: {detail}", role.label())
+            }
+            BridgeError::Checkpoint(s) => write!(f, "checkpoint failed: {s}"),
+            BridgeError::Unrecoverable { attempts, detail } => {
+                write!(f, "unrecoverable after {attempts} recovery attempt(s): {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+impl From<CheckpointError> for BridgeError {
+    fn from(e: CheckpointError) -> BridgeError {
+        BridgeError::Checkpoint(e.to_string())
+    }
+}
+
+/// How [`Bridge::iteration_recovering`] responds to failures.
+#[derive(Clone, Debug)]
+pub struct RecoveryPolicy {
+    /// Recovery attempts per iteration before giving up.
+    pub max_retries: u32,
+    /// Take a fresh checkpoint every this many completed iterations
+    /// (1 = every iteration; larger trades checkpoint overhead for a
+    /// longer replay after a failure).
+    pub checkpoint_interval: u64,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> RecoveryPolicy {
+        RecoveryPolicy { max_retries: 2, checkpoint_interval: 1 }
     }
 }
 
@@ -161,35 +240,50 @@ impl Bridge {
     }
 
     /// Run one outer iteration (the unit the paper reports seconds for).
+    /// Panics on worker failure — the paper's §5 behavior; use
+    /// [`Bridge::try_iteration`] or [`Bridge::iteration_recovering`]
+    /// when a failure should be survivable.
     pub fn iteration(&mut self) -> IterationReport {
+        self.try_iteration().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Run one outer iteration, reporting worker failures instead of
+    /// panicking. On `Err` the solver state is *indeterminate* (the
+    /// iteration stopped mid-scatter); continue only after healing the
+    /// channels and restoring a [`Checkpoint`] — which is exactly what
+    /// [`Bridge::iteration_recovering`] does. Channel pipelines are
+    /// always left drained, so recovery can issue new calls.
+    pub fn try_iteration(&mut self) -> Result<IterationReport, BridgeError> {
         let mut rep = IterationReport::default();
         let calls0 = self.total_calls();
         for _ in 0..self.cfg.substeps {
-            self.kick(0.5 * self.cfg.dt, &mut rep);
+            self.kick(0.5 * self.cfg.dt, &mut rep)?;
             let t_next = self.time + self.cfg.dt;
             if rep.trace.len() < 64 && self.cfg.trace {
                 rep.trace.push(format!(
                     "evolve gravity -> t={t_next:.5} || evolve hydro -> t={t_next:.5}"
                 ));
             }
-            // parallel evolve ("The evolve step can be done in parallel")
+            // parallel evolve ("The evolve step can be done in parallel");
+            // both responses are collected before either is judged so the
+            // pipelines stay clean even when one worker died
             self.gravity.submit(Request::EvolveTo(t_next));
             self.hydro.submit(Request::EvolveTo(t_next));
             let rg = self.gravity.collect();
             let rh = self.hydro.collect();
-            assert!(matches!(rg, Response::Ok { .. }), "gravity evolve failed: {rg:?}");
-            assert!(matches!(rh, Response::Ok { .. }), "hydro evolve failed: {rh:?}");
-            self.kick(0.5 * self.cfg.dt, &mut rep);
+            expect_ok(Role::Gravity, "evolve", rg)?;
+            expect_ok(Role::Hydro, "evolve", rh)?;
+            self.kick(0.5 * self.cfg.dt, &mut rep)?;
             self.time = t_next;
         }
         self.iterations += 1;
         if self.iterations.is_multiple_of(self.cfg.stellar_interval as u64) {
-            self.stellar_exchange(&mut rep);
+            self.stellar_exchange(&mut rep)?;
         }
         rep.time = self.time;
         rep.calls = self.total_calls() - calls0;
         self.total_supernovae += rep.supernovae;
-        rep
+        Ok(rep)
     }
 
     fn total_calls(&self) -> u64 {
@@ -203,24 +297,28 @@ impl Bridge {
     /// gas systems, computed by the coupling model. All buffers come from
     /// the bridge-held scratch, so over in-process channels the phase
     /// allocates nothing once warm.
-    fn kick(&mut self, half_dt: f64, rep: &mut IterationReport) {
+    fn kick(&mut self, half_dt: f64, rep: &mut IterationReport) -> Result<(), BridgeError> {
         if self.cfg.trace && rep.trace.len() < 64 {
             rep.trace.push(format!("p-kick (dt/2 = {half_dt:.5})"));
         }
-        assert!(self.gravity.snapshot_into(&mut self.scratch.stars), "gravity snapshot failed");
-        assert!(self.hydro.snapshot_into(&mut self.scratch.gas), "hydro snapshot failed");
+        if !self.gravity.snapshot_into(&mut self.scratch.stars) {
+            return Err(worker_err(Role::Gravity, "snapshot", "snapshot_into failed"));
+        }
+        if !self.hydro.snapshot_into(&mut self.scratch.gas) {
+            return Err(worker_err(Role::Hydro, "snapshot", "snapshot_into failed"));
+        }
         let (stars, gas) = (&self.scratch.stars, &self.scratch.gas);
         if stars.mass.is_empty() || gas.mass.is_empty() {
-            return;
+            return Ok(());
         }
         // gas pulls on stars
         self.coupling
             .compute_kick_into(&stars.pos, &gas.pos, &gas.mass, &mut self.scratch.dv_stars)
-            .expect("coupling kick failed");
+            .ok_or_else(|| worker_err(Role::Coupling, "compute-kick", "no accelerations"))?;
         // stars pull on gas
         self.coupling
             .compute_kick_into(&gas.pos, &stars.pos, &stars.mass, &mut self.scratch.dv_gas)
-            .expect("coupling kick failed");
+            .ok_or_else(|| worker_err(Role::Coupling, "compute-kick", "no accelerations"))?;
         // scale accelerations to velocity kicks in place
         for a in self.scratch.dv_stars.iter_mut().chain(&mut self.scratch.dv_gas) {
             for k in a {
@@ -228,14 +326,15 @@ impl Bridge {
             }
         }
         let r1 = self.gravity.kick_slice(&self.scratch.dv_stars);
+        expect_ok(Role::Gravity, "kick", r1)?;
         let r2 = self.hydro.kick_slice(&self.scratch.dv_gas);
-        assert!(matches!(r1, Response::Ok { .. }), "star kick failed: {r1:?}");
-        assert!(matches!(r2, Response::Ok { .. }), "gas kick failed: {r2:?}");
+        expect_ok(Role::Hydro, "kick", r2)?;
+        Ok(())
     }
 
     /// The slower stellar-evolution exchange.
-    fn stellar_exchange(&mut self, rep: &mut IterationReport) {
-        let Some(stellar) = self.stellar.as_mut() else { return };
+    fn stellar_exchange(&mut self, rep: &mut IterationReport) -> Result<(), BridgeError> {
+        let Some(stellar) = self.stellar.as_mut() else { return Ok(()) };
         if self.cfg.trace && rep.trace.len() < 64 {
             rep.trace.push("stellar exchange (every n-th step)".into());
         }
@@ -243,17 +342,23 @@ impl Bridge {
         let update = stellar.call(Request::EvolveStars(t_myr));
         let (masses_msun, events) = match update {
             Response::StellarUpdate { masses, events } => (masses, events),
-            other => panic!("stellar evolve failed: {other:?}"),
+            other => return Err(worker_err(Role::Stellar, "evolve", format!("{other:?}"))),
         };
         let stars = match self.gravity.call(Request::GetParticles) {
             Response::Particles(p) => p,
-            other => panic!("gravity snapshot failed: {other:?}"),
+            other => return Err(worker_err(Role::Gravity, "snapshot", format!("{other:?}"))),
         };
-        assert_eq!(masses_msun.len(), stars.mass.len(), "star population mismatch");
+        if masses_msun.len() != stars.mass.len() {
+            return Err(worker_err(
+                Role::Stellar,
+                "evolve",
+                format!("population mismatch: {} stars vs {}", masses_msun.len(), stars.mass.len()),
+            ));
+        }
         // push updated masses into the dynamics (MSun -> N-body units)
         let masses_nb: Vec<f64> = masses_msun.iter().map(|m| m / self.cfg.mass_unit_msun).collect();
         let r = self.gravity.call(Request::SetMasses(masses_nb));
-        assert!(matches!(r, Response::Ok { .. }), "set masses failed: {r:?}");
+        expect_ok(Role::Gravity, "set-masses", r)?;
         // feedback into the gas
         for ev in events {
             match ev {
@@ -287,6 +392,176 @@ impl Bridge {
                 }
             }
         }
+        Ok(())
+    }
+
+    // --- checkpoint / restore / failover --------------------------------
+
+    /// Serialize the complete solver state: one [`Request::SaveState`]
+    /// round trip per worker plus the coupler's own clock. The result is
+    /// bitwise-restorable (see [`Bridge::restore`]) and file-portable
+    /// via [`Checkpoint::save`] / [`Bridge::snapshot_to`].
+    pub fn snapshot(&mut self) -> Result<Checkpoint, BridgeError> {
+        fn save(ch: &mut Box<dyn Channel>, role: Role) -> Result<ModelState, BridgeError> {
+            match ch.call(Request::SaveState) {
+                Response::State(s) => Ok(s),
+                other => Err(worker_err(role, "save-state", format!("{other:?}"))),
+            }
+        }
+        Ok(Checkpoint {
+            time: self.time,
+            iterations: self.iterations,
+            total_supernovae: self.total_supernovae,
+            gravity: save(&mut self.gravity, Role::Gravity)?,
+            hydro: save(&mut self.hydro, Role::Hydro)?,
+            coupling: save(&mut self.coupling, Role::Coupling)?,
+            stellar: match &mut self.stellar {
+                Some(s) => Some(save(s, Role::Stellar)?),
+                None => None,
+            },
+        })
+    }
+
+    /// [`Bridge::snapshot`] straight into a checkpoint container file.
+    pub fn snapshot_to(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), BridgeError> {
+        let ck = self.snapshot()?;
+        ck.save(path).map_err(BridgeError::from)
+    }
+
+    /// Overwrite the complete solver state from a checkpoint: one
+    /// [`Request::LoadState`] per worker (a sharded pool re-scatters the
+    /// state over its live shards) plus the coupler's clock. After a
+    /// successful restore the run continues bitwise-identically to a run
+    /// that reached the checkpoint without interruption.
+    pub fn restore(&mut self, ck: &Checkpoint) -> Result<(), BridgeError> {
+        fn load(
+            ch: &mut Box<dyn Channel>,
+            role: Role,
+            state: &ModelState,
+        ) -> Result<(), BridgeError> {
+            let r = ch.call(Request::LoadState(state.clone()));
+            expect_ok(role, "load-state", r)
+        }
+        load(&mut self.gravity, Role::Gravity, &ck.gravity)?;
+        load(&mut self.hydro, Role::Hydro, &ck.hydro)?;
+        load(&mut self.coupling, Role::Coupling, &ck.coupling)?;
+        match (&mut self.stellar, &ck.stellar) {
+            (Some(ch), Some(state)) => load(ch, Role::Stellar, state)?,
+            (None, None) => {}
+            (have, want) => {
+                return Err(BridgeError::Checkpoint(format!(
+                    "stellar worker {} but checkpoint {} a stellar section",
+                    if have.is_some() { "present" } else { "absent" },
+                    if want.is_some() { "has" } else { "lacks" },
+                )))
+            }
+        }
+        self.time = ck.time;
+        self.iterations = ck.iterations;
+        self.total_supernovae = ck.total_supernovae;
+        Ok(())
+    }
+
+    /// [`Bridge::restore`] from a checkpoint container file.
+    pub fn restore_from(&mut self, path: impl AsRef<std::path::Path>) -> Result<(), BridgeError> {
+        let ck = Checkpoint::load(path)?;
+        self.restore(&ck)
+    }
+
+    /// Replace one worker channel (failover for non-sharded channels:
+    /// the §6 scenario layer swaps in a channel to a re-deployed worker
+    /// after a host crash). The new worker's state is undefined until
+    /// the next [`Bridge::restore`].
+    pub fn replace_channel(&mut self, role: Role, ch: Box<dyn Channel>) {
+        match role {
+            Role::Gravity => self.gravity = ch,
+            Role::Hydro => self.hydro = ch,
+            Role::Coupling => self.coupling = ch,
+            Role::Stellar => self.stellar = Some(ch),
+        }
+    }
+
+    /// Heal every channel (heartbeat + shard respawn/exclusion); `true`
+    /// when all four ended up alive.
+    pub fn heal_channels(&mut self) -> bool {
+        // probe all of them even after a failure, so one heal pass
+        // repairs as much as it can
+        let g = self.gravity.heal();
+        let h = self.hydro.heal();
+        let c = self.coupling.heal();
+        let s = self.stellar.as_mut().map(|s| s.heal()).unwrap_or(true);
+        g && h && c && s
+    }
+
+    /// One fault-tolerant outer iteration: run, and on failure heal →
+    /// restore `checkpoint` → replay, up to `policy.max_retries` times.
+    ///
+    /// `checkpoint` is the caller-held last-known-good state; it is
+    /// taken automatically before the first iteration and refreshed
+    /// every `policy.checkpoint_interval` completed iterations. With an
+    /// interval above 1 a recovery rewinds several iterations; the
+    /// replay then catches back up to the iteration this call was asked
+    /// to run, so the caller's iteration count stays truthful whatever
+    /// the interval. Returns the iteration report plus the number of
+    /// recoveries it needed (0 = clean run).
+    pub fn iteration_recovering(
+        &mut self,
+        checkpoint: &mut Option<Checkpoint>,
+        policy: &RecoveryPolicy,
+    ) -> Result<(IterationReport, u32), BridgeError> {
+        if checkpoint.is_none() {
+            *checkpoint = Some(self.snapshot()?);
+        }
+        let target = self.iterations + 1;
+        let mut attempts = 0u32;
+        loop {
+            let result = (|| -> Result<IterationReport, BridgeError> {
+                // after a rewind to an older checkpoint this replays
+                // every lost iteration, not just the one that failed
+                let mut rep = self.try_iteration()?;
+                while self.iterations < target {
+                    rep = self.try_iteration()?;
+                }
+                let due = policy.checkpoint_interval <= 1
+                    || self.iterations.is_multiple_of(policy.checkpoint_interval);
+                if due {
+                    *checkpoint = Some(self.snapshot()?);
+                }
+                Ok(rep)
+            })();
+            match result {
+                Ok(rep) => return Ok((rep, attempts)),
+                Err(e) => {
+                    attempts += 1;
+                    if attempts > policy.max_retries {
+                        return Err(BridgeError::Unrecoverable {
+                            attempts: attempts - 1,
+                            detail: e.to_string(),
+                        });
+                    }
+                    if !self.heal_channels() {
+                        return Err(BridgeError::Unrecoverable {
+                            attempts,
+                            detail: format!("channels could not be healed after: {e}"),
+                        });
+                    }
+                    let ck = checkpoint.as_ref().expect("checkpoint taken above");
+                    self.restore(ck)?;
+                }
+            }
+        }
+    }
+}
+
+fn worker_err(role: Role, op: &'static str, detail: impl Into<String>) -> BridgeError {
+    BridgeError::Worker { role, op, detail: detail.into() }
+}
+
+/// Require an `Ok` response; anything else becomes a [`BridgeError`].
+fn expect_ok(role: Role, op: &'static str, resp: Response) -> Result<(), BridgeError> {
+    match resp {
+        Response::Ok { .. } => Ok(()),
+        other => Err(worker_err(role, op, format!("{other:?}"))),
     }
 }
 
@@ -357,6 +632,49 @@ mod tests {
         b.iteration();
         let (.., stellar) = b.channel_stats();
         assert_eq!(stellar.unwrap().calls, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bitwise_transparent() {
+        // reference: run 4 iterations straight through
+        let mut reference = small_bridge(false);
+        for _ in 0..4 {
+            reference.iteration();
+        }
+        let (ref_stars, ref_gas) = reference.snapshots();
+
+        // replayed: run 2, checkpoint, run 2, rewind, run the last 2 again
+        let mut b = small_bridge(false);
+        b.iteration();
+        b.iteration();
+        let ck = b.snapshot().unwrap();
+        b.iteration();
+        b.iteration();
+        b.restore(&ck).unwrap();
+        assert_eq!(b.iterations(), 2);
+        assert_eq!(b.model_time(), ck.time);
+        b.iteration();
+        b.iteration();
+        let (stars, gas) = b.snapshots();
+        assert_eq!(stars.pos, ref_stars.pos, "star positions replay bitwise");
+        assert_eq!(stars.vel, ref_stars.vel);
+        assert_eq!(stars.mass, ref_stars.mass);
+        assert_eq!(gas.pos, ref_gas.pos, "gas positions replay bitwise");
+        assert_eq!(gas.vel, ref_gas.vel);
+        assert_eq!(b.total_supernovae(), reference.total_supernovae());
+    }
+
+    #[test]
+    fn checkpoint_file_round_trips() {
+        let mut b = small_bridge(false);
+        b.iteration();
+        let ck = b.snapshot().unwrap();
+        let path = std::env::temp_dir().join(format!("jc-ck-{}.bin", std::process::id()));
+        ck.save(&path).unwrap();
+        let back = crate::checkpoint::Checkpoint::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(format!("{ck:?}"), format!("{back:?}"));
+        b.restore(&back).unwrap();
     }
 
     #[test]

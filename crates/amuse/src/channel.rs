@@ -49,6 +49,19 @@ pub trait Channel {
     /// Worker name.
     fn worker_name(&self) -> String;
 
+    /// Liveness check and best-effort repair (the failover hook). The
+    /// default is a heartbeat: one [`Request::Ping`] round trip, `true`
+    /// iff the worker answers `Ok`. In-process channels are always
+    /// alive; a poisoned [`crate::SocketChannel`] reports `false`
+    /// (reconnection is a supervisor's job); a
+    /// [`crate::ShardedChannel`] additionally respawns or excludes dead
+    /// shards. After a successful heal the worker's *state* is not
+    /// guaranteed — restore it from a checkpoint before continuing
+    /// (see [`crate::bridge::Bridge::restore`]).
+    fn heal(&mut self) -> bool {
+        matches!(self.call(Request::Ping), Response::Ok { .. })
+    }
+
     /// Snapshot the worker's particles into `out` (reusing its buffers).
     /// Counts as one [`Request::GetParticles`] call in the stats.
     fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
@@ -236,7 +249,7 @@ impl ThreadChannel {
                 while let Ok(msg) = rx_req.recv() {
                     match msg {
                         ThreadMsg::Call(req) => {
-                            let stop = matches!(req, Request::Stop);
+                            let stop = matches!(req, Request::Stop | Request::Shutdown);
                             let resp = worker.handle(req);
                             if tx_resp.send(resp).is_err() || stop {
                                 break;

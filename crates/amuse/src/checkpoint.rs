@@ -1,0 +1,586 @@
+//! Checkpoint/restore: the complete solver state as a value.
+//!
+//! The paper's §5 limitation — *"if one worker crashes, the entire
+//! simulation crashes"* — is what this module removes. A
+//! [`ModelState`] is everything a kernel needs to continue bitwise from
+//! a point in model time; a [`Checkpoint`] bundles the four bridge
+//! workers' states with the coupler's own clock so a run can be
+//! restarted (same process, respawned worker, or a different machine)
+//! and produce output bitwise-identical to one that never failed.
+//!
+//! Restorability without RNGs or hidden caches: every kernel keeps its
+//! derived data (Hermite force cache, SPH rates) *invalid* across
+//! bridge iteration boundaries — a kick or feedback step always
+//! invalidates them — so the authoritative state is exactly the particle
+//! columns plus the model clock (plus, for stellar evolution, the
+//! once-only supernova flags). That is what [`ModelState`] carries, and
+//! why restore is exact: the first evolve after a restore recomputes the
+//! same derived data an uninterrupted run would have recomputed anyway.
+//!
+//! # Container format
+//!
+//! [`Checkpoint::write_to`] emits a framed binary container (see the
+//! [`crate::wire`] module docs for the byte-level layout):
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  ------------------------------------------------------
+//!      0     4  magic 0x4B43_434A ("JCCK", little-endian u32)
+//!      4     1  container version (currently 1)
+//!      5     3  reserved (zero)
+//!      8     8  bridge model time (f64 bits, N-body units)
+//!     16     8  iterations completed (u64)
+//!     24     8  total supernovae so far (u64)
+//!     32     8  section count (u64)
+//!     40     …  sections
+//! ```
+//!
+//! Each section is one byte of [`Role`] tag followed by an ordinary
+//! [`crate::wire`] `RESP_STATE` frame holding the model's
+//! [`ModelState`] — the checkpoint file *is* a sequence of wire frames,
+//! so the same codec (and the same validation and versioning rules)
+//! covers the network and the disk.
+
+use crate::wire::{self, WireError};
+use crate::worker::{Request, Response};
+use std::io::{Read, Write};
+
+/// Container magic ("JCCK" as a little-endian u32).
+pub const CHECKPOINT_MAGIC: u32 = 0x4B43_434A;
+/// Current container version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+/// The complete serializable state of one model worker.
+///
+/// Per-particle columns are cut identically, so a state slices and
+/// concatenates exactly like the particle ranges a
+/// [`crate::ShardedChannel`] scatters — a K-shard pool's gathered state
+/// is bitwise the unsharded state, and any state re-scatters over any
+/// shard count.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ModelState {
+    /// The model carries no evolving state (the coupling solvers: a tree
+    /// is rebuilt from the sources on every call).
+    Stateless,
+    /// Gravitational dynamics (PhiGRAPE): particles + model clock. The
+    /// Hermite force cache is derived data and is rebuilt on the first
+    /// evolve after a restore.
+    Gravity {
+        /// Model time, N-body units.
+        time: f64,
+        /// Masses.
+        mass: Vec<f64>,
+        /// Positions.
+        pos: Vec<[f64; 3]>,
+        /// Velocities.
+        vel: Vec<[f64; 3]>,
+    },
+    /// Gas dynamics (Gadget): every SPH column + model clock. `h` seeds
+    /// the next density iteration, so it must travel even though it is
+    /// re-adapted.
+    Hydro {
+        /// Model time, N-body units.
+        time: f64,
+        /// Masses.
+        mass: Vec<f64>,
+        /// Positions.
+        pos: Vec<[f64; 3]>,
+        /// Velocities.
+        vel: Vec<[f64; 3]>,
+        /// Specific internal energies.
+        u: Vec<f64>,
+        /// Densities (last computed).
+        rho: Vec<f64>,
+        /// Smoothing lengths (adapted).
+        h: Vec<f64>,
+    },
+    /// Stellar evolution (SSE): star states are a pure function of
+    /// (initial mass, metallicity, age), so only the inputs plus the
+    /// once-only supernova flags need to travel.
+    Stellar {
+        /// Model time, Myr.
+        time_myr: f64,
+        /// Metallicity.
+        z: f64,
+        /// ZAMS masses, MSun.
+        initial_masses: Vec<f64>,
+        /// Which stars already exploded.
+        exploded: Vec<bool>,
+    },
+}
+
+impl ModelState {
+    /// Number of particles/stars carried (0 for [`ModelState::Stateless`]).
+    pub fn len(&self) -> usize {
+        match self {
+            ModelState::Stateless => 0,
+            ModelState::Gravity { mass, .. } => mass.len(),
+            ModelState::Hydro { mass, .. } => mass.len(),
+            ModelState::Stellar { initial_masses, .. } => initial_masses.len(),
+        }
+    }
+
+    /// Is the state empty of particles?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the contiguous element range `[start, end)` (every column
+    /// cut identically — the shard scatter slice). Scalars (time, z)
+    /// are carried along unchanged.
+    pub fn slice(&self, start: usize, end: usize) -> ModelState {
+        match self {
+            ModelState::Stateless => ModelState::Stateless,
+            ModelState::Gravity { time, mass, pos, vel } => ModelState::Gravity {
+                time: *time,
+                mass: mass[start..end].to_vec(),
+                pos: pos[start..end].to_vec(),
+                vel: vel[start..end].to_vec(),
+            },
+            ModelState::Hydro { time, mass, pos, vel, u, rho, h } => ModelState::Hydro {
+                time: *time,
+                mass: mass[start..end].to_vec(),
+                pos: pos[start..end].to_vec(),
+                vel: vel[start..end].to_vec(),
+                u: u[start..end].to_vec(),
+                rho: rho[start..end].to_vec(),
+                h: h[start..end].to_vec(),
+            },
+            ModelState::Stellar { time_myr, z, initial_masses, exploded } => ModelState::Stellar {
+                time_myr: *time_myr,
+                z: *z,
+                initial_masses: initial_masses[start..end].to_vec(),
+                exploded: exploded[start..end].to_vec(),
+            },
+        }
+    }
+
+    /// Append another state's elements (the shard gather). Fails when
+    /// the variants differ or the scalar fields (model time,
+    /// metallicity) are not bitwise-equal across shards.
+    pub fn append(&mut self, other: &ModelState) -> Result<(), String> {
+        match (self, other) {
+            (ModelState::Stateless, ModelState::Stateless) => Ok(()),
+            (
+                ModelState::Gravity { time, mass, pos, vel },
+                ModelState::Gravity { time: t2, mass: m2, pos: p2, vel: v2 },
+            ) => {
+                if time.to_bits() != t2.to_bits() {
+                    return Err(format!("shard clocks disagree: {time} vs {t2}"));
+                }
+                mass.extend_from_slice(m2);
+                pos.extend_from_slice(p2);
+                vel.extend_from_slice(v2);
+                Ok(())
+            }
+            (
+                ModelState::Hydro { time, mass, pos, vel, u, rho, h },
+                ModelState::Hydro { time: t2, mass: m2, pos: p2, vel: v2, u: u2, rho: r2, h: h2 },
+            ) => {
+                if time.to_bits() != t2.to_bits() {
+                    return Err(format!("shard clocks disagree: {time} vs {t2}"));
+                }
+                mass.extend_from_slice(m2);
+                pos.extend_from_slice(p2);
+                vel.extend_from_slice(v2);
+                u.extend_from_slice(u2);
+                rho.extend_from_slice(r2);
+                h.extend_from_slice(h2);
+                Ok(())
+            }
+            (
+                ModelState::Stellar { time_myr, z, initial_masses, exploded },
+                ModelState::Stellar { time_myr: t2, z: z2, initial_masses: m2, exploded: e2 },
+            ) => {
+                if time_myr.to_bits() != t2.to_bits() || z.to_bits() != z2.to_bits() {
+                    return Err("shard stellar clocks/metallicities disagree".into());
+                }
+                initial_masses.extend_from_slice(m2);
+                exploded.extend_from_slice(e2);
+                Ok(())
+            }
+            (a, b) => Err(format!("mixed state kinds in one pool: {} vs {}", a.kind(), b.kind())),
+        }
+    }
+
+    /// Human-readable kind label.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ModelState::Stateless => "stateless",
+            ModelState::Gravity { .. } => "gravity",
+            ModelState::Hydro { .. } => "hydro",
+            ModelState::Stellar { .. } => "stellar",
+        }
+    }
+
+    /// Payload size of the wire encoding (see [`crate::wire`]): the
+    /// state body that follows a frame header.
+    pub fn wire_body_size(&self) -> u64 {
+        let n = self.len() as u64;
+        match self {
+            ModelState::Stateless => 0,
+            ModelState::Gravity { .. } => 8 + 56 * n,
+            ModelState::Hydro { .. } => 8 + 80 * n,
+            ModelState::Stellar { .. } => 16 + 9 * n,
+        }
+    }
+}
+
+/// Which bridge slot a checkpoint section belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The gravitational-dynamics worker.
+    Gravity,
+    /// The gas-dynamics worker.
+    Hydro,
+    /// The coupling worker (pool).
+    Coupling,
+    /// The stellar-evolution worker.
+    Stellar,
+}
+
+impl Role {
+    fn tag(self) -> u8 {
+        match self {
+            Role::Gravity => 0,
+            Role::Hydro => 1,
+            Role::Coupling => 2,
+            Role::Stellar => 3,
+        }
+    }
+
+    fn from_tag(t: u8) -> Option<Role> {
+        match t {
+            0 => Some(Role::Gravity),
+            1 => Some(Role::Hydro),
+            2 => Some(Role::Coupling),
+            3 => Some(Role::Stellar),
+            _ => None,
+        }
+    }
+
+    /// Label used in error messages and monitoring.
+    pub fn label(self) -> &'static str {
+        match self {
+            Role::Gravity => "gravity",
+            Role::Hydro => "hydro",
+            Role::Coupling => "coupling",
+            Role::Stellar => "stellar",
+        }
+    }
+}
+
+/// A complete bridge checkpoint: the coupler's clock plus one
+/// [`ModelState`] per worker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Bridge model time, N-body units.
+    pub time: f64,
+    /// Outer iterations completed.
+    pub iterations: u64,
+    /// Supernovae so far (the bridge's cumulative counter).
+    pub total_supernovae: u32,
+    /// Gravity worker state.
+    pub gravity: ModelState,
+    /// Hydro worker state.
+    pub hydro: ModelState,
+    /// Coupling worker state (normally [`ModelState::Stateless`]).
+    pub coupling: ModelState,
+    /// Stellar worker state, if the bridge has one.
+    pub stellar: Option<ModelState>,
+}
+
+/// Everything that can go wrong reading a checkpoint container.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CheckpointError {
+    /// An I/O error from the underlying reader/writer.
+    Io(std::io::ErrorKind),
+    /// The container does not start with [`CHECKPOINT_MAGIC`].
+    BadMagic(u32),
+    /// The container version is not [`CHECKPOINT_VERSION`].
+    BadVersion(u8),
+    /// A section role tag names no known role.
+    BadRole(u8),
+    /// A section's wire frame failed to decode.
+    Wire(WireError),
+    /// The sections do not form a valid bridge checkpoint (missing or
+    /// duplicate roles, or a non-state frame).
+    Malformed(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(k) => write!(f, "i/o error: {k:?}"),
+            CheckpointError::BadMagic(m) => write!(f, "bad checkpoint magic {m:#010x}"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported container version {v}"),
+            CheckpointError::BadRole(t) => write!(f, "unknown section role {t}"),
+            CheckpointError::Wire(e) => write!(f, "section frame: {e}"),
+            CheckpointError::Malformed(s) => write!(f, "malformed checkpoint: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<WireError> for CheckpointError {
+    fn from(e: WireError) -> CheckpointError {
+        CheckpointError::Wire(e)
+    }
+}
+
+fn io_err(e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io(e.kind())
+}
+
+impl Checkpoint {
+    /// The sections in container order.
+    fn sections(&self) -> Vec<(Role, &ModelState)> {
+        let mut s = vec![
+            (Role::Gravity, &self.gravity),
+            (Role::Hydro, &self.hydro),
+            (Role::Coupling, &self.coupling),
+        ];
+        if let Some(st) = &self.stellar {
+            s.push((Role::Stellar, st));
+        }
+        s
+    }
+
+    /// Serialize into any writer (see the module docs for the layout).
+    pub fn write_to(&self, w: &mut impl Write) -> Result<(), CheckpointError> {
+        let sections = self.sections();
+        let mut head = [0u8; 40];
+        head[0..4].copy_from_slice(&CHECKPOINT_MAGIC.to_le_bytes());
+        head[4] = CHECKPOINT_VERSION;
+        head[8..16].copy_from_slice(&self.time.to_le_bytes());
+        head[16..24].copy_from_slice(&self.iterations.to_le_bytes());
+        head[24..32].copy_from_slice(&(self.total_supernovae as u64).to_le_bytes());
+        head[32..40].copy_from_slice(&(sections.len() as u64).to_le_bytes());
+        w.write_all(&head).map_err(io_err)?;
+        let mut frame = Vec::new();
+        for (role, state) in sections {
+            w.write_all(&[role.tag()]).map_err(io_err)?;
+            // frame the borrowed state directly — no clone into a
+            // Response just for the codec
+            wire::encode_state_frame(wire::op::RESP_STATE, state, &mut frame);
+            w.write_all(&frame).map_err(io_err)?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize from any reader.
+    pub fn read_from(r: &mut impl Read) -> Result<Checkpoint, CheckpointError> {
+        let mut head = [0u8; 40];
+        r.read_exact(&mut head).map_err(io_err)?;
+        let magic = u32::from_le_bytes(head[0..4].try_into().unwrap());
+        if magic != CHECKPOINT_MAGIC {
+            return Err(CheckpointError::BadMagic(magic));
+        }
+        if head[4] != CHECKPOINT_VERSION {
+            return Err(CheckpointError::BadVersion(head[4]));
+        }
+        let time = f64::from_le_bytes(head[8..16].try_into().unwrap());
+        let iterations = u64::from_le_bytes(head[16..24].try_into().unwrap());
+        let total_supernovae = u64::from_le_bytes(head[24..32].try_into().unwrap()) as u32;
+        let count = u64::from_le_bytes(head[32..40].try_into().unwrap());
+        if count > 16 {
+            return Err(CheckpointError::Malformed(format!("{count} sections")));
+        }
+        let mut gravity = None;
+        let mut hydro = None;
+        let mut coupling = None;
+        let mut stellar = None;
+        let mut frame = Vec::new();
+        for _ in 0..count {
+            let mut tag = [0u8; 1];
+            r.read_exact(&mut tag).map_err(io_err)?;
+            let role = Role::from_tag(tag[0]).ok_or(CheckpointError::BadRole(tag[0]))?;
+            let len = wire::read_frame(r, &mut frame)?;
+            let state = match wire::decode_response(&frame[..len])? {
+                Response::State(s) => s,
+                other => {
+                    return Err(CheckpointError::Malformed(format!(
+                        "section {} holds a non-state frame: {other:?}",
+                        role.label()
+                    )))
+                }
+            };
+            let slot = match role {
+                Role::Gravity => &mut gravity,
+                Role::Hydro => &mut hydro,
+                Role::Coupling => &mut coupling,
+                Role::Stellar => &mut stellar,
+            };
+            if slot.replace(state).is_some() {
+                return Err(CheckpointError::Malformed(format!(
+                    "duplicate {} section",
+                    role.label()
+                )));
+            }
+        }
+        let missing =
+            |r: Role| CheckpointError::Malformed(format!("missing {} section", r.label()));
+        Ok(Checkpoint {
+            time,
+            iterations,
+            total_supernovae,
+            gravity: gravity.ok_or(missing(Role::Gravity))?,
+            hydro: hydro.ok_or(missing(Role::Hydro))?,
+            coupling: coupling.ok_or(missing(Role::Coupling))?,
+            stellar,
+        })
+    }
+
+    /// Write the container to a file, atomically: the bytes go to a
+    /// sibling `.tmp` file which is fsynced and renamed over the
+    /// target, so a crash mid-save never destroys the last-known-good
+    /// checkpoint already on disk — the file exists to survive exactly
+    /// such crashes.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> Result<(), CheckpointError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        if let Err(e) = self.write_to(&mut f).and_then(|()| f.sync_all().map_err(io_err)) {
+            drop(f);
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e);
+        }
+        drop(f);
+        std::fs::rename(&tmp, path).map_err(io_err)
+    }
+
+    /// Read a container back from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Checkpoint, CheckpointError> {
+        let mut f = std::fs::File::open(path).map_err(io_err)?;
+        Checkpoint::read_from(&mut f)
+    }
+}
+
+/// Build a [`Request::LoadState`] for each of `k` shards: the canonical
+/// contiguous split of `state` under [`crate::shard::partition`],
+/// returned with the per-shard element counts.
+pub fn scatter_states(state: &ModelState, k: usize) -> (Vec<Request>, Vec<usize>) {
+    let counts = crate::shard::partition(state.len(), k);
+    let mut reqs = Vec::with_capacity(k);
+    let mut off = 0usize;
+    for &c in &counts {
+        reqs.push(Request::LoadState(state.slice(off, off + c)));
+        off += c;
+    }
+    (reqs, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            time: 0.75,
+            iterations: 3,
+            total_supernovae: 2,
+            gravity: ModelState::Gravity {
+                time: 0.75,
+                mass: vec![1.0, 2.0],
+                pos: vec![[0.1; 3], [0.2; 3]],
+                vel: vec![[-0.1; 3], [f64::NAN; 3]],
+            },
+            hydro: ModelState::Hydro {
+                time: 0.75,
+                mass: vec![0.5; 3],
+                pos: vec![[1.0; 3]; 3],
+                vel: vec![[2.0; 3]; 3],
+                u: vec![1e-3; 3],
+                rho: vec![0.9; 3],
+                h: vec![0.1, 0.2, 0.3],
+            },
+            coupling: ModelState::Stateless,
+            stellar: Some(ModelState::Stellar {
+                time_myr: 4.5,
+                z: 0.02,
+                initial_masses: vec![1.0, 20.0],
+                exploded: vec![false, true],
+            }),
+        }
+    }
+
+    #[test]
+    fn container_round_trips_bitwise() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut std::io::Cursor::new(&buf)).unwrap();
+        // PartialEq is false under NaN; compare the debug form of bits
+        let bits = |c: &Checkpoint| format!("{c:?}").replace("NaN", "NaN");
+        assert_eq!(bits(&ck), bits(&back));
+        match (&ck.gravity, &back.gravity) {
+            (ModelState::Gravity { vel: a, .. }, ModelState::Gravity { vel: b, .. }) => {
+                assert_eq!(a[1][0].to_bits(), b[1][0].to_bits(), "NaN survives bitwise");
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn truncated_or_corrupt_containers_error_cleanly() {
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        for cut in [0, 10, 41, buf.len() - 1] {
+            let r = Checkpoint::read_from(&mut std::io::Cursor::new(&buf[..cut]));
+            assert!(r.is_err(), "cut at {cut}");
+        }
+        let mut bad = buf.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Checkpoint::read_from(&mut std::io::Cursor::new(&bad)),
+            Err(CheckpointError::BadMagic(_))
+        ));
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert!(matches!(
+            Checkpoint::read_from(&mut std::io::Cursor::new(&bad)),
+            Err(CheckpointError::BadVersion(9))
+        ));
+    }
+
+    #[test]
+    fn slice_and_append_invert() {
+        let full = match sample().hydro {
+            s @ ModelState::Hydro { .. } => s,
+            _ => unreachable!(),
+        };
+        let (reqs, counts) = scatter_states(&full, 2);
+        assert_eq!(counts, vec![2, 1]);
+        let mut rebuilt: Option<ModelState> = None;
+        for req in reqs {
+            let Request::LoadState(part) = req else { unreachable!() };
+            match &mut rebuilt {
+                None => rebuilt = Some(part),
+                Some(acc) => acc.append(&part).unwrap(),
+            }
+        }
+        assert_eq!(rebuilt.unwrap(), full);
+    }
+
+    #[test]
+    fn append_rejects_mixed_kinds_and_clock_skew() {
+        let mut a = ModelState::Gravity {
+            time: 1.0,
+            mass: vec![1.0],
+            pos: vec![[0.0; 3]],
+            vel: vec![[0.0; 3]],
+        };
+        assert!(a.append(&ModelState::Stateless).is_err());
+        let skew = ModelState::Gravity {
+            time: 2.0,
+            mass: vec![1.0],
+            pos: vec![[0.0; 3]],
+            vel: vec![[0.0; 3]],
+        };
+        assert!(a.append(&skew).is_err());
+    }
+}

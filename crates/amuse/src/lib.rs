@@ -1,6 +1,6 @@
 //! # jc-amuse — the AMUSE coupling framework
 //!
-//! Reproduction of AMUSE (Portegies Zwart et al. [12]; §4.1 of the paper):
+//! Reproduction of AMUSE (Portegies Zwart et al. \[12\]; §4.1 of the paper):
 //! *"AMUSE combines different models (stellar evolution, hydrodynamics,
 //! gravitational dynamics, and radiative transport) into a single
 //! astrophysical simulation. [...] In AMUSE, models are integrated into a
@@ -38,27 +38,34 @@
 //! * [`bridge`] — the Fig 7 combined gravitational/hydro/stellar solver:
 //!   kick–drift–kick coupling via the tree-gravity worker, parallel evolve
 //!   of gas and stars, and the slower stellar-evolution exchange every
-//!   n-th step.
+//!   n-th step — plus the fault-tolerant driver (checkpoint, heal,
+//!   restore, replay) that removes the paper's §5 limitation.
+//! * [`checkpoint`] — the complete solver state as a value:
+//!   [`checkpoint::ModelState`] per worker, [`checkpoint::Checkpoint`]
+//!   per bridge, and the framed binary container they serialize to.
 //! * [`cluster`] — the embedded-star-cluster experiment of §6: initial
 //!   conditions (Plummer stars with a Salpeter IMF inside a Plummer gas
 //!   sphere), the unit converter, and the Fig 6 diagnostics (bound-gas
 //!   fraction, radii).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod bridge;
 pub mod channel;
+pub mod checkpoint;
 pub mod cluster;
 pub mod shard;
 pub mod socket;
 pub mod wire;
 pub mod worker;
 
-pub use bridge::{Bridge, BridgeConfig, IterationReport};
+pub use bridge::{Bridge, BridgeConfig, BridgeError, IterationReport, RecoveryPolicy};
 pub use channel::{Channel, ChannelStats, LocalChannel, ThreadChannel};
+pub use checkpoint::{Checkpoint, CheckpointError, ModelState, Role};
 pub use cluster::EmbeddedCluster;
-pub use shard::ShardedChannel;
-pub use socket::{spawn_tcp_worker, SocketChannel, WorkerServer};
+pub use shard::{ShardSupervisor, ShardedChannel};
+pub use socket::{spawn_flaky_tcp_worker, spawn_tcp_worker, SocketChannel, WorkerServer};
 pub use wire::WireError;
 pub use worker::{
     CouplingWorker, GravityWorker, HydroWorker, ModelWorker, Request, Response, StellarWorker,

@@ -41,9 +41,23 @@
 //! inconsistent and the error response means "this pool is failed",
 //! not "retry the same request" (a retry would double-apply on the
 //! shards that succeeded). The bridge treats any kick failure as fatal
-//! for exactly this reason.
+//! for exactly this reason — and recovers by *rewinding*, never by
+//! retrying: restore a checkpoint ([`Request::LoadState`] re-scatters
+//! the full authoritative state over whatever shards are alive), then
+//! replay the iteration.
+//!
+//! Failover: a pool built [`ShardedChannel::with_supervisor`] survives
+//! dead shards. [`ShardedChannel::heartbeat`] pings every shard (the
+//! dead-peer detector); [`ShardedChannel::heal`] replaces each dead
+//! shard with a supervisor respawn — or, when the supervisor cannot
+//! deliver one, *excludes* it and re-partitions over the survivors.
+//! Both paths rely on the bridge restoring a checkpoint afterwards:
+//! a respawned worker starts from initial conditions and an exclusion
+//! changes the range decomposition, so the pool's state is
+//! authoritative again only after the next `LoadState`.
 
 use crate::channel::{Channel, ChannelStats};
+use crate::checkpoint::{scatter_states, ModelState};
 use crate::worker::{ParticleData, Request, Response};
 use jc_stellar::StellarEvent;
 
@@ -64,6 +78,31 @@ pub fn partition(total: usize, k: usize) -> Vec<usize> {
     counts
 }
 
+/// Respawns dead shard workers — the deploy layer's hook into the
+/// pool's failover path. `jc_deploy::ProcessSupervisor` implements it
+/// by relaunching `jungle-worker` processes; tests implement it with a
+/// closure returning a fresh channel.
+///
+/// A respawned worker starts from its *initial* state; the caller (the
+/// bridge's recovery loop) must re-establish the model state with a
+/// [`Request::LoadState`] afterwards.
+pub trait ShardSupervisor {
+    /// Produce a replacement channel for the worker launched as slot
+    /// `shard` (the shard's *original* index at pool assembly — stable
+    /// across exclusions), or `None` when the worker cannot be
+    /// respawned (the pool then excludes it).
+    fn respawn(&mut self, shard: usize) -> Option<Box<dyn Channel>>;
+}
+
+impl<F> ShardSupervisor for F
+where
+    F: FnMut(usize) -> Option<Box<dyn Channel>>,
+{
+    fn respawn(&mut self, shard: usize) -> Option<Box<dyn Channel>> {
+        self(shard)
+    }
+}
+
 /// How to reassemble the outstanding fan-out.
 enum Pending {
     /// All shards answered `Ok`; sum flops.
@@ -74,6 +113,15 @@ enum Pending {
     Stellar,
     /// Concatenate accelerations in shard order; sum flops.
     Gather,
+    /// Append checkpoint states in shard order.
+    State,
+    /// All shards answered `Ok` to a state scatter; on success adopt
+    /// the new per-shard particle counts (`None` for pools whose
+    /// elements are not snapshot particles — stellar, stateless).
+    Load {
+        /// The scatter's element counts per shard.
+        counts: Option<Vec<usize>>,
+    },
     /// Only this shard was addressed; `grow` bumps its range size on
     /// success (AddGas).
     Single {
@@ -97,6 +145,17 @@ pub struct ShardedChannel {
     snap_scratch: Vec<ParticleData>,
     /// Per-shard acceleration scratch for the compute-kick fast path.
     acc_scratch: Vec<Vec<[f64; 3]>>,
+    /// Respawns dead shards during [`ShardedChannel::heal`].
+    supervisor: Option<Box<dyn ShardSupervisor>>,
+    /// Original launch slot of each current shard: exclusions remove
+    /// entries, so pool index i's supervisor slot stays `slots[i]` and
+    /// a respawn after an earlier exclusion still names the right
+    /// launch recipe (and kills the right process).
+    slots: Vec<usize>,
+    /// Shards replaced by the supervisor so far.
+    respawns: u64,
+    /// Shards excluded (no replacement available) so far.
+    exclusions: u64,
 }
 
 impl ShardedChannel {
@@ -128,14 +187,46 @@ impl ShardedChannel {
             shards,
             counts,
             pending: None,
+            slots: (0..k).collect(),
             snap_scratch: (0..k).map(|_| ParticleData::default()).collect(),
             acc_scratch: (0..k).map(|_| Vec::new()).collect(),
+            supervisor: None,
+            respawns: 0,
+            exclusions: 0,
         }
+    }
+
+    /// Attach a supervisor that can respawn dead shards (see
+    /// [`ShardedChannel::heal`]).
+    pub fn with_supervisor(mut self, sup: Box<dyn ShardSupervisor>) -> ShardedChannel {
+        self.supervisor = Some(sup);
+        self
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
         self.shards.len()
+    }
+
+    /// Shards replaced by the supervisor so far.
+    pub fn respawns(&self) -> u64 {
+        self.respawns
+    }
+
+    /// Shards excluded from the pool (dead, no replacement) so far.
+    pub fn exclusions(&self) -> u64 {
+        self.exclusions
+    }
+
+    /// Dead-peer detection: one heartbeat ([`Request::Ping`]) per shard,
+    /// `true` per live shard. Safe only between calls (no outstanding
+    /// fan-out).
+    pub fn heartbeat(&mut self) -> Vec<bool> {
+        assert!(self.pending.is_none(), "heartbeat during an outstanding call");
+        self.shards
+            .iter_mut()
+            .map(|s| matches!(s.call(Request::Ping), Response::Ok { .. }))
+            .collect()
     }
 
     /// Total particles across all shards (as last observed).
@@ -157,13 +248,13 @@ impl ShardedChannel {
         &mut self,
         data: &[T],
         make: impl Fn(Vec<T>) -> Request,
-    ) -> Result<(), Response> {
+    ) -> Result<(), Box<Response>> {
         if data.len() != self.total_particles() {
-            return Err(Response::Error(format!(
+            return Err(Box::new(Response::Error(format!(
                 "sharded scatter length mismatch: got {}, shards own {}",
                 data.len(),
                 self.total_particles()
-            )));
+            ))));
         }
         for i in 0..self.shards.len() {
             let (a, b) = self.range(i);
@@ -242,6 +333,34 @@ impl ShardedChannel {
         Response::Accelerations { acc, flops }
     }
 
+    fn collect_state(&mut self) -> Response {
+        let mut acc: Option<ModelState> = None;
+        for i in 0..self.shards.len() {
+            match self.shards[i].collect() {
+                Response::State(s) => match &mut acc {
+                    None => acc = Some(s),
+                    Some(a) => {
+                        if let Err(e) = a.append(&s) {
+                            return self.drain_after_failure(i + 1, Response::Error(e));
+                        }
+                    }
+                },
+                other => return self.drain_after_failure(i + 1, other),
+            }
+        }
+        Response::State(acc.expect("at least one shard"))
+    }
+
+    fn collect_load(&mut self, counts: Option<Vec<usize>>) -> Response {
+        let resp = self.collect_broadcast();
+        if matches!(resp, Response::Ok { .. }) {
+            if let Some(c) = counts {
+                self.counts = c;
+            }
+        }
+        resp
+    }
+
     /// A shard answered wrongly mid-gather: drain the remaining shards
     /// (their pipelines must be left clean) and surface the failure.
     fn drain_after_failure(&mut self, next: usize, failure: Response) -> Response {
@@ -269,11 +388,11 @@ impl Channel for ShardedChannel {
             }
             Request::Kick(dv) => match self.scatter_submit(&dv, Request::Kick) {
                 Ok(()) => Pending::Broadcast,
-                Err(resp) => Pending::Failed(resp),
+                Err(resp) => Pending::Failed(*resp),
             },
             Request::SetMasses(m) => match self.scatter_submit(&m, Request::SetMasses) {
                 Ok(()) => Pending::Broadcast,
-                Err(resp) => Pending::Failed(resp),
+                Err(resp) => Pending::Failed(*resp),
             },
             Request::ComputeKick { targets, source_pos, source_mass } => {
                 let counts = partition(targets.len(), self.shards.len());
@@ -293,6 +412,23 @@ impl Channel for ShardedChannel {
                     s.submit(Request::EvolveStars(t));
                 }
                 Pending::Stellar
+            }
+            Request::SaveState => {
+                for s in &mut self.shards {
+                    s.submit(Request::SaveState);
+                }
+                Pending::State
+            }
+            Request::LoadState(state) => {
+                // canonical contiguous re-partition of the authoritative
+                // state over however many shards are alive right now
+                let particles =
+                    matches!(state, ModelState::Gravity { .. } | ModelState::Hydro { .. });
+                let (reqs, counts) = scatter_states(&state, self.shards.len());
+                for (s, req) in self.shards.iter_mut().zip(reqs) {
+                    s.submit(req);
+                }
+                Pending::Load { counts: particles.then_some(counts) }
             }
             Request::AddGas { pos, mass, u } => {
                 let last = self.shards.len() - 1;
@@ -316,6 +452,8 @@ impl Channel for ShardedChannel {
             Pending::Concat => self.collect_concat(),
             Pending::Stellar => self.collect_stellar(),
             Pending::Gather => self.collect_gather(),
+            Pending::State => self.collect_state(),
+            Pending::Load { counts } => self.collect_load(counts),
             Pending::Single { shard, grow } => {
                 let resp = self.shards[shard].collect();
                 if grow && matches!(resp, Response::Ok { .. }) {
@@ -341,6 +479,46 @@ impl Channel for ShardedChannel {
 
     fn worker_name(&self) -> String {
         format!("{}×{}", self.shards[0].worker_name(), self.shards.len())
+    }
+
+    /// Failover: heartbeat every shard; replace each dead one with a
+    /// supervisor respawn, or exclude it (re-partitioning over the
+    /// survivors) when no replacement is available. Returns `false`
+    /// only when the pool would be left empty. After a heal that
+    /// changed the pool, the shard states are not authoritative until
+    /// the next [`Request::LoadState`] (the bridge's restore).
+    fn heal(&mut self) -> bool {
+        // detection via the heartbeat; walk the dead shards back to
+        // front so an exclusion's removal never shifts an index that is
+        // still to be visited. Respawns are addressed by the shard's
+        // *original launch slot* (`slots[i]`), which survives earlier
+        // exclusions — the supervisor must never reap or relaunch a
+        // different recipe than the one that died.
+        let alive = self.heartbeat();
+        for i in (0..alive.len()).rev() {
+            if alive[i] {
+                continue;
+            }
+            let slot = self.slots[i];
+            let replacement = self.supervisor.as_mut().and_then(|s| s.respawn(slot));
+            match replacement {
+                Some(ch) => {
+                    self.shards[i] = ch;
+                    self.respawns += 1;
+                }
+                None => {
+                    // exclude: drop the dead shard from every per-shard
+                    // column; the next LoadState re-partitions
+                    self.shards.remove(i);
+                    self.counts.remove(i);
+                    self.slots.remove(i);
+                    self.snap_scratch.remove(i);
+                    self.acc_scratch.remove(i);
+                    self.exclusions += 1;
+                }
+            }
+        }
+        !self.shards.is_empty()
     }
 
     fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {

@@ -24,6 +24,8 @@ use crate::wire::{self, WireError};
 use crate::worker::{ModelWorker, ParticleData, Request, Response};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// An RPC channel to a worker behind a TCP socket.
 pub struct SocketChannel {
@@ -45,6 +47,9 @@ pub struct SocketChannel {
     wbuf: Vec<u8>,
     /// Reused decode buffer (scratch: only the leading frame is live).
     rbuf: Vec<u8>,
+    /// Send `Stop` on drop (disarmed after an explicit `Shutdown`, so a
+    /// stop frame is never written at a server that already exited).
+    stop_on_drop: bool,
 }
 
 impl SocketChannel {
@@ -64,7 +69,27 @@ impl SocketChannel {
             poisoned: None,
             wbuf: Vec::new(),
             rbuf: Vec::new(),
+            stop_on_drop: true,
         })
+    }
+
+    /// Ask the server behind `addr` to terminate cleanly: one
+    /// [`Request::Shutdown`] round trip on a fresh connection, `true`
+    /// iff the worker acknowledged before the server exited. This is
+    /// how supervisors and tests reap a worker whose original channel
+    /// is poisoned (a poisoned channel cannot deliver `Stop`, and a
+    /// server otherwise returns to `accept` and lingers forever).
+    pub fn shutdown_worker(addr: impl ToSocketAddrs) -> bool {
+        let Ok(mut c) = SocketChannel::connect(addr, "shutdown") else {
+            return false;
+        };
+        // Bounded, like Drop's drain: the server serves connections
+        // sequentially, so if another coupler still holds its current
+        // session this request waits in the backlog — a supervisor's
+        // teardown must not block forever on it.
+        let _ = c.stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+        c.stop_on_drop = false;
+        matches!(c.call(Request::Shutdown), Response::Ok { .. })
     }
 
     /// The peer address.
@@ -232,7 +257,7 @@ impl Drop for SocketChannel {
         // then sends Stop like the idle path; otherwise the server
         // would return to `accept` and wait for a client that never
         // comes.
-        if self.poisoned.is_none() {
+        if self.poisoned.is_none() && self.stop_on_drop {
             if matches!(self.pending.take(), Some(Ok(_))) {
                 let _ = self.stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
                 let _ = wire::read_frame(&mut self.stream, &mut self.rbuf);
@@ -248,7 +273,10 @@ impl Drop for SocketChannel {
 ///
 /// Connections are served sequentially (the AMUSE worker model: one
 /// coupler drives one worker). A clean disconnect returns the server to
-/// `accept`; a [`Request::Stop`] shuts the server down after replying.
+/// `accept`; a [`Request::Stop`] or [`Request::Shutdown`] shuts the
+/// server down after replying — `Shutdown` is the deterministic
+/// teardown path that also works when the original coupler channel is
+/// gone (see [`SocketChannel::shutdown_worker`]).
 pub struct WorkerServer {
     listener: TcpListener,
 }
@@ -265,24 +293,50 @@ impl WorkerServer {
         self.listener.local_addr()
     }
 
-    /// Serve `worker` until a [`Request::Stop`] arrives. Frame and
-    /// encode buffers are reused across requests and connections, so a
-    /// steady-state request costs the server no allocation either.
+    /// Serve `worker` until a [`Request::Stop`] or [`Request::Shutdown`]
+    /// arrives. Frame and encode buffers are reused across requests and
+    /// connections, so a steady-state request costs the server no
+    /// allocation either.
     pub fn serve(&self, worker: &mut dyn ModelWorker) -> std::io::Result<()> {
+        self.serve_with_fuse(worker, None)
+    }
+
+    /// [`WorkerServer::serve`] with failure injection: when `fuse` is
+    /// given, each received request burns one unit, and the request
+    /// that finds the fuse exhausted is *not* handled — the server
+    /// drops the connection without replying and exits, which is the
+    /// network-visible signature of a node crash (the coupler sees a
+    /// truncated stream, never an error response). The server thread
+    /// still terminates deterministically, so tests can join it.
+    pub fn serve_with_fuse(
+        &self,
+        worker: &mut dyn ModelWorker,
+        fuse: Option<&AtomicI64>,
+    ) -> std::io::Result<()> {
         let mut frame = Vec::new();
         let mut out = Vec::new();
         loop {
             let (mut stream, _peer) = self.listener.accept()?;
             stream.set_nodelay(true)?;
-            if serve_connection(&mut stream, worker, &mut frame, &mut out) {
-                return Ok(());
+            match serve_connection(&mut stream, worker, &mut frame, &mut out, fuse) {
+                Served::KeepListening => {}
+                Served::ShutDown | Served::Crashed => return Ok(()),
             }
         }
     }
 }
 
-/// Serve one established connection; returns `true` if a `Stop` request
-/// asked the whole server to shut down.
+/// How one connection ended.
+enum Served {
+    /// Clean disconnect or protocol error: back to `accept`.
+    KeepListening,
+    /// A `Stop`/`Shutdown` asked the whole server to exit.
+    ShutDown,
+    /// The failure-injection fuse fired: simulated node crash.
+    Crashed,
+}
+
+/// Serve one established connection.
 ///
 /// Protocol errors are connection-fatal: framing can no longer be
 /// trusted, so the server replies with a [`Response::Error`] frame
@@ -293,15 +347,16 @@ fn serve_connection(
     worker: &mut dyn ModelWorker,
     frame: &mut Vec<u8>,
     out: &mut Vec<u8>,
-) -> bool {
+    fuse: Option<&AtomicI64>,
+) -> Served {
     loop {
         match wire::read_frame(stream, frame) {
             Ok(_len) => {}
-            Err(WireError::Closed) => return false,
+            Err(WireError::Closed) => return Served::KeepListening,
             Err(e) => {
                 wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
                 let _ = wire::write_frame(stream, out);
-                return false;
+                return Served::KeepListening;
             }
         }
         let req = match wire::decode_request(frame) {
@@ -309,18 +364,25 @@ fn serve_connection(
             Err(e) => {
                 wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
                 let _ = wire::write_frame(stream, out);
-                return false;
+                return Served::KeepListening;
             }
         };
-        let stop = matches!(req, Request::Stop);
+        if let Some(f) = fuse {
+            if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                // injected crash: vanish mid-conversation, no reply
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return Served::Crashed;
+            }
+        }
+        let stop = matches!(req, Request::Stop | Request::Shutdown);
         let resp = worker.handle(req);
         wire::encode_response(&resp, out);
         if wire::write_frame(stream, out).is_err() {
             let _ = stream.flush();
-            return stop;
+            return if stop { Served::ShutDown } else { Served::KeepListening };
         }
         if stop {
-            return true;
+            return Served::ShutDown;
         }
     }
 }
@@ -347,6 +409,34 @@ where
         .spawn(move || {
             let mut worker = factory();
             server.serve(&mut worker)
+        })
+        .expect("spawn worker server thread");
+    (addr, handle)
+}
+
+/// [`spawn_tcp_worker`] with a crash fuse: the worker serves normally
+/// until `fuse` requests have been received, then the server "crashes"
+/// — connection dropped without a reply, thread exits (see
+/// [`WorkerServer::serve_with_fuse`]). Load the fuse with `i64::MAX`
+/// for "never" and count it down from the test to kill the worker at a
+/// deterministic point mid-run.
+pub fn spawn_flaky_tcp_worker<F, W>(
+    name: impl Into<String>,
+    factory: F,
+    fuse: Arc<AtomicI64>,
+) -> (SocketAddr, std::thread::JoinHandle<std::io::Result<()>>)
+where
+    F: FnOnce() -> W + Send + 'static,
+    W: ModelWorker + 'static,
+{
+    let server = WorkerServer::bind(("127.0.0.1", 0)).expect("bind loopback listener");
+    let addr = server.local_addr().expect("listener address");
+    let name = name.into();
+    let handle = std::thread::Builder::new()
+        .name(format!("tcp-worker-{name}"))
+        .spawn(move || {
+            let mut worker = factory();
+            server.serve_with_fuse(&mut worker, Some(&fuse))
         })
         .expect("spawn worker server thread");
     (addr, handle)
@@ -429,6 +519,43 @@ mod tests {
         c.submit(Request::EvolveTo(1e-3));
         drop(c); // drains the outstanding response, then sends Stop
         handle.join().unwrap().unwrap(); // must not hang on accept()
+    }
+
+    #[test]
+    fn shutdown_request_terminates_a_lingering_server() {
+        // poison the coupler's channel with a hostile frame so its Drop
+        // cannot deliver Stop — the old leak scenario — then reap the
+        // server with an explicit Shutdown on a fresh connection
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(4, 5), Backend::Scalar));
+        {
+            let mut c = SocketChannel::connect(addr, "grav").unwrap();
+            assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+            // break the stream from underneath the channel
+            c.stream.shutdown(std::net::Shutdown::Both).unwrap();
+            assert!(matches!(c.call(Request::Ping), Response::Error(_)));
+            drop(c); // poisoned: sends nothing
+        }
+        assert!(SocketChannel::shutdown_worker(addr), "worker acknowledges the shutdown");
+        handle.join().unwrap().unwrap(); // thread exits deterministically
+    }
+
+    #[test]
+    fn crash_fuse_kills_the_server_without_a_reply() {
+        let fuse = Arc::new(AtomicI64::new(2));
+        let (addr, handle) = spawn_flaky_tcp_worker(
+            "doomed",
+            || GravityWorker::new(plummer_sphere(4, 6), Backend::Scalar),
+            fuse.clone(),
+        );
+        let mut c = SocketChannel::connect(addr, "doomed").unwrap();
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        // third request burns the fuse: truncated stream, not an Error frame
+        let r = c.call(Request::Ping);
+        assert!(matches!(&r, Response::Error(e) if e.contains("wire error")), "{r:?}");
+        assert!(!c.heal(), "a poisoned socket channel cannot heal itself");
+        handle.join().unwrap().unwrap();
     }
 
     #[test]

@@ -11,8 +11,8 @@
 //! offset  size  field
 //! ------  ----  -----------------------------------------------------
 //!      0     4  magic 0x4A43_5752 ("JCWR", little-endian u32)
-//!      4     1  version (currently 1)
-//!      5     1  opcode (request 0x01..=0x0A, response 0x81..=0x86)
+//!      4     1  version (the *lowest* protocol version defining the opcode)
+//!      5     1  opcode (request 0x01..=0x0D, response 0x81..=0x87)
 //!      6     2  reserved (ignored on decode, zero on encode)
 //!      8     8  payload length in bytes (u64)
 //!     16     8  aux0 — opcode-specific count / bits (u64)
@@ -26,18 +26,62 @@
 //! is capped at [`MAX_PAYLOAD`] and validated against the opcode's aux
 //! counts *before* any buffer is sized from it.
 //!
+//! # Version negotiation
+//!
+//! There is no handshake; negotiation is per frame and stateless:
+//!
+//! * An encoder stamps each frame with the **lowest** protocol version
+//!   that defines its opcode ([`opcode_version`]) — never its own
+//!   [`VERSION`]. Version 1 covers the original RPC surface; version 2
+//!   added the checkpoint/failover opcodes (`SaveState` / `LoadState` /
+//!   `Shutdown` / `State`).
+//! * A decoder accepts every version up to its own [`VERSION`] and
+//!   rejects newer frames with [`WireError::BadVersion`] *before*
+//!   trusting the length field. A frame whose version byte is older
+//!   than its opcode requires is likewise rejected (a v1 stamp on a v2
+//!   opcode is a forgery, not a compatibility case).
+//!
+//! Consequence: a v2 coupler stays wire-compatible with a v1 worker as
+//! long as it only uses the v1 subset, and the first v2 frame it sends
+//! is answered by a clean `BadVersion` error — never misparsed. This is
+//! the same additive-opcode rule the checkpoint container relies on
+//! (see [`crate::checkpoint`]).
+//!
+//! # Checkpoint state frames
+//!
+//! A `SaveState` request is answered by a `State` response whose payload
+//! is one [`ModelState`] body; a `LoadState` request carries the same
+//! body. The body layout, with `aux0` = state kind (0 stateless,
+//! 1 gravity, 2 hydro, 3 stellar) and `aux1` = element count n:
+//!
+//! ```text
+//! kind       payload (little-endian f64 unless noted)         length
+//! ---------  ----------------------------------------------   --------
+//! stateless  (empty)                                          0
+//! gravity    time, mass[n], pos[3n], vel[3n]                  8 + 56 n
+//! hydro      time, mass[n], pos[3n], vel[3n],
+//!            u[n], rho[n], h[n]                               8 + 80 n
+//! stellar    time_myr, z, initial_mass[n], exploded[n] (u8)   16 + 9 n
+//! ```
+//!
+//! The same frames are what [`crate::checkpoint::Checkpoint::write_to`]
+//! writes to disk — the checkpoint container is a sequence of wire
+//! frames behind a 40-byte file header.
+//!
 //! The `decode_*_into` functions are the coupler-side fast paths: they
 //! parse a response frame straight into caller-owned buffers, so a warm
 //! [`crate::SocketChannel`] round trip performs no heap allocation.
 
+use crate::checkpoint::ModelState;
 use crate::worker::{ParticleData, Request, Response};
 use jc_stellar::StellarEvent;
 use std::io::{Read, Write};
 
 /// Frame magic ("JCWR" as a little-endian u32).
 pub const MAGIC: u32 = 0x4A43_5752;
-/// Current protocol version.
-pub const VERSION: u8 = 1;
+/// Current protocol version (see the module docs for the negotiation
+/// rules; individual frames are stamped with [`opcode_version`]).
+pub const VERSION: u8 = 2;
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 32;
 /// Maximum accepted payload size (256 MiB). A length prefix beyond this
@@ -69,6 +113,12 @@ pub mod op {
     pub const ADD_GAS: u8 = 0x09;
     /// [`super::Request::Stop`]
     pub const STOP: u8 = 0x0A;
+    /// [`super::Request::SaveState`] (protocol v2)
+    pub const SAVE_STATE: u8 = 0x0B;
+    /// [`super::Request::LoadState`] (protocol v2)
+    pub const LOAD_STATE: u8 = 0x0C;
+    /// [`super::Request::Shutdown`] (protocol v2)
+    pub const SHUTDOWN: u8 = 0x0D;
     /// [`super::Response::Ok`]
     pub const RESP_OK: u8 = 0x81;
     /// [`super::Response::Particles`]
@@ -81,6 +131,19 @@ pub mod op {
     pub const RESP_UNSUPPORTED: u8 = 0x85;
     /// [`super::Response::Error`]
     pub const RESP_ERROR: u8 = 0x86;
+    /// [`super::Response::State`] (protocol v2)
+    pub const RESP_STATE: u8 = 0x87;
+}
+
+/// The lowest protocol version that defines `opcode` — what encoders
+/// stamp into the version byte (see the module docs). Unknown opcodes
+/// report 1 so that they are rejected as [`WireError::UnknownOpcode`],
+/// not misblamed on the version byte.
+pub const fn opcode_version(opcode: u8) -> u8 {
+    match opcode {
+        op::SAVE_STATE | op::LOAD_STATE | op::SHUTDOWN | op::RESP_STATE => 2,
+        _ => 1,
+    }
 }
 
 /// Everything that can go wrong on the wire. Decoding is total: corrupt
@@ -191,7 +254,7 @@ fn begin_frame(buf: &mut Vec<u8>, opcode: u8, payload_len: u64, aux0: u64, aux1:
     buf.clear();
     buf.reserve(HEADER_LEN + payload_len as usize);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
-    buf.push(VERSION);
+    buf.push(opcode_version(opcode));
     buf.push(opcode);
     buf.extend_from_slice(&[0u8; 2]);
     put_u64(buf, payload_len);
@@ -248,6 +311,131 @@ pub fn encode_compute_kick(
     }
 }
 
+/// The `aux0` kind tag of a state body (see the module docs).
+fn state_kind_tag(s: &ModelState) -> u64 {
+    match s {
+        ModelState::Stateless => 0,
+        ModelState::Gravity { .. } => 1,
+        ModelState::Hydro { .. } => 2,
+        ModelState::Stellar { .. } => 3,
+    }
+}
+
+/// Encode a [`ModelState`] as a full frame under `opcode`
+/// (`LOAD_STATE` or `RESP_STATE`): aux0 = kind, aux1 = element count.
+/// Crate-visible so the checkpoint container writer can frame a
+/// borrowed state without cloning it into a [`Response`] first.
+pub(crate) fn encode_state_frame(opcode: u8, s: &ModelState, buf: &mut Vec<u8>) {
+    // the header is sized from the element count, so a ragged state
+    // would desynchronize the stream — reject it before any byte moves
+    let n = s.len();
+    match s {
+        ModelState::Stateless => {}
+        ModelState::Gravity { mass, pos, vel, .. } => {
+            assert!(pos.len() == n && vel.len() == n && mass.len() == n, "ragged gravity state");
+        }
+        ModelState::Hydro { mass, pos, vel, u, rho, h, .. } => {
+            assert!(
+                [mass.len(), pos.len(), vel.len(), u.len(), rho.len(), h.len()] == [n; 6],
+                "ragged hydro state"
+            );
+        }
+        ModelState::Stellar { initial_masses, exploded, .. } => {
+            assert!(initial_masses.len() == n && exploded.len() == n, "ragged stellar state");
+        }
+    }
+    begin_frame(buf, opcode, s.wire_body_size(), state_kind_tag(s), s.len() as u64);
+    match s {
+        ModelState::Stateless => {}
+        ModelState::Gravity { time, mass, pos, vel } => {
+            put_f64(buf, *time);
+            for &m in mass {
+                put_f64(buf, m);
+            }
+            for v in pos {
+                put_v3(buf, v);
+            }
+            for v in vel {
+                put_v3(buf, v);
+            }
+        }
+        ModelState::Hydro { time, mass, pos, vel, u, rho, h } => {
+            put_f64(buf, *time);
+            for &m in mass {
+                put_f64(buf, m);
+            }
+            for v in pos {
+                put_v3(buf, v);
+            }
+            for v in vel {
+                put_v3(buf, v);
+            }
+            for col in [u, rho, h] {
+                for &x in col {
+                    put_f64(buf, x);
+                }
+            }
+        }
+        ModelState::Stellar { time_myr, z, initial_masses, exploded } => {
+            put_f64(buf, *time_myr);
+            put_f64(buf, *z);
+            for &m in initial_masses {
+                put_f64(buf, m);
+            }
+            for &e in exploded {
+                buf.push(e as u8);
+            }
+        }
+    }
+}
+
+/// Decode a state body from a validated frame (header + payload).
+fn decode_state(h: &Header, p: &[u8]) -> Result<ModelState, WireError> {
+    let n64 = h.aux1;
+    let expect = match h.aux0 {
+        0 => (n64 == 0).then_some(0),
+        1 => n64.checked_mul(56).and_then(|b| b.checked_add(8)),
+        2 => n64.checked_mul(80).and_then(|b| b.checked_add(8)),
+        3 => n64.checked_mul(9).and_then(|b| b.checked_add(16)),
+        _ => None,
+    };
+    if expect != Some(h.len) {
+        return Err(bad_length(h));
+    }
+    let n = n64 as usize;
+    Ok(match h.aux0 {
+        0 => ModelState::Stateless,
+        1 => {
+            let (op_, ov) = (8 + 8 * n, 8 + 32 * n);
+            ModelState::Gravity {
+                time: get_f64(p, 0),
+                mass: (0..n).map(|i| get_f64(p, 8 + 8 * i)).collect(),
+                pos: (0..n).map(|i| get_v3(p, op_ + 24 * i)).collect(),
+                vel: (0..n).map(|i| get_v3(p, ov + 24 * i)).collect(),
+            }
+        }
+        2 => {
+            let (op_, ov) = (8 + 8 * n, 8 + 32 * n);
+            let (ou, orho, oh) = (8 + 56 * n, 8 + 64 * n, 8 + 72 * n);
+            ModelState::Hydro {
+                time: get_f64(p, 0),
+                mass: (0..n).map(|i| get_f64(p, 8 + 8 * i)).collect(),
+                pos: (0..n).map(|i| get_v3(p, op_ + 24 * i)).collect(),
+                vel: (0..n).map(|i| get_v3(p, ov + 24 * i)).collect(),
+                u: (0..n).map(|i| get_f64(p, ou + 8 * i)).collect(),
+                rho: (0..n).map(|i| get_f64(p, orho + 8 * i)).collect(),
+                h: (0..n).map(|i| get_f64(p, oh + 8 * i)).collect(),
+            }
+        }
+        _ => ModelState::Stellar {
+            time_myr: get_f64(p, 0),
+            z: get_f64(p, 8),
+            initial_masses: (0..n).map(|i| get_f64(p, 16 + 8 * i)).collect(),
+            exploded: (0..n).map(|i| p[16 + 8 * n + i] != 0).collect(),
+        },
+    })
+}
+
 /// Encode any [`Request`] into `buf` (cleared first). The encoded frame
 /// is exactly [`Request::wire_size`] bytes long.
 pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
@@ -255,6 +443,9 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
         Request::Ping => encode_simple_request(op::PING, buf),
         Request::GetParticles => encode_simple_request(op::GET_PARTICLES, buf),
         Request::Stop => encode_simple_request(op::STOP, buf),
+        Request::SaveState => encode_simple_request(op::SAVE_STATE, buf),
+        Request::Shutdown => encode_simple_request(op::SHUTDOWN, buf),
+        Request::LoadState(s) => encode_state_frame(op::LOAD_STATE, s, buf),
         Request::EvolveTo(t) => encode_evolve(op::EVOLVE_TO, *t, buf),
         Request::EvolveStars(t) => encode_evolve(op::EVOLVE_STARS, *t, buf),
         Request::SetMasses(m) => encode_set_masses(m, buf),
@@ -342,6 +533,7 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
                 }
             }
         }
+        Response::State(s) => encode_state_frame(op::RESP_STATE, s, buf),
         Response::Unsupported => begin_frame(buf, op::RESP_UNSUPPORTED, 0, 0, 0),
         Response::Error(e) => {
             begin_frame(buf, op::RESP_ERROR, e.len() as u64, 0, 0);
@@ -378,8 +570,12 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
     if magic != MAGIC {
         return Err(WireError::BadMagic(magic));
     }
-    if bytes[4] != VERSION {
-        return Err(WireError::BadVersion(bytes[4]));
+    // Accept every version up to ours; reject newer frames before
+    // trusting their length, and reject frames stamped older than their
+    // opcode requires (see "Version negotiation" in the module docs).
+    let version = bytes[4];
+    if version == 0 || version > VERSION || version < opcode_version(bytes[5]) {
+        return Err(WireError::BadVersion(version));
     }
     let len = get_u64(bytes, 8);
     if len > MAX_PAYLOAD {
@@ -416,16 +612,19 @@ fn checked_count(h: &Header, count: u64, stride: u64, remaining: u64) -> Result<
 pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
     let (h, p) = parse_frame(frame)?;
     match h.opcode {
-        op::PING | op::GET_PARTICLES | op::STOP => {
+        op::PING | op::GET_PARTICLES | op::STOP | op::SAVE_STATE | op::SHUTDOWN => {
             if h.len != 0 {
                 return Err(bad_length(&h));
             }
             Ok(match h.opcode {
                 op::PING => Request::Ping,
                 op::GET_PARTICLES => Request::GetParticles,
+                op::SAVE_STATE => Request::SaveState,
+                op::SHUTDOWN => Request::Shutdown,
                 _ => Request::Stop,
             })
         }
+        op::LOAD_STATE => Ok(Request::LoadState(decode_state(&h, p)?)),
         op::EVOLVE_TO | op::EVOLVE_STARS => {
             if h.len != 8 {
                 return Err(bad_length(&h));
@@ -522,6 +721,7 @@ pub fn decode_response(frame: &[u8]) -> Result<Response, WireError> {
             }
             Ok(Response::StellarUpdate { masses, events })
         }
+        op::RESP_STATE => Ok(Response::State(decode_state(&h, p)?)),
         op::RESP_UNSUPPORTED => {
             if h.len != 0 {
                 return Err(bad_length(&h));
@@ -722,6 +922,74 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn state_frames_round_trip_and_match_modeled_wire_size() {
+        let states = [
+            ModelState::Stateless,
+            ModelState::Gravity {
+                time: 0.5,
+                mass: vec![1.0, 2.0],
+                pos: vec![[0.1; 3]; 2],
+                vel: vec![[f64::NAN, -0.0, 3.0]; 2],
+            },
+            ModelState::Hydro {
+                time: 0.25,
+                mass: vec![0.5; 3],
+                pos: vec![[1.0; 3]; 3],
+                vel: vec![[2.0; 3]; 3],
+                u: vec![1e-3; 3],
+                rho: vec![0.9; 3],
+                h: vec![0.1, 0.2, 0.3],
+            },
+            ModelState::Stellar {
+                time_myr: 7.5,
+                z: 0.02,
+                initial_masses: vec![1.0, 30.0],
+                exploded: vec![true, false],
+            },
+        ];
+        let mut buf = Vec::new();
+        for s in &states {
+            let req = Request::LoadState(s.clone());
+            encode_request(&req, &mut buf);
+            assert_eq!(buf.len() as u64, req.wire_size(), "{s:?}");
+            match decode_request(&buf).unwrap() {
+                Request::LoadState(back) => {
+                    assert_eq!(format!("{back:?}"), format!("{s:?}"))
+                }
+                other => panic!("{other:?}"),
+            }
+            let resp = Response::State(s.clone());
+            encode_response(&resp, &mut buf);
+            assert_eq!(buf.len() as u64, resp.wire_size(), "{s:?}");
+            match decode_response(&buf).unwrap() {
+                Response::State(back) => {
+                    assert_eq!(format!("{back:?}"), format!("{s:?}"))
+                }
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn version_stamping_follows_the_opcode() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Ping, &mut buf);
+        assert_eq!(buf[4], 1, "v1 opcode keeps the v1 stamp");
+        encode_request(&Request::SaveState, &mut buf);
+        assert_eq!(buf[4], 2, "v2 opcode carries the v2 stamp");
+
+        // a v2 opcode forged with a v1 stamp is rejected on the version
+        encode_request(&Request::Shutdown, &mut buf);
+        buf[4] = 1;
+        assert_eq!(decode_request(&buf).unwrap_err(), WireError::BadVersion(1));
+
+        // frames from the future are rejected before the length is used
+        encode_request(&Request::Ping, &mut buf);
+        buf[4] = VERSION + 1;
+        assert_eq!(decode_request(&buf).unwrap_err(), WireError::BadVersion(VERSION + 1));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The worker RPC surface and the kernel-wrapping workers.
 
+use crate::checkpoint::ModelState;
 use jc_nbody::{Backend, ParticleSet, PhiGrape};
 use jc_sph::{Gadget, GasParticles};
 use jc_stellar::{SseModel, StellarEvent};
@@ -80,15 +81,26 @@ pub enum Request {
         /// Specific internal energy.
         u: f64,
     },
+    /// Serialize the worker's complete model state (checkpoint).
+    SaveState,
+    /// Overwrite the worker's model state (restore/failover replay).
+    LoadState(ModelState),
     /// Shut the worker down.
     Stop,
+    /// Terminate the worker's *host* cleanly: a [`crate::WorkerServer`]
+    /// exits its accept loop (not just the current session) and a
+    /// [`crate::ThreadChannel`] joins its thread. Unlike a kill, the
+    /// worker acknowledges first, so teardown is deterministic.
+    Shutdown,
 }
 
 impl Request {
     /// Simulated wire size of the request.
     pub fn wire_size(&self) -> u64 {
         let body = match self {
-            Request::Ping | Request::Stop | Request::GetParticles => 0,
+            Request::Ping | Request::Stop | Request::Shutdown | Request::GetParticles => 0,
+            Request::SaveState => 0,
+            Request::LoadState(s) => s.wire_body_size(),
             Request::EvolveTo(_) | Request::EvolveStars(_) => 8,
             Request::SetMasses(m) => 8 * m.len() as u64,
             Request::Kick(k) => 24 * k.len() as u64,
@@ -126,6 +138,8 @@ pub enum Response {
         /// Events since the last call.
         events: Vec<StellarEvent>,
     },
+    /// A serialized model state (checkpoint section).
+    State(ModelState),
     /// The worker does not implement this request.
     Unsupported,
     /// The request failed.
@@ -142,6 +156,7 @@ impl Response {
             Response::StellarUpdate { masses, events } => {
                 8 * masses.len() as u64 + 32 * events.len() as u64
             }
+            Response::State(s) => s.wire_body_size(),
             Response::Unsupported => 0,
             Response::Error(e) => e.len() as u64,
         };
@@ -225,7 +240,26 @@ impl GravityWorker {
 impl ModelWorker for GravityWorker {
     fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::Ping | Request::Stop | Request::Shutdown => Response::Ok { flops: 0.0 },
+            Request::SaveState => {
+                let p = &self.model.particles;
+                Response::State(ModelState::Gravity {
+                    time: self.model.model_time(),
+                    mass: p.mass.clone(),
+                    pos: p.pos.clone(),
+                    vel: p.vel.clone(),
+                })
+            }
+            Request::LoadState(ModelState::Gravity { time, mass, pos, vel }) => {
+                if pos.len() != mass.len() || vel.len() != mass.len() {
+                    return Response::Error("ragged gravity state".into());
+                }
+                self.model.restore_state(ParticleSet { mass, pos, vel }, time);
+                Response::Ok { flops: 0.0 }
+            }
+            Request::LoadState(other) => {
+                Response::Error(format!("gravity worker cannot load {} state", other.kind()))
+            }
             Request::EvolveTo(t) => {
                 let f0 = self.model.flops;
                 self.model.evolve_model(t);
@@ -295,7 +329,30 @@ impl HydroWorker {
 impl ModelWorker for HydroWorker {
     fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::Ping | Request::Stop | Request::Shutdown => Response::Ok { flops: 0.0 },
+            Request::SaveState => {
+                let g = &self.model.gas;
+                Response::State(ModelState::Hydro {
+                    time: self.model.model_time(),
+                    mass: g.mass.clone(),
+                    pos: g.pos.clone(),
+                    vel: g.vel.clone(),
+                    u: g.u.clone(),
+                    rho: g.rho.clone(),
+                    h: g.h.clone(),
+                })
+            }
+            Request::LoadState(ModelState::Hydro { time, mass, pos, vel, u, rho, h }) => {
+                let n = mass.len();
+                if [pos.len(), vel.len(), u.len(), rho.len(), h.len()] != [n; 5] {
+                    return Response::Error("ragged hydro state".into());
+                }
+                self.model.restore_state(GasParticles { mass, pos, vel, u, rho, h }, time);
+                Response::Ok { flops: 0.0 }
+            }
+            Request::LoadState(other) => {
+                Response::Error(format!("hydro worker cannot load {} state", other.kind()))
+            }
             Request::EvolveTo(t) => {
                 let f0 = self.model.flops;
                 self.model.evolve_model(t);
@@ -364,7 +421,23 @@ impl StellarWorker {
 impl ModelWorker for StellarWorker {
     fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::Ping | Request::Stop | Request::Shutdown => Response::Ok { flops: 0.0 },
+            Request::SaveState => Response::State(ModelState::Stellar {
+                time_myr: self.model.model_time_myr(),
+                z: self.model.metallicity(),
+                initial_masses: self.model.initial_masses().to_vec(),
+                exploded: self.model.exploded().to_vec(),
+            }),
+            Request::LoadState(ModelState::Stellar { time_myr, z, initial_masses, exploded }) => {
+                if initial_masses.len() != exploded.len() {
+                    return Response::Error("ragged stellar state".into());
+                }
+                self.model = SseModel::restored(initial_masses, z, time_myr, exploded);
+                Response::Ok { flops: 0.0 }
+            }
+            Request::LoadState(other) => {
+                Response::Error(format!("stellar worker cannot load {} state", other.kind()))
+            }
             Request::EvolveStars(t_myr) => {
                 let events = self.model.evolve_to(t_myr);
                 Response::StellarUpdate {
@@ -403,7 +476,12 @@ impl CouplingWorker {
 impl ModelWorker for CouplingWorker {
     fn handle(&mut self, req: Request) -> Response {
         match req {
-            Request::Ping | Request::Stop => Response::Ok { flops: 0.0 },
+            Request::Ping | Request::Stop | Request::Shutdown => Response::Ok { flops: 0.0 },
+            Request::SaveState => Response::State(ModelState::Stateless),
+            Request::LoadState(ModelState::Stateless) => Response::Ok { flops: 0.0 },
+            Request::LoadState(other) => {
+                Response::Error(format!("coupling worker cannot load {} state", other.kind()))
+            }
             Request::ComputeKick { targets, source_pos, source_mass } => {
                 if source_pos.len() != source_mass.len() {
                     return Response::Error("source arrays length mismatch".into());

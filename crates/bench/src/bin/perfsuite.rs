@@ -7,7 +7,7 @@
 //! the results as JSON so every perf PR leaves a trajectory point behind.
 //!
 //! ```text
-//! perfsuite [--quick] [--socket] [--out PATH] [--check BASELINE] [--repeats K]
+//! perfsuite [--quick] [--socket] [--checkpoint] [--out PATH] [--check BASELINE] [--repeats K]
 //! ```
 //!
 //! * `--quick` — small-N subset (CI per-PR job)
@@ -16,6 +16,12 @@
 //!   `LocalChannel` versus loopback-TCP `SocketChannel` — so the
 //!   BENCH_*.json trajectory tracks what the wire costs on top of the
 //!   kernel (`interactions_per_s` holds payload bytes/s for these rows)
+//! * `--checkpoint` — add fault-tolerance overhead rows: serializing a
+//!   full bridge checkpoint (`checkpoint_snapshot`: SaveState gather +
+//!   container encode) and applying one (`checkpoint_restore`:
+//!   LoadState scatter). `interactions_per_s` holds container bytes/s,
+//!   so the trajectory tracks what a per-iteration checkpoint costs
+//!   next to an iteration itself
 //! * `--out` — output path (default `bench.json`; pass an explicit
 //!   `BENCH_PRn.json` when recording a committed baseline)
 //! * `--check` — compare against a committed baseline JSON and exit
@@ -46,6 +52,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut socket = false;
+    let mut checkpoint = false;
     // not a committed BENCH_*.json: a bare run must never clobber a
     // checked-in baseline
     let mut out_path = String::from("bench.json");
@@ -56,6 +63,7 @@ fn main() {
         match a.as_str() {
             "--quick" => quick = true,
             "--socket" => socket = true,
+            "--checkpoint" => checkpoint = true,
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
             "--repeats" => {
@@ -64,8 +72,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfsuite [--quick] [--socket] [--out PATH] [--check BASELINE] \
-                     [--repeats K]"
+                    "usage: perfsuite [--quick] [--socket] [--checkpoint] [--out PATH] \
+                     [--check BASELINE] [--repeats K]"
                 );
                 std::process::exit(2);
             }
@@ -94,6 +102,13 @@ fn main() {
         for &n in channel_ns {
             samples.push(bench_channel_roundtrip(n, repeats, false));
             samples.push(bench_channel_roundtrip(n, repeats, true));
+        }
+    }
+    if checkpoint {
+        let ck_stars: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
+        for &n in ck_stars {
+            samples.push(bench_checkpoint(n, repeats, false));
+            samples.push(bench_checkpoint(n, repeats, true));
         }
     }
 
@@ -291,6 +306,52 @@ fn bench_channel_roundtrip(n: usize, repeats: usize, socket: bool) -> Sample {
     } else {
         let mut ch = LocalChannel::new(Box::new(GravityWorker::new(ics, Backend::Scalar)));
         run(&mut ch)
+    }
+}
+
+/// Fault-tolerance overhead: serialize (`restore == false`) or apply
+/// (`restore == true`) a complete bridge checkpoint over in-process
+/// channels — SaveState gather + container encode versus LoadState
+/// scatter. `n_stars` stars plus 4·n gas; `interactions_per_s` reports
+/// container bytes/s.
+fn bench_checkpoint(n_stars: usize, repeats: usize, restore: bool) -> Sample {
+    use jc_amuse::channel::LocalChannel;
+    use jc_amuse::worker::{CouplingWorker, GravityWorker, HydroWorker, StellarWorker};
+    use jc_amuse::{Bridge, EmbeddedCluster};
+    use jc_nbody::Backend;
+
+    let c = EmbeddedCluster::build(n_stars, 4 * n_stars, 0.5, 29);
+    let mut bridge = Bridge::new(
+        Box::new(LocalChannel::new(Box::new(GravityWorker::new(c.stars.clone(), Backend::Scalar)))),
+        Box::new(LocalChannel::new(Box::new(HydroWorker::new(c.gas.clone())))),
+        Box::new(LocalChannel::new(Box::new(CouplingWorker::fi()))),
+        Some(Box::new(LocalChannel::new(Box::new(StellarWorker::new(
+            c.star_masses_msun.clone(),
+            0.02,
+        ))))),
+        c.bridge_config(),
+    );
+    let reference = bridge.snapshot().expect("snapshot");
+    let mut container = Vec::new();
+    reference.write_to(&mut container).expect("encode container");
+    let bytes = container.len() as f64;
+
+    let ns = if restore {
+        best_ns(repeats, || {
+            bridge.restore(&reference).expect("restore");
+        })
+    } else {
+        best_ns(repeats, || {
+            let ck = bridge.snapshot().expect("snapshot");
+            container.clear();
+            ck.write_to(&mut container).expect("encode container");
+        })
+    };
+    Sample {
+        kernel: if restore { "checkpoint_restore" } else { "checkpoint_snapshot" },
+        n: n_stars,
+        ns_per_step: ns,
+        interactions_per_s: bytes / ns * 1e9,
     }
 }
 

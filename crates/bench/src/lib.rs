@@ -18,6 +18,8 @@
 //! | bench `channel_overhead` | local vs thread vs distributed channel cost |
 //! | bench `loopback` | loopback channel throughput |
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 /// Render a simple two-column table.
 pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {
     let mut out = format!("{title}\n");

@@ -16,6 +16,7 @@
 //! efficient configuration".
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod coupler;
 pub mod layout;

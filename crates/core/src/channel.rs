@@ -74,7 +74,16 @@ impl IbisChannel {
                 return resp;
             }
             let stepped = self.sim.borrow_mut().step();
-            assert!(stepped, "simulation went idle before reply seq {seq} arrived");
+            if !stepped {
+                // The event queue drained without the reply arriving:
+                // the worker (or a host on its route) is dead. Reported
+                // as an RPC failure, not a panic, so the bridge's
+                // recovery loop can heal and replay (the §5 crash demo
+                // still aborts — its bridge asserts on the error).
+                return Response::Error(format!(
+                    "simulation idle before reply seq {seq} arrived (worker dead?)"
+                ));
+            }
         }
     }
 }

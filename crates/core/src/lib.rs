@@ -33,6 +33,7 @@
 //!   benchmark backing the §5 ">8 Gbit/s even on a modest laptop" claim.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod channel;
 pub mod daemon;

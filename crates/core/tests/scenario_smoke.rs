@@ -1,7 +1,9 @@
 //! End-to-end: the four lab scenarios and the SC11 run produce the paper's
 //! ordering and rough factors.
 
-use jc_core::scenarios::{format_table1, run_sc11, run_scenario};
+use jc_core::scenarios::{
+    format_table1, run_crash_demo, run_failover_demo, run_sc11, run_scenario,
+};
 use jc_core::Scenario;
 
 #[test]
@@ -31,4 +33,20 @@ fn sc11_transatlantic_run_completes() {
     assert!(run.result.seconds_per_iteration > 0.0);
     // the coupler sits in Seattle: transatlantic traffic must exist
     assert!(run.result.wan_ipl_bytes > 1 << 20);
+}
+
+#[test]
+fn crash_without_recovery_still_aborts_like_the_paper() {
+    // §5: "if one worker crashes, the entire simulation crashes"
+    assert!(run_crash_demo(), "the unprotected run must abort");
+}
+
+#[test]
+fn failover_demo_survives_the_same_crash() {
+    // the same injected host crash, with restore + re-place + replay:
+    // the run completes and reports at least one recovery
+    let run = run_failover_demo(2);
+    assert!(run.result.recoveries >= 1, "the crash must actually fire mid-run");
+    assert!(run.result.seconds_per_iteration > 0.0);
+    assert_eq!(run.result.scenario, Scenario::RemoteGpu);
 }

@@ -27,6 +27,12 @@
 //!   ranges (gravity: stars, hydro: gas, stellar: the IMF slice;
 //!   coupling is stateless and ignores it)
 //! * `--gpu` — pick the GPU-personality kernels (PhiGRAPE-GPU/Octgrav)
+//! * `--port-file PATH` — write the bound address to `PATH` once
+//!   listening (the supervisor's rendezvous; stdout stays for logs)
+//! * `--restarts N` — after a serve error (not a clean Stop/Shutdown),
+//!   rebuild the worker from its initial conditions and serve again, up
+//!   to N times — in-place self-healing for transient faults; the
+//!   coupler is expected to restore model state from a checkpoint
 
 use jc_amuse::worker::{CouplingWorker, GravityWorker, HydroWorker, ModelWorker, StellarWorker};
 use jc_amuse::{shard, EmbeddedCluster, WorkerServer};
@@ -41,13 +47,15 @@ struct Args {
     seed: u64,
     shard: Option<(usize, usize)>,
     gpu: bool,
+    port_file: Option<String>,
+    restarts: u32,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: jungle-worker --model gravity|hydro|coupling|octgrav|stellar \
          [--bind ADDR:PORT] [--stars N] [--gas N] [--gas-fraction F] [--seed S] \
-         [--shard I/K] [--gpu]"
+         [--shard I/K] [--gpu] [--port-file PATH] [--restarts N]"
     );
     std::process::exit(2);
 }
@@ -62,6 +70,8 @@ fn parse_args() -> Args {
         seed: 42,
         shard: None,
         gpu: false,
+        port_file: None,
+        restarts: 0,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut it = argv.iter();
@@ -84,6 +94,8 @@ fn parse_args() -> Args {
                 args.shard = Some((i, k));
             }
             "--gpu" => args.gpu = true,
+            "--port-file" => args.port_file = Some(value()),
+            "--restarts" => args.restarts = value().parse().unwrap_or_else(|_| usage()),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -144,9 +156,33 @@ fn main() {
         None => String::new(),
     };
     println!("jungle-worker serving {}{} ({}) on {addr}", args.model, shard_note, worker.name());
-    if let Err(e) = server.serve(worker.as_mut()) {
-        eprintln!("jungle-worker: serve failed: {e}");
-        std::process::exit(1);
+    if let Some(path) = &args.port_file {
+        // rendezvous for ProcessSupervisor: the address, nothing else
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("jungle-worker: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    // self-healing serve loop: a serve *error* (transient I/O fault)
+    // rebuilds the worker from its initial conditions and listens again
+    // on the same socket; a clean Stop/Shutdown always exits
+    let mut restarts_left = args.restarts;
+    loop {
+        match server.serve(worker.as_mut()) {
+            Ok(()) => break,
+            Err(e) if restarts_left > 0 => {
+                restarts_left -= 1;
+                eprintln!(
+                    "jungle-worker: serve failed ({e}); restarting worker \
+                     ({restarts_left} restart(s) left)"
+                );
+                worker = build_worker(&args);
+            }
+            Err(e) => {
+                eprintln!("jungle-worker: serve failed: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     println!("jungle-worker: stop requested, shutting down");
 }

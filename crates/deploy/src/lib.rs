@@ -18,16 +18,23 @@
 //! * [`monitor`] — text renditions of the IbisDeploy GUI panels shown in
 //!   Figs 10 and 11: the resource map, the job table, the hub overlay and
 //!   the per-link traffic visualization with load/memory bars.
+//! * [`supervise`] — worker-process supervision beyond the paper: launch
+//!   recipes for `jungle-worker` processes and a
+//!   [`supervise::ProcessSupervisor`] that respawns dead shards for the
+//!   fault-tolerant bridge (the §5 open problem).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod build;
 pub mod descriptor;
 pub mod json;
 pub mod monitor;
+pub mod supervise;
 
 pub use build::Deployment;
 pub use descriptor::{
     ApplicationDescription, DescriptorError, GridDescription, LinkEntry, ResourceEntry,
 };
 pub use monitor::{JobRow, MonitorView};
+pub use supervise::{ProcessSupervisor, WorkerSpec};

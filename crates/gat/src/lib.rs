@@ -1,6 +1,6 @@
 //! # jc-gat — JavaGAT: one interface to every middleware
 //!
-//! Reproduction of JavaGAT (van Nieuwpoort et al. [15]; §3 of the paper):
+//! Reproduction of JavaGAT (van Nieuwpoort et al. \[15\]; §3 of the paper):
 //! *"JavaGAT is a generic and simple interface to middleware. [...] Using
 //! familiar concepts such as Files and Jobs, a programmer is able to start
 //! applications in a Jungle. JavaGAT provides this functionality using
@@ -25,6 +25,7 @@
 //! available").
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod adapter;
 pub mod broker;

@@ -18,7 +18,7 @@
 //!   not an actor: the owning actor forwards incoming messages to
 //!   [`ibis::IbisInstance::handle_msg`] and reacts to the returned
 //!   [`event::IplEvent`]s.
-//! * [`port::SendPort`] / [`port::ReceivePort`] — uni-directional,
+//! * [`port`] — send/receive ports: uni-directional,
 //!   connection-oriented, message-based ports. A send port connects to one
 //!   or more named receive ports (one-to-many); receive ports accept any
 //!   number of senders (many-to-one). Connections are planned through
@@ -28,6 +28,7 @@
 //!   declared simulated wire size.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod event;
 pub mod ibis;

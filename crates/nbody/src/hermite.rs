@@ -190,6 +190,20 @@ impl PhiGrape {
         steps
     }
 
+    /// Overwrite the dynamical state from a checkpoint: replace the
+    /// particle columns and set the model clock (which may move
+    /// *backwards* — restoring rewinds). Cached forces are discarded, so
+    /// the next [`PhiGrape::evolve_model`] refreshes them from the
+    /// restored positions exactly as a freshly built integrator would —
+    /// restoration is bitwise-transparent at any point where the force
+    /// cache is already invalid (after a kick or a mass update, i.e.
+    /// every bridge iteration boundary).
+    pub fn restore_state(&mut self, particles: ParticleSet, time: f64) {
+        self.particles = particles;
+        self.time = time;
+        self.forces_valid = false;
+    }
+
     /// Apply external velocity kicks (BRIDGE coupling); invalidates the
     /// cached jerk consistency, so forces are refreshed on the next evolve.
     pub fn kick(&mut self, dv: &[[f64; 3]]) {

@@ -1,7 +1,7 @@
 //! # jc-nbody — PhiGRAPE: direct-summation Hermite N-body dynamics
 //!
 //! Reproduction of the gravitational-dynamics kernel used in the paper's
-//! embedded-cluster simulation: PhiGRAPE (Harfst et al. [7]), *"written in
+//! embedded-cluster simulation: PhiGRAPE (Harfst et al. \[7\]), *"written in
 //! Fortran, available in both a CPU and a GPU (using CUDA) variant"*.
 //!
 //! The integrator is the classic 4th-order Hermite predictor–corrector with
@@ -24,6 +24,7 @@
 //! the tests and EXPERIMENTS.md lean on.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod diagnostics;
 pub mod hermite;

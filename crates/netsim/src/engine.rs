@@ -34,6 +34,7 @@ impl Default for SimConfig {
 enum EventKind {
     Deliver { to: ActorId, msg: Msg },
     Crash { host: HostId },
+    Restore { host: HostId },
 }
 
 struct Event {
@@ -228,6 +229,23 @@ impl Sim {
         self.inner.push_event(at, EventKind::Crash { host });
     }
 
+    /// Schedule a host restore at an absolute time: the node comes back
+    /// up *empty* — actors that died in the crash stay dead; a recovery
+    /// layer re-places fresh ones (see `jc_core`'s failover demo).
+    pub fn restore_host_at(&mut self, host: HostId, at: SimTime) {
+        self.inner.push_event(at, EventKind::Restore { host });
+    }
+
+    /// Restore a host immediately (failure-recovery injection).
+    pub fn restore_host_now(&mut self, host: HostId) {
+        self.restore(host);
+    }
+
+    /// Is a host currently down?
+    pub fn host_is_down(&self, host: HostId) -> bool {
+        self.inner.host_down[host.0 as usize]
+    }
+
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
         self.inner.clock
@@ -301,6 +319,7 @@ impl Sim {
         match ev.kind {
             EventKind::Deliver { to, msg } => self.deliver(to, msg),
             EventKind::Crash { host } => self.crash(host),
+            EventKind::Restore { host } => self.restore(host),
         }
         self.install_pending();
         true
@@ -353,6 +372,14 @@ impl Sim {
                 }
             }
         }
+    }
+
+    /// Bring a crashed host back up, empty: deliveries to it succeed
+    /// again, but its dead actors stay dead (their state went with the
+    /// node — a recovery layer places fresh actors and restores model
+    /// state from a checkpoint).
+    fn restore(&mut self, host: HostId) {
+        self.inner.host_down[host.0 as usize] = false;
     }
 }
 
@@ -484,8 +511,9 @@ impl<'a> Ctx<'a> {
         self.inner.push_event(t, EventKind::Crash { host });
     }
 
-    /// Terminate an actor (see [`Sim::kill_actor`]). No-op for actors
-    /// spawned in this same handler invocation (still pending install).
+    /// Terminate an actor: it stops receiving deliveries. No-op for
+    /// actors spawned in this same handler invocation (still pending
+    /// install).
     pub fn kill_actor(&mut self, a: ActorId) {
         if let Some(alive) = self.inner.actor_alive.get_mut(a.0 as usize) {
             *alive = false;
@@ -551,6 +579,24 @@ mod tests {
             sim.now().as_nanos()
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn restored_host_accepts_fresh_actors() {
+        let (mut sim, ha, hb) = sim_with_two_hosts();
+        let a = sim.add_actor(ha, Box::new(Echo { got: vec![], reply_to: None }));
+        let _b = sim.add_actor(hb, Box::new(Echo { got: vec![], reply_to: Some(a) }));
+        sim.crash_host_at(hb, SimTime(1));
+        sim.run_to_quiescence(100);
+        assert!(sim.host_is_down(hb));
+        sim.restore_host_now(hb);
+        assert!(!sim.host_is_down(hb));
+        // the node is back but empty; a freshly placed actor serves again
+        let b2 = sim.add_actor(hb, Box::new(Echo { got: vec![], reply_to: Some(a) }));
+        sim.post(b2, 5u32, SimDuration::ZERO);
+        sim.run_to_quiescence(100);
+        // b2 echoed back to a over the WAN: one 10 ms hop elapsed
+        assert!(sim.now().as_secs_f64() > 0.010, "{:?}", sim.now());
     }
 
     #[test]

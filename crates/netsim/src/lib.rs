@@ -34,6 +34,7 @@
 //!   cannot yet survive).
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod actor;
 pub mod batch;

@@ -29,6 +29,7 @@
 //! simulator.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod addr;
 pub mod hub;

@@ -139,6 +139,20 @@ impl Gadget {
         steps
     }
 
+    /// Overwrite the gas state from a checkpoint: replace every particle
+    /// column (including the adapted smoothing lengths `h`, which seed
+    /// the next density iteration) and set the model clock, which may
+    /// move backwards. Cached rates are discarded, so the next
+    /// [`Gadget::evolve_model`] re-derives density/forces from the
+    /// restored columns — bitwise-identical to an uninterrupted run at
+    /// any point where the rates cache is already invalid (after a kick
+    /// or feedback, i.e. every bridge iteration boundary).
+    pub fn restore_state(&mut self, gas: GasParticles, time: f64) {
+        self.gas = gas;
+        self.time = time;
+        self.rates_valid = false;
+    }
+
     /// Apply external velocity kicks (BRIDGE coupling).
     pub fn kick(&mut self, dv: &[[f64; 3]]) {
         assert_eq!(dv.len(), self.gas.len());

@@ -1,7 +1,7 @@
 //! # jc-sph — Gadget-style smoothed-particle hydrodynamics
 //!
 //! Reproduction of the paper's gas-dynamics kernel: Gadget-2 (Springel
-//! [14]), *"a CPU only model, written in C/MPI"*, run on 8 nodes of DAS-4
+//! \[14\]), *"a CPU only model, written in C/MPI"*, run on 8 nodes of DAS-4
 //! in the distributed experiments.
 //!
 //! The physics follows the standard SPH formulation Gadget uses:
@@ -28,6 +28,7 @@
 //! gas in Fig 6.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod density;
 pub mod forces;

@@ -1,6 +1,6 @@
 //! # jc-stellar — SSE-style parameterized stellar evolution
 //!
-//! Reproduction of the role SSE (Hurley, Pols & Tout 2000 [8]) plays in the
+//! Reproduction of the role SSE (Hurley, Pols & Tout 2000 \[8\]) plays in the
 //! paper's embedded-star-cluster simulation: *"SSE is a so-called
 //! parameterized model, which does a simple lookup of a star's age and
 //! initial mass to determine its current state. Since this lookup is nearly
@@ -20,6 +20,7 @@
 //! AMUSE coupler feeds back into the gravity and gas models.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod fits;
 pub mod model;

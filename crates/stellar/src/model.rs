@@ -85,6 +85,42 @@ impl SseModel {
         }
     }
 
+    /// Rebuild a model at a checkpointed time. Star states are a pure
+    /// function of (initial mass, metallicity, age), so the lookup at
+    /// `time_myr` reproduces them bitwise; the `exploded` flags are the
+    /// only evolution history that must be carried explicitly (each
+    /// supernova fires exactly once).
+    pub fn restored(
+        initial_masses: Vec<f64>,
+        z: f64,
+        time_myr: f64,
+        exploded: Vec<bool>,
+    ) -> SseModel {
+        assert_eq!(initial_masses.len(), exploded.len(), "one exploded flag per star");
+        let mut m = SseModel::new(initial_masses, z);
+        if time_myr > 0.0 {
+            // fast-forward (events discarded: they already happened)
+            let _ = m.evolve_to(time_myr);
+        }
+        m.exploded = exploded;
+        m
+    }
+
+    /// Metallicity the population was built with.
+    pub fn metallicity(&self) -> f64 {
+        self.z
+    }
+
+    /// ZAMS masses, MSun.
+    pub fn initial_masses(&self) -> &[f64] {
+        &self.initial_masses
+    }
+
+    /// Which stars have already gone supernova.
+    pub fn exploded(&self) -> &[bool] {
+        &self.exploded
+    }
+
     /// Number of stars.
     pub fn len(&self) -> usize {
         self.states.len()

@@ -21,6 +21,7 @@
 //! the CPU-only scenario in §6.2.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod octree;
 pub mod solver;

@@ -1,6 +1,6 @@
 //! # jc-zorilla — peer-to-peer grid middleware
 //!
-//! Reproduction of Zorilla (Drost et al. [4]; §3 of the paper): *"a
+//! Reproduction of Zorilla (Drost et al. \[4\]; §3 of the paper): *"a
 //! prototype middleware based on Peer-to-Peer techniques. Zorilla is ideal
 //! in cases where no middleware is available, and can turn any collection
 //! of machines into a cluster-like system in minutes."*
@@ -16,6 +16,7 @@
 //! conventional middleware is installed on a resource.
 
 #![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod peer;
 

@@ -1,7 +1,7 @@
 //! Offline stand-in for `proptest`.
 //!
 //! Implements the subset the workspace's property tests use: the
-//! [`Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and tuple
 //! strategies, [`strategy::Just`], `any::<T>()`,
 //! [`collection::vec`], and the `proptest!` / `prop_assert*!` /
 //! `prop_oneof!` macros. Each test runs a fixed number of random cases
@@ -302,7 +302,7 @@ pub mod collection {
     use super::test_runner::TestRng;
     use std::ops::{Range, RangeInclusive};
 
-    /// Acceptable size arguments for [`vec`]: a fixed length or a range.
+    /// Acceptable size arguments for [`vec()`]: a fixed length or a range.
     pub trait IntoSizeRange {
         /// (min, max) inclusive bounds.
         fn bounds(&self) -> (usize, usize);

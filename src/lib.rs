@@ -4,6 +4,8 @@
 //! integration tests can `use jungle::...`. See the README for the map of
 //! the system and DESIGN.md for the full inventory.
 
+#![deny(rustdoc::broken_intra_doc_links)]
+
 pub use jc_amuse as amuse;
 pub use jc_cesm as cesm;
 pub use jc_core as core;

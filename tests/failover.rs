@@ -1,0 +1,286 @@
+//! Failure injection: kill a shard worker mid-iteration and prove the
+//! recovered run is bitwise-identical to one that never failed.
+//!
+//! This is the acceptance test for the fault-tolerant runtime: the
+//! paper's §5 says *"if one worker crashes, the entire simulation
+//! crashes"* — here a worker crashes and the simulation finishes with
+//! the exact same bits. Two transports are exercised:
+//!
+//! * loopback TCP (`spawn_flaky_tcp_worker`): the server vanishes
+//!   mid-conversation after a deterministic number of requests, the
+//!   supervisor respawns a fresh process-equivalent server, and the
+//!   bridge restores its checkpoint and replays;
+//! * in-process `LocalChannel`s with a crashing worker wrapper and *no*
+//!   supervisor: the dead shard is excluded and the pool re-partitions
+//!   over the survivors.
+
+use jungle::amuse::channel::{Channel, LocalChannel};
+use jungle::amuse::shard::ShardedChannel;
+use jungle::amuse::socket::{spawn_flaky_tcp_worker, spawn_tcp_worker};
+use jungle::amuse::worker::{
+    CouplingWorker, GravityWorker, HydroWorker, ModelWorker, ParticleData, Request, Response,
+    StellarWorker,
+};
+use jungle::amuse::{
+    Bridge, BridgeConfig, Checkpoint, EmbeddedCluster, RecoveryPolicy, SocketChannel,
+};
+use jungle::nbody::Backend;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+const ITERATIONS: u32 = 4;
+/// Iterations completed before the victim's fuse is armed.
+const CLEAN_ITERATIONS: u32 = 2;
+/// Requests the victim still serves after arming — small enough that it
+/// dies inside the next iteration's kick fan-out.
+const FUSE: i64 = 5;
+
+fn cluster() -> EmbeddedCluster {
+    EmbeddedCluster::build(32, 128, 0.5, 17)
+}
+
+fn config(c: &EmbeddedCluster) -> BridgeConfig {
+    let mut cfg = c.bridge_config();
+    cfg.substeps = 4;
+    cfg.stellar_interval = 2;
+    cfg
+}
+
+fn bitwise_eq(a: &ParticleData, b: &ParticleData) -> bool {
+    let f = |x: &[f64], y: &[f64]| {
+        x.len() == y.len() && x.iter().zip(y).all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    let v = |x: &[[f64; 3]], y: &[[f64; 3]]| {
+        x.len() == y.len()
+            && x.iter().zip(y).all(|(p, q)| (0..3).all(|k| p[k].to_bits() == q[k].to_bits()))
+    };
+    f(&a.mass, &b.mass) && v(&a.pos, &b.pos) && v(&a.vel, &b.vel)
+}
+
+/// The uninterrupted reference: everything in process, no failures.
+fn baseline() -> (ParticleData, ParticleData, u32, f64) {
+    let c = cluster();
+    let mut bridge = Bridge::new(
+        Box::new(LocalChannel::new(Box::new(GravityWorker::new(c.stars.clone(), Backend::Scalar)))),
+        Box::new(LocalChannel::new(Box::new(HydroWorker::new(c.gas.clone())))),
+        Box::new(LocalChannel::new(Box::new(CouplingWorker::fi()))),
+        Some(Box::new(LocalChannel::new(Box::new(StellarWorker::new(
+            c.star_masses_msun.clone(),
+            0.02,
+        ))))),
+        config(&c),
+    );
+    for _ in 0..ITERATIONS {
+        bridge.iteration();
+    }
+    let (stars, gas) = bridge.snapshots();
+    (stars, gas, bridge.total_supernovae(), bridge.model_time())
+}
+
+#[test]
+fn tcp_shard_killed_mid_iteration_recovers_bitwise() {
+    let (ref_stars, ref_gas, ref_sn, ref_time) = baseline();
+
+    for k in 1..=3usize {
+        let c = cluster();
+        let mut handles = Vec::new();
+        let respawned: Rc<RefCell<Vec<std::thread::JoinHandle<std::io::Result<()>>>>> =
+            Rc::new(RefCell::new(Vec::new()));
+
+        // the healthy single workers
+        let (stars_ics, gas_ics, imf) =
+            (c.stars.clone(), c.gas.clone(), c.star_masses_msun.clone());
+        let (g_addr, g_h) =
+            spawn_tcp_worker("grav", move || GravityWorker::new(stars_ics, Backend::Scalar));
+        let (h_addr, h_h) = spawn_tcp_worker("hydro", move || HydroWorker::new(gas_ics));
+        let (s_addr, s_h) = spawn_tcp_worker("sse", move || StellarWorker::new(imf, 0.02));
+        handles.extend([g_h, h_h, s_h]);
+
+        // the coupling pool: K flaky servers, one of which will be shot
+        let victim = (3 + 7 * k) % k;
+        let fuses: Vec<Arc<AtomicI64>> =
+            (0..k).map(|_| Arc::new(AtomicI64::new(i64::MAX))).collect();
+        let shards: Vec<Box<dyn Channel>> = (0..k)
+            .map(|i| {
+                let (addr, h) =
+                    spawn_flaky_tcp_worker(format!("fi-{i}"), CouplingWorker::fi, fuses[i].clone());
+                handles.push(h);
+                Box::new(SocketChannel::connect(addr, format!("fi-{i}")).expect("connect shard"))
+                    as Box<dyn Channel>
+            })
+            .collect();
+
+        // supervisor: respawn a dead shard as a fresh (healthy) server
+        let respawned_c = respawned.clone();
+        let supervisor = move |i: usize| -> Option<Box<dyn Channel>> {
+            let (addr, h) = spawn_tcp_worker(format!("fi-{i}-respawn"), CouplingWorker::fi);
+            respawned_c.borrow_mut().push(h);
+            Some(Box::new(SocketChannel::connect(addr, format!("fi-{i}-respawn")).ok()?)
+                as Box<dyn Channel>)
+        };
+        let pool =
+            ShardedChannel::with_counts(shards, vec![0; k]).with_supervisor(Box::new(supervisor));
+
+        let mut bridge = Bridge::new(
+            Box::new(SocketChannel::connect(g_addr, "grav").expect("connect gravity")),
+            Box::new(SocketChannel::connect(h_addr, "hydro").expect("connect hydro")),
+            Box::new(pool),
+            Some(Box::new(SocketChannel::connect(s_addr, "sse").expect("connect stellar"))),
+            config(&c),
+        );
+
+        let policy = RecoveryPolicy { max_retries: 2, checkpoint_interval: 1 };
+        let mut checkpoint: Option<Checkpoint> = None;
+        let mut recoveries = 0u32;
+        for i in 0..ITERATIONS {
+            if i == CLEAN_ITERATIONS {
+                // arm the fuse: the victim dies a few requests into this
+                // iteration's kick fan-out
+                fuses[victim].store(FUSE, Ordering::SeqCst);
+            }
+            let (_rep, rec) = bridge
+                .iteration_recovering(&mut checkpoint, &policy)
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            recoveries += rec;
+        }
+        assert!(recoveries >= 1, "k={k}: the kill must actually trigger a recovery");
+
+        let (stars, gas) = bridge.snapshots();
+        assert_eq!(bridge.model_time().to_bits(), ref_time.to_bits(), "k={k}");
+        assert_eq!(bridge.total_supernovae(), ref_sn, "k={k}");
+        assert!(bitwise_eq(&stars, &ref_stars), "k={k}: star state diverged");
+        assert!(bitwise_eq(&gas, &ref_gas), "k={k}: gas state diverged");
+
+        drop(bridge); // Stop frames shut the healthy servers down
+        for h in handles {
+            h.join().expect("server thread").expect("server exits cleanly");
+        }
+        for h in Rc::try_unwrap(respawned).expect("bridge dropped").into_inner() {
+            h.join().expect("respawned thread").expect("respawned server exits cleanly");
+        }
+    }
+}
+
+/// A worker that serves `fuse` requests, then answers only errors — the
+/// in-process image of a dead node.
+struct CrashAfter {
+    inner: Box<dyn ModelWorker>,
+    fuse: Arc<AtomicI64>,
+}
+
+impl ModelWorker for CrashAfter {
+    fn handle(&mut self, req: Request) -> Response {
+        if self.fuse.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Response::Error("injected crash".into());
+        }
+        self.inner.handle(req)
+    }
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+}
+
+#[test]
+fn local_shard_excluded_without_supervisor_recovers_bitwise() {
+    let (ref_stars, ref_gas, ref_sn, ref_time) = baseline();
+
+    for k in 2..=3usize {
+        let c = cluster();
+        let victim = (1 + 5 * k) % k;
+        let fuses: Vec<Arc<AtomicI64>> =
+            (0..k).map(|_| Arc::new(AtomicI64::new(i64::MAX))).collect();
+        let shards: Vec<Box<dyn Channel>> = (0..k)
+            .map(|i| {
+                Box::new(LocalChannel::new(Box::new(CrashAfter {
+                    inner: Box::new(CouplingWorker::fi()),
+                    fuse: fuses[i].clone(),
+                }))) as Box<dyn Channel>
+            })
+            .collect();
+        // no supervisor: the dead shard must be excluded
+        let pool = ShardedChannel::with_counts(shards, vec![0; k]);
+
+        let mut bridge = Bridge::new(
+            Box::new(LocalChannel::new(Box::new(GravityWorker::new(
+                c.stars.clone(),
+                Backend::Scalar,
+            )))),
+            Box::new(LocalChannel::new(Box::new(HydroWorker::new(c.gas.clone())))),
+            Box::new(pool),
+            Some(Box::new(LocalChannel::new(Box::new(StellarWorker::new(
+                c.star_masses_msun.clone(),
+                0.02,
+            ))))),
+            config(&c),
+        );
+
+        // checkpoint only every 2nd iteration, and arm the fuse so the
+        // failure lands one iteration *past* the last checkpoint: the
+        // recovery must rewind two iterations and catch back up, not
+        // just replay one
+        let policy = RecoveryPolicy { max_retries: 2, checkpoint_interval: 2 };
+        let mut checkpoint: Option<Checkpoint> = None;
+        let mut recoveries = 0u32;
+        for i in 0..ITERATIONS {
+            if i == CLEAN_ITERATIONS + 1 {
+                fuses[victim].store(FUSE, Ordering::SeqCst);
+            }
+            let (_rep, rec) = bridge
+                .iteration_recovering(&mut checkpoint, &policy)
+                .unwrap_or_else(|e| panic!("k={k}: {e}"));
+            recoveries += rec;
+            assert_eq!(bridge.iterations(), (i + 1) as u64, "k={k}: iteration count truthful");
+        }
+        assert!(recoveries >= 1, "k={k}: the crash must actually trigger a recovery");
+
+        let (stars, gas) = bridge.snapshots();
+        assert_eq!(bridge.model_time().to_bits(), ref_time.to_bits(), "k={k}");
+        assert_eq!(bridge.total_supernovae(), ref_sn, "k={k}");
+        assert!(bitwise_eq(&stars, &ref_stars), "k={k}: star state diverged after exclusion");
+        assert!(bitwise_eq(&gas, &ref_gas), "k={k}: gas state diverged after exclusion");
+    }
+}
+
+#[test]
+fn checkpoint_file_survives_a_new_bridge_instance() {
+    // restore-into-a-fresh-process smoke: run 2 iterations, checkpoint
+    // to a file, rebuild the whole bridge from initial conditions,
+    // restore, run 2 more — bitwise equal to 4 straight iterations
+    let (ref_stars, ref_gas, ref_sn, ref_time) = baseline();
+    let c = cluster();
+    let build = |c: &EmbeddedCluster| {
+        Bridge::new(
+            Box::new(LocalChannel::new(Box::new(GravityWorker::new(
+                c.stars.clone(),
+                Backend::Scalar,
+            )))),
+            Box::new(LocalChannel::new(Box::new(HydroWorker::new(c.gas.clone())))),
+            Box::new(LocalChannel::new(Box::new(CouplingWorker::fi()))),
+            Some(Box::new(LocalChannel::new(Box::new(StellarWorker::new(
+                c.star_masses_msun.clone(),
+                0.02,
+            ))))),
+            config(c),
+        )
+    };
+    let path = std::env::temp_dir().join(format!("jc-failover-ck-{}.bin", std::process::id()));
+    let mut first = build(&c);
+    first.iteration();
+    first.iteration();
+    first.snapshot_to(&path).expect("write checkpoint");
+    drop(first);
+
+    let mut second = build(&c); // fresh initial conditions
+    second.restore_from(&path).expect("read checkpoint");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(second.iterations(), 2);
+    second.iteration();
+    second.iteration();
+    let (stars, gas) = second.snapshots();
+    assert_eq!(second.model_time().to_bits(), ref_time.to_bits());
+    assert_eq!(second.total_supernovae(), ref_sn);
+    assert!(bitwise_eq(&stars, &ref_stars));
+    assert!(bitwise_eq(&gas, &ref_gas));
+}

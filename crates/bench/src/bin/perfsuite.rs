@@ -8,6 +8,7 @@
 //!
 //! ```text
 //! perfsuite [--quick] [--socket] [--checkpoint] [--out PATH] [--check BASELINE] [--repeats K]
+//! perfsuite --compare OLD.json NEW.json
 //! ```
 //!
 //! * `--quick` — small-N subset (CI per-PR job)
@@ -27,6 +28,20 @@
 //! * `--check` — compare against a committed baseline JSON and exit
 //!   non-zero if any matching kernel regressed more than 2× in ns/step
 //! * `--repeats` — timing repeats per kernel (default 3; best is kept)
+//! * `--compare OLD.json NEW.json` — no benching: print a per-kernel
+//!   speedup table between two result files (machine-normalized via the
+//!   frozen `sph_density_legacy` rows) and exit non-zero if any kernel
+//!   in NEW regressed more than 2× against OLD — CI diffs the PR's JSON
+//!   artifact against the committed baseline with this
+//!
+//! Worker-thread counts honor the `JC_THREADS` environment override, so
+//! perfsuite numbers are reproducible on shared machines (CI pins it).
+//! Backend coverage: the scalar reference kernels keep their historical
+//! row names (`nbody_acc_jerk`, `sph_density_csr`, `sph_forces`,
+//! `tree_walk`); the SoA compute paths get `*_simd` rows next to them.
+//! The former `tree_build_walk` row is split into `tree_build` and
+//! `tree_walk` so an N-driven throughput drop can be attributed to the
+//! octree build or to the walk.
 
 use jc_nbody::kernels::{acc_jerk_into, Backend};
 use jc_nbody::plummer::plummer_sphere;
@@ -50,6 +65,13 @@ struct Sample {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--compare") {
+        if args.len() != 3 {
+            eprintln!("usage: perfsuite --compare OLD.json NEW.json");
+            std::process::exit(2);
+        }
+        std::process::exit(compare_files(&args[1], &args[2]));
+    }
     let mut quick = false;
     let mut socket = false;
     let mut checkpoint = false;
@@ -86,16 +108,21 @@ fn main() {
     let sph_ns: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
 
     for &n in gravity_ns {
-        samples.push(bench_acc_jerk(n, repeats));
+        samples.push(bench_acc_jerk(n, repeats, Backend::Scalar));
+        samples.push(bench_acc_jerk(n, repeats, Backend::SimdSoa));
         samples.push(bench_hermite(n, repeats));
     }
     for &n in tree_ns {
-        samples.push(bench_tree(n, repeats));
+        samples.push(bench_tree_build(n, repeats));
+        samples.push(bench_tree_walk(n, repeats, false));
+        samples.push(bench_tree_walk(n, repeats, true));
     }
     for &n in sph_ns {
-        samples.push(bench_sph_density(n, repeats));
+        samples.push(bench_sph_density(n, repeats, false));
+        samples.push(bench_sph_density(n, repeats, true));
         samples.push(bench_sph_density_legacy(n, repeats));
-        samples.push(bench_sph_forces(n, repeats));
+        samples.push(bench_sph_forces(n, repeats, false));
+        samples.push(bench_sph_forces(n, repeats, true));
     }
     if socket {
         let channel_ns: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
@@ -130,7 +157,8 @@ fn main() {
     }
 }
 
-/// Print the CSR-vs-legacy SPH density speedup (the PR's headline number).
+/// Print the CSR-vs-legacy SPH density speedup and the SoA-vs-scalar
+/// speedup of every kernel that has both rows.
 fn report_speedup(samples: &[Sample]) {
     for s in samples.iter().filter(|s| s.kernel == "sph_density_csr") {
         if let Some(legacy) =
@@ -141,6 +169,22 @@ fn report_speedup(samples: &[Sample]) {
                 s.n,
                 legacy.ns_per_step / s.ns_per_step
             );
+        }
+    }
+    for (simd, scalar) in [
+        ("nbody_acc_jerk_simd", "nbody_acc_jerk"),
+        ("sph_density_simd", "sph_density_csr"),
+        ("sph_forces_simd", "sph_forces"),
+        ("tree_walk_simd", "tree_walk"),
+    ] {
+        for s in samples.iter().filter(|s| s.kernel == simd) {
+            if let Some(base) = samples.iter().find(|l| l.kernel == scalar && l.n == s.n) {
+                println!(
+                    "{scalar} SimdSoa speedup at N={}: {:.2}x",
+                    s.n,
+                    base.ns_per_step / s.ns_per_step
+                );
+            }
         }
     }
 }
@@ -157,26 +201,22 @@ fn best_ns(repeats: usize, mut f: impl FnMut()) -> f64 {
     best
 }
 
-fn bench_acc_jerk(n: usize, repeats: usize) -> Sample {
+fn bench_acc_jerk(n: usize, repeats: usize, backend: Backend) -> Sample {
     let ics = plummer_sphere(n, 42);
     let mut acc = vec![[0.0; 3]; n];
     let mut jerk = vec![[0.0; 3]; n];
     let ns = best_ns(repeats, || {
         acc_jerk_into(
-            Backend::Scalar,
-            &ics.pos,
-            &ics.vel,
-            &ics.mass,
-            &ics.pos,
-            &ics.vel,
-            1e-4,
-            true,
-            &mut acc,
+            backend, &ics.pos, &ics.vel, &ics.mass, &ics.pos, &ics.vel, 1e-4, true, &mut acc,
             &mut jerk,
         );
     });
     let inter = (n * n) as f64;
-    Sample { kernel: "nbody_acc_jerk", n, ns_per_step: ns, interactions_per_s: inter / ns * 1e9 }
+    let kernel = match backend {
+        Backend::SimdSoa => "nbody_acc_jerk_simd",
+        _ => "nbody_acc_jerk",
+    };
+    Sample { kernel, n, ns_per_step: ns, interactions_per_s: inter / ns * 1e9 }
 }
 
 fn bench_hermite(n: usize, repeats: usize) -> Sample {
@@ -204,20 +244,39 @@ fn bench_hermite(n: usize, repeats: usize) -> Sample {
     }
 }
 
-fn bench_tree(n: usize, repeats: usize) -> Sample {
+/// Octree build (+ per-node opening-radius precompute) alone — the
+/// build half of the former `tree_build_walk` row. `interactions_per_s`
+/// reports particles inserted per second.
+fn bench_tree_build(n: usize, repeats: usize) -> Sample {
     let ics = plummer_sphere(n, 11);
     let mut solver = TreeGravity::new(0.5, 0.01);
-    let mut acc = Vec::new();
     let ns = best_ns(repeats, || {
-        solver.accelerations_into(&ics.pos, &ics.pos, &ics.mass, &mut acc);
+        solver.rebuild(&ics.pos, &ics.mass);
     });
-    let inter = solver.last_interactions() as f64;
-    Sample { kernel: "tree_build_walk", n, ns_per_step: ns, interactions_per_s: inter / ns * 1e9 }
+    Sample { kernel: "tree_build", n, ns_per_step: ns, interactions_per_s: n as f64 / ns * 1e9 }
 }
 
-fn bench_sph_density(n: usize, repeats: usize) -> Sample {
+/// The Barnes–Hut walk against a prebuilt tree — the walk half of the
+/// former `tree_build_walk` row, so an N-driven throughput drop can be
+/// pinned on build or walk.
+fn bench_tree_walk(n: usize, repeats: usize, simd: bool) -> Sample {
+    let ics = plummer_sphere(n, 11);
+    let mut solver = TreeGravity::new(0.5, 0.01);
+    solver.simd = simd;
+    solver.rebuild(&ics.pos, &ics.mass);
+    let mut acc = Vec::new();
+    let ns = best_ns(repeats, || {
+        solver.walk_targets(&ics.pos, &mut acc);
+    });
+    let inter = solver.last_interactions() as f64;
+    let kernel = if simd { "tree_walk_simd" } else { "tree_walk" };
+    Sample { kernel, n, ns_per_step: ns, interactions_per_s: inter / ns * 1e9 }
+}
+
+fn bench_sph_density(n: usize, repeats: usize, simd: bool) -> Sample {
     let gas0 = plummer_gas(n, 1.0, 13);
     let mut scratch = SphScratch::new();
+    scratch.simd = simd;
     let mut gas = gas0.clone();
     let mut inter = 0u64;
     let ns = best_ns(repeats, || {
@@ -225,7 +284,7 @@ fn bench_sph_density(n: usize, repeats: usize) -> Sample {
         inter = compute_density_with(&mut gas, &mut scratch);
     });
     Sample {
-        kernel: "sph_density_csr",
+        kernel: if simd { "sph_density_simd" } else { "sph_density_csr" },
         n,
         ns_per_step: ns,
         interactions_per_s: inter as f64 / ns * 1e9,
@@ -248,16 +307,17 @@ fn bench_sph_density_legacy(n: usize, repeats: usize) -> Sample {
     }
 }
 
-fn bench_sph_forces(n: usize, repeats: usize) -> Sample {
+fn bench_sph_forces(n: usize, repeats: usize, simd: bool) -> Sample {
     let mut gas = plummer_gas(n, 1.0, 13);
     let mut scratch = SphScratch::new();
+    scratch.simd = simd;
     compute_density_with(&mut gas, &mut scratch);
     let mut rates = HydroRates::new();
     let ns = best_ns(repeats, || {
         hydro_rates_into(&gas, &mut scratch, &mut rates);
     });
     Sample {
-        kernel: "sph_forces",
+        kernel: if simd { "sph_forces_simd" } else { "sph_forces" },
         n,
         ns_per_step: ns,
         interactions_per_s: rates.interactions as f64 / ns * 1e9,
@@ -376,6 +436,11 @@ fn render_json(samples: &[Sample], quick: bool) -> String {
     s.push_str("{\n");
     s.push_str("  \"schema\": \"jc-perfsuite/v1\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
+    // provenance: the worker-count pin this run was recorded under —
+    // comparing runs with mismatched concurrency gates on the machine's
+    // core count, which the calibration cannot normalize
+    let threads = std::env::var("JC_THREADS").unwrap_or_else(|_| "auto".into());
+    s.push_str(&format!("  \"jc_threads\": \"{threads}\",\n"));
     s.push_str(&format!("  \"regression_factor\": {REGRESSION_FACTOR},\n  \"results\": [\n"));
     for (i, r) in samples.iter().enumerate() {
         s.push_str(&format!(
@@ -421,6 +486,99 @@ fn machine_calibration(samples: &[Sample], baseline: &jc_deploy::json::Value) ->
         // measurement; clamp it so one noisy sample on a shared runner
         // cannot rescale every kernel into a spurious pass or fail.
         (log_sum / count as f64).exp().clamp(0.5, 2.0)
+    }
+}
+
+/// One `(kernel, n, ns_per_step)` row pulled out of a results JSON.
+type Row = (String, f64, f64);
+
+fn load_rows(path: &str) -> Result<Vec<Row>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let doc = jc_deploy::json::parse(&text).map_err(|e| format!("cannot parse {path}: {e:?}"))?;
+    let results = doc
+        .get("results")
+        .and_then(|r| r.as_array())
+        .ok_or_else(|| format!("{path} has no results array"))?;
+    let mut rows = Vec::new();
+    for r in results {
+        let (Some(kernel), Some(n), Some(ns)) = (
+            r.get("kernel").and_then(|k| k.as_str()),
+            r.get("n").and_then(|n| n.as_f64()),
+            r.get("ns_per_step").and_then(|v| v.as_f64()),
+        ) else {
+            continue;
+        };
+        rows.push((kernel.to_string(), n, ns));
+    }
+    Ok(rows)
+}
+
+/// `perfsuite --compare OLD.json NEW.json`: print a per-kernel speedup
+/// table between two result files and return the exit code — non-zero
+/// when any kernel in NEW regressed more than [`REGRESSION_FACTOR`]×
+/// against OLD after machine normalization (the frozen
+/// `sph_density_legacy` rows measure the machine, exactly as in
+/// `--check`). The calibration kernel and the latency-bound
+/// `channel_roundtrip_*` rows are reported for information only.
+fn compare_files(old_path: &str, new_path: &str) -> i32 {
+    let (old, new) = match (load_rows(old_path), load_rows(new_path)) {
+        (Ok(o), Ok(n)) => (o, n),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+    let find = |rows: &[Row], kernel: &str, n: f64| -> Option<f64> {
+        rows.iter().find(|(k, rn, _)| k == kernel && *rn == n).map(|&(_, _, ns)| ns)
+    };
+    // machine calibration: geometric mean of new/old over the frozen
+    // legacy rows, clamped against single-sample noise
+    let mut log_sum = 0.0;
+    let mut count = 0u32;
+    for (k, n, new_ns) in new.iter().filter(|(k, _, _)| k == "sph_density_legacy") {
+        if let Some(old_ns) = find(&old, k, *n) {
+            if old_ns > 0.0 && *new_ns > 0.0 {
+                log_sum += (new_ns / old_ns).ln();
+                count += 1;
+            }
+        }
+    }
+    let calibration = if count == 0 { 1.0 } else { (log_sum / count as f64).exp().clamp(0.5, 2.0) };
+    println!("comparing {new_path} against {old_path}");
+    println!("machine calibration (sph_density_legacy new/old): {calibration:.2}x");
+    println!(
+        "{:<24} {:>8} {:>14} {:>14} {:>9}",
+        "kernel", "N", "old ns/step", "new ns/step", "speedup"
+    );
+    let mut compared = 0;
+    let mut failed = 0;
+    for (k, n, new_ns) in &new {
+        let Some(old_ns) = find(&old, k, *n) else { continue };
+        let speedup = old_ns / new_ns * calibration;
+        let info_only = k == "sph_density_legacy" || k.starts_with("channel_roundtrip");
+        let verdict = if info_only {
+            "(info)"
+        } else {
+            compared += 1;
+            if 1.0 / speedup > REGRESSION_FACTOR {
+                failed += 1;
+                "REGRESSED"
+            } else {
+                ""
+            }
+        };
+        println!("{k:<24} {n:>8} {old_ns:>14.0} {new_ns:>14.0} {speedup:>8.2}x {verdict}");
+    }
+    if compared == 0 {
+        eprintln!("no overlapping (kernel, N) points between {old_path} and {new_path}");
+        return 2;
+    }
+    if failed > 0 {
+        eprintln!("{failed}/{compared} kernels regressed more than {REGRESSION_FACTOR}x");
+        1
+    } else {
+        println!("all {compared} overlapping kernels within {REGRESSION_FACTOR}x");
+        0
     }
 }
 

@@ -65,6 +65,78 @@ fn sph_density_and_forces_steady_state_allocates_nothing() {
 }
 
 #[test]
+fn simd_soa_acc_jerk_steady_state_allocates_nothing() {
+    // below the parallel grain (64) the SimdSoa backend runs strictly
+    // sequentially on the calling thread; its SoA source mirror is
+    // thread-local and refilled in place, so the steady state is
+    // allocation-free on any machine
+    let n = 48;
+    let ics = jc_nbody::plummer::plummer_sphere(n, 5);
+    let mut acc = vec![[0.0; 3]; n];
+    let mut jerk = vec![[0.0; 3]; n];
+    let run = |acc: &mut Vec<[f64; 3]>, jerk: &mut Vec<[f64; 3]>| {
+        jc_nbody::kernels::acc_jerk_into(
+            jc_nbody::Backend::SimdSoa,
+            &ics.pos,
+            &ics.vel,
+            &ics.mass,
+            &ics.pos,
+            &ics.vel,
+            1e-4,
+            true,
+            acc,
+            jerk,
+        );
+    };
+    run(&mut acc, &mut jerk); // warm: SoA mirror grows to n
+    run(&mut acc, &mut jerk);
+    let allocs = count_allocs(|| run(&mut acc, &mut jerk));
+    assert_eq!(allocs, 0, "SimdSoa acc_jerk steady state made {allocs} heap allocations");
+    assert!(acc.iter().flatten().any(|x| *x != 0.0), "sanity: forces actually computed");
+}
+
+#[test]
+fn simd_sph_density_and_forces_steady_state_allocates_nothing() {
+    let mut gas = jc_sph::particles::plummer_gas(800, 1.0, 5);
+    let mut scratch = jc_sph::SphScratch::new();
+    scratch.max_threads = 1;
+    scratch.simd = true;
+    let mut rates = jc_sph::HydroRates::new();
+    for _ in 0..3 {
+        jc_sph::density::compute_density_with(&mut gas, &mut scratch);
+        jc_sph::forces::hydro_rates_into(&gas, &mut scratch, &mut rates);
+    }
+    let n = count_allocs(|| {
+        jc_sph::density::compute_density_with(&mut gas, &mut scratch);
+        jc_sph::forces::hydro_rates_into(&gas, &mut scratch, &mut rates);
+    });
+    assert_eq!(n, 0, "SoA SPH density+forces steady state made {n} heap allocations");
+    assert!(rates.interactions > 0, "sanity: work actually happened");
+}
+
+#[test]
+fn simd_tree_walk_steady_state_allocates_nothing() {
+    let mut x = 11u64;
+    let mut rnd = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let pos: Vec<[f64; 3]> = (0..2000).map(|_| [rnd(), rnd(), rnd()]).collect();
+    let mass = vec![1.0 / 2000.0; 2000];
+    let mut solver = jc_treegrav::TreeGravity::new(0.5, 0.01);
+    solver.max_threads = 1;
+    solver.simd = true;
+    let mut acc = Vec::new();
+    solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    let n = count_allocs(|| {
+        solver.accelerations_into(&pos, &pos, &mass, &mut acc);
+    });
+    assert_eq!(n, 0, "SoA octree rebuild + walk made {n} heap allocations");
+    assert!(solver.last_interactions() > 0, "sanity: the walk actually ran");
+}
+
+#[test]
 fn hermite_step_steady_state_allocates_nothing() {
     let ics = jc_nbody::plummer::plummer_sphere(128, 3);
     let mut g = jc_nbody::PhiGrape::new(ics, jc_nbody::Backend::Scalar).with_softening(0.01);

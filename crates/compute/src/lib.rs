@@ -1,0 +1,33 @@
+//! # jc-compute — the SoA compute layer under every kernel crate
+//!
+//! The paper's claim is that a coupled multi-model simulation runs at
+//! the speed of its fastest native kernels once the coupling layer
+//! stays out of the way. With the coupling, transport and failover
+//! layers allocation-free, the remaining wall-clock sits in the scalar
+//! array-of-structs inner loops of the kernel crates. This crate holds
+//! the two pieces those loops share:
+//!
+//! * [`soa`] — cache-line-aligned structure-of-arrays column buffers
+//!   (`x/y/z/m`) with conversions from/to the `[f64; 3]` AoS particle
+//!   sets, the memory layout the fixed-width batched kernels read; and
+//! * [`par`] — the unified scoped-thread chunking core
+//!   ([`par::chunked`]) that replaces the hand-rolled
+//!   `std::thread::scope` + `split_at_mut` splitting loops previously
+//!   duplicated across `jc_nbody`, `jc_sph` and `jc_treegrav`, plus the
+//!   shared worker-count policy ([`par::threads_for`]) with its
+//!   `JC_THREADS` environment override for reproducible runs on shared
+//!   machines.
+//!
+//! It is a leaf crate on purpose: every kernel crate (and, through
+//! them, the whole jungle runtime) layers on top of it, so it depends
+//! on nothing but `std`. `jc_core` re-exports it as `jc_core::soa` /
+//! `jc_core::par` for runtime-level callers.
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod par;
+pub mod soa;
+
+pub use par::{chunked, threads_for};
+pub use soa::{reduce_lanes, AlignedF64, Soa3, SoaBodies, LANES};

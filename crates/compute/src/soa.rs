@@ -1,0 +1,267 @@
+//! Cache-line-aligned structure-of-arrays column buffers.
+//!
+//! The kernel crates store particles as AoS (`Vec<[f64; 3]>`) because
+//! that is what the wire protocol, the checkpoint layer and the AMUSE
+//! channel API exchange. The batched compute paths instead read *columns*
+//! — `x[], y[], z[], m[]` — so that a fixed-width inner loop touches
+//! contiguous, 64-byte-aligned memory the compiler can turn into packed
+//! vector loads. [`AlignedF64`] is one such column; [`Soa3`] is a
+//! position/velocity triple of them; [`SoaBodies`] is the full
+//! `x/y/z/m(+velocity)` source-particle mirror the N-body kernels scan.
+//!
+//! Conversion is O(n) against the O(n²)/O(n·k) kernels that follow, and
+//! the buffers are reusable: steady-state refills perform no heap
+//! allocation once capacity is warm (pinned by the `zero_alloc` suite).
+
+/// Fixed SIMD batch width of the lane-accumulator kernels (f64 lanes).
+///
+/// Four doubles is one AVX2 register (half an AVX-512 one); the kernels
+/// accumulate into `[f64; LANES]` arrays and reduce in a fixed pairwise
+/// order — `(l0 + l1) + (l2 + l3)` — so results are bitwise stable from
+/// run to run and independent of the worker-thread count.
+pub const LANES: usize = 4;
+
+/// Fixed-order reduction of one lane-accumulator array:
+/// `(l0 + l1) + (l2 + l3)`. Every [`LANES`]-wide kernel in the
+/// workspace funnels its accumulators through this, which is what makes
+/// the SoA compute paths bitwise stable from run to run.
+#[inline(always)]
+pub fn reduce_lanes(v: [f64; LANES]) -> f64 {
+    (v[0] + v[1]) + (v[2] + v[3])
+}
+
+/// One 64-byte cache line of f64 lanes — the allocation unit that keeps
+/// every column 64-byte aligned without a custom allocator.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct CacheLine([f64; 8]);
+
+const LINE: usize = 8;
+
+/// A growable, 64-byte-aligned column of `f64` values.
+///
+/// Backed by whole cache lines; the tail lanes of the last line are kept
+/// zeroed so padded reads (a full-width batch overhanging `len`) are
+/// well-defined. Deref gives the `len`-bounded `&[f64]` view.
+#[derive(Default)]
+pub struct AlignedF64 {
+    lines: Vec<CacheLine>,
+    len: usize,
+}
+
+impl AlignedF64 {
+    /// Empty column (no allocation until first use).
+    pub fn new() -> AlignedF64 {
+        AlignedF64::default()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Resize to `n` elements; new elements (and the alignment padding)
+    /// are zero. Shrinking keeps capacity.
+    pub fn resize(&mut self, n: usize) {
+        self.lines.resize(n.div_ceil(LINE), CacheLine([0.0; LINE]));
+        // zero the tail so stale values from a longer previous fill
+        // never leak into padded whole-line reads
+        let full_lines = self.lines.len().saturating_sub(1);
+        if let Some(last) = self.lines.last_mut() {
+            for lane in (n - full_lines * LINE)..LINE {
+                last.0[lane] = 0.0;
+            }
+        }
+        self.len = n;
+    }
+
+    /// Replace the contents with `src` (resizing as needed).
+    pub fn copy_from(&mut self, src: &[f64]) {
+        self.resize(src.len());
+        self.as_mut_slice().copy_from_slice(src);
+    }
+
+    /// The values as a slice (64-byte-aligned base pointer).
+    pub fn as_slice(&self) -> &[f64] {
+        // CacheLine is repr(C) over [f64; 8]: the lines are one
+        // contiguous f64 run, of which the first `len` are live.
+        unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<f64>(), self.len) }
+    }
+
+    /// The values as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<f64>(), self.len) }
+    }
+}
+
+impl std::ops::Deref for AlignedF64 {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for AlignedF64 {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+/// Three aligned columns holding a `[f64; 3]` vector field (positions,
+/// velocities, accelerations) in SoA layout.
+#[derive(Default)]
+pub struct Soa3 {
+    /// X components.
+    pub x: AlignedF64,
+    /// Y components.
+    pub y: AlignedF64,
+    /// Z components.
+    pub z: AlignedF64,
+}
+
+impl Soa3 {
+    /// Empty columns (no allocation until first use).
+    pub fn new() -> Soa3 {
+        Soa3::default()
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Is the field empty?
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Transpose an AoS vector field into the three columns.
+    pub fn fill_from(&mut self, aos: &[[f64; 3]]) {
+        let n = aos.len();
+        self.x.resize(n);
+        self.y.resize(n);
+        self.z.resize(n);
+        let (x, y, z) = (self.x.as_mut_slice(), self.y.as_mut_slice(), self.z.as_mut_slice());
+        for (i, v) in aos.iter().enumerate() {
+            x[i] = v[0];
+            y[i] = v[1];
+            z[i] = v[2];
+        }
+    }
+
+    /// Transpose the columns back into an AoS vector field
+    /// (`aos.len()` must equal [`Soa3::len`]).
+    pub fn write_to(&self, aos: &mut [[f64; 3]]) {
+        assert_eq!(aos.len(), self.len(), "AoS buffer length mismatch");
+        for (i, v) in aos.iter_mut().enumerate() {
+            *v = [self.x[i], self.y[i], self.z[i]];
+        }
+    }
+}
+
+/// The full SoA mirror of a source-particle set: `x/y/z` position and
+/// velocity columns plus the mass column — what one N-body force
+/// evaluation scans per target.
+#[derive(Default)]
+pub struct SoaBodies {
+    /// Position columns.
+    pub pos: Soa3,
+    /// Velocity columns.
+    pub vel: Soa3,
+    /// Masses.
+    pub mass: AlignedF64,
+}
+
+impl SoaBodies {
+    /// Empty mirror (no allocation until first use).
+    pub fn new() -> SoaBodies {
+        SoaBodies::default()
+    }
+
+    /// Particle count.
+    pub fn len(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Is the mirror empty?
+    pub fn is_empty(&self) -> bool {
+        self.mass.is_empty()
+    }
+
+    /// Refill every column from the AoS set (all inputs the same length).
+    pub fn fill_from(&mut self, mass: &[f64], pos: &[[f64; 3]], vel: &[[f64; 3]]) {
+        assert_eq!(mass.len(), pos.len(), "mass/pos length mismatch");
+        assert_eq!(mass.len(), vel.len(), "mass/vel length mismatch");
+        self.mass.copy_from(mass);
+        self.pos.fill_from(pos);
+        self.vel.fill_from(vel);
+    }
+
+    /// Refill the mass and position columns only (for kernels that never
+    /// read velocities, e.g. a potential sum); the velocity columns are
+    /// emptied so stale values cannot be read by mistake.
+    pub fn fill_from_positions(&mut self, mass: &[f64], pos: &[[f64; 3]]) {
+        assert_eq!(mass.len(), pos.len(), "mass/pos length mismatch");
+        self.mass.copy_from(mass);
+        self.pos.fill_from(pos);
+        self.vel.fill_from(&[]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_cache_line_aligned() {
+        let mut c = AlignedF64::new();
+        c.resize(100);
+        assert_eq!(c.as_slice().as_ptr() as usize % 64, 0);
+        assert_eq!(c.len(), 100);
+    }
+
+    #[test]
+    fn resize_zeroes_growth_and_padding() {
+        let mut c = AlignedF64::new();
+        c.copy_from(&[1.0; 13]);
+        c.resize(5);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.as_slice(), &[1.0; 5]);
+        // the padding lanes past len were re-zeroed: growing back in
+        // must expose zeros, not the stale 1.0s
+        c.resize(13);
+        assert_eq!(&c.as_slice()[5..], &[0.0; 8]);
+    }
+
+    #[test]
+    fn soa3_round_trips_aos() {
+        let aos: Vec<[f64; 3]> = (0..37).map(|i| [i as f64, -(i as f64), 0.5 * i as f64]).collect();
+        let mut soa = Soa3::new();
+        soa.fill_from(&aos);
+        assert_eq!(soa.len(), 37);
+        assert_eq!(soa.x[3], 3.0);
+        assert_eq!(soa.y[3], -3.0);
+        let mut back = vec![[0.0; 3]; 37];
+        soa.write_to(&mut back);
+        assert_eq!(aos, back);
+    }
+
+    #[test]
+    fn bodies_refill_is_allocation_stable() {
+        let mass = vec![1.0; 64];
+        let pos = vec![[1.0, 2.0, 3.0]; 64];
+        let vel = vec![[0.0; 3]; 64];
+        let mut b = SoaBodies::new();
+        b.fill_from(&mass, &pos, &vel);
+        let p0 = b.mass.as_slice().as_ptr();
+        b.fill_from(&mass, &pos, &vel);
+        assert_eq!(b.mass.as_slice().as_ptr(), p0, "warm refill must not reallocate");
+        assert_eq!(b.len(), 64);
+        assert_eq!(b.pos.z[10], 3.0);
+    }
+}

@@ -35,6 +35,13 @@
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+// The SoA compute layer and the unified parallel chunking core live in
+// the leaf crate `jc_compute` (the kernel crates sit below this one, so
+// they cannot depend on the runtime); re-exported here so runtime-level
+// callers address them as `jc_core::soa` / `jc_core::par`.
+pub use jc_compute::par;
+pub use jc_compute::soa;
+
 pub mod channel;
 pub mod daemon;
 pub mod discovery;

@@ -1,5 +1,9 @@
 //! Force/jerk computation backends (the "multi-kernel" in multi-kernel).
 
+use jc_compute::par;
+use jc_compute::soa::{reduce_lanes, SoaBodies, LANES};
+use std::cell::RefCell;
+
 /// Floating-point operations per pairwise force+jerk interaction, used by
 /// the jungle performance model (counted from the inner loop below:
 /// ~60 flops including the rsqrt).
@@ -10,11 +14,28 @@ pub const FLOPS_PER_PAIR: f64 = 60.0;
 pub enum Backend {
     /// Single-core reference loop.
     Scalar,
-    /// Rayon-parallel over targets (the CPU kernel).
+    /// Thread-parallel over targets (the CPU kernel). Same arithmetic as
+    /// [`Backend::Scalar`], bitwise identical results.
     CpuParallel,
     /// Same arithmetic as `CpuParallel`; the jungle simulator charges its
     /// cost to a GPU device model instead of CPU cores.
     GpuModel,
+    /// Structure-of-arrays compute path: sources mirrored into aligned
+    /// `x/y/z/m` columns ([`jc_compute::soa`]) and accumulated in
+    /// [`LANES`]-wide lane arrays with a fixed pairwise reduction order.
+    /// Bitwise run-to-run stable and independent of the worker-thread
+    /// count, but *not* bitwise equal to the scalar backends (sources
+    /// are summed lane-by-lane instead of strictly in order); it carries
+    /// its own golden vectors plus tolerance-bounded property tests.
+    SimdSoa,
+}
+
+thread_local! {
+    /// Reusable SoA mirror of the source set for [`Backend::SimdSoa`]
+    /// (thread-local: the coupler may drive several models from
+    /// different threads at once). Steady-state refills allocate
+    /// nothing once capacity is warm.
+    static SOA_SOURCES: RefCell<SoaBodies> = RefCell::new(SoaBodies::new());
 }
 
 /// Accelerations and jerks for all `targets` due to all `sources`
@@ -47,13 +68,18 @@ const PAR_GRAIN: usize = 64;
 
 /// [`acc_jerk`] writing into caller-provided slices (`acc.len() ==
 /// jerk.len() == t_pos.len()`, validated once per call) — the
-/// zero-allocation steady-state path for [`Backend::Scalar`]. The
-/// parallel backends write each target's row in place from scoped worker
-/// threads and allocate only thread-spawn bookkeeping.
+/// zero-allocation steady-state path for [`Backend::Scalar`] and, once
+/// its thread-local SoA mirror is warm, for [`Backend::SimdSoa`] below
+/// the parallel grain. The parallel backends write each target's row in
+/// place from scoped worker threads and allocate only thread-spawn
+/// bookkeeping.
 ///
-/// Deterministic across backends: the accumulation over sources is
-/// sequential within each target, so all three backends produce bitwise
-/// identical results (property-tested).
+/// Determinism: the accumulation over sources is sequential within each
+/// target for `Scalar`/`CpuParallel`/`GpuModel`, so those three produce
+/// bitwise identical results for any worker count (property-tested).
+/// `SimdSoa` is bitwise stable run-to-run and across worker counts, but
+/// matches the scalar backends only to rounding (lane-wise summation);
+/// see [`Backend::SimdSoa`].
 #[allow(clippy::too_many_arguments)]
 pub fn acc_jerk_into(
     backend: Backend,
@@ -100,45 +126,304 @@ pub fn acc_jerk_into(
             }
         }
         Backend::CpuParallel | Backend::GpuModel => {
-            let workers = std::thread::available_parallelism()
-                .map(|c| c.get())
-                .unwrap_or(1)
-                .min(n.div_ceil(PAR_GRAIN))
-                .max(1);
-            if workers <= 1 {
-                for (i, (a, j)) in acc.iter_mut().zip(jerk.iter_mut()).enumerate() {
-                    one(i, a, j);
-                }
-                return;
+            let workers = par::threads_for(n, 0, PAR_GRAIN);
+            let mut units = vec![(); workers]; // ZST: no allocation
+            par::chunked(
+                workers,
+                (acc, jerk),
+                &mut units,
+                (),
+                |s0, (ac, jc), _| {
+                    for (k, (a, j)) in ac.iter_mut().zip(jc.iter_mut()).enumerate() {
+                        one(s0 + k, a, j);
+                    }
+                },
+                |(), ()| (),
+            );
+        }
+        Backend::SimdSoa => SOA_SOURCES.with(|cell| {
+            let mut soa = cell.borrow_mut();
+            soa.fill_from(s_mass, s_pos, s_vel);
+            let soa = &*soa;
+            let workers = par::threads_for(n, 0, PAR_GRAIN);
+            let mut units = vec![(); workers];
+            par::chunked(
+                workers,
+                (acc, jerk),
+                &mut units,
+                (),
+                |s0, (ac, jc), _| {
+                    acc_jerk_simd_chunk(s0, t_pos, t_vel, soa, eps2, same_set, ac, jc);
+                },
+                |(), ()| (),
+            );
+        }),
+    }
+}
+
+/// One worker chunk of [`Backend::SimdSoa`] targets, dispatched once per
+/// chunk to the widest available instruction set.
+///
+/// rustc compiles for baseline x86-64 (SSE2) by default, which caps the
+/// packed `sqrt`/`div` the lane loop turns into at 2 doubles; the AVX2
+/// clone of the same body runs them 4 wide. Both clones execute the
+/// *identical* sequence of IEEE operations (no fast-math, no fused
+/// multiply-add contraction), so results are bitwise identical across
+/// the dispatch — the golden vectors hold on any machine.
+#[allow(clippy::too_many_arguments)]
+fn acc_jerk_simd_chunk(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    t_vel: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    ac: &mut [[f64; 3]],
+    jc: &mut [[f64; 3]],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 clone is only reached when the CPU reports
+        // the feature at runtime.
+        return unsafe { acc_jerk_simd_chunk_avx2(s0, t_pos, t_vel, src, eps2, same_set, ac, jc) };
+    }
+    acc_jerk_simd_chunk_body(s0, t_pos, t_vel, src, eps2, same_set, ac, jc);
+}
+
+/// AVX2 implementation of [`acc_jerk_simd_chunk_body`]: the identical
+/// sequence of IEEE operations, written as explicit 4-wide packed
+/// intrinsics (the auto-vectorizer settles for 128-bit SLP on this
+/// body, leaving half the `sqrt`/`div` throughput on the table). The
+/// self-interaction mask compares an exact-integer f64 index vector
+/// against the target index — lanes that match get mass 0 and divisor
+/// 1, exactly like the scalar select — so results stay bitwise equal to
+/// the portable body.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(clippy::too_many_arguments)]
+unsafe fn acc_jerk_simd_chunk_avx2(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    t_vel: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    ac: &mut [[f64; 3]],
+    jc: &mut [[f64; 3]],
+) {
+    use std::arch::x86_64::*;
+    let (sx, sy, sz) = (src.pos.x.as_slice(), src.pos.y.as_slice(), src.pos.z.as_slice());
+    let (svx, svy, svz) = (src.vel.x.as_slice(), src.vel.y.as_slice(), src.vel.z.as_slice());
+    let sm = src.mass.as_slice();
+    let n = sm.len();
+    let batches = n / LANES;
+    unsafe {
+        let eps2v = _mm256_set1_pd(eps2);
+        let ones = _mm256_set1_pd(1.0);
+        let three = _mm256_set1_pd(3.0);
+        let step = _mm256_set1_pd(LANES as f64);
+        for (k, (a, j)) in ac.iter_mut().zip(jc.iter_mut()).enumerate() {
+            let i = s0 + k;
+            let [pix, piy, piz] = t_pos[i];
+            let [vix, viy, viz] = t_vel[i];
+            let (pxv, pyv, pzv) = (_mm256_set1_pd(pix), _mm256_set1_pd(piy), _mm256_set1_pd(piz));
+            let (vxv, vyv, vzv) = (_mm256_set1_pd(vix), _mm256_set1_pd(viy), _mm256_set1_pd(viz));
+            // lane indices as exact-integer f64s; a never-matching
+            // sentinel turns the self-mask off for cross-set sums
+            let iv = _mm256_set1_pd(if same_set { i as f64 } else { -1.0 });
+            let mut idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+            let mut axv = _mm256_setzero_pd();
+            let mut ayv = _mm256_setzero_pd();
+            let mut azv = _mm256_setzero_pd();
+            let mut jxv = _mm256_setzero_pd();
+            let mut jyv = _mm256_setzero_pd();
+            let mut jzv = _mm256_setzero_pd();
+            for b in 0..batches {
+                let o = b * LANES;
+                let dx = _mm256_sub_pd(_mm256_load_pd(sx.as_ptr().add(o)), pxv);
+                let dy = _mm256_sub_pd(_mm256_load_pd(sy.as_ptr().add(o)), pyv);
+                let dz = _mm256_sub_pd(_mm256_load_pd(sz.as_ptr().add(o)), pzv);
+                let dvx = _mm256_sub_pd(_mm256_load_pd(svx.as_ptr().add(o)), vxv);
+                let dvy = _mm256_sub_pd(_mm256_load_pd(svy.as_ptr().add(o)), vyv);
+                let dvz = _mm256_sub_pd(_mm256_load_pd(svz.as_ptr().add(o)), vzv);
+                let r2 = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                        _mm256_mul_pd(dz, dz),
+                    ),
+                    eps2v,
+                );
+                let mask = _mm256_cmp_pd::<_CMP_EQ_OQ>(idx, iv);
+                idx = _mm256_add_pd(idx, step);
+                let m = _mm256_andnot_pd(mask, _mm256_load_pd(sm.as_ptr().add(o)));
+                let r2g = _mm256_blendv_pd(r2, ones, mask);
+                let inv_r = _mm256_div_pd(ones, _mm256_sqrt_pd(r2g));
+                let inv_r2 = _mm256_mul_pd(inv_r, inv_r);
+                let inv_r3 = _mm256_mul_pd(inv_r2, inv_r);
+                let rv = _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(dx, dvx), _mm256_mul_pd(dy, dvy)),
+                    _mm256_mul_pd(dz, dvz),
+                );
+                let alpha = _mm256_mul_pd(_mm256_mul_pd(three, rv), inv_r2);
+                let mir3 = _mm256_mul_pd(m, inv_r3);
+                axv = _mm256_add_pd(axv, _mm256_mul_pd(mir3, dx));
+                ayv = _mm256_add_pd(ayv, _mm256_mul_pd(mir3, dy));
+                azv = _mm256_add_pd(azv, _mm256_mul_pd(mir3, dz));
+                jxv = _mm256_add_pd(
+                    jxv,
+                    _mm256_mul_pd(mir3, _mm256_sub_pd(dvx, _mm256_mul_pd(alpha, dx))),
+                );
+                jyv = _mm256_add_pd(
+                    jyv,
+                    _mm256_mul_pd(mir3, _mm256_sub_pd(dvy, _mm256_mul_pd(alpha, dy))),
+                );
+                jzv = _mm256_add_pd(
+                    jzv,
+                    _mm256_mul_pd(mir3, _mm256_sub_pd(dvz, _mm256_mul_pd(alpha, dz))),
+                );
             }
-            let chunk = n.div_ceil(workers);
-            std::thread::scope(|s| {
-                let mut acc_rest = acc;
-                let mut jerk_rest = jerk;
-                let mut start = 0usize;
-                while !acc_rest.is_empty() {
-                    let take = chunk.min(acc_rest.len());
-                    let (ac, ar) = acc_rest.split_at_mut(take);
-                    acc_rest = ar;
-                    let (jc, jr) = jerk_rest.split_at_mut(take);
-                    jerk_rest = jr;
-                    let s0 = start;
-                    start += take;
-                    s.spawn(move || {
-                        for (k, (a, j)) in ac.iter_mut().zip(jc.iter_mut()).enumerate() {
-                            one(s0 + k, a, j);
-                        }
-                    });
-                }
-            });
+            let (mut axl, mut ayl, mut azl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+            let (mut jxl, mut jyl, mut jzl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+            _mm256_storeu_pd(axl.as_mut_ptr(), axv);
+            _mm256_storeu_pd(ayl.as_mut_ptr(), ayv);
+            _mm256_storeu_pd(azl.as_mut_ptr(), azv);
+            _mm256_storeu_pd(jxl.as_mut_ptr(), jxv);
+            _mm256_storeu_pd(jyl.as_mut_ptr(), jyv);
+            _mm256_storeu_pd(jzl.as_mut_ptr(), jzv);
+            let o = batches * LANES;
+            for jj in o..n {
+                let l = jj - o;
+                let dx = sx[jj] - pix;
+                let dy = sy[jj] - piy;
+                let dz = sz[jj] - piz;
+                let dvx = svx[jj] - vix;
+                let dvy = svy[jj] - viy;
+                let dvz = svz[jj] - viz;
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let (m, r2g) = if same_set && jj == i { (0.0, 1.0) } else { (sm[jj], r2) };
+                let inv_r = 1.0 / r2g.sqrt();
+                let inv_r2 = inv_r * inv_r;
+                let inv_r3 = inv_r2 * inv_r;
+                let rv = dx * dvx + dy * dvy + dz * dvz;
+                let alpha = 3.0 * rv * inv_r2;
+                let mir3 = m * inv_r3;
+                axl[l] += mir3 * dx;
+                ayl[l] += mir3 * dy;
+                azl[l] += mir3 * dz;
+                jxl[l] += mir3 * (dvx - alpha * dx);
+                jyl[l] += mir3 * (dvy - alpha * dy);
+                jzl[l] += mir3 * (dvz - alpha * dz);
+            }
+            *a = [reduce_lanes(axl), reduce_lanes(ayl), reduce_lanes(azl)];
+            *j = [reduce_lanes(jxl), reduce_lanes(jyl), reduce_lanes(jzl)];
         }
     }
 }
 
-use rayon::prelude::*;
+/// The [`Backend::SimdSoa`] inner loops: for each target in the chunk,
+/// scan the SoA source columns in batches of [`LANES`], lane `l` of a
+/// batch accumulating source `o + l`; the `< LANES` tail lands in lanes
+/// `0..tail`, and the accumulators are reduced with [`reduce_lanes`].
+/// The batch body is branch-free (the `same_set` self-interaction is
+/// masked by zeroing the mass and guarding the divisor) and reads the
+/// columns through fixed-size array refs, so the compiler lowers it to
+/// packed loads, `sqrt`s and `div`s over the aligned columns.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn acc_jerk_simd_chunk_body(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    t_vel: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    ac: &mut [[f64; 3]],
+    jc: &mut [[f64; 3]],
+) {
+    let (sx, sy, sz) = (src.pos.x.as_slice(), src.pos.y.as_slice(), src.pos.z.as_slice());
+    let (svx, svy, svz) = (src.vel.x.as_slice(), src.vel.y.as_slice(), src.vel.z.as_slice());
+    let sm = src.mass.as_slice();
+    let n = sm.len();
+    let batches = n / LANES;
+    for (k, (a, j)) in ac.iter_mut().zip(jc.iter_mut()).enumerate() {
+        let i = s0 + k;
+        let [pix, piy, piz] = t_pos[i];
+        let [vix, viy, viz] = t_vel[i];
+        let (mut axl, mut ayl, mut azl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+        let (mut jxl, mut jyl, mut jzl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+        // One lane of the whole scan is the self-interaction (at most):
+        // keep the hot batch body select-free and route only the batch
+        // containing `i` through the masked variant.
+        macro_rules! lane {
+            ($l:expr, $o:expr, $xs:expr, $ys:expr, $zs:expr, $vxs:expr, $vys:expr, $vzs:expr,
+             $ms:expr, $masked:expr) => {{
+                let l = $l;
+                let dx = $xs[l] - pix;
+                let dy = $ys[l] - piy;
+                let dz = $zs[l] - piz;
+                let dvx = $vxs[l] - vix;
+                let dvy = $vys[l] - viy;
+                let dvz = $vzs[l] - viz;
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let (m, r2g) = if $masked && $o + l == i { (0.0, 1.0) } else { ($ms[l], r2) };
+                let inv_r = 1.0 / r2g.sqrt();
+                let inv_r2 = inv_r * inv_r;
+                let inv_r3 = inv_r2 * inv_r;
+                let rv = dx * dvx + dy * dvy + dz * dvz;
+                let alpha = 3.0 * rv * inv_r2;
+                let mir3 = m * inv_r3;
+                axl[l] += mir3 * dx;
+                ayl[l] += mir3 * dy;
+                azl[l] += mir3 * dz;
+                jxl[l] += mir3 * (dvx - alpha * dx);
+                jyl[l] += mir3 * (dvy - alpha * dy);
+                jzl[l] += mir3 * (dvz - alpha * dz);
+            }};
+        }
+        for b in 0..batches {
+            let o = b * LANES;
+            let xs: &[f64; LANES] = sx[o..o + LANES].try_into().unwrap();
+            let ys: &[f64; LANES] = sy[o..o + LANES].try_into().unwrap();
+            let zs: &[f64; LANES] = sz[o..o + LANES].try_into().unwrap();
+            let vxs: &[f64; LANES] = svx[o..o + LANES].try_into().unwrap();
+            let vys: &[f64; LANES] = svy[o..o + LANES].try_into().unwrap();
+            let vzs: &[f64; LANES] = svz[o..o + LANES].try_into().unwrap();
+            let ms: &[f64; LANES] = sm[o..o + LANES].try_into().unwrap();
+            if same_set && i.wrapping_sub(o) < LANES {
+                for l in 0..LANES {
+                    lane!(l, o, xs, ys, zs, vxs, vys, vzs, ms, true);
+                }
+            } else {
+                for l in 0..LANES {
+                    lane!(l, o, xs, ys, zs, vxs, vys, vzs, ms, false);
+                }
+            }
+        }
+        {
+            let o = batches * LANES;
+            for jj in o..n {
+                lane!(
+                    jj - o,
+                    o,
+                    &sx[o..],
+                    &sy[o..],
+                    &sz[o..],
+                    &svx[o..],
+                    &svy[o..],
+                    &svz[o..],
+                    &sm[o..],
+                    same_set
+                );
+            }
+        }
+        *a = [reduce_lanes(axl), reduce_lanes(ayl), reduce_lanes(azl)];
+        *j = [reduce_lanes(jxl), reduce_lanes(jyl), reduce_lanes(jzl)];
+    }
+}
 
 /// Gravitational potential of each target due to the sources (for energy
-/// diagnostics). G = 1.
+/// diagnostics). G = 1. Allocating convenience wrapper over
+/// [`potential_into`] with the [`Backend::CpuParallel`] backend.
 pub fn potential(
     t_pos: &[[f64; 3]],
     s_mass: &[f64],
@@ -146,22 +431,216 @@ pub fn potential(
     eps2: f64,
     same_set: bool,
 ) -> Vec<f64> {
-    t_pos
-        .par_iter()
-        .enumerate()
-        .map(|(i, pi)| {
-            let mut phi = 0.0;
-            for (jj, (&mj, pj)) in s_mass.iter().zip(s_pos).enumerate() {
-                if same_set && jj == i {
-                    continue;
-                }
-                let dx = [pj[0] - pi[0], pj[1] - pi[1], pj[2] - pi[2]];
-                let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
-                phi -= mj / r2.sqrt();
+    let mut phi = vec![0.0; t_pos.len()];
+    potential_into(Backend::CpuParallel, t_pos, s_mass, s_pos, eps2, same_set, &mut phi);
+    phi
+}
+
+/// Gravitational potential of each target written into `phi`
+/// (`phi.len() == t_pos.len()`). The scalar backends accumulate
+/// sequentially over sources (bitwise identical to each other, any
+/// worker count); [`Backend::SimdSoa`] uses the [`LANES`]-wide lane
+/// accumulators with the fixed [`reduce_lanes`] order.
+pub fn potential_into(
+    backend: Backend,
+    t_pos: &[[f64; 3]],
+    s_mass: &[f64],
+    s_pos: &[[f64; 3]],
+    eps2: f64,
+    same_set: bool,
+    phi: &mut [f64],
+) {
+    let n = t_pos.len();
+    assert_eq!(phi.len(), n, "phi buffer length mismatch");
+    let one = |i: usize, out: &mut f64| {
+        let pi = t_pos[i];
+        let mut phi = 0.0;
+        for (jj, (&mj, pj)) in s_mass.iter().zip(s_pos).enumerate() {
+            if same_set && jj == i {
+                continue;
             }
-            phi
-        })
-        .collect()
+            let dx = [pj[0] - pi[0], pj[1] - pi[1], pj[2] - pi[2]];
+            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2] + eps2;
+            phi -= mj / r2.sqrt();
+        }
+        *out = phi;
+    };
+    match backend {
+        Backend::Scalar => {
+            for (i, out) in phi.iter_mut().enumerate() {
+                one(i, out);
+            }
+        }
+        Backend::CpuParallel | Backend::GpuModel => {
+            let workers = par::threads_for(n, 0, PAR_GRAIN);
+            let mut units = vec![(); workers];
+            par::chunked(
+                workers,
+                &mut *phi,
+                &mut units,
+                (),
+                |s0, chunk: &mut [f64], _| {
+                    for (k, out) in chunk.iter_mut().enumerate() {
+                        one(s0 + k, out);
+                    }
+                },
+                |(), ()| (),
+            );
+        }
+        Backend::SimdSoa => SOA_SOURCES.with(|cell| {
+            let mut soa = cell.borrow_mut();
+            soa.fill_from_positions(s_mass, s_pos);
+            let soa = &*soa;
+            let workers = par::threads_for(n, 0, PAR_GRAIN);
+            let mut units = vec![(); workers];
+            par::chunked(
+                workers,
+                &mut *phi,
+                &mut units,
+                (),
+                |s0, chunk: &mut [f64], _| {
+                    potential_simd_chunk(s0, t_pos, soa, eps2, same_set, chunk);
+                },
+                |(), ()| (),
+            );
+        }),
+    }
+}
+
+/// One worker chunk of [`Backend::SimdSoa`] potential targets —
+/// dispatched like [`acc_jerk_simd_chunk`], identical results across
+/// the dispatch.
+fn potential_simd_chunk(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    phi: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: the avx2 clone is only reached when the CPU reports
+        // the feature at runtime.
+        return unsafe { potential_simd_chunk_avx2(s0, t_pos, src, eps2, same_set, phi) };
+    }
+    potential_simd_chunk_body(s0, t_pos, src, eps2, same_set, phi);
+}
+
+/// AVX2 implementation of [`potential_simd_chunk_body`] — explicit
+/// packed intrinsics mirroring the portable body op for op (see
+/// [`acc_jerk_simd_chunk_avx2`] for the masking scheme), bitwise equal
+/// results.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn potential_simd_chunk_avx2(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    phi: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let (sx, sy, sz) = (src.pos.x.as_slice(), src.pos.y.as_slice(), src.pos.z.as_slice());
+    let sm = src.mass.as_slice();
+    let n = sm.len();
+    let batches = n / LANES;
+    unsafe {
+        let eps2v = _mm256_set1_pd(eps2);
+        let ones = _mm256_set1_pd(1.0);
+        let step = _mm256_set1_pd(LANES as f64);
+        for (k, out) in phi.iter_mut().enumerate() {
+            let i = s0 + k;
+            let [pix, piy, piz] = t_pos[i];
+            let (pxv, pyv, pzv) = (_mm256_set1_pd(pix), _mm256_set1_pd(piy), _mm256_set1_pd(piz));
+            let iv = _mm256_set1_pd(if same_set { i as f64 } else { -1.0 });
+            let mut idx = _mm256_setr_pd(0.0, 1.0, 2.0, 3.0);
+            let mut pv = _mm256_setzero_pd();
+            for b in 0..batches {
+                let o = b * LANES;
+                let dx = _mm256_sub_pd(_mm256_load_pd(sx.as_ptr().add(o)), pxv);
+                let dy = _mm256_sub_pd(_mm256_load_pd(sy.as_ptr().add(o)), pyv);
+                let dz = _mm256_sub_pd(_mm256_load_pd(sz.as_ptr().add(o)), pzv);
+                let r2 = _mm256_add_pd(
+                    _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                        _mm256_mul_pd(dz, dz),
+                    ),
+                    eps2v,
+                );
+                let mask = _mm256_cmp_pd::<_CMP_EQ_OQ>(idx, iv);
+                idx = _mm256_add_pd(idx, step);
+                let m = _mm256_andnot_pd(mask, _mm256_load_pd(sm.as_ptr().add(o)));
+                let r2g = _mm256_blendv_pd(r2, ones, mask);
+                pv = _mm256_sub_pd(pv, _mm256_div_pd(m, _mm256_sqrt_pd(r2g)));
+            }
+            let mut p = [0.0f64; LANES];
+            _mm256_storeu_pd(p.as_mut_ptr(), pv);
+            let o = batches * LANES;
+            for jj in o..n {
+                let l = jj - o;
+                let dx = sx[jj] - pix;
+                let dy = sy[jj] - piy;
+                let dz = sz[jj] - piz;
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let (m, r2g) = if same_set && jj == i { (0.0, 1.0) } else { (sm[jj], r2) };
+                p[l] -= m / r2g.sqrt();
+            }
+            *out = reduce_lanes(p);
+        }
+    }
+}
+
+/// The [`LANES`]-wide potential sum over the SoA source columns — masked
+/// and reduced exactly like [`acc_jerk_simd_chunk_body`].
+#[inline(always)]
+fn potential_simd_chunk_body(
+    s0: usize,
+    t_pos: &[[f64; 3]],
+    src: &SoaBodies,
+    eps2: f64,
+    same_set: bool,
+    phi: &mut [f64],
+) {
+    let (sx, sy, sz) = (src.pos.x.as_slice(), src.pos.y.as_slice(), src.pos.z.as_slice());
+    let sm = src.mass.as_slice();
+    let n = sm.len();
+    let batches = n / LANES;
+    for (k, out) in phi.iter_mut().enumerate() {
+        let i = s0 + k;
+        let [pix, piy, piz] = t_pos[i];
+        let mut p = [0.0f64; LANES];
+        for b in 0..batches {
+            let o = b * LANES;
+            let xs: &[f64; LANES] = sx[o..o + LANES].try_into().unwrap();
+            let ys: &[f64; LANES] = sy[o..o + LANES].try_into().unwrap();
+            let zs: &[f64; LANES] = sz[o..o + LANES].try_into().unwrap();
+            let ms: &[f64; LANES] = sm[o..o + LANES].try_into().unwrap();
+            for l in 0..LANES {
+                let dx = xs[l] - pix;
+                let dy = ys[l] - piy;
+                let dz = zs[l] - piz;
+                let r2 = dx * dx + dy * dy + dz * dz + eps2;
+                let skip = same_set && o + l == i;
+                let m = if skip { 0.0 } else { ms[l] };
+                let r2g = if skip { 1.0 } else { r2 };
+                p[l] -= m / r2g.sqrt();
+            }
+        }
+        for jj in (batches * LANES)..n {
+            let l = jj - batches * LANES;
+            let dx = sx[jj] - pix;
+            let dy = sy[jj] - piy;
+            let dz = sz[jj] - piz;
+            let r2 = dx * dx + dy * dy + dz * dz + eps2;
+            let skip = same_set && jj == i;
+            let m = if skip { 0.0 } else { sm[jj] };
+            let r2g = if skip { 1.0 } else { r2 };
+            p[l] -= m / r2g.sqrt();
+        }
+        *out = reduce_lanes(p);
+    }
 }
 
 /// Total flop count for one force evaluation of `n_targets` × `n_sources`.
@@ -213,6 +692,128 @@ mod tests {
         assert_eq!(a0, a2);
         assert_eq!(j0, j1);
         assert_eq!(j0, j2);
+    }
+
+    fn lcg_cloud(n: usize, seed: u64) -> (Vec<f64>, Vec<[f64; 3]>, Vec<[f64; 3]>) {
+        let mut x = seed.max(1);
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        let mut m = Vec::new();
+        let mut p = Vec::new();
+        let mut v = Vec::new();
+        for _ in 0..n {
+            m.push(1.0 / n as f64);
+            p.push([rnd(), rnd(), rnd()]);
+            v.push([rnd(), rnd(), rnd()]);
+        }
+        (m, p, v)
+    }
+
+    fn assert_close(a: &[[f64; 3]], b: &[[f64; 3]], tol: f64, label: &str) {
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            for k in 0..3 {
+                let scale = y[k].abs().max(1.0);
+                assert!(
+                    (x[k] - y[k]).abs() <= tol * scale,
+                    "{label}[{i}][{k}]: {} vs {}",
+                    x[k],
+                    y[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simd_soa_matches_scalar_within_tolerance() {
+        // odd N exercises the remainder lanes
+        let (m, p, v) = lcg_cloud(157, 5);
+        let (a0, j0) = acc_jerk(Backend::Scalar, &p, &v, &m, &p, &v, 1e-4, true);
+        let (a1, j1) = acc_jerk(Backend::SimdSoa, &p, &v, &m, &p, &v, 1e-4, true);
+        assert_close(&a1, &a0, 1e-12, "acc");
+        assert_close(&j1, &j0, 1e-12, "jerk");
+    }
+
+    #[test]
+    fn simd_soa_is_bitwise_stable_run_to_run() {
+        let (m, p, v) = lcg_cloud(130, 9);
+        let (a0, j0) = acc_jerk(Backend::SimdSoa, &p, &v, &m, &p, &v, 1e-4, true);
+        let (a1, j1) = acc_jerk(Backend::SimdSoa, &p, &v, &m, &p, &v, 1e-4, true);
+        assert_eq!(a0, a1, "SimdSoa acc not run-to-run stable");
+        assert_eq!(j0, j1, "SimdSoa jerk not run-to-run stable");
+    }
+
+    #[test]
+    fn simd_soa_cross_set_and_remainder_tail() {
+        // 5 sources: one full batch + 1 remainder lane; cross-set (no
+        // self skip)
+        let (m, p, v) = lcg_cloud(5, 3);
+        let (tm, tp, tv) = lcg_cloud(3, 8);
+        let _ = tm;
+        let (a0, j0) = acc_jerk(Backend::Scalar, &tp, &tv, &m, &p, &v, 1e-3, false);
+        let (a1, j1) = acc_jerk(Backend::SimdSoa, &tp, &tv, &m, &p, &v, 1e-3, false);
+        assert_close(&a1, &a0, 1e-13, "acc");
+        assert_close(&j1, &j0, 1e-13, "jerk");
+    }
+
+    #[test]
+    fn simd_soa_potential_matches_scalar() {
+        let (m, p, _) = lcg_cloud(101, 11);
+        let mut phi_scalar = vec![0.0; 101];
+        let mut phi_simd = vec![f64::NAN; 101];
+        potential_into(Backend::Scalar, &p, &m, &p, 1e-4, true, &mut phi_scalar);
+        potential_into(Backend::SimdSoa, &p, &m, &p, 1e-4, true, &mut phi_simd);
+        for (i, (a, b)) in phi_simd.iter().zip(&phi_scalar).enumerate() {
+            assert!((a - b).abs() <= 1e-12 * b.abs().max(1.0), "phi[{i}]: {a} vs {b}");
+        }
+        // the allocating wrapper matches the parallel backend bitwise
+        let phi = potential(&p, &m, &p, 1e-4, true);
+        let mut phi_cpu = vec![0.0; 101];
+        potential_into(Backend::CpuParallel, &p, &m, &p, 1e-4, true, &mut phi_cpu);
+        assert_eq!(phi, phi_cpu);
+    }
+
+    #[test]
+    fn simd_portable_body_matches_dispatched_path_bitwise() {
+        // the golden vectors must hold on machines without AVX2: the
+        // portable fallback body and whatever the runtime dispatch
+        // picked (the intrinsics clone, here) execute the identical
+        // IEEE operation sequence
+        let (m, p, v) = lcg_cloud(77, 21);
+        let (a0, j0) = acc_jerk(Backend::SimdSoa, &p, &v, &m, &p, &v, 1e-4, true);
+        let mut soa = SoaBodies::new();
+        soa.fill_from(&m, &p, &v);
+        let mut a1 = vec![[0.0; 3]; 77];
+        let mut j1 = vec![[0.0; 3]; 77];
+        acc_jerk_simd_chunk_body(0, &p, &v, &soa, 1e-4, true, &mut a1, &mut j1);
+        assert_eq!(a0, a1, "portable SimdSoa body diverges from dispatched acc");
+        assert_eq!(j0, j1, "portable SimdSoa body diverges from dispatched jerk");
+        let mut phi0 = vec![0.0; 77];
+        potential_into(Backend::SimdSoa, &p, &m, &p, 1e-4, true, &mut phi0);
+        let mut phi1 = vec![0.0; 77];
+        soa.fill_from_positions(&m, &p);
+        potential_simd_chunk_body(0, &p, &soa, 1e-4, true, &mut phi1);
+        assert_eq!(phi0, phi1, "portable SimdSoa body diverges from dispatched phi");
+    }
+
+    #[test]
+    fn simd_soa_handles_degenerate_inputs() {
+        // coincident particles, zero mass, large coordinates
+        let m = vec![1.0, 0.0, 1.0, 1.0, 2.0];
+        let p = vec![
+            [0.0, 0.0, 0.0],
+            [0.0, 0.0, 0.0], // coincident with particle 0, but massless
+            [1e12, -1e12, 1e12],
+            [1.0, 0.0, 0.0],
+            [1.0, 0.0, 0.0], // coincident massive pair (softened)
+        ];
+        let v = vec![[0.0; 3]; 5];
+        let (a0, j0) = acc_jerk(Backend::Scalar, &p, &v, &m, &p, &v, 1e-4, true);
+        let (a1, j1) = acc_jerk(Backend::SimdSoa, &p, &v, &m, &p, &v, 1e-4, true);
+        assert!(a1.iter().flatten().all(|x| x.is_finite()), "{a1:?}");
+        assert_close(&a1, &a0, 1e-12, "acc");
+        assert_close(&j1, &j0, 1e-12, "jerk");
     }
 
     #[test]

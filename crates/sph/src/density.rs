@@ -10,6 +10,8 @@
 use crate::grid::CsrGrid;
 use crate::kernel::w;
 use crate::particles::GasParticles;
+use jc_compute::par;
+use jc_compute::soa::{reduce_lanes, AlignedF64, Soa3, LANES};
 
 /// Desired neighbour count (Gadget's `DesNumNgb` is 64 in 3D by default;
 /// we use 32 because our test problems are small).
@@ -22,7 +24,48 @@ pub(crate) const H_ITERS: usize = 4;
 const PAR_GRAIN: usize = 64;
 
 /// Candidate buffer entry: (particle index, squared distance).
-type Candidate = (u32, f64);
+pub(crate) type Candidate = (u32, f64);
+
+/// SoA mirror of the gas columns the batched kernels gather through the
+/// cached neighbour lists: positions/velocities plus the per-particle
+/// scalars (mass, smoothing length, density, pressure, sound speed).
+/// Owned by [`SphScratch`] and refilled in place — allocation-free once
+/// capacity is warm.
+#[derive(Default)]
+pub(crate) struct GasSoa {
+    pub(crate) pos: Soa3,
+    pub(crate) vel: Soa3,
+    pub(crate) m: AlignedF64,
+    pub(crate) h: AlignedF64,
+    pub(crate) rho: AlignedF64,
+    pub(crate) pres: AlignedF64,
+    pub(crate) cs: AlignedF64,
+}
+
+impl GasSoa {
+    /// Refill the mass column only (all the density pass gathers).
+    fn fill_mass(&mut self, gas: &GasParticles) {
+        self.m.copy_from(&gas.mass);
+    }
+
+    /// Refill every column (the force pass gathers them all; densities
+    /// must be fresh so pressure/sound speed are current).
+    pub(crate) fn fill_all(&mut self, gas: &GasParticles) {
+        let n = gas.len();
+        self.pos.fill_from(&gas.pos);
+        self.vel.fill_from(&gas.vel);
+        self.m.copy_from(&gas.mass);
+        self.h.copy_from(&gas.h);
+        self.rho.copy_from(&gas.rho);
+        self.pres.resize(n);
+        self.cs.resize(n);
+        let (pres, cs) = (self.pres.as_mut_slice(), self.cs.as_mut_slice());
+        for i in 0..n {
+            pres[i] = gas.pressure(i);
+            cs[i] = gas.sound_speed(i);
+        }
+    }
+}
 
 /// Reusable scratch for the SPH kernels: the CSR grid, per-thread
 /// candidate buffers, and the cached per-particle neighbour lists that
@@ -34,11 +77,18 @@ type Candidate = (u32, f64);
 /// cache lazily from that grid, validating once per call that the grid
 /// was built for the current particle count.
 pub struct SphScratch {
-    /// Worker-thread cap: 0 = auto (one per core, subject to a minimum
-    /// grain), 1 = strictly sequential. The sequential path performs zero
-    /// heap allocations in steady state; parallel runs allocate only
-    /// thread-spawn bookkeeping.
+    /// Worker-thread cap: 0 = auto (one per core or the `JC_THREADS`
+    /// override, subject to a minimum grain), 1 = strictly sequential.
+    /// The sequential path performs zero heap allocations in steady
+    /// state; parallel runs allocate only thread-spawn bookkeeping.
     pub max_threads: usize,
+    /// Select the SIMD-friendly SoA compute path: density sums and force
+    /// gathers run [`LANES`] wide over aligned SoA gas columns with the
+    /// fixed [`reduce_lanes`] reduction order, and the density pass skips
+    /// the legacy-order candidate re-sort. Results are bitwise stable
+    /// from run to run (any thread count) but match the scalar path only
+    /// to rounding — the scalar path stays the bitwise-pinned reference.
+    pub simd: bool,
     pub(crate) grid: CsrGrid,
     /// Cached-neighbour CSR offsets (`n + 1` entries) and indices. List
     /// `i` holds every particle within `(h[i] + max(h))/2` of particle
@@ -61,6 +111,8 @@ pub struct SphScratch {
     cached_n: usize,
     /// Particle count the grid was built for.
     grid_for: usize,
+    /// SoA gas mirror for the SIMD gather paths.
+    pub(crate) soa: GasSoa,
 }
 
 impl Default for SphScratch {
@@ -74,6 +126,7 @@ impl SphScratch {
     pub fn new() -> SphScratch {
         SphScratch {
             max_threads: 0,
+            simd: false,
             grid: CsrGrid::new(),
             nbr_off: Vec::new(),
             nbr_idx: Vec::new(),
@@ -83,25 +136,34 @@ impl SphScratch {
             sort_key: Vec::new(),
             cached_n: usize::MAX,
             grid_for: usize::MAX,
+            soa: GasSoa::default(),
         }
     }
 
     /// Worker count for a problem of size `n` (shared by the density,
-    /// cache-fill and force passes). Core detection is lazy:
-    /// `available_parallelism` allocates, so the sequential mode
-    /// (`max_threads == 1`) must never call it.
+    /// cache-fill and force passes) — the workspace-wide policy from
+    /// [`jc_compute::par::threads_for`]. Core detection is lazy and the
+    /// explicit cap wins over `JC_THREADS`, so the sequential mode
+    /// (`max_threads == 1`) never touches the (allocating) auto
+    /// detection.
     pub(crate) fn threads_for(&self, n: usize) -> usize {
-        let cap = if self.max_threads == 0 {
-            std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1)
-        } else {
-            self.max_threads
-        };
-        cap.min(n.div_ceil(PAR_GRAIN)).max(1)
+        par::threads_for(n, self.max_threads, PAR_GRAIN)
     }
 
-    /// Cached neighbour list of particle `i`.
+    /// Cached neighbour list of particle `i` (the force pass reads the
+    /// CSR arrays directly through [`SphScratch::force_view`]).
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn neighbors(&self, i: usize) -> &[u32] {
         &self.nbr_idx[self.nbr_off[i] as usize..self.nbr_off[i + 1] as usize]
+    }
+
+    /// Split-borrow view for the force pass: the SoA columns and the
+    /// cached-neighbour CSR arrays (shared) plus the per-worker
+    /// candidate buffers (exclusive — the force pass reuses them as
+    /// active-pair compaction scratch; the density pass rebuilds them
+    /// from scratch anyway).
+    pub(crate) fn force_view(&mut self) -> (&GasSoa, &[u32], &[u32], &mut Vec<Vec<Candidate>>) {
+        (&self.soa, &self.nbr_off, &self.nbr_idx, &mut self.bufs)
     }
 
     /// Particle count the neighbour cache is valid for (`None` if never
@@ -168,42 +230,22 @@ impl SphScratch {
             stage.clear(); // a previous call may have used more workers
         }
         let counts = &mut self.nbr_off[1..];
-        let chunk = n.div_ceil(threads);
-        if threads <= 1 {
-            let stage = &mut self.stage[0];
-            stage.clear();
-            for (i, c) in counts.iter_mut().enumerate() {
-                let before = stage.len();
-                grid.for_each_within(pos, &pos[i], 0.5 * (h[i] + h_max), |j, _| stage.push(j));
-                *c = (stage.len() - before) as u32;
-            }
-        } else {
-            std::thread::scope(|s| {
-                let mut counts_rest = counts;
-                let mut start = 0usize;
-                for stage in self.stage.iter_mut() {
-                    let take = chunk.min(counts_rest.len());
-                    if take == 0 {
-                        break;
-                    }
-                    let (cc, cr) = counts_rest.split_at_mut(take);
-                    counts_rest = cr;
-                    let s0 = start;
-                    start += take;
-                    s.spawn(move || {
-                        stage.clear();
-                        for (k, c) in cc.iter_mut().enumerate() {
-                            let i = s0 + k;
-                            let before = stage.len();
-                            grid.for_each_within(pos, &pos[i], 0.5 * (h[i] + h_max), |j, _| {
-                                stage.push(j)
-                            });
-                            *c = (stage.len() - before) as u32;
-                        }
-                    });
+        par::chunked(
+            threads,
+            counts,
+            &mut self.stage,
+            (),
+            |s0, cc: &mut [u32], stage| {
+                stage.clear();
+                for (k, c) in cc.iter_mut().enumerate() {
+                    let i = s0 + k;
+                    let before = stage.len();
+                    grid.for_each_within(pos, &pos[i], 0.5 * (h[i] + h_max), |j, _| stage.push(j));
+                    *c = (stage.len() - before) as u32;
                 }
-            });
-        }
+            },
+            |(), ()| (),
+        );
         for i in 1..=n {
             self.nbr_off[i] += self.nbr_off[i - 1];
         }
@@ -283,58 +325,46 @@ pub fn compute_density_with(gas: &mut GasParticles, scratch: &mut SphScratch) ->
     let cell = median_h.clamp(cell_legacy / 16.0, cell_legacy).max(1e-6);
     scratch.grid.build_into(&gas.pos, cell);
     scratch.grid_for = n;
-    scratch.sort_key.clear();
-    scratch.sort_key.extend(gas.pos.iter().map(|p| CsrGrid::pack(CsrGrid::key(p, cell_legacy))));
+    let simd = scratch.simd;
+    if simd {
+        // the SoA path neither re-sorts candidates into legacy order nor
+        // needs the keys — it gathers masses through the aligned column
+        scratch.sort_key.clear();
+        scratch.soa.fill_mass(gas);
+    } else {
+        scratch.sort_key.clear();
+        scratch
+            .sort_key
+            .extend(gas.pos.iter().map(|p| CsrGrid::pack(CsrGrid::key(p, cell_legacy))));
+    }
     let threads = scratch.threads_for(n);
     scratch.bufs.resize_with(threads, Vec::new);
     let GasParticles { pos, mass, rho, h, .. } = gas;
     let (pos, mass) = (&*pos, &*mass);
     let grid = &scratch.grid;
     let sort_key = &*scratch.sort_key;
-    let total: u64 = if threads <= 1 {
-        let buf = &mut scratch.bufs[0];
-        let mut inter = 0u64;
-        for i in 0..n {
-            let (r, hh, it) = adapt_one(i, pos, mass, grid, sort_key, h[i], h_mean, buf);
-            rho[i] = r;
-            h[i] = hh;
-            inter += it;
-        }
-        inter
-    } else {
-        let chunk = n.div_ceil(threads);
-        std::thread::scope(|s| {
-            let mut rho_rest = rho.as_mut_slice();
-            let mut h_rest = h.as_mut_slice();
-            let mut start = 0usize;
-            let mut handles = Vec::with_capacity(threads);
-            for buf in scratch.bufs.iter_mut() {
-                let take = chunk.min(rho_rest.len());
-                if take == 0 {
-                    break;
-                }
-                let (rc, rr) = rho_rest.split_at_mut(take);
-                rho_rest = rr;
-                let (hc, hr) = h_rest.split_at_mut(take);
-                h_rest = hr;
-                let s0 = start;
-                start += take;
-                handles.push(s.spawn(move || {
-                    let mut inter = 0u64;
-                    for (k, (r, hh)) in rc.iter_mut().zip(hc.iter_mut()).enumerate() {
-                        let (rv, hv, it) =
-                            adapt_one(s0 + k, pos, mass, grid, sort_key, *hh, h_mean, buf);
-                        *r = rv;
-                        *hh = hv;
-                        inter += it;
-                    }
-                    inter
-                }));
+    let soa_m = scratch.soa.m.as_slice();
+    par::chunked(
+        threads,
+        (rho.as_mut_slice(), h.as_mut_slice()),
+        &mut scratch.bufs,
+        0u64,
+        |s0, (rc, hc): (&mut [f64], &mut [f64]), buf| {
+            let mut inter = 0u64;
+            for (k, (r, hh)) in rc.iter_mut().zip(hc.iter_mut()).enumerate() {
+                let (rv, hv, it) = if simd {
+                    adapt_one_simd(s0 + k, pos, soa_m, grid, *hh, h_mean, buf)
+                } else {
+                    adapt_one(s0 + k, pos, mass, grid, sort_key, *hh, h_mean, buf)
+                };
+                *r = rv;
+                *hh = hv;
+                inter += it;
             }
-            handles.into_iter().map(|t| t.join().expect("density worker panicked")).sum()
-        })
-    };
-    total
+            inter
+        },
+        |a, b| a + b,
+    )
 }
 
 /// One particle's h-adaptation. Three departures from the legacy loop,
@@ -363,6 +393,30 @@ fn adapt_one(
     h_mean: f64,
     buf: &mut Vec<Candidate>,
 ) -> (f64, f64, u64) {
+    let (h, inter) = adapt_h(i, pos, grid, h_in, h_mean, buf);
+    buf.sort_unstable_by_key(|&(j, _)| (sort_key[j as usize], j));
+    let mut rho = sum_density(buf, mass, h);
+    if rho <= 0.0 {
+        // lone particle: density of itself
+        rho = mass[i] * w(0.0, h);
+    }
+    (rho, h, inter)
+}
+
+/// The shared h-adaptation trajectory: iterate `h` towards
+/// [`N_NEIGHBORS`] candidates, leaving the final candidate set (in grid
+/// visit order) in `buf`. Both density paths run exactly this loop —
+/// the "identical adaptation trajectory" invariant the SoA tests pin is
+/// this one function, not two synchronized copies. Returns the final
+/// `h` and the interaction total.
+fn adapt_h(
+    i: usize,
+    pos: &[[f64; 3]],
+    grid: &CsrGrid,
+    h_in: f64,
+    h_mean: f64,
+    buf: &mut Vec<Candidate>,
+) -> (f64, u64) {
     let c = pos[i];
     let mut h = h_in.min(h_mean * 8.0).max(h_mean * 0.05);
     let mut inter = 0u64;
@@ -390,13 +444,7 @@ fn adapt_one(
             buf_h = h;
         }
     }
-    buf.sort_unstable_by_key(|&(j, _)| (sort_key[j as usize], j));
-    let mut rho = sum_density(buf, mass, h);
-    if rho <= 0.0 {
-        // lone particle: density of itself
-        rho = mass[i] * w(0.0, h);
-    }
-    (rho, h, inter)
+    (h, inter)
 }
 
 #[inline]
@@ -417,6 +465,71 @@ fn sum_density(buf: &[Candidate], mass: &[f64], h: f64) -> f64 {
         rho += mass[j as usize] * w(d2.sqrt(), h);
     }
     rho
+}
+
+/// [`adapt_one`] for the SoA path ([`SphScratch::simd`]): the same
+/// h-adaptation trajectory (identical candidate sets, counts and
+/// interaction totals), but the final density sum runs [`LANES`] wide
+/// over the aligned mass column in grid-candidate order — the legacy
+/// re-sort (and the whole sort-key machinery) is skipped, since this
+/// path is bound to the scalar reference by tolerance, not bitwise.
+fn adapt_one_simd(
+    i: usize,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    grid: &CsrGrid,
+    h_in: f64,
+    h_mean: f64,
+    buf: &mut Vec<Candidate>,
+) -> (f64, f64, u64) {
+    let (h, inter) = adapt_h(i, pos, grid, h_in, h_mean, buf);
+    let mut rho = sum_density_lanes(buf, mass, h);
+    if rho <= 0.0 {
+        rho = mass[i] * w(0.0, h);
+    }
+    (rho, h, inter)
+}
+
+/// The [`LANES`]-wide cubic-spline density sum: candidates are consumed
+/// in fixed batches (lane `l` takes candidate `o + l`, the tail lands in
+/// lanes `0..tail`), the kernel is evaluated branch-free (both spline
+/// pieces computed, selected by `q`), and the lane accumulators reduce
+/// through [`reduce_lanes`]. The normalization `σ = 8/(π h³)` is
+/// factored out of the sum — one of the roundings that separates this
+/// path from the scalar reference.
+fn sum_density_lanes(buf: &[Candidate], mass: &[f64], h: f64) -> f64 {
+    let sigma = 8.0 / (std::f64::consts::PI * h * h * h);
+    let inv_h = 1.0 / h;
+    let mut lanes = [0.0f64; LANES];
+    let batches = buf.len() / LANES;
+    macro_rules! lane {
+        ($l:expr, $cand:expr) => {{
+            let (j, d2) = $cand;
+            let q = d2.sqrt() * inv_h;
+            let t = 1.0 - q;
+            let near = 1.0 - 6.0 * q * q + 6.0 * q * q * q;
+            let far = 2.0 * t * t * t;
+            let val = if q < 0.5 {
+                near
+            } else if q < 1.0 {
+                far
+            } else {
+                0.0
+            };
+            lanes[$l] += mass[j as usize] * val;
+        }};
+    }
+    for b in 0..batches {
+        let o = b * LANES;
+        let batch: &[Candidate; LANES] = buf[o..o + LANES].try_into().unwrap();
+        for l in 0..LANES {
+            lane!(l, batch[l]);
+        }
+    }
+    for (l, &cand) in buf[batches * LANES..].iter().enumerate() {
+        lane!(l, cand);
+    }
+    sigma * reduce_lanes(lanes)
 }
 
 #[cfg(test)]
@@ -497,6 +610,47 @@ mod tests {
         for i in 0..a.len() {
             assert_eq!(a.rho[i].to_bits(), b.rho[i].to_bits());
             assert_eq!(a.h[i].to_bits(), b.h[i].to_bits());
+        }
+    }
+
+    #[test]
+    fn simd_density_matches_scalar_within_tolerance() {
+        let mut a = crate::particles::plummer_gas(1200, 1.0, 7);
+        let mut b = a.clone();
+        let mut scalar = SphScratch::new();
+        let mut simd = SphScratch::new();
+        simd.simd = true;
+        let ia = compute_density_with(&mut a, &mut scalar);
+        let ib = compute_density_with(&mut b, &mut simd);
+        // the adaptation trajectory is shared: same candidate sets, same
+        // h updates, same interaction totals — only the final sums differ
+        assert_eq!(ia, ib, "SoA path changed the adaptation trajectory");
+        for i in 0..a.len() {
+            assert_eq!(a.h[i].to_bits(), b.h[i].to_bits(), "h[{i}] diverged");
+            let rel = (a.rho[i] - b.rho[i]).abs() / a.rho[i].abs().max(1e-300);
+            assert!(rel < 1e-12, "rho[{i}]: {} vs {} (rel {rel})", a.rho[i], b.rho[i]);
+        }
+    }
+
+    #[test]
+    fn simd_density_is_thread_count_invariant_and_stable() {
+        let mut a = crate::particles::plummer_gas(1500, 1.0, 3);
+        let mut b = a.clone();
+        let mut c = a.clone();
+        let mut seq = SphScratch::new();
+        seq.simd = true;
+        seq.max_threads = 1;
+        let mut par8 = SphScratch::new();
+        par8.simd = true;
+        par8.max_threads = 8;
+        let ia = compute_density_with(&mut a, &mut seq);
+        let ib = compute_density_with(&mut b, &mut par8);
+        let ic = compute_density_with(&mut c, &mut seq);
+        assert_eq!(ia, ib);
+        assert_eq!(ia, ic);
+        for i in 0..a.len() {
+            assert_eq!(a.rho[i].to_bits(), b.rho[i].to_bits(), "thread count changed rho[{i}]");
+            assert_eq!(a.rho[i].to_bits(), c.rho[i].to_bits(), "rerun changed rho[{i}]");
         }
     }
 

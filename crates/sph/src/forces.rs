@@ -8,6 +8,8 @@
 use crate::density::SphScratch;
 use crate::kernel::grad_w;
 use crate::particles::GasParticles;
+use jc_compute::par;
+use jc_compute::soa::{reduce_lanes, LANES};
 
 /// Monaghan viscosity α.
 const ALPHA: f64 = 1.0;
@@ -67,8 +69,13 @@ pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut 
         return;
     }
     scratch.ensure_cache(gas);
-    let scratch = &*scratch;
+    if scratch.simd {
+        scratch.soa.fill_all(gas);
+    }
+    let simd = scratch.simd;
     let threads = scratch.threads_for(n);
+    let (soa, nbr_off, nbr_idx, scratch_bufs) = scratch.force_view();
+    let nbrs = |i: usize| &nbr_idx[nbr_off[i] as usize..nbr_off[i + 1] as usize];
     let one = |i: usize, acc: &mut [f64; 3], du: &mut f64| -> (u64, f64) {
         let pi = gas.pressure(i);
         let ci = gas.sound_speed(i);
@@ -76,7 +83,7 @@ pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut 
         let pos = &gas.pos;
         let mut vsig: f64 = ci;
         let mut inter = 0u64;
-        for &j32 in scratch.neighbors(i) {
+        for &j32 in nbrs(i) {
             let j = j32 as usize;
             if j == i {
                 continue;
@@ -117,54 +124,142 @@ pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut 
         }
         (inter, vsig)
     };
-    if threads <= 1 {
-        let mut inter = 0u64;
-        let mut vsig = 0.0f64;
-        for i in 0..n {
-            let (it, vs) = one(i, &mut out.acc[i], &mut out.du[i]);
-            inter += it;
-            vsig = vsig.max(vs);
-        }
-        out.interactions = inter;
-        out.v_signal_max = vsig;
-    } else {
-        let chunk = n.div_ceil(threads);
-        let (inter, vsig) = std::thread::scope(|s| {
-            let mut acc_rest = out.acc.as_mut_slice();
-            let mut du_rest = out.du.as_mut_slice();
-            let mut start = 0usize;
-            let mut handles = Vec::with_capacity(threads);
-            while !acc_rest.is_empty() {
-                let take = chunk.min(acc_rest.len());
-                let (ac, ar) = acc_rest.split_at_mut(take);
-                acc_rest = ar;
-                let (dc, dr) = du_rest.split_at_mut(take);
-                du_rest = dr;
-                let s0 = start;
-                start += take;
-                handles.push(s.spawn(move || {
-                    let mut inter = 0u64;
-                    let mut vsig = 0.0f64;
-                    for (k, (a, d)) in ac.iter_mut().zip(dc.iter_mut()).enumerate() {
-                        let (it, vs) = one(s0 + k, a, d);
-                        inter += it;
-                        vsig = vsig.max(vs);
-                    }
-                    (inter, vsig)
-                }));
-            }
+    // per-worker compaction buffers for the SoA path (reused across
+    // calls; scalar workers carry them untouched)
+    scratch_bufs.resize_with(threads, Vec::new);
+    let (inter, vsig) = par::chunked(
+        threads,
+        (out.acc.as_mut_slice(), out.du.as_mut_slice()),
+        scratch_bufs,
+        (0u64, 0.0f64),
+        |s0, (ac, dc): (&mut [[f64; 3]], &mut [f64]), buf| {
             let mut inter = 0u64;
             let mut vsig = 0.0f64;
-            for t in handles {
-                let (it, vs) = t.join().expect("hydro worker panicked");
+            for (k, (a, d)) in ac.iter_mut().zip(dc.iter_mut()).enumerate() {
+                let i = s0 + k;
+                let (it, vs) =
+                    if simd { hydro_one_simd(i, soa, nbrs(i), buf, a, d) } else { one(i, a, d) };
                 inter += it;
                 vsig = vsig.max(vs);
             }
             (inter, vsig)
-        });
-        out.interactions = inter;
-        out.v_signal_max = vsig;
+        },
+        |(i1, v1), (i2, v2)| (i1 + i2, v1.max(v2)),
+    );
+    out.interactions = inter;
+    out.v_signal_max = vsig;
+}
+
+/// One particle's rates gathered [`LANES`] wide through the cached
+/// neighbour list, reading the SoA gas columns
+/// ([`crate::density::SphScratch::simd`]).
+///
+/// Two phases. The *filter* pass runs the cheap part of the scalar pair
+/// predicate (`r² < h_ij²`, non-self, non-coincident) over the whole
+/// cached list and compacts the surviving `(j, r²)` pairs into the
+/// per-worker buffer — the cached lists are built at the conservative
+/// `(h_i + h_max)/2` radius, so most candidates die here without ever
+/// touching a `sqrt` or a division. The *interaction* pass then runs
+/// the expensive pair math [`LANES`] wide over actives only: the
+/// viscosity branch becomes a select on `vr < 0` and the spline
+/// gradient evaluates both pieces and selects by `q`. Accumulation is
+/// lane-wise with the fixed [`reduce_lanes`] reduction — bitwise stable
+/// run to run, equal to the scalar path only to rounding. The
+/// interaction count and `v_signal_max` match the scalar path
+/// *exactly* (same predicate, same signal-speed values,
+/// order-independent max).
+fn hydro_one_simd(
+    i: usize,
+    soa: &crate::density::GasSoa,
+    nbr: &[u32],
+    buf: &mut Vec<crate::density::Candidate>,
+    acc: &mut [f64; 3],
+    du: &mut f64,
+) -> (u64, f64) {
+    let (px, py, pz) = (soa.pos.x.as_slice(), soa.pos.y.as_slice(), soa.pos.z.as_slice());
+    let (vx, vy, vz) = (soa.vel.x.as_slice(), soa.vel.y.as_slice(), soa.vel.z.as_slice());
+    let (m, h) = (soa.m.as_slice(), soa.h.as_slice());
+    let (rho, pres, cs) = (soa.rho.as_slice(), soa.pres.as_slice(), soa.cs.as_slice());
+    let (pix, piy, piz) = (px[i], py[i], pz[i]);
+    let (vix, viy, viz) = (vx[i], vy[i], vz[i]);
+    let hi = h[i];
+    let ci = cs[i];
+    let rhoi = rho[i].max(1e-12);
+    let pi_rho2 = pres[i] / (rhoi * rhoi);
+    // filter: compact the active pairs (preserving list order)
+    buf.clear();
+    for &j32 in nbr {
+        let j = j32 as usize;
+        let dx = pix - px[j];
+        let dy = piy - py[j];
+        let dz = piz - pz[j];
+        let r2 = dx * dx + dy * dy + dz * dz;
+        let h_ij = 0.5 * (hi + h[j]);
+        if r2 < h_ij * h_ij && r2 != 0.0 && j != i {
+            buf.push((j32, r2));
+        }
     }
+    let (mut axl, mut ayl, mut azl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+    let mut dul = [0.0f64; LANES];
+    let mut vsigl = [ci; LANES];
+    macro_rules! lane {
+        ($l:expr, $cand:expr) => {{
+            let l = $l;
+            let (j32, r2) = $cand;
+            let j = j32 as usize;
+            let dx = pix - px[j];
+            let dy = piy - py[j];
+            let dz = piz - pz[j];
+            let h_ij = 0.5 * (hi + h[j]);
+            let r = r2.sqrt();
+            let dvx = vix - vx[j];
+            let dvy = viy - vy[j];
+            let dvz = viz - vz[j];
+            let vr = dvx * dx + dvy * dy + dvz * dz;
+            let rhoj = rho[j].max(1e-12);
+            // artificial viscosity as a select on approach
+            let cj = cs[j];
+            let mu = h_ij * vr / (r2 + 0.01 * h_ij * h_ij);
+            let c_mean = 0.5 * (ci + cj);
+            let rho_mean = 0.5 * (rhoi + rhoj);
+            let visc_full = (-ALPHA * c_mean * mu + BETA * mu * mu) / rho_mean;
+            let approaching = vr < 0.0;
+            let visc = if approaching { visc_full } else { 0.0 };
+            let vsig_cand = if approaching { c_mean - mu } else { ci };
+            // cubic-spline gradient, both pieces evaluated and selected
+            let sigma_h = 8.0 / (std::f64::consts::PI * h_ij * h_ij * h_ij) / h_ij;
+            let q = r / h_ij;
+            let t = 1.0 - q;
+            let near = -12.0 * q + 18.0 * q * q;
+            let far = -6.0 * t * t;
+            let piece = if q < 0.5 { near } else { far };
+            let dwr_over_r = sigma_h * piece / r;
+            let coeff = pi_rho2 + pres[j] / (rhoj * rhoj) + visc;
+            let scale = m[j] * coeff * dwr_over_r;
+            axl[l] -= scale * dx;
+            ayl[l] -= scale * dy;
+            azl[l] -= scale * dz;
+            dul[l] += 0.5 * scale * vr;
+            vsigl[l] = vsigl[l].max(vsig_cand);
+        }};
+    }
+    let batches = buf.len() / LANES;
+    for b in 0..batches {
+        let o = b * LANES;
+        let batch: &[crate::density::Candidate; LANES] = buf[o..o + LANES].try_into().unwrap();
+        for (l, cand) in batch.iter().enumerate() {
+            lane!(l, *cand);
+        }
+    }
+    for (l, &cand) in buf[batches * LANES..].iter().enumerate() {
+        lane!(l, cand);
+    }
+    acc[0] = reduce_lanes(axl);
+    acc[1] = reduce_lanes(ayl);
+    acc[2] = reduce_lanes(azl);
+    *du = reduce_lanes(dul);
+    let vsig = vsigl[0].max(vsigl[1]).max(vsigl[2]).max(vsigl[3]);
+    (buf.len() as u64, vsig)
 }
 
 #[cfg(test)]
@@ -258,6 +353,72 @@ mod tests {
         gas.push(1.0, [0.0; 3], [0.0; 3], 1.0); // grid now stale
         let mut out = HydroRates::new();
         hydro_rates_into(&gas, &mut scratch, &mut out);
+    }
+
+    #[test]
+    fn simd_forces_match_scalar_within_tolerance() {
+        let mut gas = plummer_gas(900, 1.0, 13);
+        let mut scratch = crate::density::SphScratch::new();
+        compute_density_with(&mut gas, &mut scratch);
+        let mut scalar = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut scalar);
+        // same densities, same cached neighbour lists — only the gather
+        // kernel changes
+        scratch.simd = true;
+        let mut simd = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut simd);
+        assert_eq!(scalar.interactions, simd.interactions, "pair predicate diverged");
+        assert_eq!(
+            scalar.v_signal_max.to_bits(),
+            simd.v_signal_max.to_bits(),
+            "signal speeds diverged: {} vs {}",
+            scalar.v_signal_max,
+            simd.v_signal_max
+        );
+        let scale: f64 = scalar
+            .acc
+            .iter()
+            .map(|a| (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
+            .fold(0.0, f64::max)
+            .max(1.0);
+        for (i, (a, b)) in simd.acc.iter().zip(&scalar.acc).enumerate() {
+            for k in 0..3 {
+                assert!(
+                    (a[k] - b[k]).abs() <= 1e-11 * scale,
+                    "acc[{i}][{k}]: {} vs {}",
+                    a[k],
+                    b[k]
+                );
+            }
+        }
+        for (i, (a, b)) in simd.du.iter().zip(&scalar.du).enumerate() {
+            assert!((a - b).abs() <= 1e-11 * b.abs().max(1.0), "du[{i}]: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn simd_forces_conserve_momentum() {
+        let mut gas = plummer_gas(400, 1.0, 7);
+        let mut scratch = crate::density::SphScratch::new();
+        scratch.simd = true;
+        compute_density_with(&mut gas, &mut scratch);
+        let mut rates = HydroRates::new();
+        hydro_rates_into(&gas, &mut scratch, &mut rates);
+        let mut ptot = [0.0f64; 3];
+        for (m, a) in gas.mass.iter().zip(&rates.acc) {
+            for k in 0..3 {
+                ptot[k] += m * a[k];
+            }
+        }
+        let scale: f64 = rates
+            .acc
+            .iter()
+            .zip(&gas.mass)
+            .map(|(a, m)| m * (a[0] * a[0] + a[1] * a[1] + a[2] * a[2]).sqrt())
+            .sum();
+        for k in 0..3 {
+            assert!(ptot[k].abs() < 1e-9 * scale.max(1.0), "momentum leak {ptot:?}");
+        }
     }
 
     #[test]

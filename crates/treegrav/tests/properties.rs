@@ -51,6 +51,35 @@ proptest! {
         }
     }
 
+    /// The SoA walk matches the scalar walk within a tight relative
+    /// tolerance on any random cloud, with identical interaction counts
+    /// (same traversal, different accumulation order only).
+    #[test]
+    fn simd_walk_matches_scalar((pos, mass) in arb_cloud(300)) {
+        let mut scalar = TreeGravity::new(0.6, 0.02);
+        let mut a = Vec::new();
+        scalar.accelerations_into(&pos, &pos, &mass, &mut a);
+        let n_scalar = scalar.last_interactions();
+        let mut simd = TreeGravity::new(0.6, 0.02);
+        simd.simd = true;
+        let mut b = Vec::new();
+        simd.accelerations_into(&pos, &pos, &mass, &mut b);
+        prop_assert_eq!(n_scalar, simd.last_interactions());
+        let scale = a
+            .iter()
+            .flatten()
+            .fold(0.0f64, |s, x| s.max(x.abs()))
+            .max(1e-300);
+        for (i, (x, y)) in b.iter().zip(&a).enumerate() {
+            for k in 0..3 {
+                prop_assert!(
+                    (x[k] - y[k]).abs() <= 1e-11 * scale,
+                    "acc[{}][{}]: {} vs {}", i, k, x[k], y[k]
+                );
+            }
+        }
+    }
+
     /// Root node moments always equal total mass / center of mass.
     #[test]
     fn octree_root_moments((pos, mass) in arb_cloud(64)) {

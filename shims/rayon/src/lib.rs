@@ -14,9 +14,21 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
 }
 
-/// How many worker threads a parallel stage may use.
+/// How many worker threads a parallel stage may use: the `JC_THREADS`
+/// environment override when set to a positive integer (reproducible
+/// runs on shared machines — same knob as `jc_compute::par`), otherwise
+/// one per available core. Resolved once per process.
 fn threads_for(len: usize) -> usize {
-    let cores = std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1);
+    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cores = *CAP.get_or_init(|| {
+        std::env::var("JC_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    });
     cores.min(len).max(1)
 }
 

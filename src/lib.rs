@@ -8,6 +8,7 @@
 
 pub use jc_amuse as amuse;
 pub use jc_cesm as cesm;
+pub use jc_compute as compute;
 pub use jc_core as core;
 pub use jc_deploy as deploy;
 pub use jc_gat as gat;

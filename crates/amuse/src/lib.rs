@@ -50,6 +50,7 @@
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
 
 pub mod bridge;
 pub mod channel;

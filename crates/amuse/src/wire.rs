@@ -136,11 +136,30 @@ pub mod op {
 }
 
 /// The lowest protocol version that defines `opcode` — what encoders
-/// stamp into the version byte (see the module docs). Unknown opcodes
-/// report 1 so that they are rejected as [`WireError::UnknownOpcode`],
-/// not misblamed on the version byte.
+/// stamp into the version byte (see the module docs). Every known
+/// opcode is named explicitly (enforced by the `wire-exhaustiveness`
+/// lint): a new opcode that fell into a `_ => 1` wildcard would be
+/// silently stamped v1 and accepted by peers that predate it. Unknown
+/// opcodes report 1 so that they are rejected as
+/// [`WireError::UnknownOpcode`], not misblamed on the version byte.
 pub const fn opcode_version(opcode: u8) -> u8 {
     match opcode {
+        op::PING
+        | op::EVOLVE_TO
+        | op::GET_PARTICLES
+        | op::SET_MASSES
+        | op::KICK
+        | op::COMPUTE_KICK
+        | op::EVOLVE_STARS
+        | op::INJECT_ENERGY
+        | op::ADD_GAS
+        | op::STOP
+        | op::RESP_OK
+        | op::RESP_PARTICLES
+        | op::RESP_ACCELERATIONS
+        | op::RESP_STELLAR_UPDATE
+        | op::RESP_UNSUPPORTED
+        | op::RESP_ERROR => 1,
         op::SAVE_STATE | op::LOAD_STATE | op::SHUTDOWN | op::RESP_STATE => 2,
         _ => 1,
     }
@@ -438,6 +457,7 @@ fn decode_state(h: &Header, p: &[u8]) -> Result<ModelState, WireError> {
 
 /// Encode any [`Request`] into `buf` (cleared first). The encoded frame
 /// is exactly [`Request::wire_size`] bytes long.
+// jc-lint: no-alloc
 pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
     match req {
         Request::Ping => encode_simple_request(op::PING, buf),
@@ -471,6 +491,7 @@ pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
 
 /// Encode any [`Response`] into `buf` (cleared first). The encoded frame
 /// is exactly [`Response::wire_size`] bytes long.
+// jc-lint: no-alloc
 pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
     match resp {
         Response::Ok { flops } => {
@@ -739,6 +760,7 @@ pub fn decode_response(frame: &[u8]) -> Result<Response, WireError> {
 /// Fast path: decode a `Particles` response straight into `out`,
 /// reusing its buffers (no allocation once warm). Any other valid
 /// response opcode yields [`WireError::Unexpected`].
+// jc-lint: no-alloc
 pub fn decode_particles_into(frame: &[u8], out: &mut ParticleData) -> Result<(), WireError> {
     let (h, p) = parse_frame(frame)?;
     if h.opcode != op::RESP_PARTICLES {
@@ -758,6 +780,7 @@ pub fn decode_particles_into(frame: &[u8], out: &mut ParticleData) -> Result<(),
 
 /// Fast path: decode an `Accelerations` response into `out` (cleared
 /// and refilled), returning the modeled flops carried in aux1.
+// jc-lint: no-alloc
 pub fn decode_accelerations_into(frame: &[u8], out: &mut Vec<[f64; 3]>) -> Result<f64, WireError> {
     let (h, p) = parse_frame(frame)?;
     if h.opcode != op::RESP_ACCELERATIONS {
@@ -770,6 +793,7 @@ pub fn decode_accelerations_into(frame: &[u8], out: &mut Vec<[f64; 3]>) -> Resul
 }
 
 /// Fast path: decode an `Ok` response, returning its flops.
+// jc-lint: no-alloc
 pub fn decode_ok(frame: &[u8]) -> Result<f64, WireError> {
     let (h, p) = parse_frame(frame)?;
     if h.opcode != op::RESP_OK {
@@ -804,6 +828,7 @@ pub fn write_frame(w: &mut impl Write, frame: &[u8]) -> Result<(), WireError> {
 /// in [`READ_CHUNK`] steps as bytes arrive — so a hostile length prefix
 /// never triggers an allocation beyond one chunk past what the peer has
 /// actually sent.
+// jc-lint: no-alloc
 pub fn read_frame(r: &mut impl Read, buf: &mut Vec<u8>) -> Result<usize, WireError> {
     let mut header = [0u8; HEADER_LEN];
     let mut got = 0usize;

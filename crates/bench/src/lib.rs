@@ -19,6 +19,7 @@
 //! | bench `loopback` | loopback channel throughput |
 
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
 
 /// Render a simple two-column table.
 pub fn kv_table(title: &str, rows: &[(String, String)]) -> String {

@@ -9,6 +9,8 @@
 //! high-water mark, then the measured steady-state call must perform
 //! zero heap allocations.
 
+#![deny(unsafe_op_in_unsafe_fn)]
+
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::cell::Cell;
 
@@ -18,18 +20,32 @@ thread_local! {
     static ALLOCS: Cell<u64> = const { Cell::new(0) };
 }
 
+// SAFETY: every method delegates to `System`, which upholds the full
+// `GlobalAlloc` contract; the only addition is a thread-local counter
+// bump (`try_with` so a counter access during TLS teardown cannot
+// panic inside the allocator). No pointer is invented, retained, or
+// changed on the way through.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller's `Layout` obligations are forwarded to `System`
+    // unchanged (required trait method; the count is a side effect).
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: `layout` is the caller's, passed through verbatim.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller guarantees `ptr` came from this allocator with
+    // this `layout`; since `alloc` is `System.alloc`, forwarding holds.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` are the caller's, passed through verbatim.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: same forwarding argument as `dealloc` — `ptr` was
+    // produced by `System.alloc` under `layout`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+        // SAFETY: arguments are the caller's, passed through verbatim.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

@@ -88,13 +88,20 @@ impl AlignedF64 {
 
     /// The values as a slice (64-byte-aligned base pointer).
     pub fn as_slice(&self) -> &[f64] {
-        // CacheLine is repr(C) over [f64; 8]: the lines are one
-        // contiguous f64 run, of which the first `len` are live.
+        // SAFETY: `CacheLine` is `repr(C, align(64))` over `[f64; 8]`,
+        // so `lines` is one contiguous, initialized f64 run of
+        // `lines.len() * LINE` elements; `resize` maintains
+        // `len <= lines.len() * LINE`, so the first `len` are in
+        // bounds. The cast pointer inherits the allocation's
+        // provenance and the borrow ties the slice to `&self`.
         unsafe { std::slice::from_raw_parts(self.lines.as_ptr().cast::<f64>(), self.len) }
     }
 
     /// The values as a mutable slice.
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        // SAFETY: same layout argument as `as_slice`; `&mut self`
+        // guarantees the run is uniquely borrowed for the lifetime of
+        // the returned slice.
         unsafe { std::slice::from_raw_parts_mut(self.lines.as_mut_ptr().cast::<f64>(), self.len) }
     }
 }

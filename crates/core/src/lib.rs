@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
 
 // The SoA compute layer and the unified parallel chunking core live in
 // the leaf crate `jc_compute` (the kernel crates sit below this one, so
@@ -45,6 +46,7 @@ pub use jc_compute::soa;
 pub mod channel;
 pub mod daemon;
 pub mod discovery;
+pub mod envreg;
 pub mod loopback;
 pub mod perfmodel;
 pub mod proxy;

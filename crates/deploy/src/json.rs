@@ -201,7 +201,7 @@ impl std::error::Error for JsonError {}
 
 /// Parse a JSON document; trailing non-whitespace is an error.
 pub fn parse(input: &str) -> Result<Value, JsonError> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser { src: input, bytes: input.as_bytes(), pos: 0 };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -212,6 +212,10 @@ pub fn parse(input: &str) -> Result<Value, JsonError> {
 }
 
 struct Parser<'a> {
+    /// The input as text — kept alongside `bytes` so multi-byte
+    /// characters can be decoded by slicing at a known char boundary
+    /// instead of `from_utf8_unchecked`.
+    src: &'a str,
     bytes: &'a [u8],
     pos: usize,
 }
@@ -377,11 +381,11 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 character (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = unsafe { std::str::from_utf8_unchecked(rest) };
-                    let c = s.chars().next().expect("non-empty");
+                    // Consume one UTF-8 character. `pos` always sits on
+                    // a char boundary (it only advances by ASCII steps
+                    // or whole `len_utf8` amounts), so the text slice
+                    // is valid and this needs no unsafe.
+                    let c = self.src[self.pos..].chars().next().expect("non-empty");
                     if (c as u32) < 0x20 {
                         return Err(self.error("control character in string"));
                     }

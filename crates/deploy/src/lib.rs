@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
 
 pub mod build;
 pub mod descriptor;

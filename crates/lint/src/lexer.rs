@@ -1,0 +1,320 @@
+//! A small hand-rolled Rust lexer.
+//!
+//! The lints do not need a full parser — every contract they enforce is
+//! visible at the token level (an `unsafe` keyword, an `op::NAME`
+//! constant, a `vec!` call, a `"JC_*"` string literal) — but they *do*
+//! need comments and string literals separated from code, or a lint
+//! pattern quoted in a doc comment would trip the checker. This lexer
+//! produces a flat token stream with line numbers, keeping comment text
+//! (the unsafe-audit and waiver markers live there) and string contents
+//! (the env-var registry lint reads them), and understanding the Rust
+//! constructs that would otherwise desynchronize a naive scanner:
+//! nested block comments, raw strings with `#` fences, byte strings,
+//! char literals vs. lifetimes, and raw identifiers.
+
+/// What a [`Token`] is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`unsafe`, `fn`, `HashMap`, …).
+    Ident,
+    /// A string literal; [`Token::text`] holds the *contents* (no quotes).
+    Str,
+    /// A character or byte literal (contents, no quotes).
+    Char,
+    /// A lifetime (`'a`) — distinct from [`Kind::Char`].
+    Lifetime,
+    /// A numeric literal (raw spelling, e.g. `0x4A43_5752`).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// A comment; [`Token::text`] holds the full text including the
+    /// `//` / `/*` markers, so doc comments remain distinguishable.
+    Comment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Token class.
+    pub kind: Kind,
+    /// Token text (see [`Kind`] for what is stored per class).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+impl Token {
+    /// Is this an identifier with exactly this text?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Is this a punctuation token with exactly this character?
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` into a token stream. Total: malformed input never panics,
+/// it just degrades (an unterminated literal runs to end of file).
+pub fn lex(src: &str) -> Vec<Token> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = b.len();
+
+    // Count newlines inside `src[from..to]` (multi-line tokens).
+    let lines_in = |from: usize, to: usize| -> u32 {
+        b[from..to].iter().filter(|&&c| c == b'\n').count() as u32
+    };
+
+    while i < n {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (also covers `///` and `//!` doc comments).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            out.push(Token { kind: Kind::Comment, text: src[start..i].to_string(), line });
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            line += lines_in(start, i);
+            out.push(Token {
+                kind: Kind::Comment,
+                text: src[start..i].to_string(),
+                line: start_line,
+            });
+            continue;
+        }
+        // Raw / byte string prefixes: r", r#…", b", br#…", rb is not Rust.
+        if (c == b'r' || c == b'b') && i + 1 < n {
+            let (mut j, _byte) = if c == b'b' && i + 1 < n && b[i + 1] == b'r' {
+                (i + 2, true)
+            } else if c == b'r' {
+                (i + 1, c == b'b')
+            } else if b[i + 1] == b'"' {
+                (i + 1, true)
+            } else {
+                (0, false) // not a string prefix; fall through to ident
+            };
+            if j > 0 {
+                let raw = b[i] == b'r' || (b[i] == b'b' && b[i + 1] == b'r');
+                let mut hashes = 0usize;
+                while raw && j < n && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == b'"' {
+                    // A (raw) string literal: find the closing quote.
+                    let content_start = j + 1;
+                    let start_line = line;
+                    let mut k = content_start;
+                    if raw {
+                        'outer: while k < n {
+                            if b[k] == b'"' {
+                                let mut h = 0usize;
+                                while h < hashes && k + 1 + h < n && b[k + 1 + h] == b'#' {
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    break 'outer;
+                                }
+                            }
+                            k += 1;
+                        }
+                    } else {
+                        while k < n && b[k] != b'"' {
+                            k += if b[k] == b'\\' { 2 } else { 1 };
+                        }
+                    }
+                    let end = k.min(n);
+                    line += lines_in(i, end);
+                    out.push(Token {
+                        kind: Kind::Str,
+                        text: src[content_start.min(n)..end].to_string(),
+                        line: start_line,
+                    });
+                    i = (end + 1 + hashes).min(n);
+                    continue;
+                }
+                // `r#ident` raw identifier.
+                if raw && hashes == 1 && j < n && is_ident_start(b[j]) {
+                    let start = j;
+                    let mut k = j;
+                    while k < n && is_ident_continue(b[k]) {
+                        k += 1;
+                    }
+                    out.push(Token { kind: Kind::Ident, text: src[start..k].to_string(), line });
+                    i = k;
+                    continue;
+                }
+                // Not a literal after all (`r` / `b` alone): fall through.
+            }
+        }
+        // Plain string literal.
+        if c == b'"' {
+            let start_line = line;
+            let mut k = i + 1;
+            while k < n && b[k] != b'"' {
+                k += if b[k] == b'\\' { 2 } else { 1 };
+            }
+            let end = k.min(n);
+            line += lines_in(i, end);
+            out.push(Token {
+                kind: Kind::Str,
+                text: src[i + 1..end].to_string(),
+                line: start_line,
+            });
+            i = (end + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            // A backslash or a non-identifier character right after the
+            // quote always means a char literal; an identifier run is a
+            // char literal only if it is one char long and closed by `'`.
+            let next = if i + 1 < n { b[i + 1] } else { 0 };
+            let is_char = if next == b'\\' {
+                true
+            } else if is_ident_start(next) || next.is_ascii_digit() {
+                i + 2 < n && b[i + 2] == b'\''
+            } else {
+                true
+            };
+            if is_char {
+                let mut k = i + 1;
+                while k < n && b[k] != b'\'' {
+                    k += if b[k] == b'\\' { 2 } else { 1 };
+                }
+                let end = k.min(n);
+                out.push(Token { kind: Kind::Char, text: src[i + 1..end].to_string(), line });
+                i = (end + 1).min(n);
+            } else {
+                let mut k = i + 1;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                out.push(Token { kind: Kind::Lifetime, text: src[i + 1..k].to_string(), line });
+                i = k;
+            }
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_continue(b[i]) {
+                i += 1;
+            }
+            out.push(Token { kind: Kind::Ident, text: src[start..i].to_string(), line });
+            continue;
+        }
+        // Numeric literal. `1..n` must not swallow the range dots, and
+        // exponents like `1e-3` / type suffixes ride along harmlessly.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n {
+                let d = b[i];
+                let continues = d.is_ascii_alphanumeric()
+                    || d == b'_'
+                    || (d == b'.' && i + 1 < n && b[i + 1] != b'.' && !is_ident_start(b[i + 1]))
+                    || ((d == b'+' || d == b'-') && matches!(b[i - 1], b'e' | b'E'));
+                if !continues {
+                    break;
+                }
+                i += 1;
+            }
+            out.push(Token { kind: Kind::Num, text: src[start..i].to_string(), line });
+            continue;
+        }
+        // Everything else: one punctuation character (UTF-8 safe).
+        let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        out.push(Token { kind: Kind::Punct, text: src[i..i + ch_len].to_string(), line });
+        i += ch_len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_into_code() {
+        let toks = kinds("// unsafe in a comment\nlet s = \"unsafe in a string\";\n");
+        assert!(!toks.iter().any(|(k, t)| *k == Kind::Ident && t == "unsafe"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Str && t.contains("unsafe")));
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let toks = kinds("r#\"a \" quote\"# /* outer /* inner */ still */ x");
+        assert_eq!(toks[0], (Kind::Str, "a \" quote".to_string()));
+        assert!(toks[1].1.contains("inner"));
+        assert_eq!(toks[2], (Kind::Ident, "x".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let e = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == Kind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(chars.len(), 2);
+    }
+
+    #[test]
+    fn lines_are_tracked_across_multiline_tokens() {
+        let toks = lex("a\n/* two\nlines */\nb");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2);
+        assert_eq!(toks[2].line, 4);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_range_dots() {
+        let toks = kinds("for i in 0..n { let x = 1.5e-3; let h = 0x4A43_5752; }");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Num && t == "1.5e-3"));
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Num && t == "0x4A43_5752"));
+    }
+}

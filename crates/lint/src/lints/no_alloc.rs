@@ -1,0 +1,203 @@
+//! `no-alloc`: the static complement of the counting-allocator proof.
+//!
+//! `crates/bench/tests/zero_alloc.rs` proves at runtime that the warm
+//! steady state of every kernel hot path performs zero heap
+//! allocations. That proof is exact but *reactive* — a stray `format!`
+//! added to a hot path fails a test some minutes later. Functions
+//! tagged with a `// jc-lint: no-alloc` comment are additionally
+//! checked statically: their bodies may not call the direct allocating
+//! constructors (`Vec::new`, `vec!`, `to_vec`, `.clone()`, `format!`,
+//! `Box::new`, `.collect()`, `with_capacity`, …). Growth of
+//! caller-owned buffers (`push` / `extend` / `resize` / `reserve`) is
+//! deliberately allowed — that is exactly the amortized-into-scratch
+//! pattern the runtime proof pins — and a known-non-allocating
+//! construct (e.g. a `Vec` of ZSTs) can be waived at the line with
+//! `// jc-lint: allow(no-alloc): <reason>`.
+
+use crate::lexer::Kind;
+use crate::{match_brace, Diagnostic, SourceFile};
+
+const LINT: &str = "no-alloc";
+
+/// The tag that marks a function as a statically-checked hot path.
+pub const TAG: &str = "jc-lint: no-alloc";
+
+/// Types whose associated constructors allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "VecDeque", "Box", "String", "Rc", "Arc", "BTreeMap", "BTreeSet", "HashMap", "HashSet",
+];
+/// Associated functions on [`ALLOC_TYPES`] that allocate (or exist to).
+const ALLOC_ASSOC: &[&str] = &["new", "from", "with_capacity", "from_iter", "from_elem"];
+/// Allocating method calls (checked only in `.method` position).
+const ALLOC_METHODS: &[&str] =
+    &["to_vec", "to_string", "to_owned", "clone", "collect", "into_owned"];
+/// Allocating macros (checked in `name!` position).
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// Check every tagged function in `f`.
+pub fn check(f: &SourceFile) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let code = f.code();
+    for (ti, tok) in f.tokens.iter().enumerate() {
+        // The tag is a plain `//` comment that *starts with* the marker:
+        // doc comments merely describing the tag do not arm the lint.
+        if tok.kind != Kind::Comment
+            || tok.text.starts_with("///")
+            || tok.text.starts_with("//!")
+            || !tok.text.trim_start_matches('/').trim_start().starts_with(TAG)
+        {
+            continue;
+        }
+        // The tag governs the next `fn` (skipping attributes, further
+        // comments, and modifiers like `pub`/`const`/`unsafe`).
+        let Some((fn_line, lo, hi)) = next_fn_body(f, &code, ti) else {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: tok.line,
+                lint: LINT,
+                message: "`jc-lint: no-alloc` tag is not followed by a function".into(),
+            });
+            continue;
+        };
+        scan_body(f, &code[lo..=hi], fn_line, &mut diags);
+    }
+    diags
+}
+
+/// The first fn declaration after token index `ti`: its line and body
+/// range (indices into `code`, inclusive).
+fn next_fn_body(f: &SourceFile, code: &[usize], ti: usize) -> Option<(u32, usize, usize)> {
+    let start = code.partition_point(|&ci| ci <= ti);
+    let mut k = start;
+    let mut budget = 64; // modifiers + attribute tokens before `fn`
+    while k < code.len() && budget > 0 {
+        if f.tokens[code[k]].is_ident("fn") {
+            let fn_line = f.tokens[code[k]].line;
+            let open = crate::body_open(f, code, k + 1)?;
+            let close = match_brace(f, code, open);
+            return Some((fn_line, open, close));
+        }
+        k += 1;
+        budget -= 1;
+    }
+    None
+}
+
+/// Flag allocating constructs within one body's code-token range.
+fn scan_body(f: &SourceFile, body: &[usize], fn_line: u32, diags: &mut Vec<Diagnostic>) {
+    let t = |i: usize| &f.tokens[body[i]];
+    let mut flag = |line: u32, what: &str| {
+        if !f.waived(line, LINT) {
+            diags.push(Diagnostic {
+                path: f.path.clone(),
+                line,
+                lint: LINT,
+                message: format!(
+                    "{what} in a hot path tagged `no-alloc` (fn at line {fn_line}); \
+                     write into caller-owned scratch, or waive the line with a reason"
+                ),
+            });
+        }
+    };
+    for i in 0..body.len() {
+        let tok = t(i);
+        if tok.kind != Kind::Ident {
+            continue;
+        }
+        let next = body.get(i + 1).map(|&ci| &f.tokens[ci]);
+        let next2 = body.get(i + 2).map(|&ci| &f.tokens[ci]);
+        let next3 = body.get(i + 3).map(|&ci| &f.tokens[ci]);
+        let prev = (i > 0).then(|| t(i - 1));
+        // `vec!` / `format!`
+        if ALLOC_MACROS.contains(&tok.text.as_str()) && next.is_some_and(|n| n.is_punct('!')) {
+            flag(tok.line, &format!("`{}!` allocates", tok.text));
+            continue;
+        }
+        // `Vec::new(..)` / `Box::new(..)` / `String::with_capacity(..)` …
+        if ALLOC_TYPES.contains(&tok.text.as_str())
+            && next.is_some_and(|n| n.is_punct(':'))
+            && next2.is_some_and(|n| n.is_punct(':'))
+            && next3
+                .is_some_and(|n| n.kind == Kind::Ident && ALLOC_ASSOC.contains(&n.text.as_str()))
+        {
+            flag(tok.line, &format!("`{}::{}` allocates", tok.text, next3.unwrap().text));
+            continue;
+        }
+        // `.clone()` / `.to_vec()` / `.collect::<..>()` …
+        if ALLOC_METHODS.contains(&tok.text.as_str())
+            && prev.is_some_and(|p| p.is_punct('.'))
+            && next.is_some_and(|n| n.is_punct('(') || n.is_punct(':'))
+        {
+            flag(tok.line, &format!("`.{}()` allocates", tok.text));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        check(&SourceFile::parse("t.rs", src))
+    }
+
+    #[test]
+    fn untagged_functions_are_not_checked() {
+        assert!(run("fn cold() -> Vec<u8> { Vec::new() }\n").is_empty());
+    }
+
+    #[test]
+    fn tagged_function_flags_constructors_with_lines() {
+        let d = run("// jc-lint: no-alloc\n\
+             pub fn hot(out: &mut Vec<f64>) {\n\
+                 let t = vec![0.0; 4];\n\
+                 out.extend_from_slice(&t);\n\
+                 let s = other.clone();\n\
+             }\n");
+        assert_eq!(d.len(), 2, "{d:?}");
+        assert_eq!(d[0].line, 3);
+        assert_eq!(d[1].line, 5);
+    }
+
+    #[test]
+    fn growth_of_caller_buffers_is_allowed() {
+        let d = run("// jc-lint: no-alloc\n\
+             pub fn hot(out: &mut Vec<f64>, n: usize) {\n\
+                 out.clear();\n\
+                 out.resize(n, 0.0);\n\
+                 out.reserve(n);\n\
+                 out.extend((0..n).map(|i| i as f64));\n\
+             }\n");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn waiver_with_reason_suppresses_a_line() {
+        let d = run("// jc-lint: no-alloc\n\
+             pub fn hot(n: usize) {\n\
+                 // jc-lint: allow(no-alloc): Vec of ZSTs never touches the heap\n\
+                 let units = vec![(); n];\n\
+                 drop(units);\n\
+                 let bad = vec![1; n];\n\
+                 drop(bad);\n\
+             }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 6);
+    }
+
+    #[test]
+    fn tag_skips_attributes_to_find_the_fn() {
+        let d = run("// jc-lint: no-alloc\n\
+             #[allow(clippy::too_many_arguments)]\n\
+             #[inline]\n\
+             pub unsafe fn hot() { let x = Box::new(1); drop(x); }\n");
+        assert_eq!(d.len(), 1, "{d:?}");
+    }
+
+    #[test]
+    fn dangling_tag_is_itself_a_finding() {
+        let d = run("// jc-lint: no-alloc\nconst X: u32 = 1;\n");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("not followed by a function"));
+    }
+}

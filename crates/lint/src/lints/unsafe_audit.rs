@@ -1,0 +1,190 @@
+//! `unsafe-audit`: every `unsafe` block, function, impl, or trait must
+//! be immediately preceded by a `// SAFETY:` comment (or, for unsafe
+//! functions, a `# Safety` rustdoc section) that audits *why* the code
+//! is sound. Attribute lines and doc comments may sit between the audit
+//! and the `unsafe` keyword; anything else breaks the adjacency and the
+//! lint fires. Every audited site is also collected into the
+//! [`crate::ledger`] inventory, so the committed `docs/UNSAFE_LEDGER.md`
+//! reviews unsafe growth PR by PR.
+
+use crate::ledger::UnsafeSite;
+use crate::lexer::Kind;
+use crate::{Diagnostic, SourceFile};
+
+const LINT: &str = "unsafe-audit";
+
+/// Check one file; audited sites are appended to `sites` for the ledger.
+pub fn check(f: &SourceFile, sites: &mut Vec<UnsafeSite>) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let code = f.code();
+    for (k, &ti) in code.iter().enumerate() {
+        let t = &f.tokens[ti];
+        if !(t.kind == Kind::Ident && t.text == "unsafe") {
+            continue;
+        }
+        let kind = code
+            .get(k + 1)
+            .map(|&ni| {
+                let nt = &f.tokens[ni];
+                match nt.text.as_str() {
+                    "fn" => "fn",
+                    "impl" => "impl",
+                    "trait" => "trait",
+                    "extern" => "extern",
+                    _ => "block",
+                }
+            })
+            .unwrap_or("block");
+        match audit_text(f, t.line) {
+            Some(summary) => {
+                sites.push(UnsafeSite { path: f.path.clone(), line: t.line, kind, summary });
+            }
+            None => diags.push(Diagnostic {
+                path: f.path.clone(),
+                line: t.line,
+                lint: LINT,
+                message: format!(
+                    "`unsafe` {kind} without an immediately preceding `// SAFETY:` audit \
+                     (doc-commented `# Safety` sections also count)"
+                ),
+            }),
+        }
+    }
+    diags
+}
+
+/// The audit justification for an `unsafe` keyword on `line`, if one is
+/// immediately present: a trailing `// SAFETY:` on the same line, or a
+/// contiguous run of comment/attribute lines directly above containing
+/// `SAFETY:` (plain comments) or a `# Safety` heading (doc comments).
+fn audit_text(f: &SourceFile, line: u32) -> Option<String> {
+    if let Some(s) = extract(f.line_text(line)) {
+        return Some(s);
+    }
+    // Walk upward over the contiguous comment/attribute block. The
+    // audit may span several comment lines; collect them all so the
+    // ledger summary is the full sentence, not its first fragment.
+    let mut block: Vec<&str> = Vec::new();
+    let mut l = line.saturating_sub(1);
+    while l >= 1 {
+        let text = f.line_text(l);
+        let skippable = text.starts_with("//")
+            || text.starts_with("#[")
+            || text.starts_with("#!")
+            || text.starts_with("*")       // interior of a /* */ block
+            || text.starts_with("/*");
+        if !skippable {
+            break;
+        }
+        block.push(text);
+        l -= 1;
+    }
+    block.reverse();
+    // Find the line that opens the audit, then join it with its
+    // continuation lines (subsequent comment lines of the same block).
+    for (i, text) in block.iter().enumerate() {
+        let is_doc = text.starts_with("///") || text.starts_with("//!");
+        let opens = if is_doc {
+            text.contains("# Safety") || text.contains("SAFETY:")
+        } else {
+            text.contains("SAFETY:")
+        };
+        if !opens {
+            continue;
+        }
+        let mut joined = String::new();
+        for cont in &block[i..] {
+            if !cont.starts_with("//") && !cont.starts_with('*') && !cont.starts_with("/*") {
+                break; // attribute line ends the comment run
+            }
+            let body =
+                cont.trim_start_matches('/').trim_start_matches('!').trim_start_matches('*').trim();
+            if !joined.is_empty() {
+                joined.push(' ');
+            }
+            joined.push_str(body);
+        }
+        return Some(after_marker(&joined));
+    }
+    None
+}
+
+/// Trailing `// SAFETY:` on the same line as the `unsafe` keyword.
+fn extract(line: &str) -> Option<String> {
+    let pos = line.find("//")?;
+    let comment = &line[pos..];
+    comment.contains("SAFETY:").then(|| after_marker(comment))
+}
+
+/// The audit sentence: everything after the `SAFETY:` (or `# Safety`)
+/// marker, whitespace-normalized.
+fn after_marker(text: &str) -> String {
+    let tail = text
+        .split_once("SAFETY:")
+        .map(|(_, t)| t)
+        .or_else(|| text.split_once("# Safety").map(|(_, t)| t))
+        .unwrap_or(text);
+    tail.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+        let f = SourceFile::parse("t.rs", src);
+        let mut sites = Vec::new();
+        let d = check(&f, &mut sites);
+        (d, sites)
+    }
+
+    #[test]
+    fn unaudited_block_is_flagged_at_its_line() {
+        let (d, _) = run("fn f(v: &[u8]) -> u8 {\n    unsafe { *v.get_unchecked(0) }\n}\n");
+        assert_eq!(d.len(), 1);
+        assert_eq!((d[0].line, d[0].lint), (2, "unsafe-audit"));
+    }
+
+    #[test]
+    fn safety_comment_above_attributes_still_counts() {
+        let (d, sites) = run("// SAFETY: caller guarantees the CPU supports AVX2; see dispatch.\n\
+             #[target_feature(enable = \"avx2\")]\n\
+             unsafe fn kernel() {}\n");
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(sites.len(), 1);
+        assert_eq!(sites[0].kind, "fn");
+        assert!(sites[0].summary.starts_with("caller guarantees"));
+    }
+
+    #[test]
+    fn doc_safety_section_counts_for_unsafe_fns() {
+        let (d, sites) =
+            run("/// Reads raw bytes.\n///\n/// # Safety\n/// `p` must be valid.\nunsafe fn g(p: *const u8) {}\n");
+        assert!(d.is_empty(), "{d:?}");
+        assert_eq!(sites.len(), 1);
+    }
+
+    #[test]
+    fn blank_line_breaks_adjacency() {
+        let (d, _) = run("// SAFETY: stale audit, detached.\n\nunsafe fn h() {}\n");
+        assert_eq!(d.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_comments_and_strings_is_ignored() {
+        let (d, sites) = run("// unsafe is discussed here\nlet s = \"unsafe\";\n");
+        assert!(d.is_empty());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn multiline_audit_is_joined_for_the_ledger() {
+        let (_, sites) = run("// SAFETY: the avx2 clone is only reached when the CPU reports\n\
+             // the feature at runtime.\n\
+             let x = unsafe { probe() };\n");
+        assert_eq!(
+            sites[0].summary,
+            "the avx2 clone is only reached when the CPU reports the feature at runtime."
+        );
+    }
+}

@@ -1,0 +1,12 @@
+//! Fail fixture (checked under an in-scope path like
+//! `crates/nbody/src/x.rs`). Expected findings: `HashMap` at lines
+//! 5, 7, and 9, `Instant` at line 8 — every mention is flagged.
+
+use std::collections::HashMap;
+
+pub fn index(keys: &[u64]) -> HashMap<u64, usize> {
+    let start = std::time::Instant::now();
+    let map: HashMap<u64, usize> = keys.iter().enumerate().map(|(i, &k)| (k, i)).collect();
+    let _ = start.elapsed();
+    map
+}

@@ -1,0 +1,5 @@
+//! Fail fixture: reads an unregistered knob at line 4.
+
+pub fn tuning() -> Option<String> {
+    std::env::var("JC_SECRET_TUNING").ok()
+}

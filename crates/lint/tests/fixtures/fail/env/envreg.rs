@@ -1,0 +1,4 @@
+//! Fail fixture registry: `JC_DEAD_KNOB` (line 4) is never read
+//! anywhere and is not documented in the paired README — two findings.
+
+pub const JC_ENV: &[(&str, &str)] = &[("JC_DEAD_KNOB", "a knob nothing reads")];

@@ -1,0 +1,13 @@
+//! Fail fixture: a tagged hot path that allocates. Expected findings:
+//! line 8 (`vec!`), line 10 (`.to_vec()`), line 12 (`format!`).
+
+// jc-lint: no-alloc
+pub fn hot(out: &mut Vec<f64>, src: &[f64], n: usize) -> String {
+    out.clear();
+    out.extend_from_slice(src);
+    let tmp = vec![0.0; n];
+    out.extend_from_slice(&tmp);
+    let copy = src.to_vec();
+    drop(copy);
+    format!("{n}")
+}

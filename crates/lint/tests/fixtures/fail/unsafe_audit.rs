@@ -1,0 +1,20 @@
+//! Fail fixture: unsafe without audits. Expected findings:
+//! line 8 (fn), line 9 (block), line 13 (block).
+
+pub struct Raw(pub *mut u8);
+
+// A stale comment that is not a SAFETY audit.
+
+pub unsafe fn read_one(p: *const u8) -> u8 {
+    unsafe { *p }
+}
+
+pub fn touch(r: &Raw) -> u8 {
+    unsafe { *r.0 }
+}
+
+// SAFETY: audited — the pointer is a live Box allocation by construction.
+pub unsafe fn audited(p: *const u8) -> u8 {
+    // SAFETY: caller contract per the fn-level audit above.
+    unsafe { *p }
+}

@@ -1,0 +1,60 @@
+//! Fail fixture: a protocol module with drift. `SHUTDOWN` (line 8) is
+//! missing from `opcode_version` AND has no decode arm; `Request::Stop`
+//! is encoded but the paired worker.rs does not model it.
+
+pub mod op {
+    pub const PING: u8 = 0x01;
+    pub const STOP: u8 = 0x02;
+    pub const SHUTDOWN: u8 = 0x03;
+    pub const RESP_OK: u8 = 0x81;
+}
+
+pub const fn opcode_version(opcode: u8) -> u8 {
+    match opcode {
+        op::PING | op::STOP | op::RESP_OK => 1,
+        _ => 1,
+    }
+}
+
+pub enum Request {
+    Ping,
+    Stop,
+    Shutdown,
+}
+
+pub enum Response {
+    Ok,
+}
+
+fn put(buf: &mut Vec<u8>, opcode: u8) {
+    buf.push(opcode);
+}
+
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    match req {
+        Request::Ping => put(buf, op::PING),
+        Request::Stop => put(buf, op::STOP),
+        Request::Shutdown => put(buf, op::SHUTDOWN),
+    }
+}
+
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    match resp {
+        Response::Ok => put(buf, op::RESP_OK),
+    }
+}
+
+pub fn decode_request(frame: &[u8]) -> Option<Request> {
+    match frame.first().copied()? {
+        op::PING => Some(Request::Ping),
+        op::STOP => Some(Request::Stop),
+        _ => None,
+    }
+}
+
+pub fn decode_response(frame: &[u8]) -> Option<Response> {
+    match frame.first().copied()? {
+        op::RESP_OK => Some(Response::Ok),
+        _ => None,
+    }
+}

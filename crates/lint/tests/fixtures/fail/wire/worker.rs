@@ -1,0 +1,22 @@
+//! Fail fixture: the wire_size model is missing `Request::Stop` (which
+//! encode_request emits) and models `Request::Legacy` (never emitted).
+
+use super::wire::{Request, Response};
+
+impl Request {
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Request::Ping => 1,
+            Request::Shutdown => 1,
+            Request::Legacy => 1,
+        }
+    }
+}
+
+impl Response {
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Response::Ok => 1,
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Pass fixture: reads only the registered, documented knob.
+
+pub fn threads() -> Option<String> {
+    std::env::var("JC_THREADS").ok()
+}

@@ -1,0 +1,3 @@
+//! Pass fixture registry: one entry, read and documented.
+
+pub const JC_ENV: &[(&str, &str)] = &[("JC_THREADS", "worker threads")];

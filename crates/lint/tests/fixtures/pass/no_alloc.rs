@@ -1,0 +1,18 @@
+//! Pass fixture: a tagged hot path that only grows caller-owned
+//! scratch, plus one reasoned waiver for a ZST vector.
+
+// jc-lint: no-alloc
+pub fn hot(out: &mut Vec<f64>, src: &[f64], n: usize) {
+    out.clear();
+    out.reserve(n);
+    out.extend_from_slice(src);
+    out.resize(n, 0.0);
+    // jc-lint: allow(no-alloc): Vec of ZSTs — capacity math never touches the heap
+    let units = vec![(); n];
+    drop(units);
+}
+
+pub fn cold(n: usize) -> Vec<f64> {
+    // untagged: free to allocate
+    vec![0.0; n]
+}

@@ -1,0 +1,16 @@
+//! Pass fixture: every unsafe site carries an audit.
+
+/// Reads one byte.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn read_one(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn on_local() -> u8 {
+    let x = 7u8;
+    // SAFETY: `x` is a live local; its address is valid for the read.
+    unsafe { *(&x as *const u8) }
+}

@@ -1,0 +1,47 @@
+//! Pass fixture: every opcode is versioned, encoded, and decoded.
+
+pub mod op {
+    pub const PING: u8 = 0x01;
+    pub const RESP_OK: u8 = 0x81;
+}
+
+pub const fn opcode_version(opcode: u8) -> u8 {
+    match opcode {
+        op::PING | op::RESP_OK => 1,
+        _ => 1,
+    }
+}
+
+pub enum Request {
+    Ping,
+}
+
+pub enum Response {
+    Ok,
+}
+
+pub fn encode_request(req: &Request, buf: &mut Vec<u8>) {
+    match req {
+        Request::Ping => buf.push(op::PING),
+    }
+}
+
+pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
+    match resp {
+        Response::Ok => buf.push(op::RESP_OK),
+    }
+}
+
+pub fn decode_request(frame: &[u8]) -> Option<Request> {
+    match frame.first().copied()? {
+        op::PING => Some(Request::Ping),
+        _ => None,
+    }
+}
+
+pub fn decode_response(frame: &[u8]) -> Option<Response> {
+    match frame.first().copied()? {
+        op::RESP_OK => Some(Response::Ok),
+        _ => None,
+    }
+}

@@ -1,0 +1,19 @@
+//! Pass fixture: the wire_size model matches the encoders exactly.
+
+use super::wire::{Request, Response};
+
+impl Request {
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Request::Ping => 1,
+        }
+    }
+}
+
+impl Response {
+    pub fn wire_size(&self) -> u64 {
+        match self {
+            Response::Ok => 1,
+        }
+    }
+}

@@ -80,6 +80,7 @@ const PAR_GRAIN: usize = 64;
 /// `SimdSoa` is bitwise stable run-to-run and across worker counts, but
 /// matches the scalar backends only to rounding (lane-wise summation);
 /// see [`Backend::SimdSoa`].
+// jc-lint: no-alloc
 #[allow(clippy::too_many_arguments)]
 pub fn acc_jerk_into(
     backend: Backend,
@@ -127,7 +128,8 @@ pub fn acc_jerk_into(
         }
         Backend::CpuParallel | Backend::GpuModel => {
             let workers = par::threads_for(n, 0, PAR_GRAIN);
-            let mut units = vec![(); workers]; // ZST: no allocation
+            // jc-lint: allow(no-alloc): Vec of ZSTs — capacity math never touches the heap
+            let mut units = vec![(); workers];
             par::chunked(
                 workers,
                 (acc, jerk),
@@ -146,6 +148,7 @@ pub fn acc_jerk_into(
             soa.fill_from(s_mass, s_pos, s_vel);
             let soa = &*soa;
             let workers = par::threads_for(n, 0, PAR_GRAIN);
+            // jc-lint: allow(no-alloc): Vec of ZSTs — capacity math never touches the heap
             let mut units = vec![(); workers];
             par::chunked(
                 workers,
@@ -198,6 +201,9 @@ fn acc_jerk_simd_chunk(
 /// against the target index — lanes that match get mass 0 and divisor
 /// 1, exactly like the scalar select — so results stay bitwise equal to
 /// the portable body.
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; the only call site is gated on `is_x86_feature_detected!("avx2")`,
+// so the AVX2 instructions are never executed on a CPU without them.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 #[allow(clippy::too_many_arguments)]
@@ -217,6 +223,15 @@ unsafe fn acc_jerk_simd_chunk_avx2(
     let sm = src.mass.as_slice();
     let n = sm.len();
     let batches = n / LANES;
+    // SAFETY: every `_mm256_load_pd(ptr.add(o))` reads LANES f64s at
+    // offset `o = b * LANES` with `b < n / LANES`, so `o + LANES <= n`
+    // stays in bounds of each SoA slice (`SoaBodies` keeps all columns
+    // equal length). The aligned load's 32-byte requirement holds
+    // because `AlignedF64` storage is 64-byte (cache-line) aligned and
+    // `o` is a multiple of LANES = 4 (4 × 8 bytes = 32). The `storeu`
+    // spills target local stack arrays, and the AVX2 intrinsics
+    // themselves are available per the `#[target_feature]` contract
+    // discharged at the call site.
     unsafe {
         let eps2v = _mm256_set1_pd(eps2);
         let ones = _mm256_set1_pd(1.0);
@@ -441,6 +456,7 @@ pub fn potential(
 /// sequentially over sources (bitwise identical to each other, any
 /// worker count); [`Backend::SimdSoa`] uses the [`LANES`]-wide lane
 /// accumulators with the fixed [`reduce_lanes`] order.
+// jc-lint: no-alloc
 pub fn potential_into(
     backend: Backend,
     t_pos: &[[f64; 3]],
@@ -473,6 +489,7 @@ pub fn potential_into(
         }
         Backend::CpuParallel | Backend::GpuModel => {
             let workers = par::threads_for(n, 0, PAR_GRAIN);
+            // jc-lint: allow(no-alloc): Vec of ZSTs — capacity math never touches the heap
             let mut units = vec![(); workers];
             par::chunked(
                 workers,
@@ -492,6 +509,7 @@ pub fn potential_into(
             soa.fill_from_positions(s_mass, s_pos);
             let soa = &*soa;
             let workers = par::threads_for(n, 0, PAR_GRAIN);
+            // jc-lint: allow(no-alloc): Vec of ZSTs — capacity math never touches the heap
             let mut units = vec![(); workers];
             par::chunked(
                 workers,
@@ -531,6 +549,9 @@ fn potential_simd_chunk(
 /// packed intrinsics mirroring the portable body op for op (see
 /// [`acc_jerk_simd_chunk_avx2`] for the masking scheme), bitwise equal
 /// results.
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; the only call site is gated on `is_x86_feature_detected!("avx2")`,
+// so the AVX2 instructions are never executed on a CPU without them.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn potential_simd_chunk_avx2(
@@ -546,6 +567,10 @@ unsafe fn potential_simd_chunk_avx2(
     let sm = src.mass.as_slice();
     let n = sm.len();
     let batches = n / LANES;
+    // SAFETY: same argument as `acc_jerk_simd_chunk_avx2` — aligned
+    // loads read `o + LANES <= n` elements of equal-length, 64-byte-
+    // aligned SoA columns at 32-byte-multiple offsets; the feature
+    // contract is discharged at the detection-gated call site.
     unsafe {
         let eps2v = _mm256_set1_pd(eps2);
         let ones = _mm256_set1_pd(1.0);

@@ -293,6 +293,7 @@ pub fn compute_density(gas: &mut GasParticles) -> u64 {
 /// ([`crate::forces::hydro_rates_into`]) refreshes them lazily from the
 /// grid built here. Returns the total number of neighbour interactions
 /// of the adaptation (for the cost model).
+// jc-lint: no-alloc
 pub fn compute_density_with(gas: &mut GasParticles, scratch: &mut SphScratch) -> u64 {
     let n = gas.len();
     scratch.cached_n = usize::MAX;
@@ -338,6 +339,7 @@ pub fn compute_density_with(gas: &mut GasParticles, scratch: &mut SphScratch) ->
             .extend(gas.pos.iter().map(|p| CsrGrid::pack(CsrGrid::key(p, cell_legacy))));
     }
     let threads = scratch.threads_for(n);
+    // jc-lint: allow(no-alloc): Vec::new is the resize_with element factory — empty Vecs don't allocate
     scratch.bufs.resize_with(threads, Vec::new);
     let GasParticles { pos, mass, rho, h, .. } = gas;
     let (pos, mass) = (&*pos, &*mass);

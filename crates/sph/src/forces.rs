@@ -57,6 +57,7 @@ pub fn hydro_rates(gas: &GasParticles) -> HydroRates {
 /// Symmetrized Monaghan form: both sides of a pair use the h-averaged
 /// kernel gradient, so momentum is conserved to round-off (property-tested
 /// in this crate's test suite).
+// jc-lint: no-alloc
 pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut HydroRates) {
     let n = gas.len();
     out.acc.clear();
@@ -126,6 +127,7 @@ pub fn hydro_rates_into(gas: &GasParticles, scratch: &mut SphScratch, out: &mut 
     };
     // per-worker compaction buffers for the SoA path (reused across
     // calls; scalar workers carry them untouched)
+    // jc-lint: allow(no-alloc): Vec::new is the resize_with element factory — empty Vecs don't allocate
     scratch_bufs.resize_with(threads, Vec::new);
     let (inter, vsig) = par::chunked(
         threads,

@@ -3,6 +3,12 @@
 //! `BENCH_*.json`) and as the order-reference the CSR grid must reproduce
 //! bitwise. Not used by any production code path.
 
+// jc-lint: allow-file(determinism): frozen measured baseline — the HashMap
+// is only ever read through `get` (cells are visited in fixed loop order
+// and buckets hold insertion order), never iterated, so the hash seed
+// cannot reach the densities. Kept verbatim so the perfsuite baseline
+// rows stay comparable across history.
+
 use crate::kernel::w;
 use crate::particles::GasParticles;
 use rayon::prelude::*;

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
 
 pub mod density;
 pub mod forces;

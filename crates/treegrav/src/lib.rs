@@ -22,6 +22,8 @@
 
 #![warn(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unsafe_op_in_unsafe_fn)]
+#![deny(unreachable_pub)]
 
 pub mod octree;
 pub mod solver;

@@ -116,6 +116,7 @@ impl TreeGravity {
     /// [`TreeGravity::simd`] walk carries its own rounding contract).
     /// Equivalent to [`TreeGravity::rebuild`] followed by
     /// [`TreeGravity::walk_targets`].
+    // jc-lint: no-alloc
     pub fn accelerations_into(
         &mut self,
         targets: &[[f64; 3]],
@@ -138,6 +139,7 @@ impl TreeGravity {
     /// Walk every target against the tree from the last
     /// [`TreeGravity::rebuild`], writing into `out` (cleared and
     /// resized) — the walk half of [`TreeGravity::accelerations_into`].
+    // jc-lint: no-alloc
     pub fn walk_targets(&mut self, targets: &[[f64; 3]], out: &mut Vec<[f64; 3]>) {
         out.clear();
         out.resize(targets.len(), [0.0; 3]);
@@ -319,12 +321,21 @@ fn eval_interaction_list(list: &[[f64; 4]], eps2: f64, acc: &mut [f64; 3]) {
 /// registers, then evaluated with 4-wide packed arithmetic — sequential
 /// loads, no gathers, no masks (staged rows are pre-filtered, see
 /// [`WalkScratch::list`]).
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; the only call site is gated on `is_x86_feature_detected!("avx2")`,
+// so the AVX2 instructions are never executed on a CPU without them.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 unsafe fn eval_interaction_list_avx2(list: &[[f64; 4]], eps2: f64, acc: &mut [f64; 3]) {
     use std::arch::x86_64::*;
     let n = list.len();
     let batches = n / LANES;
+    // SAFETY: the unaligned loads read whole `[f64; 4]` rows at indices
+    // `o .. o + 3` with `o = b * LANES` and `b < n / LANES`, so every
+    // row index is `< n`; `loadu` has no alignment requirement and the
+    // `storeu` spills target local stack arrays. The AVX2 intrinsics
+    // are available per the `#[target_feature]` contract discharged at
+    // the detection-gated call site.
     unsafe {
         let eps2v = _mm256_set1_pd(eps2);
         let ones = _mm256_set1_pd(1.0);

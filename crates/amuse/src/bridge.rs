@@ -19,6 +19,15 @@
 //! iteration. Because every kernel's state is bitwise-restorable at
 //! iteration boundaries, a recovered run is bitwise-identical to one
 //! that never failed.
+//!
+//! Recovery is two-tiered. *Transient* transport faults never reach
+//! this module: a [`crate::socket::SocketChannel`] under a
+//! [`crate::chaos::RetryPolicy`] absorbs them by resending the same
+//! sequence-numbered frame (deduplicated worker-side, so even mutating
+//! requests retry safely). What does reach the bridge is *fatal* —
+//! a crashed worker or exhausted retries — and takes the restore
+//! path above. See the "Failure model" section of ARCHITECTURE.md for
+//! the full fault-site table.
 
 use crate::channel::Channel;
 use crate::checkpoint::{Checkpoint, CheckpointError, ModelState, Role};
@@ -68,6 +77,16 @@ impl Default for BridgeConfig {
 /// checkpoint operation failed). Carried by [`Bridge::try_iteration`]
 /// so the caller can decide between aborting (the paper's §5 behavior)
 /// and recovering ([`Bridge::iteration_recovering`]).
+///
+/// By the time a failure reaches this type it is *fatal* by
+/// definition: transient transport faults (timeouts, dropped
+/// connections, torn frames) are absorbed one layer down, where a
+/// [`crate::socket::SocketChannel`] under a
+/// [`crate::chaos::RetryPolicy`] resends the identical sequence-
+/// numbered frame in place and the worker deduplicates it. A
+/// `BridgeError` therefore means in-place retry was exhausted (or
+/// disabled) and the only remaining recovery is the heavy path: heal
+/// the channels, restore the last checkpoint, replay the iteration.
 #[derive(Clone, Debug)]
 pub enum BridgeError {
     /// A worker call failed or answered with the wrong response kind.

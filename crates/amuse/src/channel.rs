@@ -26,6 +26,11 @@ pub struct ChannelStats {
     pub bytes_in: u64,
     /// Total modeled kernel flops reported by responses.
     pub flops: f64,
+    /// In-place transient-fault retries (reconnect + resend of the same
+    /// sequence-stamped frame; see [`crate::chaos::RetryPolicy`]). A
+    /// retried call still counts once in `calls`; only the bytes of the
+    /// winning attempt are accounted. Always 0 for in-process channels.
+    pub retries: u64,
 }
 
 /// An RPC channel to one worker.

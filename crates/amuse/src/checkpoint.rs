@@ -26,7 +26,7 @@
 //! offset  size  field
 //! ------  ----  ------------------------------------------------------
 //!      0     4  magic 0x4B43_434A ("JCCK", little-endian u32)
-//!      4     1  container version (currently 1)
+//!      4     1  container version (currently 2)
 //!      5     3  reserved (zero)
 //!      8     8  bridge model time (f64 bits, N-body units)
 //!     16     8  iterations completed (u64)
@@ -35,11 +35,19 @@
 //!     40     …  sections
 //! ```
 //!
-//! Each section is one byte of [`Role`] tag followed by an ordinary
+//! Each section is one byte of [`Role`] tag, an ordinary
 //! [`crate::wire`] `RESP_STATE` frame holding the model's
-//! [`ModelState`] — the checkpoint file *is* a sequence of wire frames,
-//! so the same codec (and the same validation and versioning rules)
-//! covers the network and the disk.
+//! [`ModelState`], and a little-endian CRC-32 (IEEE) of the tag byte
+//! plus the frame — the checkpoint file *is* a sequence of wire
+//! frames, so the same codec (and the same validation and versioning
+//! rules) covers the network and the disk, and the per-section CRC
+//! catches what framing alone cannot: a bit flip inside an f64 column
+//! still parses as a perfectly valid frame, but it would silently
+//! restore *different physics*. Torn or truncated writes (a full disk,
+//! a crash mid-save, the lying-disk model of
+//! [`crate::chaos::ChaosWriter`]) surface as typed
+//! [`CheckpointError`]s on load — never a panic, never a garbage
+//! restore.
 
 use crate::wire::{self, WireError};
 use crate::worker::{Request, Response};
@@ -47,8 +55,40 @@ use std::io::{Read, Write};
 
 /// Container magic ("JCCK" as a little-endian u32).
 pub const CHECKPOINT_MAGIC: u32 = 0x4B43_434A;
-/// Current container version.
-pub const CHECKPOINT_VERSION: u8 = 1;
+/// Current container version (2 added the per-section CRC-32).
+pub const CHECKPOINT_VERSION: u8 = 2;
+
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+fn crc32_feed(state: u32, bytes: &[u8]) -> u32 {
+    let mut c = state;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`. This is
+/// the sum guarding each checkpoint section; it is exposed so fixture
+/// generators and tests can produce containers with valid (or
+/// deliberately broken) sums.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_feed(!0, bytes)
+}
 
 /// The complete serializable state of one model worker.
 ///
@@ -303,6 +343,17 @@ pub enum CheckpointError {
     BadRole(u8),
     /// A section's wire frame failed to decode.
     Wire(WireError),
+    /// A section's stored CRC-32 does not match the bytes read back:
+    /// bit rot, a torn write, or deliberate corruption. The section
+    /// parsed as a frame, but its payload cannot be trusted.
+    BadCrc {
+        /// Role tag of the failing section.
+        role: u8,
+        /// The checksum stored in the container.
+        stored: u32,
+        /// The checksum computed over the bytes actually read.
+        computed: u32,
+    },
     /// The sections do not form a valid bridge checkpoint (missing or
     /// duplicate roles, or a non-state frame).
     Malformed(String),
@@ -316,6 +367,10 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::BadVersion(v) => write!(f, "unsupported container version {v}"),
             CheckpointError::BadRole(t) => write!(f, "unknown section role {t}"),
             CheckpointError::Wire(e) => write!(f, "section frame: {e}"),
+            CheckpointError::BadCrc { role, stored, computed } => write!(
+                f,
+                "section crc mismatch (role {role}): stored {stored:#010x}, computed {computed:#010x}"
+            ),
             CheckpointError::Malformed(s) => write!(f, "malformed checkpoint: {s}"),
         }
     }
@@ -365,6 +420,8 @@ impl Checkpoint {
             // Response just for the codec
             wire::encode_state_frame(wire::op::RESP_STATE, state, &mut frame);
             w.write_all(&frame).map_err(io_err)?;
+            let crc = !crc32_feed(crc32_feed(!0, &[role.tag()]), &frame);
+            w.write_all(&crc.to_le_bytes()).map_err(io_err)?;
         }
         Ok(())
     }
@@ -397,6 +454,13 @@ impl Checkpoint {
             r.read_exact(&mut tag).map_err(io_err)?;
             let role = Role::from_tag(tag[0]).ok_or(CheckpointError::BadRole(tag[0]))?;
             let len = wire::read_frame(r, &mut frame)?;
+            let mut stored = [0u8; 4];
+            r.read_exact(&mut stored).map_err(io_err)?;
+            let stored = u32::from_le_bytes(stored);
+            let computed = !crc32_feed(crc32_feed(!0, &tag), &frame[..len]);
+            if stored != computed {
+                return Err(CheckpointError::BadCrc { role: tag[0], stored, computed });
+            }
             let state = match wire::decode_response(&frame[..len])? {
                 Response::State(s) => s,
                 other => {
@@ -545,6 +609,48 @@ mod tests {
             Checkpoint::read_from(&mut std::io::Cursor::new(&bad)),
             Err(CheckpointError::BadVersion(9))
         ));
+    }
+
+    #[test]
+    fn payload_bit_flips_are_caught_by_the_section_crc() {
+        // A flipped bit inside an f64 column still parses as a valid
+        // frame — before v2 it would have silently restored different
+        // physics. The CRC must catch it as a typed error.
+        let ck = sample();
+        let mut buf = Vec::new();
+        ck.write_to(&mut buf).unwrap();
+        // Last byte of the final section's frame payload (the 4 bytes
+        // after it are that section's CRC).
+        let payload_byte = buf.len() - 5;
+        for victim in [payload_byte, buf.len() - 1] {
+            let mut bad = buf.clone();
+            bad[victim] ^= 0x10;
+            assert!(
+                matches!(
+                    Checkpoint::read_from(&mut std::io::Cursor::new(&bad)),
+                    Err(CheckpointError::BadCrc { .. })
+                ),
+                "flip at {victim}"
+            );
+        }
+    }
+
+    #[test]
+    fn silently_truncated_saves_are_caught_on_load() {
+        // ChaosWriter models a lying disk: write_to "succeeds" but only
+        // the head actually lands. Every such container must fail to
+        // load with a typed error — never panic, never restore garbage.
+        let ck = sample();
+        let mut full = Vec::new();
+        ck.write_to(&mut full).unwrap();
+        for keep in [0u64, 13, 40, 41, 119, full.len() as u64 - 3] {
+            let mut buf = Vec::new();
+            let mut w = crate::chaos::ChaosWriter::new(&mut buf, keep);
+            ck.write_to(&mut w).unwrap();
+            assert_eq!(buf.len() as u64, keep.min(full.len() as u64));
+            let r = Checkpoint::read_from(&mut std::io::Cursor::new(&buf));
+            assert!(r.is_err(), "keep={keep} loaded anyway");
+        }
     }
 
     #[test]

@@ -42,7 +42,13 @@
 //!   restore, replay) that removes the paper's §5 limitation.
 //! * [`checkpoint`] — the complete solver state as a value:
 //!   [`checkpoint::ModelState`] per worker, [`checkpoint::Checkpoint`]
-//!   per bridge, and the framed binary container they serialize to.
+//!   per bridge, and the framed binary container they serialize to,
+//!   CRC-guarded per section.
+//! * [`chaos`] — the deterministic fault-injection substrate
+//!   ([`chaos::FaultPlan`], seeded by `JC_CHAOS_SEED`) and the
+//!   [`chaos::RetryPolicy`] that lets transient faults be absorbed by
+//!   an in-place, sequence-number-deduplicated resend instead of a
+//!   checkpoint restore.
 //! * [`cluster`] — the embedded-star-cluster experiment of §6: initial
 //!   conditions (Plummer stars with a Salpeter IMF inside a Plummer gas
 //!   sphere), the unit converter, and the Fig 6 diagnostics (bound-gas
@@ -54,6 +60,7 @@
 
 pub mod bridge;
 pub mod channel;
+pub mod chaos;
 pub mod checkpoint;
 pub mod cluster;
 pub mod shard;
@@ -63,6 +70,7 @@ pub mod worker;
 
 pub use bridge::{Bridge, BridgeConfig, BridgeError, IterationReport, RecoveryPolicy};
 pub use channel::{Channel, ChannelStats, LocalChannel, ThreadChannel};
+pub use chaos::{ChaosStream, ChaosWriter, FaultKind, FaultPlan, RetryPolicy, StreamFaults};
 pub use checkpoint::{Checkpoint, CheckpointError, ModelState, Role};
 pub use cluster::EmbeddedCluster;
 pub use shard::{ShardSupervisor, ShardedChannel};

@@ -35,16 +35,23 @@
 //! against per-shard scratch buffers, keeping the bridge's hot loop
 //! allocation-free once warm.
 //!
-//! Failure semantics: a scatter is *not* atomic across shards. If one
-//! shard fails a `Kick`/`SetMasses`, the shards already addressed have
-//! applied their slices and the rest have not — the pool's state is
-//! inconsistent and the error response means "this pool is failed",
-//! not "retry the same request" (a retry would double-apply on the
-//! shards that succeeded). The bridge treats any kick failure as fatal
-//! for exactly this reason — and recovers by *rewinding*, never by
-//! retrying: restore a checkpoint ([`Request::LoadState`] re-scatters
-//! the full authoritative state over whatever shards are alive), then
-//! replay the iteration.
+//! Failure semantics split into two tiers. *Transient* transport
+//! faults (timeouts, dropped connections, torn frames — anything
+//! [`crate::wire::WireError::is_transient`]) are absorbed **below**
+//! this layer: each [`SocketChannel`](crate::socket::SocketChannel)
+//! stamps mutating requests with a sequence number and, under a
+//! [`RetryPolicy`](crate::chaos::RetryPolicy), resends the identical
+//! frame in place; the worker's last-applied-seq dedup cache makes the
+//! resend idempotent, so even `Kick`/`SetMasses` retry safely without
+//! double-applying. Any error that still *surfaces* from a shard is
+//! therefore *fatal*: retries were exhausted (or disabled) and a
+//! scatter is *not* atomic across shards — the shards already
+//! addressed have applied their slices and the rest have not, so the
+//! pool's state is inconsistent. The bridge treats a surfaced kick
+//! failure as "this pool is failed" and recovers by *rewinding*:
+//! restore a checkpoint ([`Request::LoadState`] re-scatters the full
+//! authoritative state over whatever shards are alive), then replay
+//! the iteration.
 //!
 //! Failover: a pool built [`ShardedChannel::with_supervisor`] survives
 //! dead shards. [`ShardedChannel::heartbeat`] pings every shard (the
@@ -473,6 +480,7 @@ impl Channel for ShardedChannel {
             total.bytes_out += st.bytes_out;
             total.bytes_in += st.bytes_in;
             total.flops += st.flops;
+            total.retries += st.retries;
         }
         total
     }

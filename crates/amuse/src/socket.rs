@@ -18,14 +18,45 @@
 //! [`Response::wire_size`] bytes long, the [`ChannelStats`] this channel
 //! accumulates from *actual* bytes sent and received agree exactly with
 //! the modeled accounting of the in-process channels.
+//!
+//! # Transient faults: in-place retry
+//!
+//! By default one wire failure poisons the channel (fail fast, escalate
+//! to the heal/restore path). A channel built
+//! [`SocketChannel::with_retry`] instead absorbs *transient* faults
+//! (see [`WireError::is_transient`]) in place: back off, reconnect,
+//! resend the identical frame. Every request frame carries a sequence
+//! number (`wire::set_seq`) and the server remembers the last applied
+//! one per worker, replaying its cached response to a duplicate
+//! (`wire::frame_seq`) — so even mutating requests like `Kick` are
+//! applied exactly once no matter how many times the transport fails
+//! underneath. The `JC_NET_TIMEOUT_MS` knob (default 5000) bounds
+//! teardown drains and, for retry-enabled channels, every read/write.
 
 use crate::channel::{Channel, ChannelStats};
+use crate::chaos::{ChaosStream, RetryPolicy, StreamFaults};
 use crate::wire::{self, WireError};
 use crate::worker::{ModelWorker, ParticleData, Request, Response};
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
+
+/// The socket-layer I/O timeout: `JC_NET_TIMEOUT_MS` (milliseconds,
+/// default 5000 — the bound that used to be hardcoded). Governs the
+/// teardown drains ([`SocketChannel::shutdown_worker`], `Drop`) and the
+/// read/write timeouts applied to retry-enabled channels.
+fn net_timeout() -> std::time::Duration {
+    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let ms = *MS.get_or_init(|| {
+        std::env::var("JC_NET_TIMEOUT_MS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(5_000)
+    });
+    std::time::Duration::from_millis(ms)
+}
 
 /// An RPC channel to a worker behind a TCP socket.
 pub struct SocketChannel {
@@ -50,6 +81,20 @@ pub struct SocketChannel {
     /// Send `Stop` on drop (disarmed after an explicit `Shutdown`, so a
     /// stop frame is never written at a server that already exited).
     stop_on_drop: bool,
+    /// The address we dialed, for transparent reconnection. `None` only
+    /// if the peer address could not be resolved at connect time (then
+    /// retries degrade to fail-fast).
+    addr: Option<SocketAddr>,
+    /// In-place retry policy for transient faults. The default,
+    /// [`RetryPolicy::none`], keeps the historical fail-fast behavior.
+    retry: RetryPolicy,
+    /// The sequence number of the frame currently in `wbuf` (wraps,
+    /// skipping the unsequenced 0). A resend reuses it, which is what
+    /// lets the server deduplicate.
+    seq: u16,
+    /// Chaos injection for this channel's transport, if any (see
+    /// [`crate::chaos::FaultPlan::stream_faults`]).
+    faults: Option<StreamFaults>,
 }
 
 impl SocketChannel {
@@ -61,6 +106,7 @@ impl SocketChannel {
     ) -> std::io::Result<SocketChannel> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        let peer = stream.peer_addr().ok();
         Ok(SocketChannel {
             stream,
             name: name.into(),
@@ -70,7 +116,37 @@ impl SocketChannel {
             wbuf: Vec::new(),
             rbuf: Vec::new(),
             stop_on_drop: true,
+            addr: peer,
+            retry: RetryPolicy::none(),
+            seq: 0,
+            faults: None,
         })
+    }
+
+    /// Enable bounded in-place retry for transient transport faults
+    /// (see [`WireError::is_transient`]): on failure the channel
+    /// reconnects to the original address and resends the identical
+    /// sequence-stamped frame — the server's dedup makes that safe even
+    /// for mutating requests. A retry-enabled channel also gets real
+    /// read/write timeouts (`JC_NET_TIMEOUT_MS`, default 5 s), so a
+    /// wedged worker surfaces as a retryable `TimedOut` instead of a
+    /// hang.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> SocketChannel {
+        if retry.max_retries > 0 {
+            let t = net_timeout();
+            let _ = self.stream.set_read_timeout(Some(t));
+            let _ = self.stream.set_write_timeout(Some(t));
+        }
+        self.retry = retry;
+        self
+    }
+
+    /// Interpose deterministic fault injection on this channel's
+    /// transport (the chaos harness hook — see
+    /// [`crate::chaos::FaultPlan`]).
+    pub fn with_chaos(mut self, faults: StreamFaults) -> SocketChannel {
+        self.faults = Some(faults);
+        self
     }
 
     /// Ask the server behind `addr` to terminate cleanly: one
@@ -87,7 +163,7 @@ impl SocketChannel {
         // sequentially, so if another coupler still holds its current
         // session this request waits in the backlog — a supervisor's
         // teardown must not block forever on it.
-        let _ = c.stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+        let _ = c.stream.set_read_timeout(Some(net_timeout()));
         c.stop_on_drop = false;
         matches!(c.call(Request::Shutdown), Response::Ok { .. })
     }
@@ -97,13 +173,28 @@ impl SocketChannel {
         self.stream.peer_addr()
     }
 
+    /// Stamp the frame in `wbuf` with the next sequence number (wraps
+    /// past `u16::MAX`, skipping the unsequenced 0). Retries resend the
+    /// same buffer and therefore the same number.
+    fn stamp_next_seq(&mut self) {
+        self.seq = if self.seq == u16::MAX { 1 } else { self.seq + 1 };
+        wire::set_seq(&mut self.wbuf, self.seq);
+    }
+
     /// Send the frame currently in `wbuf`; record its bytes.
     fn send(&mut self) -> Result<u64, WireError> {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
         let bytes = self.wbuf.len() as u64;
-        match wire::write_frame(&mut self.stream, &self.wbuf) {
+        let r = match &mut self.faults {
+            Some(f) => {
+                let mut cs = ChaosStream::new(&mut self.stream, f.next_write());
+                wire::write_frame(&mut cs, &self.wbuf)
+            }
+            None => wire::write_frame(&mut self.stream, &self.wbuf),
+        };
+        match r {
             Ok(()) => Ok(bytes),
             Err(e) => {
                 self.poisoned = Some(e.clone());
@@ -117,7 +208,14 @@ impl SocketChannel {
         if let Some(e) = &self.poisoned {
             return Err(e.clone());
         }
-        match wire::read_frame(&mut self.stream, &mut self.rbuf) {
+        let r = match &mut self.faults {
+            Some(f) => {
+                let mut cs = ChaosStream::new(&mut self.stream, f.next_read());
+                wire::read_frame(&mut cs, &mut self.rbuf)
+            }
+            None => wire::read_frame(&mut self.stream, &mut self.rbuf),
+        };
+        match r {
             Ok(n) => Ok(n as u64),
             Err(e) => {
                 self.poisoned = Some(e.clone());
@@ -126,15 +224,76 @@ impl SocketChannel {
         }
     }
 
-    /// Complete one round trip for a request already encoded in `wbuf`,
-    /// updating the stats from the actual bytes moved.
+    /// Tear down the current stream and dial the stored address again.
+    /// On success the poison is cleared (the new stream's framing is
+    /// trusted from scratch). Chaos may deterministically refuse the
+    /// attempt.
+    fn reconnect(&mut self) -> bool {
+        let Some(addr) = self.addr else { return false };
+        if let Some(f) = &mut self.faults {
+            if f.next_connect_refused() {
+                return false;
+            }
+        }
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let timeout = std::time::Duration::from_millis(self.retry.connect_timeout_ms.max(1));
+        match TcpStream::connect_timeout(&addr, timeout) {
+            Ok(s) => {
+                let _ = s.set_nodelay(true);
+                if self.retry.max_retries > 0 {
+                    let t = net_timeout();
+                    let _ = s.set_read_timeout(Some(t));
+                    let _ = s.set_write_timeout(Some(t));
+                }
+                self.stream = s;
+                self.poisoned = None;
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Complete one round trip for the seq-stamped request in `wbuf`
+    /// whose send outcome is `sent`, updating the stats from the actual
+    /// bytes moved. Transient failures (send *or* receive) are retried
+    /// in place per the [`RetryPolicy`]: back off, reconnect, resend
+    /// the identical frame — the server replays its cached response if
+    /// the original was applied, so the request takes effect exactly
+    /// once. A successful call counts once in the stats, plus one
+    /// `retries` tick per absorbed fault; fatal errors (and exhausted
+    /// retries) surface to the caller with the channel poisoned.
+    fn complete(&mut self, mut sent: Result<u64, WireError>) -> Result<(), WireError> {
+        let mut attempt = 0u32;
+        loop {
+            let r = match &sent {
+                Ok(out) => self.recv().map(|inb| (*out, inb)),
+                Err(e) => Err(e.clone()),
+            };
+            match r {
+                Ok((out, inb)) => {
+                    self.stats.calls += 1;
+                    self.stats.bytes_out += out;
+                    self.stats.bytes_in += inb;
+                    return Ok(());
+                }
+                Err(e) => {
+                    if attempt >= self.retry.max_retries || !e.is_transient() {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    std::thread::sleep(self.retry.backoff(attempt));
+                    sent = if self.reconnect() { self.send() } else { Err(e) };
+                }
+            }
+        }
+    }
+
+    /// One full round trip for a request already encoded (and
+    /// seq-stamped) in `wbuf`.
     fn transact(&mut self) -> Result<(), WireError> {
-        let out = self.send()?;
-        let inb = self.recv()?;
-        self.stats.calls += 1;
-        self.stats.bytes_out += out;
-        self.stats.bytes_in += inb;
-        Ok(())
+        let sent = self.send();
+        self.complete(sent)
     }
 }
 
@@ -142,6 +301,7 @@ impl Channel for SocketChannel {
     fn call(&mut self, req: Request) -> Response {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_request(&req, &mut self.wbuf);
+        self.stamp_next_seq();
         if let Err(e) = self.transact() {
             self.stats.calls += 1;
             return Response::Error(format!("wire error: {e}"));
@@ -158,33 +318,25 @@ impl Channel for SocketChannel {
     fn submit(&mut self, req: Request) {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_request(&req, &mut self.wbuf);
+        self.stamp_next_seq();
         self.pending = Some(self.send());
     }
 
     fn collect(&mut self) -> Response {
-        let out = match self.pending.take().expect("no outstanding call") {
-            Ok(bytes) => bytes,
-            Err(e) => {
-                self.stats.calls += 1;
-                return Response::Error(format!("wire error: {e}"));
-            }
-        };
-        match self.recv() {
-            Ok(inb) => {
-                self.stats.calls += 1;
-                self.stats.bytes_out += out;
-                self.stats.bytes_in += inb;
-                match wire::decode_response(&self.rbuf) {
-                    Ok(resp) => {
-                        self.stats.flops += resp.flops();
-                        resp
-                    }
-                    Err(e) => Response::Error(format!("wire error: {e}")),
+        // `wbuf` still holds the submitted frame (one outstanding call
+        // per channel), so `complete` can retry a transient failure of
+        // either half of the round trip by resending it.
+        let sent = self.pending.take().expect("no outstanding call");
+        match self.complete(sent) {
+            Ok(()) => match wire::decode_response(&self.rbuf) {
+                Ok(resp) => {
+                    self.stats.flops += resp.flops();
+                    resp
                 }
-            }
+                Err(e) => Response::Error(format!("wire error: {e}")),
+            },
             Err(e) => {
                 self.stats.calls += 1;
-                self.stats.bytes_out += out;
                 Response::Error(format!("wire error: {e}"))
             }
         }
@@ -201,6 +353,7 @@ impl Channel for SocketChannel {
     fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_simple_request(wire::op::GET_PARTICLES, &mut self.wbuf);
+        self.stamp_next_seq();
         if self.transact().is_err() {
             return false;
         }
@@ -210,6 +363,7 @@ impl Channel for SocketChannel {
     fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_kick(dv, &mut self.wbuf);
+        self.stamp_next_seq();
         if let Err(e) = self.transact() {
             self.stats.calls += 1;
             return Response::Error(format!("wire error: {e}"));
@@ -235,6 +389,7 @@ impl Channel for SocketChannel {
     ) -> Option<f64> {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_compute_kick(targets, source_pos, source_mass, &mut self.wbuf);
+        self.stamp_next_seq();
         if self.transact().is_err() {
             return None;
         }
@@ -259,7 +414,7 @@ impl Drop for SocketChannel {
         // comes.
         if self.poisoned.is_none() && self.stop_on_drop {
             if matches!(self.pending.take(), Some(Ok(_))) {
-                let _ = self.stream.set_read_timeout(Some(std::time::Duration::from_secs(5)));
+                let _ = self.stream.set_read_timeout(Some(net_timeout()));
                 let _ = wire::read_frame(&mut self.stream, &mut self.rbuf);
             }
             wire::encode_simple_request(wire::op::STOP, &mut self.wbuf);
@@ -315,15 +470,32 @@ impl WorkerServer {
     ) -> std::io::Result<()> {
         let mut frame = Vec::new();
         let mut out = Vec::new();
+        // Idempotency state outlives connections on purpose: a coupler
+        // that reconnects after a transient fault resends the same
+        // sequence number on the *new* connection and must still hit
+        // the dedup cache.
+        let mut dedup = Dedup::default();
         loop {
             let (mut stream, _peer) = self.listener.accept()?;
             stream.set_nodelay(true)?;
-            match serve_connection(&mut stream, worker, &mut frame, &mut out, fuse) {
+            match serve_connection(&mut stream, worker, &mut frame, &mut out, fuse, &mut dedup) {
                 Served::KeepListening => {}
                 Served::ShutDown | Served::Crashed => return Ok(()),
             }
         }
     }
+}
+
+/// Per-worker idempotency state: the last applied nonzero sequence
+/// number and, when that request was mutating, the encoded response to
+/// replay on a duplicate. Non-mutating requests are not recorded —
+/// re-executing a pure read of deterministic state yields bit-identical
+/// bytes anyway, so caching (possibly megabytes of) snapshot frames
+/// would buy nothing.
+#[derive(Default)]
+struct Dedup {
+    last_seq: u16,
+    cached: Vec<u8>,
 }
 
 /// How one connection ended.
@@ -348,6 +520,7 @@ fn serve_connection(
     frame: &mut Vec<u8>,
     out: &mut Vec<u8>,
     fuse: Option<&AtomicI64>,
+    dedup: &mut Dedup,
 ) -> Served {
     loop {
         match wire::read_frame(stream, frame) {
@@ -358,6 +531,17 @@ fn serve_connection(
                 let _ = wire::write_frame(stream, out);
                 return Served::KeepListening;
             }
+        }
+        // Idempotent retry: a duplicate of the last applied mutating
+        // request (same nonzero sequence number — the coupler resent a
+        // frame whose response it lost) replays the cached response
+        // without re-applying, before the fuse or the worker sees it.
+        let seq = wire::frame_seq(frame);
+        if seq != 0 && seq == dedup.last_seq && !dedup.cached.is_empty() {
+            if wire::write_frame(stream, &dedup.cached).is_err() {
+                return Served::KeepListening;
+            }
+            continue;
         }
         let req = match wire::decode_request(frame) {
             Ok(r) => r,
@@ -375,8 +559,16 @@ fn serve_connection(
             }
         }
         let stop = matches!(req, Request::Stop | Request::Shutdown);
+        let mutating = req.mutating();
         let resp = worker.handle(req);
         wire::encode_response(&resp, out);
+        // Cache before the reply leaves: if the write (or the coupler's
+        // read of it) fails, the retried frame must find the cache.
+        if seq != 0 && mutating {
+            dedup.last_seq = seq;
+            dedup.cached.clear();
+            dedup.cached.extend_from_slice(out);
+        }
         if wire::write_frame(stream, out).is_err() {
             let _ = stream.flush();
             return if stop { Served::ShutDown } else { Served::KeepListening };
@@ -555,6 +747,67 @@ mod tests {
         let r = c.call(Request::Ping);
         assert!(matches!(&r, Response::Error(e) if e.contains("wire error")), "{r:?}");
         assert!(!c.heal(), "a poisoned socket channel cannot heal itself");
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn lost_response_to_a_mutating_request_is_not_double_applied() {
+        use crate::chaos::{IoFault, RetryPolicy, StreamFaults};
+        // control: one clean kick
+        let (addr, handle) =
+            spawn_tcp_worker("ctrl", || GravityWorker::new(plummer_sphere(4, 9), Backend::Scalar));
+        let mut ctrl = SocketChannel::connect(addr, "ctrl").unwrap();
+        assert!(matches!(ctrl.call(Request::Kick(vec![[0.5, 0.0, 0.0]; 4])), Response::Ok { .. }));
+        let expected = match ctrl.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("{other:?}"),
+        };
+        drop(ctrl);
+        handle.join().unwrap().unwrap();
+
+        // chaos: the kick's response is lost to an injected read
+        // timeout; the retry resends the same sequence number and the
+        // server must replay, not re-apply
+        let (addr, handle) =
+            spawn_tcp_worker("flaky", || GravityWorker::new(plummer_sphere(4, 9), Backend::Scalar));
+        let mut c = SocketChannel::connect(addr, "flaky")
+            .unwrap()
+            .with_retry(RetryPolicy { backoff_base_ms: 1, ..RetryPolicy::standard(7) })
+            .with_chaos(StreamFaults::default().with_read(1, IoFault::ReadTimeout));
+        assert!(matches!(c.call(Request::Kick(vec![[0.5, 0.0, 0.0]; 4])), Response::Ok { .. }));
+        assert_eq!(c.stats().retries, 1, "exactly one in-place retry");
+        match c.call(Request::GetParticles) {
+            Response::Particles(p) => {
+                for (a, b) in p.vel.iter().zip(&expected.vel) {
+                    for k in 0..3 {
+                        assert_eq!(a[k].to_bits(), b[k].to_bits(), "kick applied exactly once");
+                    }
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(c);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn partial_write_is_absorbed_by_an_in_place_retry() {
+        use crate::chaos::{IoFault, RetryPolicy, StreamFaults};
+        let (addr, handle) = spawn_tcp_worker("torn", || StellarWorker::new(vec![1.0, 9.0], 0.02));
+        let mut c = SocketChannel::connect(addr, "torn")
+            .unwrap()
+            .with_retry(RetryPolicy { backoff_base_ms: 1, ..RetryPolicy::standard(3) })
+            .with_chaos(StreamFaults::default().with_write(2, IoFault::PartialWrite));
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        // second frame is torn mid-write: the server sees a truncated
+        // frame, the client reconnects and resends
+        match c.call(Request::EvolveStars(5.0)) {
+            Response::StellarUpdate { masses, .. } => assert_eq!(masses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(c.stats().retries, 1);
+        assert_eq!(c.stats().calls, 2);
+        drop(c);
         handle.join().unwrap().unwrap();
     }
 

@@ -13,7 +13,7 @@
 //!      0     4  magic 0x4A43_5752 ("JCWR", little-endian u32)
 //!      4     1  version (the *lowest* protocol version defining the opcode)
 //!      5     1  opcode (request 0x01..=0x0D, response 0x81..=0x87)
-//!      6     2  reserved (ignored on decode, zero on encode)
+//!      6     2  sequence number (u16, 0 = unsequenced; see below)
 //!      8     8  payload length in bytes (u64)
 //!     16     8  aux0 — opcode-specific count / bits (u64)
 //!     24     8  aux1 — opcode-specific count / bits (u64)
@@ -71,6 +71,23 @@
 //! The `decode_*_into` functions are the coupler-side fast paths: they
 //! parse a response frame straight into caller-owned buffers, so a warm
 //! [`crate::SocketChannel`] round trip performs no heap allocation.
+//!
+//! # Sequence numbers and idempotent retry
+//!
+//! Bytes 6–7 of the header carry a per-request **sequence number**
+//! (little-endian u16, written by [`set_seq`], read back by
+//! [`frame_seq`]). `begin_frame` stamps 0 — "unsequenced" — so encoders
+//! that never retry are unchanged, and pre-seq peers (which wrote and
+//! ignored zeros here) stay wire-compatible. A [`crate::SocketChannel`]
+//! stamps each fresh request with the next nonzero sequence number and
+//! *reuses* it when it resends the same frame after a transient
+//! transport fault; the server ([`crate::WorkerServer`]) remembers the
+//! last applied nonzero sequence number per worker and answers a
+//! duplicate by replaying the cached response instead of re-applying
+//! the request. That is what makes mutating requests (`Kick`,
+//! `SetMasses`, …) safe to retry in place — see
+//! [`crate::worker::Request::mutating`] and the failure-model table in
+//! `docs/ARCHITECTURE.md`.
 
 use crate::checkpoint::ModelState;
 use crate::worker::{ParticleData, Request, Response};
@@ -90,6 +107,11 @@ pub const MAX_PAYLOAD: u64 = 1 << 28;
 /// Receive-buffer growth step: [`read_frame`] grows its scratch towards
 /// the declared payload length one chunk at a time, as bytes arrive.
 pub const READ_CHUNK: usize = 1 << 16;
+/// Byte offset of the sequence-number field (u16 LE) within the header.
+/// [`set_seq`], [`frame_seq`], and [`parse_header`] all key on this one
+/// constant so the stamp, dedup, and decode paths cannot drift apart
+/// (the `wire-exhaustiveness` lint checks each of them names it).
+pub const SEQ_OFFSET: usize = 6;
 
 /// Request opcodes.
 pub mod op {
@@ -234,17 +256,68 @@ impl std::fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+impl WireError {
+    /// The transient/fatal taxonomy for the retry layer: is this the
+    /// kind of failure a bounded reconnect-and-resend can fix?
+    ///
+    /// *Transient* covers everything transport-shaped — I/O errors,
+    /// closed or truncated streams, and frames whose header arrived
+    /// damaged (bad magic/version, oversized or unknown opcode): the
+    /// request may or may not have been applied, but the sequence-number
+    /// dedup (see the module docs) makes resending it safe either way.
+    /// *Fatal* covers structurally-wrong payloads on an intact frame
+    /// (`BadLength`, `BadEventKind`, `Utf8`, `Unexpected`): those mean a
+    /// peer bug, and retrying would deterministically fail again —
+    /// escalate to the heal/restore path instead.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            WireError::Closed
+            | WireError::Io(_)
+            | WireError::Truncated { .. }
+            | WireError::BadMagic(_)
+            | WireError::BadVersion(_)
+            | WireError::UnknownOpcode(_)
+            | WireError::Oversized(_) => true,
+            WireError::BadLength { .. }
+            | WireError::BadEventKind(_)
+            | WireError::Utf8
+            | WireError::Unexpected(_) => false,
+        }
+    }
+}
+
 /// A parsed frame header.
 #[derive(Clone, Copy, Debug)]
 pub struct Header {
     /// Message opcode.
     pub opcode: u8,
+    /// Sequence number (0 = unsequenced; see the module docs).
+    pub seq: u16,
     /// Payload length in bytes.
     pub len: u64,
     /// Opcode-specific count / bits.
     pub aux0: u64,
     /// Opcode-specific count / bits.
     pub aux1: u64,
+}
+
+/// Stamp a sequence number into an already-encoded frame (bytes
+/// [`SEQ_OFFSET`]`..+2`, little-endian). The frame length is unchanged,
+/// so the physical-size-equals-`wire_size` invariant holds regardless
+/// of stamping. Panics (debug) on a buffer shorter than a header.
+pub fn set_seq(frame: &mut [u8], seq: u16) {
+    debug_assert!(frame.len() >= HEADER_LEN, "not an encoded frame");
+    frame[SEQ_OFFSET..SEQ_OFFSET + 2].copy_from_slice(&seq.to_le_bytes());
+}
+
+/// Read the sequence number back out of an encoded frame without a full
+/// header parse (the server's dedup check runs before decode). Returns
+/// 0 — unsequenced — for a buffer shorter than a header.
+pub fn frame_seq(frame: &[u8]) -> u16 {
+    if frame.len() < HEADER_LEN {
+        return 0;
+    }
+    u16::from_le_bytes(frame[SEQ_OFFSET..SEQ_OFFSET + 2].try_into().unwrap())
 }
 
 // --------------------------------------------------------------------------
@@ -602,7 +675,13 @@ pub fn parse_header(bytes: &[u8]) -> Result<Header, WireError> {
     if len > MAX_PAYLOAD {
         return Err(WireError::Oversized(len));
     }
-    Ok(Header { opcode: bytes[5], len, aux0: get_u64(bytes, 16), aux1: get_u64(bytes, 24) })
+    Ok(Header {
+        opcode: bytes[5],
+        seq: u16::from_le_bytes(bytes[SEQ_OFFSET..SEQ_OFFSET + 2].try_into().unwrap()),
+        len,
+        aux0: get_u64(bytes, 16),
+        aux1: get_u64(bytes, 24),
+    })
 }
 
 /// Parse a full frame (header + payload in one slice), validating that
@@ -1015,6 +1094,46 @@ mod tests {
         encode_request(&Request::Ping, &mut buf);
         buf[4] = VERSION + 1;
         assert_eq!(decode_request(&buf).unwrap_err(), WireError::BadVersion(VERSION + 1));
+    }
+
+    #[test]
+    fn sequence_numbers_stamp_and_parse_without_resizing_the_frame() {
+        let mut buf = Vec::new();
+        encode_request(&Request::Kick(vec![[1.0; 3]; 3]), &mut buf);
+        let req = Request::Kick(vec![[1.0; 3]; 3]);
+        assert_eq!(frame_seq(&buf), 0, "begin_frame stamps the unsequenced zero");
+        let before = buf.len();
+        set_seq(&mut buf, 0xBEEF);
+        assert_eq!(buf.len(), before, "stamping must not resize the frame");
+        assert_eq!(buf.len() as u64, req.wire_size());
+        assert_eq!(frame_seq(&buf), 0xBEEF);
+        assert_eq!(parse_header(&buf).unwrap().seq, 0xBEEF);
+        // the payload decodes unchanged: seq lives in the old reserved bytes
+        assert!(matches!(decode_request(&buf).unwrap(), Request::Kick(v) if v.len() == 3));
+        assert_eq!(frame_seq(&buf[..8]), 0, "short buffer reads as unsequenced");
+    }
+
+    #[test]
+    fn transient_taxonomy_splits_transport_from_protocol_bugs() {
+        for e in [
+            WireError::Closed,
+            WireError::Io(std::io::ErrorKind::TimedOut),
+            WireError::Truncated { expected: 32, got: 7 },
+            WireError::BadMagic(7),
+            WireError::BadVersion(9),
+            WireError::UnknownOpcode(0x7F),
+            WireError::Oversized(u64::MAX),
+        ] {
+            assert!(e.is_transient(), "{e:?} should be retryable");
+        }
+        for e in [
+            WireError::BadLength { opcode: 5, len: 1, aux0: 0, aux1: 0 },
+            WireError::BadEventKind(9),
+            WireError::Utf8,
+            WireError::Unexpected(0x81),
+        ] {
+            assert!(!e.is_transient(), "{e:?} should escalate, not retry");
+        }
     }
 
     #[test]

@@ -112,6 +112,36 @@ impl Request {
         };
         body + 32 // header
     }
+
+    /// Does handling this request change worker state (or drain
+    /// one-shot results, like stellar events)?
+    ///
+    /// This is the worker-side hook of the idempotent-retry scheme: the
+    /// server caches its response to a *mutating* request keyed by the
+    /// frame's sequence number, and a resend of the same sequence
+    /// number replays the cache instead of re-applying. Non-mutating
+    /// requests are pure reads of deterministic state — re-executing
+    /// them yields bit-identical bytes, so they need no cache.
+    /// `EvolveTo`/`EvolveStars` count as mutating even though the
+    /// target time is absolute: a re-run would report different flops
+    /// (and `EvolveStars` drains the event queue exactly once).
+    pub fn mutating(&self) -> bool {
+        match self {
+            Request::Ping
+            | Request::GetParticles
+            | Request::ComputeKick { .. }
+            | Request::SaveState
+            | Request::Stop
+            | Request::Shutdown => false,
+            Request::EvolveTo(_)
+            | Request::EvolveStars(_)
+            | Request::SetMasses(_)
+            | Request::Kick(_)
+            | Request::InjectEnergy { .. }
+            | Request::AddGas { .. }
+            | Request::LoadState(_) => true,
+        }
+    }
 }
 
 /// A worker's answer.

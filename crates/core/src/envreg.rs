@@ -15,11 +15,23 @@
 
 /// Every `JC_*` environment variable the workspace reads, with a
 /// one-line description. Keep alphabetized.
-pub const JC_ENV: &[(&str, &str)] = &[(
-    "JC_THREADS",
-    "Worker-thread count for the parallel chunking core (and the rayon shim); \
-     defaults to the number of available CPUs.",
-)];
+pub const JC_ENV: &[(&str, &str)] = &[
+    (
+        "JC_CHAOS_SEED",
+        "Seed for the deterministic fault-injection plan (jc_amuse::chaos::FaultPlan::from_env); \
+         unset or unparsable means no faults.",
+    ),
+    (
+        "JC_NET_TIMEOUT_MS",
+        "Socket-channel read/write timeout in milliseconds (connects, drains, and retry-enabled \
+         channels); defaults to 5000.",
+    ),
+    (
+        "JC_THREADS",
+        "Worker-thread count for the parallel chunking core (and the rayon shim); \
+         defaults to the number of available CPUs.",
+    ),
+];
 
 /// Look up the description for a registered variable.
 pub fn describe(name: &str) -> Option<&'static str> {

@@ -10,8 +10,10 @@
 //! replay) and wall-clock-derived values (`SystemTime` / `Instant`)
 //! leaking into state. This lint forbids those identifiers outright in
 //! the replay-critical scope ([`in_scope`]): the kernel crates
-//! (`nbody`, `sph`, `treegrav`, `compute`) and the checkpoint/shard
-//! layers of `jc_amuse`. `#[cfg(test)]` modules are exempt (tests may
+//! (`nbody`, `sph`, `treegrav`, `compute`) and the
+//! checkpoint/shard/chaos layers of `jc_amuse` (a fault plan must be a
+//! pure function of its seed, or a failing soak seed stops
+//! reproducing). `#[cfg(test)]` modules are exempt (tests may
 //! time things); a deliberate use — e.g. a frozen legacy baseline —
 //! carries a file waiver `// jc-lint: allow-file(determinism): <reason>`.
 
@@ -33,7 +35,11 @@ const BANNED: &[(&str, &str)] = &[
 pub fn in_scope(path: &str) -> bool {
     const DIRS: &[&str] =
         &["crates/nbody/src/", "crates/sph/src/", "crates/treegrav/src/", "crates/compute/src/"];
-    const FILES: &[&str] = &["crates/amuse/src/checkpoint.rs", "crates/amuse/src/shard.rs"];
+    const FILES: &[&str] = &[
+        "crates/amuse/src/chaos.rs",
+        "crates/amuse/src/checkpoint.rs",
+        "crates/amuse/src/shard.rs",
+    ];
     DIRS.iter().any(|d| path.starts_with(d)) || FILES.contains(&path)
 }
 
@@ -147,6 +153,7 @@ mod tests {
     fn scope_covers_kernels_and_checkpoint_layers_only() {
         assert!(in_scope("crates/nbody/src/kernels.rs"));
         assert!(in_scope("crates/amuse/src/shard.rs"));
+        assert!(in_scope("crates/amuse/src/chaos.rs"));
         assert!(!in_scope("crates/amuse/src/socket.rs"));
         assert!(!in_scope("crates/deploy/src/monitor.rs"));
     }

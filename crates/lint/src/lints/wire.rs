@@ -15,6 +15,15 @@
 //! have an arm in the corresponding `wire_size` model in `worker.rs`
 //! (and vice versa) — the physical-frame-equals-modeled-size invariant
 //! the traffic accounting relies on. Opcode values must also be unique.
+//!
+//! The pass also covers the sequence-number header field (offset 6,
+//! the idempotent-retry handle): `parse_header`, `set_seq` and
+//! `frame_seq` in `wire.rs` must all name `SEQ_OFFSET` (a hardcoded
+//! offset in any one of them is silent stamp/parse drift), and the
+//! socket channel must reference `set_seq` (client stamping),
+//! `frame_seq` (server recognition) and `last_seq` (the dedup cache) —
+//! losing any leg silently turns "safe to resend" back into
+//! "double-applies on retry".
 
 use crate::lexer::Kind;
 use crate::{match_brace, Diagnostic, SourceFile};
@@ -26,6 +35,8 @@ const LINT: &str = "wire-exhaustiveness";
 pub const WIRE_PATH: &str = "crates/amuse/src/wire.rs";
 /// Where the `wire_size` traffic model lives.
 pub const WORKER_PATH: &str = "crates/amuse/src/worker.rs";
+/// Where the socket channel (seq stamping + server dedup) lives.
+pub const SOCKET_PATH: &str = "crates/amuse/src/socket.rs";
 
 /// One parsed `pub const NAME: u8 = 0x..;` opcode.
 struct Opcode {
@@ -36,8 +47,13 @@ struct Opcode {
 
 /// Check the protocol pair. `worker` carries the `wire_size` model; if
 /// absent, the variant cross-check reports that instead of silently
-/// passing.
-pub fn check(wire: &SourceFile, worker: Option<&SourceFile>) -> Vec<Diagnostic> {
+/// passing. `socket` carries the seq stamp/dedup call sites; when
+/// present, the sequence-number pass runs on both files.
+pub fn check(
+    wire: &SourceFile,
+    worker: Option<&SourceFile>,
+    socket: Option<&SourceFile>,
+) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let code = wire.code();
     let opcodes = parse_opcodes(wire, &code);
@@ -128,6 +144,52 @@ pub fn check(wire: &SourceFile, worker: Option<&SourceFile>) -> Vec<Diagnostic> 
                     oc.name
                 ),
             ));
+        }
+    }
+
+    // Sequence-number field: stamp, parse and dedup must agree on one
+    // offset and all three legs must exist.
+    if let Some(s) = socket {
+        for func in ["parse_header", "set_seq", "frame_seq"] {
+            match fns.get(func) {
+                None => diags.push(diag(
+                    wire,
+                    1,
+                    format!(
+                        "no `fn {func}` found — the sequence-number surface the socket \
+                         channel's idempotent retry stands on has drifted"
+                    ),
+                )),
+                Some(&(lo, hi)) => {
+                    if !code[lo..=hi].iter().any(|&ti| wire.tokens[ti].is_ident("SEQ_OFFSET")) {
+                        diags.push(diag(
+                            wire,
+                            wire.tokens[code[lo]].line,
+                            format!(
+                                "`{func}` does not name `SEQ_OFFSET` — the seq field's offset \
+                                 lives in one constant precisely so stamp and parse cannot \
+                                 disagree about which header bytes carry it"
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+        let scode = s.code();
+        let referenced = |name: &str| scode.iter().any(|&ti| s.tokens[ti].is_ident(name));
+        for (name, why) in [
+            ("set_seq", "requests go out unsequenced, so a resent mutating request double-applies"),
+            ("frame_seq", "the server cannot recognize a resent frame as a duplicate"),
+            ("last_seq", "the dedup cache is gone — a replayed mutating request re-executes"),
+        ] {
+            if !referenced(name) {
+                diags.push(Diagnostic {
+                    path: s.path.clone(),
+                    line: 1,
+                    lint: LINT,
+                    message: format!("`{name}` is never referenced in the socket channel — {why}"),
+                });
+            }
         }
     }
 

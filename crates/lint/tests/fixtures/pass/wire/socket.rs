@@ -1,0 +1,17 @@
+//! Pass fixture: the socket channel references all three legs of the
+//! sequence-number contract — client stamping (`set_seq`), server
+//! recognition (`frame_seq`), and the dedup cache (`last_seq`).
+
+pub struct Dedup {
+    pub last_seq: u16,
+    pub cached: Vec<u8>,
+}
+
+pub fn stamp(frame: &mut [u8], seq: u16) {
+    crate::wire::set_seq(frame, seq);
+}
+
+pub fn serve(frame: &[u8], dedup: &mut Dedup) -> bool {
+    let seq = crate::wire::frame_seq(frame);
+    seq != 0 && seq == dedup.last_seq
+}

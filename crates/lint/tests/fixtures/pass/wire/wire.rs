@@ -45,3 +45,17 @@ pub fn decode_response(frame: &[u8]) -> Option<Response> {
         _ => None,
     }
 }
+
+pub const SEQ_OFFSET: usize = 6;
+
+pub fn parse_header(bytes: &[u8]) -> u16 {
+    u16::from_le_bytes(bytes[SEQ_OFFSET..SEQ_OFFSET + 2].try_into().unwrap())
+}
+
+pub fn set_seq(frame: &mut [u8], seq: u16) {
+    frame[SEQ_OFFSET..SEQ_OFFSET + 2].copy_from_slice(&seq.to_le_bytes());
+}
+
+pub fn frame_seq(frame: &[u8]) -> u16 {
+    u16::from_le_bytes(frame[SEQ_OFFSET..SEQ_OFFSET + 2].try_into().unwrap())
+}

@@ -53,9 +53,10 @@ fn unsafe_audit_pass_fixture_is_quiet() {
 fn wire_fail_fixture_exact_diagnostics() {
     let w = fixture("fail/wire/wire.rs", wire::WIRE_PATH);
     let worker = fixture("fail/wire/worker.rs", wire::WORKER_PATH);
-    let d = wire::check(&w, Some(&worker));
+    let socket = fixture("fail/wire/socket.rs", wire::SOCKET_PATH);
+    let d = wire::check(&w, Some(&worker), Some(&socket));
     let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
-    assert_eq!(d.len(), 4, "{d:#?}");
+    assert_eq!(d.len(), 7, "{d:#?}");
     // SHUTDOWN (declared at fixture line 8): missing version + decode arm
     assert!(d.iter().any(|x| x.line == 8
         && x.path == wire::WIRE_PATH
@@ -66,13 +67,32 @@ fn wire_fail_fixture_exact_diagnostics() {
     // wire_size drift, reported against the worker model
     assert!(msgs.iter().any(|m| m.contains("`Request::Stop` is encoded but missing")), "{msgs:?}");
     assert!(msgs.iter().any(|m| m.contains("wire_size models `Request::Legacy`")), "{msgs:?}");
+    // seq field: set_seq hardcodes the offset instead of naming SEQ_OFFSET
+    assert!(
+        d.iter().any(|x| x.path == wire::WIRE_PATH
+            && x.message.contains("`set_seq` does not name `SEQ_OFFSET`")),
+        "{msgs:?}"
+    );
+    // the socket fixture stamps but never recognizes or deduplicates
+    assert!(
+        d.iter().any(|x| x.path == wire::SOCKET_PATH
+            && x.message.contains("`frame_seq` is never referenced")),
+        "{msgs:?}"
+    );
+    assert!(
+        d.iter()
+            .any(|x| x.path == wire::SOCKET_PATH
+                && x.message.contains("`last_seq` is never referenced")),
+        "{msgs:?}"
+    );
 }
 
 #[test]
 fn wire_pass_fixture_is_quiet() {
     let w = fixture("pass/wire/wire.rs", wire::WIRE_PATH);
     let worker = fixture("pass/wire/worker.rs", wire::WORKER_PATH);
-    let d = wire::check(&w, Some(&worker));
+    let socket = fixture("pass/wire/socket.rs", wire::SOCKET_PATH);
+    let d = wire::check(&w, Some(&worker), Some(&socket));
     assert!(d.is_empty(), "{d:#?}");
 }
 

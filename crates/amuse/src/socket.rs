@@ -17,7 +17,11 @@
 //! Because every frame is physically [`Request::wire_size`]/
 //! [`Response::wire_size`] bytes long, the [`ChannelStats`] this channel
 //! accumulates from *actual* bytes sent and received agree exactly with
-//! the modeled accounting of the in-process channels.
+//! the modeled accounting of the in-process channels. Each logical call
+//! counts its frame once — a resend absorbed by the retry layer ticks
+//! `retries` instead of double-counting bytes, and a call that fails
+//! after its frame left still credits `bytes_out` for that frame (the
+//! response that never arrived contributes nothing to `bytes_in`).
 //!
 //! # Transient faults: in-place retry
 //!
@@ -27,10 +31,12 @@
 //! (see [`WireError::is_transient`]) in place: back off, reconnect,
 //! resend the identical frame. Every request frame carries a sequence
 //! number (`wire::set_seq`) and the server remembers the last applied
-//! one per worker, replaying its cached response to a duplicate
-//! (`wire::frame_seq`) — so even mutating requests like `Kick` are
-//! applied exactly once no matter how many times the transport fails
-//! underneath. The `JC_NET_TIMEOUT_MS` knob (default 5000) bounds
+//! one per worker together with a fingerprint of the frame it arrived
+//! in, replaying its cached response to a duplicate (`wire::frame_seq`
+//! plus matching bytes — seq alone can collide across connections or
+//! after wrap, see `Dedup` in this file) — so even mutating requests like `Kick`
+//! are applied exactly once no matter how many times the transport
+//! fails underneath. The `JC_NET_TIMEOUT_MS` knob (default 5000) bounds
 //! teardown drains and, for retry-enabled channels, every read/write.
 
 use crate::channel::{Channel, ChannelStats};
@@ -45,16 +51,16 @@ use std::sync::Arc;
 /// The socket-layer I/O timeout: `JC_NET_TIMEOUT_MS` (milliseconds,
 /// default 5000 — the bound that used to be hardcoded). Governs the
 /// teardown drains ([`SocketChannel::shutdown_worker`], `Drop`) and the
-/// read/write timeouts applied to retry-enabled channels.
+/// read/write timeouts applied to retry-enabled channels. Read from the
+/// environment on every call — it is only consulted at connect/teardown
+/// time, never per frame, and tests and harnesses adjust the knob
+/// between runs.
 fn net_timeout() -> std::time::Duration {
-    static MS: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
-    let ms = *MS.get_or_init(|| {
-        std::env::var("JC_NET_TIMEOUT_MS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u64>().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(5_000)
-    });
+    let ms = std::env::var("JC_NET_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(5_000);
     std::time::Duration::from_millis(ms)
 }
 
@@ -278,6 +284,13 @@ impl SocketChannel {
                 }
                 Err(e) => {
                     if attempt >= self.retry.max_retries || !e.is_transient() {
+                        // The request frame may have physically left even
+                        // though the round trip failed (send ok, recv
+                        // fatal): keep bytes_out honest about what this
+                        // attempt actually wrote.
+                        if let Ok(out) = &sent {
+                            self.stats.bytes_out += *out;
+                        }
                         return Err(e);
                     }
                     attempt += 1;
@@ -487,15 +500,47 @@ impl WorkerServer {
 }
 
 /// Per-worker idempotency state: the last applied nonzero sequence
-/// number and, when that request was mutating, the encoded response to
+/// number, a fingerprint of the exact request frame it was applied
+/// for, and, when that request was mutating, the encoded response to
 /// replay on a duplicate. Non-mutating requests are not recorded —
 /// re-executing a pure read of deterministic state yields bit-identical
 /// bytes anyway, so caching (possibly megabytes of) snapshot frames
 /// would buy nothing.
+///
+/// The fingerprint is what makes seq matching sound: this state
+/// intentionally outlives connections (a retried frame arrives on a
+/// *new* connection) and the 16-bit seq space wraps, so seq equality
+/// alone cannot prove the incoming frame is a resend — a fresh channel
+/// restarts its numbering at 1 (landing exactly on a stale `last_seq`
+/// whenever the previous connection's first request was mutating, e.g.
+/// a `Shutdown` or `LoadState` after the prior coupler died), and a
+/// long-lived channel reuses a number after 65535 frames. A genuine
+/// retry resends the identical bytes (same encode buffer, same stamp),
+/// so replay additionally requires the fingerprints to match; a
+/// colliding *new* request hashes differently and is applied normally,
+/// overwriting the cache.
 #[derive(Default)]
 struct Dedup {
     last_seq: u16,
+    req_fp: u64,
     cached: Vec<u8>,
+}
+
+/// FNV-1a (64-bit) over a whole request frame — the frame identity the
+/// dedup cache keys on alongside `last_seq`. Deterministic and
+/// dependency-free; a false replay now needs an accidental 64-bit hash
+/// collision on top of a wrapped/reused seq, which is beyond the
+/// cooperative failure model here (byte-identical mutating frames that
+/// legitimately collide — say, the same `SetMasses` payload exactly
+/// 65535 frames apart — remain theoretically indistinguishable from a
+/// resend, as they would be under full byte comparison too).
+fn frame_fingerprint(frame: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in frame {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
 }
 
 /// How one connection ended.
@@ -533,11 +578,18 @@ fn serve_connection(
             }
         }
         // Idempotent retry: a duplicate of the last applied mutating
-        // request (same nonzero sequence number — the coupler resent a
-        // frame whose response it lost) replays the cached response
-        // without re-applying, before the fuse or the worker sees it.
+        // request — same nonzero sequence number AND the same frame
+        // bytes, i.e. the coupler resent a frame whose response it lost
+        // — replays the cached response without re-applying, before the
+        // fuse or the worker sees it. The fingerprint check keeps a seq
+        // collision from a different channel (or after wrap) from being
+        // mistaken for a resend; see `Dedup`.
         let seq = wire::frame_seq(frame);
-        if seq != 0 && seq == dedup.last_seq && !dedup.cached.is_empty() {
+        if seq != 0
+            && seq == dedup.last_seq
+            && !dedup.cached.is_empty()
+            && frame_fingerprint(frame) == dedup.req_fp
+        {
             if wire::write_frame(stream, &dedup.cached).is_err() {
                 return Served::KeepListening;
             }
@@ -566,6 +618,7 @@ fn serve_connection(
         // read of it) fails, the retried frame must find the cache.
         if seq != 0 && mutating {
             dedup.last_seq = seq;
+            dedup.req_fp = frame_fingerprint(frame);
             dedup.cached.clear();
             dedup.cached.extend_from_slice(out);
         }
@@ -787,6 +840,123 @@ mod tests {
             other => panic!("{other:?}"),
         }
         drop(c);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn stale_dedup_does_not_swallow_a_new_connections_request() {
+        // The dedup cache outlives connections on purpose. A fresh
+        // channel restarts its numbering at 1, so when the previous
+        // connection's first request was mutating, the new channel's
+        // first mutating request lands exactly on the stale last_seq —
+        // it must still be applied (different bytes: not a resend), not
+        // answered from the cache.
+        let (addr, handle) =
+            spawn_tcp_worker("ctrl", || GravityWorker::new(plummer_sphere(4, 11), Backend::Scalar));
+        let mut ctrl = SocketChannel::connect(addr, "ctrl").unwrap();
+        assert!(matches!(ctrl.call(Request::Kick(vec![[0.5, 0.0, 0.0]; 4])), Response::Ok { .. }));
+        assert!(matches!(ctrl.call(Request::Kick(vec![[0.0, 0.25, 0.0]; 4])), Response::Ok { .. }));
+        let expected = match ctrl.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("{other:?}"),
+        };
+        drop(ctrl);
+        handle.join().unwrap().unwrap();
+
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(4, 11), Backend::Scalar));
+        {
+            let mut a = SocketChannel::connect(addr, "first").unwrap();
+            // first request mutating: seq 1 lands in the dedup cache
+            assert!(matches!(a.call(Request::Kick(vec![[0.5, 0.0, 0.0]; 4])), Response::Ok { .. }));
+            a.stop_on_drop = false; // vanish without Stop, server keeps listening
+        }
+        let mut b = SocketChannel::connect(addr, "second").unwrap();
+        // b's first request is also seq 1, also mutating, different bytes
+        assert!(matches!(b.call(Request::Kick(vec![[0.0, 0.25, 0.0]; 4])), Response::Ok { .. }));
+        match b.call(Request::GetParticles) {
+            Response::Particles(p) => {
+                for (x, y) in p.vel.iter().zip(&expected.vel) {
+                    for k in 0..3 {
+                        assert_eq!(x[k].to_bits(), y[k].to_bits(), "both kicks applied");
+                    }
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(b);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn shutdown_reaps_a_server_whose_stale_dedup_holds_seq_one() {
+        // A coupler whose *first* request was mutating dies without
+        // Stop; shutdown_worker's fresh channel stamps its Shutdown
+        // with seq 1, colliding with the stale cache. The Shutdown must
+        // be executed (server exits, join returns), not answered with
+        // the cached Kick reply.
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(4, 12), Backend::Scalar));
+        {
+            let mut a = SocketChannel::connect(addr, "doomed").unwrap();
+            assert!(matches!(a.call(Request::Kick(vec![[0.1, 0.0, 0.0]; 4])), Response::Ok { .. }));
+            a.stop_on_drop = false;
+        }
+        assert!(SocketChannel::shutdown_worker(addr), "worker acknowledges the shutdown");
+        handle.join().unwrap().unwrap(); // server actually exited
+    }
+
+    #[test]
+    fn seq_wrap_collision_applies_the_new_request() {
+        // A long-lived channel reuses a sequence number after 65535
+        // frames. Simulate the wrap by rewinding the client's counter:
+        // the second (different) Kick reuses seq 1 and must be applied.
+        let (addr, handle) =
+            spawn_tcp_worker("grav", || GravityWorker::new(plummer_sphere(4, 13), Backend::Scalar));
+        let mut c = SocketChannel::connect(addr, "wrap").unwrap();
+        assert!(matches!(c.call(Request::Kick(vec![[0.5, 0.0, 0.0]; 4])), Response::Ok { .. }));
+        let before = match c.call(Request::GetParticles) {
+            Response::Particles(p) => p,
+            other => panic!("{other:?}"),
+        };
+        c.seq = 0; // next stamp is 1 again, as after a full wrap
+        assert!(matches!(c.call(Request::Kick(vec![[0.0, 0.25, 0.0]; 4])), Response::Ok { .. }));
+        match c.call(Request::GetParticles) {
+            Response::Particles(p) => {
+                for (x, y) in p.vel.iter().zip(&before.vel) {
+                    assert_eq!(x[1].to_bits(), (y[1] + 0.25).to_bits(), "second kick applied");
+                    assert_eq!(x[0].to_bits(), y[0].to_bits());
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+        drop(c);
+        handle.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn bytes_out_is_credited_when_the_response_never_arrives() {
+        // send succeeds, recv fails fatally (server crashes without
+        // replying): the frame left the machine, so bytes_out must
+        // reflect it even though the call failed.
+        let fuse = Arc::new(AtomicI64::new(1));
+        let (addr, handle) = spawn_flaky_tcp_worker(
+            "doomed",
+            || GravityWorker::new(plummer_sphere(4, 14), Backend::Scalar),
+            fuse,
+        );
+        let mut c = SocketChannel::connect(addr, "doomed").unwrap();
+        assert!(matches!(c.call(Request::Ping), Response::Ok { .. }));
+        let after_ok = c.stats();
+        let r = c.call(Request::Ping);
+        assert!(matches!(&r, Response::Error(_)), "{r:?}");
+        let after_err = c.stats();
+        assert_eq!(
+            after_err.bytes_out,
+            after_ok.bytes_out + Request::Ping.wire_size(),
+            "the failed call's request frame still counts as sent"
+        );
+        assert_eq!(after_err.bytes_in, after_ok.bytes_in, "no response ever arrived");
         handle.join().unwrap().unwrap();
     }
 

@@ -82,8 +82,11 @@
 //! stamps each fresh request with the next nonzero sequence number and
 //! *reuses* it when it resends the same frame after a transient
 //! transport fault; the server ([`crate::WorkerServer`]) remembers the
-//! last applied nonzero sequence number per worker and answers a
-//! duplicate by replaying the cached response instead of re-applying
+//! last applied nonzero sequence number per worker — together with a
+//! fingerprint of the applied frame's bytes, because its dedup state
+//! outlives connections and the 16-bit space wraps, so seq equality
+//! alone does not prove a resend — and answers a duplicate (same seq,
+//! same bytes) by replaying the cached response instead of re-applying
 //! the request. That is what makes mutating requests (`Kick`,
 //! `SetMasses`, …) safe to retry in place — see
 //! [`crate::worker::Request::mutating`] and the failure-model table in

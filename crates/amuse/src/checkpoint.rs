@@ -74,12 +74,142 @@ const CRC32_TABLE: [u32; 256] = {
     table
 };
 
-fn crc32_feed(state: u32, bytes: &[u8]) -> u32 {
+/// Portable byte-at-a-time CRC update. This is the reference
+/// implementation the accelerated path must match bit-for-bit; it also
+/// handles short buffers and the sub-16-byte tail of the folded path.
+fn crc32_feed_bytewise(state: u32, bytes: &[u8]) -> u32 {
     let mut c = state;
     for &b in bytes {
         c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
     }
     c
+}
+
+fn crc32_feed(state: u32, bytes: &[u8]) -> u32 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // The folded path needs a 64-byte head; below that the setup
+        // outweighs the byte loop. Sections in a real checkpoint are
+        // hundreds of kilobytes, so this is the hot branch.
+        if bytes.len() >= 64
+            && std::arch::is_x86_feature_detected!("pclmulqdq")
+            && std::arch::is_x86_feature_detected!("sse4.1")
+        {
+            // SAFETY: `pclmulqdq` and `sse4.1` were just verified at
+            // runtime, discharging the `#[target_feature]` contract,
+            // and the length guard satisfies the fn's >= 64 contract.
+            return unsafe { crc32_feed_pclmul(state, bytes) };
+        }
+    }
+    crc32_feed_bytewise(state, bytes)
+}
+
+/// CRC-32 update over `bytes` using PCLMULQDQ carry-less-multiply
+/// folding (the classic reflected-CRC reduction: fold 64-byte stripes,
+/// then 16-byte blocks, then a Barrett reduction back to a 32-bit
+/// register). Produces output bitwise identical to
+/// [`crc32_feed_bytewise`], so the v2 container format is unchanged;
+/// the payoff is ~0.1 cycles/byte instead of ~5, which keeps the
+/// per-section sums out of the checkpoint hot path.
+///
+/// # Safety
+///
+/// Callers must verify `pclmulqdq` and `sse4.1` via
+/// `is_x86_feature_detected!` and pass `bytes.len() >= 64`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "pclmulqdq,sse4.1")]
+unsafe fn crc32_feed_pclmul(state: u32, bytes: &[u8]) -> u32 {
+    use std::arch::x86_64::*;
+
+    debug_assert!(bytes.len() >= 64);
+
+    // Folding constants for the reflected IEEE polynomial 0x04C1_1DB7:
+    // K1 = x^(4*128+64) mod P, K2 = x^(4*128), K3 = x^(128+64),
+    // K4 = x^128 (all bit-reflected), K5 = x^64; P_X and U_PRIME are
+    // the polynomial and its Barrett inverse. These are the published
+    // constants from Intel's "Fast CRC Computation ... Using PCLMULQDQ"
+    // white paper, as used by zlib-ng and crc32fast.
+    const K1: i64 = 0x1_5444_2BD4;
+    const K2: i64 = 0x1_C6E4_1596;
+    const K3: i64 = 0x1_7519_97D0;
+    const K4: i64 = 0x0_CCAA_009E;
+    const K5: i64 = 0x1_63CD_6124;
+    const P_X: i64 = 0x1_DB71_0641;
+    const U_PRIME: i64 = 0x1_F701_1641;
+
+    /// Fold the 128-bit accumulator `a` forward over the next block
+    /// `b`: a*K_hi + a*K_lo + b in GF(2).
+    #[inline(always)]
+    fn fold16(a: __m128i, b: __m128i, keys: __m128i) -> __m128i {
+        // SAFETY: the enclosing fn's `#[target_feature]` contract
+        // (checked by the dispatcher) covers these intrinsics; they
+        // are register-only, no memory access.
+        unsafe {
+            let lo = _mm_clmulepi64_si128(a, keys, 0x00);
+            let hi = _mm_clmulepi64_si128(a, keys, 0x11);
+            _mm_xor_si128(_mm_xor_si128(b, lo), hi)
+        }
+    }
+
+    let mut p = bytes.as_ptr();
+    let mut len = bytes.len();
+
+    // SAFETY: all pointer reads below stay inside `bytes`: the entry
+    // guard gives the first 64 bytes, and each loop checks `len`
+    // before advancing `p` by the amount it reads (unaligned loads,
+    // so no alignment requirement).
+    unsafe {
+        // Load the first 64 bytes and XOR the incoming register into
+        // the low 32 bits of the first block — prepending the running
+        // state is exactly an XOR into the first four message bytes.
+        let mut x3 = _mm_loadu_si128(p as *const __m128i);
+        let mut x2 = _mm_loadu_si128(p.add(16) as *const __m128i);
+        let mut x1 = _mm_loadu_si128(p.add(32) as *const __m128i);
+        let mut x0 = _mm_loadu_si128(p.add(48) as *const __m128i);
+        x3 = _mm_xor_si128(x3, _mm_cvtsi32_si128(state as i32));
+        p = p.add(64);
+        len -= 64;
+
+        // Fold four 128-bit lanes in parallel over each 64-byte stripe.
+        let k1k2 = _mm_set_epi64x(K2, K1);
+        while len >= 64 {
+            x3 = fold16(x3, _mm_loadu_si128(p as *const __m128i), k1k2);
+            x2 = fold16(x2, _mm_loadu_si128(p.add(16) as *const __m128i), k1k2);
+            x1 = fold16(x1, _mm_loadu_si128(p.add(32) as *const __m128i), k1k2);
+            x0 = fold16(x0, _mm_loadu_si128(p.add(48) as *const __m128i), k1k2);
+            p = p.add(64);
+            len -= 64;
+        }
+
+        // Collapse the four lanes into one, then fold any remaining
+        // whole 16-byte blocks.
+        let k3k4 = _mm_set_epi64x(K4, K3);
+        let mut x = fold16(x3, x2, k3k4);
+        x = fold16(x, x1, k3k4);
+        x = fold16(x, x0, k3k4);
+        while len >= 16 {
+            x = fold16(x, _mm_loadu_si128(p as *const __m128i), k3k4);
+            p = p.add(16);
+            len -= 16;
+        }
+
+        // Reduce 128 -> 64 bits, then 64 -> 32 via K5.
+        let mask32 = _mm_set_epi32(0, 0, 0, !0);
+        let x = _mm_xor_si128(_mm_clmulepi64_si128(x, k3k4, 0x10), _mm_srli_si128(x, 8));
+        let x = _mm_xor_si128(
+            _mm_clmulepi64_si128(_mm_and_si128(x, mask32), _mm_set_epi64x(0, K5), 0x00),
+            _mm_srli_si128(x, 4),
+        );
+
+        // Barrett reduction back to the 32-bit register.
+        let pu = _mm_set_epi64x(U_PRIME, P_X);
+        let t1 = _mm_clmulepi64_si128(_mm_and_si128(x, mask32), pu, 0x10);
+        let t2 = _mm_xor_si128(_mm_clmulepi64_si128(_mm_and_si128(t1, mask32), pu, 0x00), x);
+        let folded = _mm_extract_epi32(t2, 1) as u32;
+
+        // Byte-wise tail (< 16 bytes).
+        crc32_feed_bytewise(folded, std::slice::from_raw_parts(p, len))
+    }
 }
 
 /// CRC-32 (IEEE 802.3, the zlib/PNG polynomial) of `bytes`. This is
@@ -568,6 +698,50 @@ mod tests {
                 initial_masses: vec![1.0, 20.0],
                 exploded: vec![false, true],
             }),
+        }
+    }
+
+    #[test]
+    fn crc32_matches_the_standard_check_value() {
+        // The canonical CRC-32/ISO-HDLC check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn folded_crc_is_bitwise_identical_to_the_bytewise_reference() {
+        // Deterministic pseudo-random buffer (splitmix64 stream).
+        let mut s = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let buf: Vec<u8> = (0..4096).flat_map(|_| next().to_le_bytes()).collect();
+        // Every length class the dispatcher branches on: below the
+        // 64-byte folding threshold, exact stripe multiples, ragged
+        // 16-byte-block counts, and ragged byte tails; plus unaligned
+        // starts, since the folded path uses unaligned loads.
+        for len in [0, 1, 15, 16, 63, 64, 65, 79, 80, 127, 128, 129, 1000, 4096, buf.len()] {
+            for start in [0usize, 1, 7] {
+                let part = &buf[start..(start + len).min(buf.len())];
+                for init in [!0u32, 0, 0xDEAD_BEEF] {
+                    assert_eq!(
+                        crc32_feed(init, part),
+                        crc32_feed_bytewise(init, part),
+                        "len={len} start={start} init={init:#x}"
+                    );
+                }
+            }
+        }
+        // Split-feed: running the sum across an arbitrary cut must
+        // equal the one-shot sum (sections are streamed in chunks).
+        let whole = crc32_feed(!0, &buf);
+        for cut in [1usize, 63, 64, 100, 4095] {
+            let (a, b) = buf.split_at(cut);
+            assert_eq!(crc32_feed(crc32_feed(!0, a), b), whole, "cut={cut}");
         }
     }
 

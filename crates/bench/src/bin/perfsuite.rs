@@ -31,8 +31,16 @@
 //! * `--compare OLD.json NEW.json` — no benching: print a per-kernel
 //!   speedup table between two result files (machine-normalized via the
 //!   frozen `sph_density_legacy` rows) and exit non-zero if any kernel
-//!   in NEW regressed more than 2× against OLD — CI diffs the PR's JSON
-//!   artifact against the committed baseline with this
+//!   in NEW regressed more than 2× against OLD, **or** if NEW is
+//!   missing a kernel name OLD has (rows present on only one side are
+//!   named either way) — CI diffs the PR's JSON artifact against the
+//!   committed baseline with this
+//!
+//! Every mode also records multi-thread scaling rows: the parallel
+//! kernels re-run at `JC_THREADS` ∈ {1, 2, phys-cores} as
+//! `<kernel>_t<T>` rows (largest N of the mode), plus a per-core
+//! scaling-efficiency report — so each committed baseline pins the
+//! worker-pool trajectory next to the single-thread one.
 //!
 //! Worker-thread counts honor the `JC_THREADS` environment override, so
 //! perfsuite numbers are reproducible on shared machines (CI pins it).
@@ -139,6 +147,38 @@ fn main() {
         }
     }
 
+    // Multi-thread scaling rows (all modes): the parallel kernels at
+    // JC_THREADS ∈ {1, 2, phys-cores}, each at the mode's largest N so
+    // the grain policy cannot floor the worker count. `JC_THREADS` is
+    // read per resolution (regression-tested at the workspace root), so
+    // an in-process sweep measures what it labels; the ambient value is
+    // restored before the provenance field is rendered.
+    let phys = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let ambient_threads = std::env::var("JC_THREADS").ok();
+    let mut sweep: Vec<usize> = vec![1, 2, phys];
+    sweep.sort_unstable();
+    sweep.dedup();
+    let sweep_start = samples.len();
+    let n_grav = *gravity_ns.last().unwrap();
+    let n_tree = *tree_ns.last().unwrap();
+    let n_sph = *sph_ns.last().unwrap();
+    for &t in &sweep {
+        std::env::set_var("JC_THREADS", t.to_string());
+        let tag =
+            |kernel: &str| -> &'static str { Box::leak(format!("{kernel}_t{t}").into_boxed_str()) };
+        let s = bench_acc_jerk(n_grav, repeats, Backend::SimdSoa);
+        samples.push(Sample { kernel: tag("nbody_acc_jerk_simd"), ..s });
+        let s = bench_tree_walk(n_tree, repeats, true);
+        samples.push(Sample { kernel: tag("tree_walk_simd"), ..s });
+        let s = bench_sph_forces(n_sph, repeats, true);
+        samples.push(Sample { kernel: tag("sph_forces_simd"), ..s });
+    }
+    match ambient_threads {
+        Some(v) => std::env::set_var("JC_THREADS", v),
+        None => std::env::remove_var("JC_THREADS"),
+    }
+    report_scaling(&samples[sweep_start..], &sweep);
+
     for s in &samples {
         println!(
             "{:<24} N={:<6} {:>14.0} ns/step  {:>14.3e} inter/s",
@@ -154,6 +194,30 @@ fn main() {
 
     if let Some(baseline) = check_path {
         std::process::exit(check_against(&samples, &baseline));
+    }
+}
+
+/// Print thread-scaling speedup and per-core efficiency for the
+/// `<kernel>_t<T>` sweep rows (`efficiency = t1_ns / (T * tT_ns)`; 1.0
+/// is perfect scaling, anything under ~0.7 on real cores points at a
+/// serial section or pool overhead).
+fn report_scaling(sweep_rows: &[Sample], sweep: &[usize]) {
+    for kernel in ["nbody_acc_jerk_simd", "tree_walk_simd", "sph_forces_simd"] {
+        let at = |t: usize| -> Option<f64> {
+            let name = format!("{kernel}_t{t}");
+            sweep_rows.iter().find(|s| s.kernel == name).map(|s| s.ns_per_step)
+        };
+        let Some(base) = at(1) else { continue };
+        for &t in sweep.iter().filter(|&&t| t > 1) {
+            if let Some(ns) = at(t) {
+                let speedup = base / ns;
+                println!(
+                    "{kernel} at {t} threads: {speedup:.2}x over 1 thread, \
+                     per-core efficiency {:.2}",
+                    speedup / t as f64
+                );
+            }
+        }
     }
 }
 
@@ -550,6 +614,29 @@ fn compare_files(old_path: &str, new_path: &str) -> i32 {
         "{:<24} {:>8} {:>14} {:>14} {:>9}",
         "kernel", "N", "old ns/step", "new ns/step", "speedup"
     );
+    // Coverage diff before any ratio math: a silently vanished row is
+    // how a perf regression escapes a ratio gate. Rows present on only
+    // one side are named; a kernel NAME the baseline has but NEW lacks
+    // entirely fails the comparison (N-grids may differ between quick
+    // and full runs, so only the name is load-bearing).
+    for (k, n, _) in old.iter().filter(|(k, n, _)| find(&new, k, *n).is_none()) {
+        println!("dropped from {new_path}: {k} N={n} (present in {old_path})");
+    }
+    for (k, n, _) in new.iter().filter(|(k, n, _)| find(&old, k, *n).is_none()) {
+        println!("new in {new_path}: {k} N={n} (absent from {old_path})");
+    }
+    let names = |rows: &[Row]| -> std::collections::BTreeSet<String> {
+        rows.iter().map(|(k, _, _)| k.clone()).collect()
+    };
+    let missing: Vec<String> = names(&old).difference(&names(&new)).cloned().collect();
+    if !missing.is_empty() {
+        eprintln!(
+            "{new_path} is missing {} kernel(s) the baseline has: {}",
+            missing.len(),
+            missing.join(", ")
+        );
+        return 1;
+    }
     let mut compared = 0;
     let mut failed = 0;
     for (k, n, new_ns) in &new {

@@ -1,0 +1,153 @@
+//! Property proof: pooled `chunked` is bitwise interchangeable with the
+//! scoped-spawn reference implementation.
+//!
+//! `jc_compute::par::chunked` hands parallel chunks to the persistent
+//! worker pool; `chunked_scoped` is the old per-call `std::thread::scope`
+//! implementation, kept callable exactly so this suite can hold the two
+//! against each other. The contract under test: identical chunk
+//! geometry, positional state assignment and ascending merge order mean
+//! the two produce **bitwise identical** outputs and reductions for any
+//! worker count. The chunk bodies here are the real kernels — a
+//! sequential Barnes-Hut walk per target chunk and a full SPH
+//! density+rates pass per worker — in both their scalar and SoA/SIMD
+//! variants, so the property is pinned on the workloads the pool
+//! actually carries, not on toy arithmetic.
+
+use jc_compute::{chunked, chunked_scoped};
+use proptest::prelude::*;
+
+/// Deterministic target cloud (same LCG as the zero-alloc suite).
+fn cloud(n: usize, seed: u64) -> (Vec<[f64; 3]>, Vec<f64>) {
+    let mut x = seed.wrapping_mul(2862933555777941757).wrapping_add(11);
+    let mut rnd = || {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+    };
+    let pos: Vec<[f64; 3]> = (0..n).map(|_| [rnd(), rnd(), rnd()]).collect();
+    let mass = vec![1.0 / n as f64; n];
+    (pos, mass)
+}
+
+/// Walk `pos` against a per-worker prebuilt tree, chunked over `w`
+/// workers through either the pool (`pooled`) or scoped spawning.
+/// Returns the accelerations and the merged interaction total.
+fn tree_case(
+    pooled: bool,
+    w: usize,
+    pos: &[[f64; 3]],
+    mass: &[f64],
+    simd: bool,
+) -> (Vec<[f64; 3]>, u64) {
+    let mut out = vec![[0.0f64; 3]; pos.len()];
+    // Per-worker solver: `walk_targets` needs mutable scratch, and each
+    // deterministic rebuild over the same sources yields the same tree.
+    let mut states: Vec<(jc_treegrav::TreeGravity, Vec<[f64; 3]>)> = (0..w)
+        .map(|_| {
+            let mut s = jc_treegrav::TreeGravity::new(0.6, 0.02);
+            s.max_threads = 1;
+            s.simd = simd;
+            s.rebuild(pos, mass);
+            (s, Vec::new())
+        })
+        .collect();
+    let body = |_s0: usize,
+                (tc, oc): (&[[f64; 3]], &mut [[f64; 3]]),
+                st: &mut (jc_treegrav::TreeGravity, Vec<[f64; 3]>)| {
+        let (solver, tmp) = st;
+        solver.walk_targets(tc, tmp);
+        oc.copy_from_slice(tmp);
+        solver.last_interactions()
+    };
+    let data = (pos, out.as_mut_slice());
+    let total = if pooled {
+        chunked(w, data, &mut states, 0u64, body, |a, b| a + b)
+    } else {
+        chunked_scoped(w, data, &mut states, 0u64, body, |a, b| a + b)
+    };
+    (out, total)
+}
+
+/// Full SPH density + hydro rates per worker (the pass is coupled
+/// across particles, so every worker computes the whole deterministic
+/// answer on its own gas replica and writes only its chunk), chunked
+/// through either the pool or scoped spawning.
+fn sph_case(
+    pooled: bool,
+    w: usize,
+    n: usize,
+    seed: u64,
+    simd: bool,
+) -> (Vec<[f64; 3]>, Vec<f64>, u64) {
+    let mut acc = vec![[0.0f64; 3]; n];
+    let mut du = vec![0.0f64; n];
+    let mut states: Vec<(jc_sph::particles::GasParticles, jc_sph::SphScratch, jc_sph::HydroRates)> =
+        (0..w)
+            .map(|_| {
+                let gas = jc_sph::particles::plummer_gas(n, 1.0, seed);
+                let mut scr = jc_sph::SphScratch::new();
+                scr.max_threads = 1;
+                scr.simd = simd;
+                (gas, scr, jc_sph::HydroRates::new())
+            })
+            .collect();
+    let body = |s0: usize,
+                (ac, dc): (&mut [[f64; 3]], &mut [f64]),
+                st: &mut (
+        jc_sph::particles::GasParticles,
+        jc_sph::SphScratch,
+        jc_sph::HydroRates,
+    )| {
+        let (gas, scr, rates) = st;
+        jc_sph::density::compute_density_with(gas, scr);
+        jc_sph::forces::hydro_rates_into(gas, scr, rates);
+        ac.copy_from_slice(&rates.acc[s0..s0 + ac.len()]);
+        dc.copy_from_slice(&rates.du[s0..s0 + dc.len()]);
+        rates.interactions
+    };
+    let data = (acc.as_mut_slice(), du.as_mut_slice());
+    let total = if pooled {
+        chunked(w, data, &mut states, 0u64, body, |a, b| a + b)
+    } else {
+        chunked_scoped(w, data, &mut states, 0u64, body, |a, b| a + b)
+    };
+    (acc, du, total)
+}
+
+/// Bitwise comparison of acceleration vectors (`==` would conflate
+/// `-0.0` with `0.0` and any NaN would vacuously pass).
+fn bits3(v: &[[f64; 3]]) -> Vec<[u64; 3]> {
+    v.iter().map(|a| [a[0].to_bits(), a[1].to_bits(), a[2].to_bits()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Pooled and scoped execution of the Barnes-Hut walk agree bit for
+    /// bit — outputs and interaction totals — for any worker count, on
+    /// both the scalar and the SoA/SIMD traversal.
+    #[test]
+    fn pooled_matches_scoped_on_tree_walk(w in 1usize..=8, seed in 0u64..1 << 32) {
+        let (pos, mass) = cloud(300, seed);
+        for simd in [false, true] {
+            let (a, ia) = tree_case(true, w, &pos, &mass, simd);
+            let (b, ib) = tree_case(false, w, &pos, &mass, simd);
+            prop_assert!(ia == ib, "interaction totals diverged (w={}, simd={})", w, simd);
+            prop_assert!(bits3(&a) == bits3(&b), "tree walk diverged (w={}, simd={})", w, simd);
+        }
+    }
+
+    /// Pooled and scoped execution of the SPH density+rates pass agree
+    /// bit for bit for any worker count, on both the scalar and the
+    /// staged SoA path.
+    #[test]
+    fn pooled_matches_scoped_on_sph_rates(w in 1usize..=8, seed in 0u64..1 << 32) {
+        for simd in [false, true] {
+            let (aa, da, ia) = sph_case(true, w, 300, seed, simd);
+            let (ab, db, ib) = sph_case(false, w, 300, seed, simd);
+            prop_assert!(ia == ib, "interaction totals diverged (w={}, simd={})", w, simd);
+            prop_assert!(bits3(&aa) == bits3(&ab), "SPH acc diverged (w={}, simd={})", w, simd);
+            let bd = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert!(bd(&da) == bd(&db), "SPH du diverged (w={}, simd={})", w, simd);
+        }
+    }
+}

@@ -1,13 +1,14 @@
 //! Steady-state zero-allocation proof for every kernel hot path.
 //!
 //! A counting global allocator tracks allocations made by the *current
-//! thread* (worker threads are irrelevant here: the kernels are pinned to
-//! their strictly sequential mode, `max_threads = 1` / `Backend::Scalar`,
-//! which is exactly the mode whose steady state must be allocation-free;
-//! the parallel modes additionally pay thread-spawn bookkeeping by
-//! design). Each kernel is warmed until its scratch buffers reach their
-//! high-water mark, then the measured steady-state call must perform
-//! zero heap allocations.
+//! thread*. The kernel tests pin their strictly sequential mode
+//! (`max_threads = 1` / `Backend::Scalar`), whose steady state must be
+//! allocation-free end to end. The pool test pins the *parallel* mode's
+//! caller-side handoff: once the persistent workers exist and the
+//! bounded channel buffers are warm, a fanning-out `chunked` call must
+//! also allocate nothing on the calling thread. Each path is warmed
+//! until its scratch buffers reach their high-water mark, then the
+//! measured steady-state call must perform zero heap allocations.
 
 #![deny(unsafe_op_in_unsafe_fn)]
 
@@ -249,6 +250,49 @@ fn sharded_local_pool_hot_path_allocates_nothing() {
     });
     assert_eq!(allocs, 0, "sharded snapshot+kick made {allocs} heap allocations");
     assert_eq!(snap.mass.len(), 96);
+}
+
+#[test]
+fn pooled_parallel_chunked_steady_state_allocates_nothing() {
+    // The parallel mode's caller side must go quiet too: the first
+    // fanning-out call spawns the pool threads and fills the bounded
+    // channel buffers; after that, tasks live in a fixed stack array,
+    // latches are plain `Mutex`/`Condvar`, and a warm `send` into a
+    // bounded channel does not allocate. (Worker-thread allocations are
+    // invisible to this thread's counter by construction — the claim
+    // pinned here is the handoff, which is entirely caller-side.)
+    let data: Vec<f64> = (0..4096).map(|i| (i as f64).sin()).collect();
+    let mut out = vec![0.0f64; 4096];
+    let mut states = vec![0u64; 4];
+    let run = |out: &mut [f64], states: &mut [u64]| {
+        jc_compute::chunked(
+            4,
+            (data.as_slice(), out),
+            states,
+            0.0f64,
+            |s0, (src, dst): (&[f64], &mut [f64]), calls| {
+                *calls += 1;
+                let mut acc = 0.0;
+                for (k, (x, y)) in src.iter().zip(dst.iter_mut()).enumerate() {
+                    *y = x * 0.5 + (s0 + k) as f64 * 1e-6;
+                    acc += *y;
+                }
+                acc
+            },
+            |a, b| a + b,
+        )
+    };
+    // warm: spawns the pool workers and their channel buffers
+    let r0 = run(&mut out, &mut states);
+    let r1 = run(&mut out, &mut states);
+    assert_eq!(r0.to_bits(), r1.to_bits(), "sanity: the reduction is deterministic");
+    let mut r2 = 0.0;
+    let allocs = count_allocs(|| {
+        r2 = run(&mut out, &mut states);
+    });
+    assert_eq!(allocs, 0, "warm parallel chunked call made {allocs} caller-side allocations");
+    assert_eq!(r2.to_bits(), r0.to_bits());
+    assert!(states.iter().all(|&c| c == 3), "sanity: every worker ran every call");
 }
 
 #[test]

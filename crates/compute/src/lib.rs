@@ -10,17 +10,19 @@
 //! * [`soa`] — cache-line-aligned structure-of-arrays column buffers
 //!   (`x/y/z/m`) with conversions from/to the `[f64; 3]` AoS particle
 //!   sets, the memory layout the fixed-width batched kernels read; and
-//! * [`par`] — the unified scoped-thread chunking core
-//!   ([`par::chunked`]) that replaces the hand-rolled
-//!   `std::thread::scope` + `split_at_mut` splitting loops previously
-//!   duplicated across `jc_nbody`, `jc_sph` and `jc_treegrav`, plus the
-//!   shared worker-count policy ([`par::threads_for`]) with its
-//!   `JC_THREADS` environment override for reproducible runs on shared
-//!   machines.
+//! * [`par`] — the unified parallel chunking core ([`par::chunked`])
+//!   that replaces the hand-rolled `std::thread::scope` +
+//!   `split_at_mut` splitting loops previously duplicated across
+//!   `jc_nbody`, `jc_sph` and `jc_treegrav`, backed by a persistent
+//!   worker pool (spawn once, park between calls, hand chunks over
+//!   warm bounded channels), plus the shared worker-count policy
+//!   ([`par::threads_for`]) with its `JC_THREADS` environment override
+//!   for reproducible runs on shared machines.
 //!
 //! It is a leaf crate on purpose: every kernel crate (and, through
 //! them, the whole jungle runtime) layers on top of it, so it depends
-//! on nothing but `std`. `jc_core` re-exports it as `jc_core::soa` /
+//! on nothing but `std` and the offline `crossbeam` channel shim the
+//! pool hands chunks over. `jc_core` re-exports it as `jc_core::soa` /
 //! `jc_core::par` for runtime-level callers.
 
 #![warn(missing_docs)]
@@ -29,7 +31,8 @@
 #![deny(unreachable_pub)]
 
 pub mod par;
+mod pool;
 pub mod soa;
 
-pub use par::{chunked, threads_for};
+pub use par::{chunked, chunked_scoped, threads_for};
 pub use soa::{reduce_lanes, AlignedF64, Soa3, SoaBodies, LANES};

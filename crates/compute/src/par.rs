@@ -2,20 +2,30 @@
 //!
 //! Every kernel hot path in this workspace parallelizes the same way:
 //! split the target range into contiguous chunks, hand each chunk (plus
-//! a reusable per-worker scratch) to a scoped thread, and fold the
-//! per-worker results. [`chunked`] is that loop, written once; the
-//! kernel crates used to carry three hand-rolled copies of it.
+//! a reusable per-worker scratch) to a worker, and fold the per-worker
+//! results. [`chunked`] is that loop, written once; the kernel crates
+//! used to carry three hand-rolled copies of it. Parallel chunks run on
+//! the persistent worker pool (`crate::pool`): threads are spawned once
+//! per process, park in a channel `recv()` between calls, and receive
+//! chunks over bounded (allocation-free once warm) channel handoffs —
+//! per-call `std::thread::scope` spawning survives only as the
+//! [`chunked_scoped`] reference implementation the equivalence tests
+//! compare against.
 //!
-//! Two contracts the kernels rely on:
+//! Contracts the kernels rely on:
 //!
 //! * **Determinism** — chunking never reorders arithmetic *within* a
 //!   target, and results are written into disjoint pre-split slices, so
 //!   outputs are bitwise identical for any worker count (the kernel
-//!   crates property-test this).
+//!   crates property-test this). Pooled and scoped execution use the
+//!   same chunk geometry, state assignment and ascending merge order,
+//!   so they are bitwise interchangeable (property-tested in the bench
+//!   crate).
 //! * **Zero allocation in sequential mode** — with `threads <= 1` the
 //!   body runs inline on the calling thread: no spawn, no handle
-//!   collection, no heap traffic. The parallel mode allocates only
-//!   thread-spawn bookkeeping, by design.
+//!   collection, no heap traffic. The parallel mode also reaches an
+//!   allocation-free steady state once the pool threads exist and the
+//!   channel buffers are warm (the `zero_alloc` suite pins both).
 
 use std::sync::OnceLock;
 
@@ -23,19 +33,29 @@ use std::sync::OnceLock;
 /// (Each kernel may override; they all currently agree on 64.)
 pub const DEFAULT_GRAIN: usize = 64;
 
+/// Physical core count, detected once per process (detection allocates;
+/// the result cannot change, unlike the environment).
+fn cores() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1))
+}
+
 /// Auto-detected worker cap: the `JC_THREADS` environment override when
 /// set to a positive integer, otherwise `available_parallelism`.
-/// Resolved once per process (both the env read and core detection
-/// allocate, so hot paths must not repeat them).
+///
+/// The environment is read *per resolution* — deliberately not cached,
+/// so an in-process `JC_THREADS` change (perfsuite's thread-sweep rows,
+/// test harnesses) takes effect on the next kernel call. The read is
+/// off the hot path: [`threads_for`] resolves it only when the grain
+/// policy actually allows fanning out, and a set `JC_THREADS` means the
+/// caller has already opted out of the strict sequential mode. (Core
+/// detection stays cached — it allocates and cannot change.)
 fn auto_threads() -> usize {
-    static AUTO: OnceLock<usize> = OnceLock::new();
-    *AUTO.get_or_init(|| {
-        std::env::var("JC_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1))
-    })
+    std::env::var("JC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(cores)
 }
 
 /// Worker count for a problem of `n` targets: `max_threads` (0 = auto —
@@ -43,11 +63,16 @@ fn auto_threads() -> usize {
 /// shared machines), clamped so every worker gets at least `grain`
 /// targets. An explicit `max_threads` always wins over the environment:
 /// `max_threads == 1` is the strictly sequential mode whose steady
-/// state must stay allocation-free, so it must never touch the (lazily
-/// cached, allocating) auto detection.
+/// state must stay allocation-free, so it must never touch the
+/// (allocating) environment read or core detection — nor does any call
+/// the grain policy already pins to one worker.
 pub fn threads_for(n: usize, max_threads: usize, grain: usize) -> usize {
+    let by_grain = n.div_ceil(grain.max(1)).max(1);
+    if max_threads == 1 || by_grain == 1 {
+        return 1;
+    }
     let cap = if max_threads == 0 { auto_threads() } else { max_threads };
-    cap.min(n.div_ceil(grain.max(1))).max(1)
+    cap.min(by_grain).max(1)
 }
 
 /// Data that [`chunked`] can split into contiguous per-worker chunks:
@@ -104,7 +129,7 @@ impl<A: Split, B: Split, C: Split> Split for (A, B, C) {
 }
 
 /// Run `body(start_index, chunk, state)` over contiguous chunks of
-/// `data` on scoped threads — at most `threads` workers, at most one
+/// `data` on pool workers — at most `threads` workers, at most one
 /// per entry of `states` — and fold the per-chunk results with `merge`
 /// (worker results are merged in ascending chunk order, so reductions
 /// are deterministic for a fixed worker count; kernels whose *results*
@@ -116,8 +141,54 @@ impl<A: Split, B: Split, C: Split> Split for (A, B, C) {
 /// mode the `zero_alloc` suite pins. `states[k]` is handed to chunk `k`
 /// (ascending), so per-worker staging buffers land in chunk order.
 ///
+/// Parallel chunks are handed to the persistent worker pool: all but
+/// the last chunk go to parked pool threads over warm bounded channels
+/// and the last runs inline on the calling thread, so a warm parallel
+/// call spawns no threads and allocates nothing either. Results are
+/// bitwise identical to [`chunked_scoped`] for any `threads` (same
+/// geometry, same states, same merge order). Two deliberate fallbacks
+/// keep the pool out of pathological shapes: a call from *inside* a
+/// pool worker runs inline (nested fan-out would deadlock a positional
+/// pool), and a call fanning out past the pool's fixed per-call task
+/// budget uses scoped spawning.
+///
 /// Panics if `states` is empty; a panicking worker propagates.
 pub fn chunked<D, W, R, F, M>(
+    threads: usize,
+    data: D,
+    states: &mut [W],
+    init: R,
+    body: F,
+    merge: M,
+) -> R
+where
+    D: Split + Send,
+    W: Send,
+    R: Send,
+    F: Fn(usize, D, &mut W) -> R + Sync,
+    M: Fn(R, R) -> R,
+{
+    assert!(!states.is_empty(), "chunked needs at least one worker state");
+    let n = data.chunk_len();
+    let threads = threads.min(states.len()).max(1);
+    if threads <= 1 || n == 0 || crate::pool::on_worker_thread() {
+        let r = body(0, data, &mut states[0]);
+        return merge(init, r);
+    }
+    if threads > crate::pool::MAX_CHUNKS {
+        return chunked_scoped(threads, data, states, init, body, merge);
+    }
+    crate::pool::run_chunked(threads, data, states, init, &body, merge)
+}
+
+/// The scoped-spawn reference implementation of [`chunked`]: identical
+/// chunk geometry, state assignment and ascending merge order, with a
+/// fresh `std::thread::scope` spawn per chunk instead of the pool.
+/// Kept callable so the equivalence suite can property-test pooled
+/// against scoped execution (bitwise-identical results for any worker
+/// count); also the fallback for calls wider than the pool's per-call
+/// task budget.
+pub fn chunked_scoped<D, W, R, F, M>(
     threads: usize,
     data: D,
     states: &mut [W],

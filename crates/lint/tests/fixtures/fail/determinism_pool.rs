@@ -1,0 +1,23 @@
+//! Fail fixture shaped like worker-pool internals (checked under the
+//! virtual path `crates/compute/src/pool.rs` — the persistent pool is
+//! replay-critical scope). Expected findings: `HashMap` at lines 8/12
+//! (a keyed worker registry iterates in hash order, so chunk→worker
+//! assignment diverges between a run and its replay), `Instant` at
+//! lines 15/18 (a wall-clock deadline leaks timing into scheduling).
+
+use std::collections::HashMap;
+
+pub struct Pool {
+    /// Keyed, not positional: iteration order is hash-seeded.
+    workers: HashMap<usize, std::sync::mpsc::Sender<usize>>,
+}
+
+pub fn submit_all(pool: &Pool, deadline: std::time::Instant) -> usize {
+    let mut sent = 0;
+    for (_, tx) in pool.workers.iter() {
+        if std::time::Instant::now() < deadline && tx.send(sent).is_ok() {
+            sent += 1;
+        }
+    }
+    sent
+}

@@ -1,0 +1,29 @@
+//! Pass fixture shaped like worker-pool internals (checked under the
+//! virtual path `crates/compute/src/pool.rs`): positional worker
+//! indexing (a `Vec`, no hash-seeded iteration), pure channel/latch
+//! wake-ups with no wall-clock reads in production code; timing only
+//! inside `#[cfg(test)]`.
+
+pub struct Pool {
+    /// Positional: chunk `k` always goes to worker `k`.
+    workers: Vec<std::sync::mpsc::Sender<usize>>,
+}
+
+pub fn submit_all(pool: &Pool) -> usize {
+    let mut sent = 0;
+    for tx in pool.workers.iter() {
+        if tx.send(sent).is_ok() {
+            sent += 1;
+        }
+    }
+    sent
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_is_fine_in_tests() {
+        let t0 = std::time::Instant::now();
+        let _ = t0.elapsed();
+    }
+}

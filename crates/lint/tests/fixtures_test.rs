@@ -134,6 +134,29 @@ fn determinism_pass_fixture_is_quiet() {
 }
 
 #[test]
+fn determinism_pool_fail_fixture_exact_diagnostics() {
+    // The persistent worker pool is replay-critical: a hash-keyed
+    // worker registry or a wall-clock deadline in its internals would
+    // silently break the pooled-equals-scoped bitwise contract.
+    let path = "crates/compute/src/pool.rs";
+    assert!(determinism::in_scope(path), "pool internals must be replay-critical scope");
+    let f = fixture("fail/determinism_pool.rs", path);
+    let d = determinism::check(&f);
+    assert_eq!(
+        lines(&d),
+        vec![(8, "determinism"), (12, "determinism"), (15, "determinism"), (18, "determinism")],
+        "{d:#?}"
+    );
+}
+
+#[test]
+fn determinism_pool_pass_fixture_is_quiet() {
+    let f = fixture("pass/determinism_pool.rs", "crates/compute/src/pool.rs");
+    let d = determinism::check(&f);
+    assert!(d.is_empty(), "{d:#?}");
+}
+
+#[test]
 fn env_registry_fail_fixture_exact_diagnostics() {
     let code = fixture("fail/env/code.rs", "crates/x/src/lib.rs");
     let registry = fixture("fail/env/envreg.rs", env_registry::REGISTRY_PATH);

@@ -26,11 +26,96 @@ const PAR_GRAIN: usize = 64;
 /// Candidate buffer entry: (particle index, squared distance).
 pub(crate) type Candidate = (u32, f64);
 
+/// Per-worker staged active-pair columns for the force pass's SoA path:
+/// the filter phase writes each surviving pair's index and the values
+/// its predicate already computed (`dx, dy, dz, r², h_ij`) as parallel
+/// columns, so the interaction phase reads them back with sequential
+/// vector loads instead of re-gathering positions and re-deriving the
+/// separation — only the velocity/thermodynamic columns still need
+/// gathers. Reused across calls (allocation-free once warm).
+#[derive(Default)]
+pub(crate) struct PairCols {
+    /// Neighbour index of each active pair.
+    pub(crate) j: Vec<u32>,
+    /// Separation `pos[i] - pos[j]`, one column per component.
+    pub(crate) dx: Vec<f64>,
+    /// See [`PairCols::dx`].
+    pub(crate) dy: Vec<f64>,
+    /// See [`PairCols::dx`].
+    pub(crate) dz: Vec<f64>,
+    /// Squared pair distance (always `> 0`: staged pairs are
+    /// pre-filtered).
+    pub(crate) r2: Vec<f64>,
+    /// Symmetrized smoothing length `(h_i + h_j) / 2`.
+    pub(crate) h: Vec<f64>,
+}
+
+impl PairCols {
+    /// Staged pair count.
+    pub(crate) fn len(&self) -> usize {
+        self.j.len()
+    }
+
+    /// Drop all staged pairs, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.j.clear();
+        self.dx.clear();
+        self.dy.clear();
+        self.dz.clear();
+        self.r2.clear();
+        self.h.clear();
+    }
+
+    /// Stage one accepted pair.
+    #[inline(always)]
+    pub(crate) fn push(&mut self, j: u32, dx: f64, dy: f64, dz: f64, r2: f64, h_ij: f64) {
+        self.j.push(j);
+        self.dx.push(dx);
+        self.dy.push(dy);
+        self.dz.push(dz);
+        self.r2.push(r2);
+        self.h.push(h_ij);
+    }
+}
+
+/// One packed filter row: everything the pair predicate reads for a
+/// candidate (`x, y, z, h`), 32-byte aligned so a random candidate
+/// probe touches exactly one cache line. The force pass's filter phase
+/// is bound by these probes — through the split SoA columns each
+/// candidate costs four lines, which made the "SIMD" path slower than
+/// the scalar AoS walk it replaces.
+#[derive(Clone, Copy, Default)]
+#[repr(C, align(32))]
+pub(crate) struct FiltRow {
+    pub(crate) x: f64,
+    pub(crate) y: f64,
+    pub(crate) z: f64,
+    pub(crate) h: f64,
+}
+
+/// One packed interaction row: everything the pair evaluator reads for
+/// an accepted neighbour (`vx, vy, vz, rho, pres, cs, m`), padded to
+/// exactly one 64-byte cache line. Replaces seven per-column gathers
+/// (seven lines) with a single line per accepted pair.
+#[derive(Clone, Copy, Default)]
+#[repr(C, align(64))]
+pub(crate) struct EvalRow {
+    pub(crate) vx: f64,
+    pub(crate) vy: f64,
+    pub(crate) vz: f64,
+    pub(crate) rho: f64,
+    pub(crate) pres: f64,
+    pub(crate) cs: f64,
+    pub(crate) m: f64,
+    pub(crate) _pad: f64,
+}
+
 /// SoA mirror of the gas columns the batched kernels gather through the
 /// cached neighbour lists: positions/velocities plus the per-particle
-/// scalars (mass, smoothing length, density, pressure, sound speed).
-/// Owned by [`SphScratch`] and refilled in place — allocation-free once
-/// capacity is warm.
+/// scalars (mass, smoothing length, density, pressure, sound speed),
+/// and the packed per-particle [`FiltRow`]/[`EvalRow`] lines the force
+/// pass probes by neighbour index. Owned by [`SphScratch`] and refilled
+/// in place — allocation-free once capacity is warm.
 #[derive(Default)]
 pub(crate) struct GasSoa {
     pub(crate) pos: Soa3,
@@ -40,6 +125,10 @@ pub(crate) struct GasSoa {
     pub(crate) rho: AlignedF64,
     pub(crate) pres: AlignedF64,
     pub(crate) cs: AlignedF64,
+    /// Packed predicate inputs, indexed by particle.
+    pub(crate) filt: Vec<FiltRow>,
+    /// Packed evaluator inputs, indexed by particle.
+    pub(crate) evalr: Vec<EvalRow>,
 }
 
 impl GasSoa {
@@ -63,6 +152,28 @@ impl GasSoa {
         for i in 0..n {
             pres[i] = gas.pressure(i);
             cs[i] = gas.sound_speed(i);
+        }
+        self.filt.clear();
+        self.evalr.clear();
+        self.filt.reserve(n);
+        self.evalr.reserve(n);
+        for i in 0..n {
+            self.filt.push(FiltRow {
+                x: gas.pos[i][0],
+                y: gas.pos[i][1],
+                z: gas.pos[i][2],
+                h: gas.h[i],
+            });
+            self.evalr.push(EvalRow {
+                vx: gas.vel[i][0],
+                vy: gas.vel[i][1],
+                vz: gas.vel[i][2],
+                rho: gas.rho[i],
+                pres: pres[i],
+                cs: cs[i],
+                m: gas.mass[i],
+                _pad: 0.0,
+            });
         }
     }
 }
@@ -113,6 +224,9 @@ pub struct SphScratch {
     grid_for: usize,
     /// SoA gas mirror for the SIMD gather paths.
     pub(crate) soa: GasSoa,
+    /// Per-worker staged active-pair columns for the force pass's SoA
+    /// path (see [`PairCols`]).
+    pairs: Vec<PairCols>,
 }
 
 impl Default for SphScratch {
@@ -137,6 +251,7 @@ impl SphScratch {
             cached_n: usize::MAX,
             grid_for: usize::MAX,
             soa: GasSoa::default(),
+            pairs: Vec::new(),
         }
     }
 
@@ -158,12 +273,11 @@ impl SphScratch {
     }
 
     /// Split-borrow view for the force pass: the SoA columns and the
-    /// cached-neighbour CSR arrays (shared) plus the per-worker
-    /// candidate buffers (exclusive — the force pass reuses them as
-    /// active-pair compaction scratch; the density pass rebuilds them
-    /// from scratch anyway).
-    pub(crate) fn force_view(&mut self) -> (&GasSoa, &[u32], &[u32], &mut Vec<Vec<Candidate>>) {
-        (&self.soa, &self.nbr_off, &self.nbr_idx, &mut self.bufs)
+    /// cached-neighbour CSR arrays (shared) plus the per-worker staged
+    /// active-pair columns (exclusive — the density pass never touches
+    /// them; its own candidate buffers stay private to it).
+    pub(crate) fn force_view(&mut self) -> (&GasSoa, &[u32], &[u32], &mut Vec<PairCols>) {
+        (&self.soa, &self.nbr_off, &self.nbr_idx, &mut self.pairs)
     }
 
     /// Particle count the neighbour cache is valid for (`None` if never

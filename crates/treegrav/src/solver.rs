@@ -22,14 +22,18 @@ pub struct TreeGravity {
     /// sequential (the steady-state walk then performs zero heap
     /// allocations).
     pub max_threads: usize,
-    /// Select the SIMD-friendly SoA walk: the traversal stages every
-    /// accepted node's `[dx, dy, dz, mass]` row in a per-worker
-    /// interaction list and evaluates the monopoles [`LANES`] wide with
-    /// the fixed [`reduce_lanes`] reduction order. Bitwise stable from
-    /// run to run (any worker count) but equal to the scalar walk only
-    /// to rounding; the scalar walk stays the bitwise-pinned reference.
-    /// Wall-clock is close to the scalar walk on one core (the walk is
-    /// traversal-bound; see `docs/ARCHITECTURE.md`).
+    /// Select the SIMD-friendly SoA walk: the traversal runs over a
+    /// compact cache-packed mirror of the octree (`WalkTree`, rebuilt
+    /// per [`TreeGravity::rebuild`]), stages every accepted node's
+    /// `[dx, dy, dz, mass]` row for a *block* of targets at a time in a
+    /// per-worker interaction list, and evaluates the monopoles with
+    /// the widest available instruction set (AVX-512 → AVX2 → portable
+    /// [`LANES`]-wide lanes, all op-for-op bitwise identical) under the
+    /// fixed [`reduce_lanes`] reduction order. Acceptance decisions are
+    /// identical to the scalar walk (same interaction counts); results
+    /// are bitwise stable from run to run (any worker count) but equal
+    /// to the scalar walk only to rounding — the scalar walk stays the
+    /// bitwise-pinned reference.
     pub simd: bool,
     interactions: AtomicU64,
     /// Reused octree arena (rebuilt in place every call).
@@ -40,12 +44,22 @@ pub struct TreeGravity {
     /// re-deriving `(size/θ + δ)²` — a `sqrt` and a `div` per visited
     /// node — for every one of the N targets.
     open2: Vec<f64>,
+    /// Compact traversal mirror for the SIMD walk (rebuilt per
+    /// [`TreeGravity::rebuild`]; see [`WalkTree`]).
+    walk: WalkTree,
     /// Reused per-worker traversal state (stack + interaction list).
     walkers: Vec<WalkScratch>,
 }
 
 /// Minimum targets per worker thread before fanning out.
 const PAR_GRAIN: usize = 64;
+
+/// Targets staged per interaction-list batch on the SIMD walk: the
+/// traversal fills one shared list for a block of targets (per-target
+/// extents recorded on the stack), then the evaluator sweeps the block
+/// — the list stays hot in cache and the per-call dispatch/reduction
+/// overhead is amortized across the block.
+const TARGET_BLOCK: usize = 8;
 
 /// Per-worker traversal state: the explicit walk stack, plus the SoA
 /// interaction list the SIMD walk stages accepted nodes into (empty and
@@ -56,10 +70,103 @@ struct WalkScratch {
     /// Accepted-node interaction list, one `[dx, dy, dz, mass]` row per
     /// node (the separation vector is already computed by the acceptance
     /// test) — a single push per acceptance; the evaluator transposes
-    /// rows to lanes in registers. Staged rows always have
-    /// `|dx|² + ε² > 0`: the traversal filters the zero-distance
-    /// zero-softening case before staging.
+    /// rows to lanes in registers. Holds a whole [`TARGET_BLOCK`] of
+    /// targets' rows per batch (contiguous per-target extents). Staged
+    /// rows always have `|dx|² + ε² > 0`: the traversal filters the
+    /// zero-distance zero-softening case before staging.
     list: Vec<[f64; 4]>,
+}
+
+/// One node of the [`WalkTree`]: everything the SIMD traversal touches
+/// per visited node — acceptance inputs (`com`, `open2`), the staged
+/// payload (`mass`) and the live-children extent — packed into 48
+/// bytes, versus two-plus cache lines for the full
+/// [`crate::octree::Node`] plus a separate `open2` load. At the N where
+/// the node arena outgrows L2 this halves the traversal's miss
+/// footprint.
+#[derive(Clone, Default)]
+struct WalkCell {
+    /// Center of mass of the cell.
+    com: [f64; 3],
+    /// Total mass of the cell.
+    mass: f64,
+    /// Squared opening radius (`-1.0` leaf sentinel accepts always).
+    open2: f64,
+    /// First live child in [`WalkTree::children`].
+    child_start: u32,
+    /// Number of live children.
+    child_count: u32,
+}
+
+/// Compact mirror of the octree for the SIMD walk, rebuilt (in place,
+/// allocation-free once warm) by [`TreeGravity::rebuild`]. Cells keep
+/// the octree's arena indices; empty and massless subtrees are pruned
+/// from the children lists at build time — exactly the nodes the scalar
+/// walk skips at run time, so acceptance decisions and interaction
+/// counts are identical by construction.
+#[derive(Default)]
+struct WalkTree {
+    cells: Vec<WalkCell>,
+    /// Flattened live-children lists, indexed by
+    /// [`WalkCell::child_start`] / [`WalkCell::child_count`]. Children
+    /// keep the octant order the scalar walk pushes them in, so the
+    /// traversal (and the staged row order) matches it node for node.
+    children: Vec<u32>,
+    /// Does the root itself pass the scalar walk's `count > 0 &&
+    /// mass != 0` liveness check? (`false` also for an empty tree.)
+    root_live: bool,
+}
+
+impl WalkTree {
+    /// Rebuild the mirror from `tree` and its precomputed `open2` radii.
+    fn build(&mut self, tree: &Octree, open2: &[f64]) {
+        let nodes = tree.nodes();
+        self.cells.clear();
+        self.children.clear();
+        self.root_live = nodes.first().is_some_and(|r| r.count > 0 && r.mass != 0.0);
+        for (i, n) in nodes.iter().enumerate() {
+            let start = self.children.len() as u32;
+            // Leaves (open2 sentinel) never descend; internal nodes
+            // keep only children the scalar walk would not skip.
+            if open2[i] >= 0.0 {
+                for &c in &n.children {
+                    if c != 0 {
+                        let ch = &nodes[c as usize];
+                        if ch.count > 0 && ch.mass != 0.0 {
+                            self.children.push(c);
+                        }
+                    }
+                }
+            }
+            self.cells.push(WalkCell {
+                com: n.com,
+                mass: n.mass,
+                open2: open2[i],
+                child_start: start,
+                child_count: self.children.len() as u32 - start,
+            });
+        }
+    }
+}
+
+/// Hint the cache that cell `i` is about to be visited (children are
+/// prefetched as they are pushed on the walk stack, hiding the node
+/// fetch latency behind the remaining work at this level). A no-op off
+/// x86_64; never affects results.
+#[inline(always)]
+fn prefetch_cell(cells: &[WalkCell], i: u32) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint with no memory or
+    // register effects; the pointer is in bounds by construction
+    // (`i` indexes `cells`) and SSE is part of the x86_64 baseline.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(cells.as_ptr().add(i as usize) as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (cells, i);
+    }
 }
 
 impl TreeGravity {
@@ -74,6 +181,7 @@ impl TreeGravity {
             interactions: AtomicU64::new(0),
             tree: Octree::new(),
             open2: Vec::new(),
+            walk: WalkTree::default(),
             walkers: Vec::new(),
         }
     }
@@ -134,6 +242,9 @@ impl TreeGravity {
     pub fn rebuild(&mut self, s_pos: &[[f64; 3]], s_mass: &[f64]) {
         self.tree.build_into(s_pos, s_mass);
         precompute_open2(&self.tree, self.theta, &mut self.open2);
+        // Always mirrored (one linear pass over the arena, in place):
+        // `simd` may be toggled between rebuild and walk.
+        self.walk.build(&self.tree, &self.open2);
     }
 
     /// Walk every target against the tree from the last
@@ -151,6 +262,7 @@ impl TreeGravity {
         let threads = par::threads_for(n, self.max_threads, PAR_GRAIN);
         self.walkers.resize_with(threads, WalkScratch::default);
         let (tree, open2, eps2, simd) = (&self.tree, &self.open2[..], self.eps2, self.simd);
+        let walk = &self.walk;
         let total = par::chunked(
             threads,
             (targets, out.as_mut_slice()),
@@ -158,12 +270,14 @@ impl TreeGravity {
             0u64,
             |_, (tc, oc): (&[[f64; 3]], &mut [[f64; 3]]), walker| {
                 let mut inter = 0u64;
-                for (t, a) in tc.iter().zip(oc.iter_mut()) {
-                    inter += if simd {
-                        walk_into_simd(tree, open2, eps2, t, a, walker)
-                    } else {
-                        walk_into(tree, open2, eps2, t, a, &mut walker.stack)
-                    };
+                if simd {
+                    for (tb, ob) in tc.chunks(TARGET_BLOCK).zip(oc.chunks_mut(TARGET_BLOCK)) {
+                        inter += walk_block_simd(walk, eps2, tb, ob, walker);
+                    }
+                } else {
+                    for (t, a) in tc.iter().zip(oc.iter_mut()) {
+                        inter += walk_into(tree, open2, eps2, t, a, &mut walker.stack);
+                    }
                 }
                 inter
             },
@@ -260,60 +374,217 @@ fn walk_into(
     n_inter
 }
 
-/// One Barnes–Hut walk on the SoA path ([`TreeGravity::simd`]): the
-/// traversal (identical acceptance decisions to [`walk_into`], hence
-/// identical interaction counts) stages every accepted node's center of
-/// mass and mass into the worker's SoA interaction list, then the
-/// monopole kernel evaluates the whole list [`LANES`] wide with the
-/// fixed [`reduce_lanes`] reduction. `acc` is fully overwritten.
-fn walk_into_simd(
-    tree: &Octree,
-    open2: &[f64],
+/// The Barnes–Hut walk for one block of up to [`TARGET_BLOCK`] targets
+/// on the SoA path ([`TreeGravity::simd`]): each target's traversal runs
+/// over the compact [`WalkTree`] mirror (identical acceptance decisions
+/// to [`walk_into`], hence identical interaction counts — dead subtrees
+/// were pruned at build time instead of skipped per pop), staging
+/// accepted `[dx, dy, dz, mass]` rows into one shared per-worker list
+/// with per-target extents; children are cache-prefetched as they are
+/// pushed. The monopole kernel then sweeps the still-hot list once per
+/// target under the fixed [`reduce_lanes`] reduction. `out` rows are
+/// fully overwritten. Returns the block's interaction count.
+fn walk_block_simd(
+    wt: &WalkTree,
     eps2: f64,
-    t: &[f64; 3],
-    acc: &mut [f64; 3],
+    targets: &[[f64; 3]],
+    out: &mut [[f64; 3]],
     w: &mut WalkScratch,
 ) -> u64 {
-    let nodes = tree.nodes();
-    w.stack.clear();
-    w.stack.push(0);
+    debug_assert!(targets.len() <= TARGET_BLOCK && targets.len() == out.len());
+    if !wt.root_live {
+        out.fill([0.0; 3]);
+        return 0;
+    }
+    let cells = wt.cells.as_slice();
+    let kids = wt.children.as_slice();
+    let mut offs = [0u32; TARGET_BLOCK + 1];
     w.list.clear();
-    while let Some(ni) = w.stack.pop() {
-        let node = &nodes[ni as usize];
-        if node.count == 0 || node.mass == 0.0 {
-            continue;
-        }
-        let dx = [node.com[0] - t[0], node.com[1] - t[1], node.com[2] - t[2]];
-        let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
-        if r2 > open2[ni as usize] {
-            if r2 == 0.0 && eps2 == 0.0 {
-                continue; // the target sits exactly on the node com
-            }
-            w.list.push([dx[0], dx[1], dx[2], node.mass]);
-        } else {
-            for &c in &node.children {
-                if c != 0 {
+    for (k, t) in targets.iter().enumerate() {
+        w.stack.clear();
+        w.stack.push(0);
+        while let Some(ni) = w.stack.pop() {
+            let cell = &cells[ni as usize];
+            let dx = [cell.com[0] - t[0], cell.com[1] - t[1], cell.com[2] - t[2]];
+            let r2 = dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2];
+            if r2 > cell.open2 {
+                if r2 == 0.0 && eps2 == 0.0 {
+                    continue; // the target sits exactly on the node com
+                }
+                w.list.push([dx[0], dx[1], dx[2], cell.mass]);
+            } else {
+                let s = cell.child_start as usize;
+                for &c in &kids[s..s + cell.child_count as usize] {
+                    prefetch_cell(cells, c);
                     w.stack.push(c);
                 }
             }
         }
+        offs[k + 1] = w.list.len() as u32;
     }
-    eval_interaction_list(&w.list, eps2, acc);
+    for (k, acc) in out.iter_mut().enumerate() {
+        let rows = &w.list[offs[k] as usize..offs[k + 1] as usize];
+        eval_interaction_list(rows, eps2, acc);
+    }
     w.list.len() as u64
 }
 
 /// Evaluate the staged monopole interactions for one target, dispatched
 /// once per list to the widest available instruction set (see
-/// [`walk_into_simd`]; the AVX2 clone and the portable body execute the
-/// identical IEEE operation sequence, so results are machine-independent).
+/// [`walk_block_simd`]; the AVX-512 and AVX2 clones and the portable
+/// body execute the identical IEEE operation sequence, so results are
+/// machine-independent).
 fn eval_interaction_list(list: &[[f64; 4]], eps2: f64, acc: &mut [f64; 3]) {
     #[cfg(target_arch = "x86_64")]
-    if std::arch::is_x86_feature_detected!("avx2") {
-        // SAFETY: the avx2 clone is only reached when the CPU reports
-        // the feature at runtime.
-        return unsafe { eval_interaction_list_avx2(list, eps2, acc) };
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("avx2")
+        {
+            // SAFETY: the avx512 clone is only reached when the CPU
+            // reports both features at runtime.
+            return unsafe { eval_interaction_list_avx512(list, eps2, acc) };
+        }
+        if std::arch::is_x86_feature_detected!("avx2") {
+            // SAFETY: the avx2 clone is only reached when the CPU reports
+            // the feature at runtime.
+            return unsafe { eval_interaction_list_avx2(list, eps2, acc) };
+        }
     }
     eval_interaction_list_body(list, eps2, acc);
+}
+
+/// Transpose four consecutive `[dx, dy, dz, m]` rows starting at `o`
+/// into lane vectors. Shared by the AVX2 and AVX-512 evaluators.
+// SAFETY: `#[target_feature(enable = "avx2")]` makes this fn unsafe to
+// call; callers are themselves feature-gated clones and must pass
+// `o + 3 < list.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[inline]
+unsafe fn transpose_rows4(
+    list: &[[f64; 4]],
+    o: usize,
+) -> (
+    std::arch::x86_64::__m256d,
+    std::arch::x86_64::__m256d,
+    std::arch::x86_64::__m256d,
+    std::arch::x86_64::__m256d,
+) {
+    use std::arch::x86_64::*;
+    // SAFETY: the unaligned loads read whole `[f64; 4]` rows at indices
+    // `o .. o + 3`, in bounds per the caller contract; `loadu` has no
+    // alignment requirement.
+    unsafe {
+        let r0 = _mm256_loadu_pd(list[o].as_ptr());
+        let r1 = _mm256_loadu_pd(list[o + 1].as_ptr());
+        let r2_ = _mm256_loadu_pd(list[o + 2].as_ptr());
+        let r3 = _mm256_loadu_pd(list[o + 3].as_ptr());
+        let t0 = _mm256_unpacklo_pd(r0, r1);
+        let t1 = _mm256_unpackhi_pd(r0, r1);
+        let t2 = _mm256_unpacklo_pd(r2_, r3);
+        let t3 = _mm256_unpackhi_pd(r2_, r3);
+        let dx = _mm256_permute2f128_pd::<0x20>(t0, t2);
+        let dy = _mm256_permute2f128_pd::<0x20>(t1, t3);
+        let dz = _mm256_permute2f128_pd::<0x31>(t0, t2);
+        let m = _mm256_permute2f128_pd::<0x31>(t1, t3);
+        (dx, dy, dz, m)
+    }
+}
+
+/// AVX-512 implementation of [`eval_interaction_list_body`]: eight
+/// staged rows per iteration — two 4×4 in-register transposes widened to
+/// one zmm vector — with the monopole arithmetic evaluated 8-wide
+/// elementwise. Accumulation stays [`LANES`]-wide and *sequential* (low
+/// half, then high half): elementwise IEEE ops give the same result at
+/// any vector width, and the two 4-wide adds reproduce the portable
+/// body's exact batch order, so all three dispatch tiers stay bitwise
+/// identical.
+// SAFETY: `#[target_feature(enable = "avx512f,avx2")]` makes this fn
+// unsafe to call; the only call site is gated on runtime detection of
+// both features, so the instructions are never executed on a CPU
+// without them.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx2")]
+unsafe fn eval_interaction_list_avx512(list: &[[f64; 4]], eps2: f64, acc: &mut [f64; 3]) {
+    use std::arch::x86_64::*;
+    let n = list.len();
+    let groups = n / (2 * LANES);
+    // SAFETY: row loads go through `transpose_rows4` at offsets
+    // `g * 2 * LANES (+ LANES)` with `g < n / (2 * LANES)`, so every
+    // row index is `< n`; the `storeu` spills target local stack
+    // arrays. The AVX-512/AVX2 intrinsics are available per the
+    // `#[target_feature]` contract discharged at the detection-gated
+    // call site.
+    unsafe {
+        let eps2v8 = _mm512_set1_pd(eps2);
+        let ones8 = _mm512_set1_pd(1.0);
+        let mut axv = _mm256_setzero_pd();
+        let mut ayv = _mm256_setzero_pd();
+        let mut azv = _mm256_setzero_pd();
+        for g in 0..groups {
+            let o = g * 2 * LANES;
+            let (dx_lo, dy_lo, dz_lo, m_lo) = transpose_rows4(list, o);
+            let (dx_hi, dy_hi, dz_hi, m_hi) = transpose_rows4(list, o + LANES);
+            let dx = _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(dx_lo), dx_hi);
+            let dy = _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(dy_lo), dy_hi);
+            let dz = _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(dz_lo), dz_hi);
+            let m = _mm512_insertf64x4::<1>(_mm512_castpd256_pd512(m_lo), m_hi);
+            let r2s = _mm512_add_pd(
+                _mm512_add_pd(
+                    _mm512_add_pd(_mm512_mul_pd(dx, dx), _mm512_mul_pd(dy, dy)),
+                    _mm512_mul_pd(dz, dz),
+                ),
+                eps2v8,
+            );
+            let inv_r3 = _mm512_div_pd(ones8, _mm512_mul_pd(r2s, _mm512_sqrt_pd(r2s)));
+            let mir3 = _mm512_mul_pd(m, inv_r3);
+            let px = _mm512_mul_pd(mir3, dx);
+            let py = _mm512_mul_pd(mir3, dy);
+            let pz = _mm512_mul_pd(mir3, dz);
+            // Two sequential 4-wide adds — the portable batch order.
+            axv = _mm256_add_pd(axv, _mm512_castpd512_pd256(px));
+            axv = _mm256_add_pd(axv, _mm512_extractf64x4_pd::<1>(px));
+            ayv = _mm256_add_pd(ayv, _mm512_castpd512_pd256(py));
+            ayv = _mm256_add_pd(ayv, _mm512_extractf64x4_pd::<1>(py));
+            azv = _mm256_add_pd(azv, _mm512_castpd512_pd256(pz));
+            azv = _mm256_add_pd(azv, _mm512_extractf64x4_pd::<1>(pz));
+        }
+        let mut o = groups * 2 * LANES;
+        if n - o >= LANES {
+            // One leftover full batch: evaluate it 4-wide (AVX2 form),
+            // keeping the portable body's per-batch op sequence.
+            let eps2v = _mm256_set1_pd(eps2);
+            let ones = _mm256_set1_pd(1.0);
+            let (dx, dy, dz, m) = transpose_rows4(list, o);
+            let r2s = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy)),
+                    _mm256_mul_pd(dz, dz),
+                ),
+                eps2v,
+            );
+            let inv_r3 = _mm256_div_pd(ones, _mm256_mul_pd(r2s, _mm256_sqrt_pd(r2s)));
+            let mir3 = _mm256_mul_pd(m, inv_r3);
+            axv = _mm256_add_pd(axv, _mm256_mul_pd(mir3, dx));
+            ayv = _mm256_add_pd(ayv, _mm256_mul_pd(mir3, dy));
+            azv = _mm256_add_pd(azv, _mm256_mul_pd(mir3, dz));
+            o += LANES;
+        }
+        let (mut axl, mut ayl, mut azl) = ([0.0f64; LANES], [0.0f64; LANES], [0.0f64; LANES]);
+        _mm256_storeu_pd(axl.as_mut_ptr(), axv);
+        _mm256_storeu_pd(ayl.as_mut_ptr(), ayv);
+        _mm256_storeu_pd(azl.as_mut_ptr(), azv);
+        for (l, row) in list[o..].iter().enumerate() {
+            let [dx, dy, dz, m] = *row;
+            let r2s = dx * dx + dy * dy + dz * dz + eps2;
+            let inv_r3 = 1.0 / (r2s * r2s.sqrt());
+            let mir3 = m * inv_r3;
+            axl[l] += mir3 * dx;
+            ayl[l] += mir3 * dy;
+            azl[l] += mir3 * dz;
+        }
+        *acc = [reduce_lanes(axl), reduce_lanes(ayl), reduce_lanes(azl)];
+    }
 }
 
 /// AVX2 implementation of [`eval_interaction_list_body`]: four
@@ -552,6 +823,28 @@ mod tests {
         simd.max_threads = 7;
         simd.accelerations_into(&tpos, &pos, &mass, &mut c);
         assert_eq!(b, c, "simd walk not run-to-run stable");
+    }
+
+    #[test]
+    fn eval_dispatch_tiers_match_portable_body_bitwise() {
+        // Every list length class: 8-row groups, a leftover 4-batch,
+        // and 1–3 scalar tail lanes. The dispatched path (widest tier
+        // the CPU offers) must be bitwise identical to the portable
+        // body.
+        let mut x = 42u64;
+        let mut rnd = || {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((x >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        };
+        for n in [0usize, 1, 3, 4, 5, 7, 8, 9, 12, 15, 16, 23, 31, 64] {
+            let list: Vec<[f64; 4]> =
+                (0..n).map(|_| [rnd(), rnd(), rnd(), rnd().abs() + 0.1]).collect();
+            let mut dispatched = [0.0f64; 3];
+            let mut portable = [0.0f64; 3];
+            eval_interaction_list(&list, 1e-4, &mut dispatched);
+            eval_interaction_list_body(&list, 1e-4, &mut portable);
+            assert_eq!(dispatched, portable, "tier divergence at n={n}");
+        }
     }
 
     #[test]

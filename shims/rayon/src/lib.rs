@@ -17,19 +17,22 @@ pub mod prelude {
 /// How many worker threads a parallel stage may use: the `JC_THREADS`
 /// environment override when set to a positive integer (reproducible
 /// runs on shared machines — same knob as `jc_compute::par`), otherwise
-/// one per available core. Resolved once per process.
+/// one per available core. The environment is read *per resolution* —
+/// not cached — so a mid-process `JC_THREADS` change (perfsuite's
+/// thread-sweep rows, test harnesses) takes effect on the next
+/// pipeline; only the core count, which cannot change, is cached.
 fn threads_for(len: usize) -> usize {
-    static CAP: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    let cores = *CAP.get_or_init(|| {
-        std::env::var("JC_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&t| t > 0)
-            .unwrap_or_else(|| {
+    static CORES: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    let cap = std::env::var("JC_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t > 0)
+        .unwrap_or_else(|| {
+            *CORES.get_or_init(|| {
                 std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
             })
-    });
-    cores.min(len).max(1)
+        });
+    cap.min(len).max(1)
 }
 
 /// Order-preserving parallel map over an owned vector.

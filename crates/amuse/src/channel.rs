@@ -107,6 +107,75 @@ pub trait Channel {
             _ => None,
         }
     }
+
+    /// Does this channel overlap in-flight requests? `true` means the
+    /// two-phase fast paths below genuinely pipeline (the request is on
+    /// the wire when `submit_*` returns, and other channels' I/O makes
+    /// progress while this one is collected), so a fan-out of
+    /// `submit_*` calls followed by collects overlaps all the round
+    /// trips. The default `false` keeps in-process channels on the
+    /// borrowing one-shot fast paths, which are allocation-free for
+    /// them — [`crate::ShardedChannel`] consults this to pick its
+    /// scatter-gather mode.
+    fn pipelines(&self) -> bool {
+        false
+    }
+
+    /// Two-phase [`Channel::snapshot_into`]: start the
+    /// [`Request::GetParticles`] round trip.
+    fn submit_snapshot(&mut self) {
+        self.submit(Request::GetParticles)
+    }
+
+    /// Finish a [`Channel::submit_snapshot`]; same result and
+    /// accounting as the one-shot `snapshot_into`.
+    fn collect_snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        match self.collect() {
+            Response::Particles(p) => {
+                *out = p;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Two-phase [`Channel::kick_slice`]: start the [`Request::Kick`]
+    /// round trip.
+    fn submit_kick_slice(&mut self, dv: &[[f64; 3]]) {
+        self.submit(Request::Kick(dv.to_vec()))
+    }
+
+    /// Finish a [`Channel::submit_kick_slice`].
+    fn collect_kick(&mut self) -> Response {
+        self.collect()
+    }
+
+    /// Two-phase [`Channel::compute_kick_into`]: start the
+    /// [`Request::ComputeKick`] round trip.
+    fn submit_compute_kick(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+    ) {
+        self.submit(Request::ComputeKick {
+            targets: targets.to_vec(),
+            source_pos: source_pos.to_vec(),
+            source_mass: source_mass.to_vec(),
+        })
+    }
+
+    /// Finish a [`Channel::submit_compute_kick`]; same result and
+    /// accounting as the one-shot `compute_kick_into`.
+    fn collect_accelerations_into(&mut self, out: &mut Vec<[f64; 3]>) -> Option<f64> {
+        match self.collect() {
+            Response::Accelerations { acc, flops } => {
+                *out = acc;
+                Some(flops)
+            }
+            _ => None,
+        }
+    }
 }
 
 fn account(stats: &mut ChannelStats, req_bytes: u64, resp: &Response) {

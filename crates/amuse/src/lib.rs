@@ -32,9 +32,20 @@
 //!   speaks [`wire`] over TCP, [`socket::WorkerServer`] serves any
 //!   [`worker::ModelWorker`] behind a `TcpListener` (the `jungle-worker`
 //!   binary in `jc-deploy` wraps it).
+//! * [`reactor`] — the event-driven coupler core: a single-threaded
+//!   readiness [`reactor::Reactor`] owning every shard socket in
+//!   non-blocking mode, with incremental frame decoding
+//!   ([`reactor::FrameDecoder`]) and coalesced vectored writes.
+//!   [`reactor::ReactorChannel`] speaks the same [`wire`] protocol as
+//!   [`socket::SocketChannel`] — bitwise-identical results, pinned by
+//!   the `reactor_equivalence` test layer — but supports genuinely
+//!   pipelined requests across many shards from one thread.
 //! * [`shard`] — [`shard::ShardedChannel`] fans one logical model out
 //!   over a pool of workers: particle-range decomposition for state
-//!   ops, target scatter–gather for the coupling kick.
+//!   ops, target scatter–gather for the coupling kick. When every
+//!   shard channel reports [`channel::Channel::pipelines`], fan-out
+//!   uses the two-phase `submit_*`/`collect_*` API so all K shards
+//!   compute concurrently (`JC_LOCKSTEP=1` restores serial calls).
 //! * [`bridge`] — the Fig 7 combined gravitational/hydro/stellar solver:
 //!   kick–drift–kick coupling via the tree-gravity worker, parallel evolve
 //!   of gas and stars, and the slower stellar-evolution exchange every
@@ -63,6 +74,7 @@ pub mod channel;
 pub mod chaos;
 pub mod checkpoint;
 pub mod cluster;
+pub mod reactor;
 pub mod shard;
 pub mod socket;
 pub mod wire;
@@ -73,8 +85,11 @@ pub use channel::{Channel, ChannelStats, LocalChannel, ThreadChannel};
 pub use chaos::{ChaosStream, ChaosWriter, FaultKind, FaultPlan, RetryPolicy, StreamFaults};
 pub use checkpoint::{Checkpoint, CheckpointError, ModelState, Role};
 pub use cluster::EmbeddedCluster;
+pub use reactor::{FrameDecoder, Reactor, ReactorChannel};
 pub use shard::{ShardSupervisor, ShardedChannel};
-pub use socket::{spawn_flaky_tcp_worker, spawn_tcp_worker, SocketChannel, WorkerServer};
+pub use socket::{
+    spawn_flaky_tcp_worker, spawn_tcp_worker, SocketChannel, WorkerFleet, WorkerServer,
+};
 pub use wire::WireError;
 pub use worker::{
     CouplingWorker, GravityWorker, HydroWorker, ModelWorker, Request, Response, StellarWorker,

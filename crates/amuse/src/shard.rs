@@ -163,6 +163,14 @@ pub struct ShardedChannel {
     respawns: u64,
     /// Shards excluded (no replacement available) so far.
     exclusions: u64,
+    /// Force serial lock-step fan-out even when every shard pipelines
+    /// (`JC_LOCKSTEP=1`, or [`ShardedChannel::with_lockstep`]).
+    lockstep: bool,
+}
+
+/// `JC_LOCKSTEP=1` (or `true`) disables pipelined fan-out globally.
+fn lockstep_from_env() -> bool {
+    matches!(std::env::var("JC_LOCKSTEP").ok().as_deref(), Some("1") | Some("true"))
 }
 
 impl ShardedChannel {
@@ -200,7 +208,22 @@ impl ShardedChannel {
             supervisor: None,
             respawns: 0,
             exclusions: 0,
+            lockstep: lockstep_from_env(),
         }
+    }
+
+    /// Force (or undo) serial lock-step fan-out regardless of what the
+    /// shard channels support; overrides `JC_LOCKSTEP`.
+    pub fn with_lockstep(mut self, lockstep: bool) -> ShardedChannel {
+        self.lockstep = lockstep;
+        self
+    }
+
+    /// True when the state-op fast paths fan out in two phases (all
+    /// shards submitted before any collect) so the K workers compute —
+    /// and their frames fly — concurrently instead of one at a time.
+    pub fn pipelined(&self) -> bool {
+        !self.lockstep && self.shards.iter().all(|s| s.pipelines())
     }
 
     /// Attach a supervisor that can respawn dead shards (see
@@ -489,6 +512,13 @@ impl Channel for ShardedChannel {
         format!("{}×{}", self.shards[0].worker_name(), self.shards.len())
     }
 
+    /// A sharded pool pipelines when every member does (and the
+    /// lock-step escape hatch is off), letting an outer composition —
+    /// nested pools, the bridge — overlap this pool with its siblings.
+    fn pipelines(&self) -> bool {
+        self.pipelined()
+    }
+
     /// Failover: heartbeat every shard; replace each dead one with a
     /// supervisor respawn, or exclude it (re-partitioning over the
     /// survivors) when no replacement is available. Returns `false`
@@ -533,6 +563,33 @@ impl Channel for ShardedChannel {
         out.mass.clear();
         out.pos.clear();
         out.vel.clear();
+        if self.pipelined() {
+            // Phase one: every shard has the request on the wire before
+            // any reply is awaited, so the K workers encode and send
+            // their snapshots concurrently.
+            for s in &mut self.shards {
+                s.submit_snapshot();
+            }
+            let mut ok = true;
+            for i in 0..self.shards.len() {
+                // Even after a failure every remaining collect runs:
+                // the shards' pipelines must be left clean.
+                if !self.shards[i].collect_snapshot_into(&mut self.snap_scratch[i]) {
+                    ok = false;
+                }
+            }
+            if !ok {
+                return false;
+            }
+            for i in 0..self.shards.len() {
+                let scratch = &self.snap_scratch[i];
+                self.counts[i] = scratch.mass.len();
+                out.mass.extend_from_slice(&scratch.mass);
+                out.pos.extend_from_slice(&scratch.pos);
+                out.vel.extend_from_slice(&scratch.vel);
+            }
+            return true;
+        }
         for i in 0..self.shards.len() {
             let scratch = &mut self.snap_scratch[i];
             if !self.shards[i].snapshot_into(scratch) {
@@ -555,6 +612,24 @@ impl Channel for ShardedChannel {
             ));
         }
         let mut flops = 0.0;
+        if self.pipelined() {
+            for i in 0..self.shards.len() {
+                let (a, b) = self.range(i);
+                self.shards[i].submit_kick_slice(&dv[a..b]);
+            }
+            let mut failure: Option<Response> = None;
+            for s in &mut self.shards {
+                match s.collect_kick() {
+                    Response::Ok { flops: f } => flops += f,
+                    other => {
+                        if failure.is_none() {
+                            failure = Some(other);
+                        }
+                    }
+                }
+            }
+            return failure.unwrap_or(Response::Ok { flops });
+        }
         for i in 0..self.shards.len() {
             let (a, b) = self.range(i);
             match self.shards[i].kick_slice(&dv[a..b]) {
@@ -574,16 +649,34 @@ impl Channel for ShardedChannel {
     ) -> Option<f64> {
         let counts = partition(targets.len(), self.shards.len());
         let mut flops = 0.0;
-        let mut off = 0usize;
-        for (i, c) in counts.iter().enumerate() {
-            let acc = &mut self.acc_scratch[i];
-            flops += self.shards[i].compute_kick_into(
-                &targets[off..off + c],
-                source_pos,
-                source_mass,
-                acc,
-            )?;
-            off += c;
+        if self.pipelined() {
+            let mut off = 0usize;
+            for (i, c) in counts.iter().enumerate() {
+                self.shards[i].submit_compute_kick(&targets[off..off + c], source_pos, source_mass);
+                off += c;
+            }
+            let mut ok = true;
+            for i in 0..self.shards.len() {
+                match self.shards[i].collect_accelerations_into(&mut self.acc_scratch[i]) {
+                    Some(f) => flops += f,
+                    None => ok = false,
+                }
+            }
+            if !ok {
+                return None;
+            }
+        } else {
+            let mut off = 0usize;
+            for (i, c) in counts.iter().enumerate() {
+                let acc = &mut self.acc_scratch[i];
+                flops += self.shards[i].compute_kick_into(
+                    &targets[off..off + c],
+                    source_pos,
+                    source_mass,
+                    acc,
+                )?;
+                off += c;
+            }
         }
         out.clear();
         for acc in &self.acc_scratch {

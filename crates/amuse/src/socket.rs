@@ -43,7 +43,7 @@ use crate::channel::{Channel, ChannelStats};
 use crate::chaos::{ChaosStream, RetryPolicy, StreamFaults};
 use crate::wire::{self, WireError};
 use crate::worker::{ModelWorker, ParticleData, Request, Response};
-use std::io::Write;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
@@ -55,7 +55,7 @@ use std::sync::Arc;
 /// environment on every call — it is only consulted at connect/teardown
 /// time, never per frame, and tests and harnesses adjust the knob
 /// between runs.
-fn net_timeout() -> std::time::Duration {
+pub(crate) fn net_timeout() -> std::time::Duration {
     let ms = std::env::var("JC_NET_TIMEOUT_MS")
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
@@ -363,21 +363,60 @@ impl Channel for SocketChannel {
         self.name.clone()
     }
 
+    /// The blocking socket still pipelines *across* channels: `submit`
+    /// (and the `submit_*` fast paths) put the frame on the wire before
+    /// returning, so K sockets fan out concurrently even though each
+    /// collect then blocks in turn.
+    fn pipelines(&self) -> bool {
+        true
+    }
+
     fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        self.submit_snapshot();
+        self.collect_snapshot_into(out)
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        self.submit_kick_slice(dv);
+        self.collect_kick()
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        self.submit_compute_kick(targets, source_pos, source_mass);
+        self.collect_accelerations_into(out)
+    }
+
+    fn submit_snapshot(&mut self) {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_simple_request(wire::op::GET_PARTICLES, &mut self.wbuf);
         self.stamp_next_seq();
-        if self.transact().is_err() {
+        self.pending = Some(self.send());
+    }
+
+    fn collect_snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        let sent = self.pending.take().expect("no outstanding call");
+        if self.complete(sent).is_err() {
             return false;
         }
         wire::decode_particles_into(&self.rbuf, out).is_ok()
     }
 
-    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+    fn submit_kick_slice(&mut self, dv: &[[f64; 3]]) {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_kick(dv, &mut self.wbuf);
         self.stamp_next_seq();
-        if let Err(e) = self.transact() {
+        self.pending = Some(self.send());
+    }
+
+    fn collect_kick(&mut self) -> Response {
+        let sent = self.pending.take().expect("no outstanding call");
+        if let Err(e) = self.complete(sent) {
             self.stats.calls += 1;
             return Response::Error(format!("wire error: {e}"));
         }
@@ -393,17 +432,21 @@ impl Channel for SocketChannel {
         }
     }
 
-    fn compute_kick_into(
+    fn submit_compute_kick(
         &mut self,
         targets: &[[f64; 3]],
         source_pos: &[[f64; 3]],
         source_mass: &[f64],
-        out: &mut Vec<[f64; 3]>,
-    ) -> Option<f64> {
+    ) {
         assert!(self.pending.is_none(), "one outstanding call per channel");
         wire::encode_compute_kick(targets, source_pos, source_mass, &mut self.wbuf);
         self.stamp_next_seq();
-        if self.transact().is_err() {
+        self.pending = Some(self.send());
+    }
+
+    fn collect_accelerations_into(&mut self, out: &mut Vec<[f64; 3]>) -> Option<f64> {
+        let sent = self.pending.take().expect("no outstanding call");
+        if self.complete(sent).is_err() {
             return None;
         }
         match wire::decode_accelerations_into(&self.rbuf, out) {
@@ -483,15 +526,24 @@ impl WorkerServer {
     ) -> std::io::Result<()> {
         let mut frame = Vec::new();
         let mut out = Vec::new();
+        let mut scratch = ServeScratch::default();
         // Idempotency state outlives connections on purpose: a coupler
         // that reconnects after a transient fault resends the same
         // sequence number on the *new* connection and must still hit
         // the dedup cache.
         let mut dedup = Dedup::default();
         loop {
-            let (mut stream, _peer) = self.listener.accept()?;
+            let (stream, _peer) = self.listener.accept()?;
             stream.set_nodelay(true)?;
-            match serve_connection(&mut stream, worker, &mut frame, &mut out, fuse, &mut dedup) {
+            match serve_connection(
+                &stream,
+                worker,
+                &mut frame,
+                &mut out,
+                &mut scratch,
+                fuse,
+                &mut dedup,
+            ) {
                 Served::KeepListening => {}
                 Served::ShutDown | Served::Crashed => return Ok(()),
             }
@@ -534,11 +586,33 @@ struct Dedup {
 /// legitimately collide — say, the same `SetMasses` payload exactly
 /// 65535 frames apart — remain theoretically indistinguishable from a
 /// resend, as they would be under full byte comparison too).
-fn frame_fingerprint(frame: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in frame {
+///
+/// Folds four independent 8-byte FNV lanes per 32-byte block instead of
+/// hashing byte-at-a-time: the hash runs on every mutating request in
+/// the worker's serve loop, and the serial `wrapping_mul` dependency
+/// chain of single-lane FNV dominated the per-step cost on large kick
+/// frames (the four lanes let the multiplies overlap). This is only an
+/// in-process cache key — both the compare and the store leg use this
+/// same function, so the exact digest values are free to change.
+pub(crate) fn frame_fingerprint(frame: &[u8]) -> u64 {
+    const SEED: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lanes = [SEED, SEED ^ 1, SEED ^ 2, SEED ^ 3];
+    let mut blocks = frame.chunks_exact(32);
+    for b in blocks.by_ref() {
+        for (k, lane) in lanes.iter_mut().enumerate() {
+            *lane ^= u64::from_le_bytes(b[8 * k..8 * k + 8].try_into().unwrap());
+            *lane = lane.wrapping_mul(PRIME);
+        }
+    }
+    let mut h = SEED;
+    for &b in blocks.remainder() {
         h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        h = h.wrapping_mul(PRIME);
+    }
+    for lane in lanes {
+        h ^= lane;
+        h = h.wrapping_mul(PRIME);
     }
     h
 }
@@ -553,6 +627,82 @@ enum Served {
     Crashed,
 }
 
+/// Reusable decode/encode scratch for [`serve_connection`]'s per-step
+/// fast paths, so a steady-state snapshot/kick/coupling request costs
+/// the server no allocation.
+#[derive(Default)]
+struct ServeScratch {
+    snap: ParticleData,
+    dv: Vec<[f64; 3]>,
+    targets: Vec<[f64; 3]>,
+    source_pos: Vec<[f64; 3]>,
+    source_mass: Vec<f64>,
+    acc: Vec<[f64; 3]>,
+    /// Encoded-but-unflushed response frames (see `emit`).
+    batch: Vec<u8>,
+    /// Backing storage for the connection's [`RequestReader`].
+    rdbuf: Vec<u8>,
+}
+
+/// Buffered reads over the server's half of a connection: one kernel
+/// read pulls in as many bytes as have arrived (up to the buffer), so
+/// a pipelined burst's worth of requests costs one syscall instead of
+/// two per frame — and "bytes left over in the buffer" answers the
+/// keep-the-response-batched question for free, where the kernel-level
+/// peek needs three syscalls.
+struct RequestReader<'a> {
+    stream: &'a TcpStream,
+    buf: &'a mut Vec<u8>,
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> RequestReader<'a> {
+    fn new(stream: &'a TcpStream, buf: &'a mut Vec<u8>) -> RequestReader<'a> {
+        buf.resize(wire::READ_CHUNK, 0);
+        RequestReader { stream, buf, pos: 0, end: 0 }
+    }
+
+    /// At least one byte of a further request already read ahead?
+    fn buffered(&self) -> bool {
+        self.pos < self.end
+    }
+}
+
+impl Read for RequestReader<'_> {
+    fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos < self.end {
+            let n = (self.end - self.pos).min(out.len());
+            out[..n].copy_from_slice(&self.buf[self.pos..self.pos + n]);
+            self.pos += n;
+            return Ok(n);
+        }
+        let mut s = self.stream;
+        // Reads at least as large as the buffer skip it: no gain from
+        // the extra copy, and a big payload lands in one syscall anyway.
+        if out.len() >= self.buf.len() {
+            return s.read(out);
+        }
+        let n = s.read(self.buf)?;
+        self.pos = 0;
+        self.end = n;
+        let k = n.min(out.len());
+        out[..k].copy_from_slice(&self.buf[..k]);
+        self.pos = k;
+        Ok(k)
+    }
+}
+
+/// `write_all` through a shared [`TcpStream`] reference (reads of the
+/// same stream go through the [`RequestReader`]'s shared borrow).
+fn write_all_to(mut stream: &TcpStream, bytes: &[u8]) -> std::io::Result<()> {
+    stream.write_all(bytes)
+}
+
+/// Responses a pipelined burst may keep batched before the server
+/// flushes regardless, bounding server-side buffering.
+const BATCH_FLUSH_BYTES: usize = 1 << 20;
+
 /// Serve one established connection.
 ///
 /// Protocol errors are connection-fatal: framing can no longer be
@@ -560,23 +710,46 @@ enum Served {
 /// (best-effort) and drops the connection — it never panics and stays
 /// available for the next `accept`.
 fn serve_connection(
-    stream: &mut TcpStream,
+    stream: &TcpStream,
     worker: &mut dyn ModelWorker,
     frame: &mut Vec<u8>,
     out: &mut Vec<u8>,
+    scratch: &mut ServeScratch,
     fuse: Option<&AtomicI64>,
     dedup: &mut Dedup,
 ) -> Served {
+    scratch.batch.clear();
+    let ServeScratch { rdbuf, .. } = scratch;
+    let mut reader = RequestReader::new(stream, rdbuf);
+    // Flush the batched response bytes unless the client provably has
+    // another request in flight (`more`, computed at the call site) and
+    // the batch is under its size bound. The response was already
+    // appended to `batch` by the caller. Returns `false` on a write
+    // error.
+    fn flush_batch(stream: &TcpStream, batch: &mut Vec<u8>, more: bool) -> bool {
+        if more && batch.len() < BATCH_FLUSH_BYTES {
+            return true;
+        }
+        let ok = write_all_to(stream, batch).is_ok();
+        batch.clear();
+        ok
+    }
     loop {
-        match wire::read_frame(stream, frame) {
-            Ok(_len) => {}
+        let len = match wire::read_frame(&mut reader, frame) {
+            Ok(len) => len,
             Err(WireError::Closed) => return Served::KeepListening,
             Err(e) => {
                 wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
-                let _ = wire::write_frame(stream, out);
+                scratch.batch.extend_from_slice(out);
+                let _ = flush_batch(stream, &mut scratch.batch, false);
                 return Served::KeepListening;
             }
-        }
+        };
+        // `frame` is a monotonic scratch: only the leading `len` bytes
+        // are this frame (the tail is stale). Slicing here means the
+        // dedup fingerprint and the fast-path decoders see exactly the
+        // frame's bytes, never the scratch high-water mark.
+        let frame = &frame[..len];
         // Idempotent retry: a duplicate of the last applied mutating
         // request — same nonzero sequence number AND the same frame
         // bytes, i.e. the coupler resent a frame whose response it lost
@@ -590,40 +763,176 @@ fn serve_connection(
             && !dedup.cached.is_empty()
             && frame_fingerprint(frame) == dedup.req_fp
         {
-            if wire::write_frame(stream, &dedup.cached).is_err() {
+            let more = reader.buffered();
+            scratch.batch.extend_from_slice(&dedup.cached);
+            if !flush_batch(stream, &mut scratch.batch, more) {
                 return Served::KeepListening;
             }
             continue;
         }
-        let req = match wire::decode_request(frame) {
-            Ok(r) => r,
-            Err(e) => {
-                wire::encode_response(&Response::Error(format!("protocol error: {e}")), out);
-                let _ = wire::write_frame(stream, out);
-                return Served::KeepListening;
+        // Per-step fast paths: snapshot, kick, and the coupling kick
+        // bypass `decode_request`/`worker.handle`'s owned `Request`/
+        // `Response` round trip and run on reused scratch instead,
+        // appending the response frame straight into the write batch
+        // (no staging copy). Every leg that cannot take the fast path
+        // (validation failure, a worker without the capability) falls
+        // through to the generic path below, which replies with the
+        // exact same frames — byte-for-byte — that a fast-path-less
+        // server would produce.
+        let resp_start = scratch.batch.len();
+        enum Fast {
+            /// Response appended to the batch; `bool` is
+            /// `Request::mutating()`.
+            Done(bool),
+            Fallback,
+        }
+        let fast = match frame.get(5).copied() {
+            Some(wire::op::GET_PARTICLES) if frame.len() == wire::HEADER_LEN => {
+                if let Some(f) = fuse {
+                    if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                        let _ = write_all_to(stream, &scratch.batch);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return Served::Crashed;
+                    }
+                }
+                if let Some((mass, pos, vel)) = worker.particles() {
+                    // zero-copy leg: encode straight from the worker's
+                    // arrays into the write batch, skipping both the
+                    // `ParticleData` staging copy and the batch copy
+                    wire::encode_particles_frame(mass, pos, vel, &mut scratch.batch);
+                    Fast::Done(false)
+                } else if worker.snapshot_into(&mut scratch.snap) {
+                    wire::encode_particles_frame(
+                        &scratch.snap.mass,
+                        &scratch.snap.pos,
+                        &scratch.snap.vel,
+                        &mut scratch.batch,
+                    );
+                    Fast::Done(false)
+                } else {
+                    // fuse already burned: the fallback must not burn twice
+                    match wire::decode_request(frame) {
+                        Ok(req) => {
+                            let mutating = req.mutating();
+                            wire::encode_response(&worker.handle(req), out);
+                            scratch.batch.extend_from_slice(out);
+                            Fast::Done(mutating)
+                        }
+                        Err(_) => Fast::Fallback,
+                    }
+                }
+            }
+            Some(wire::op::KICK) if wire::decode_kick_into(frame, &mut scratch.dv).is_ok() => {
+                if let Some(f) = fuse {
+                    if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                        let _ = write_all_to(stream, &scratch.batch);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return Served::Crashed;
+                    }
+                }
+                match worker.kick_slice(&scratch.dv) {
+                    Some(flops) => {
+                        wire::encode_ok_frame(flops, &mut scratch.batch);
+                        Fast::Done(true)
+                    }
+                    None => {
+                        let req = Request::Kick(std::mem::take(&mut scratch.dv));
+                        wire::encode_response(&worker.handle(req), out);
+                        scratch.batch.extend_from_slice(out);
+                        Fast::Done(true)
+                    }
+                }
+            }
+            Some(wire::op::COMPUTE_KICK)
+                if wire::decode_compute_kick_into(
+                    frame,
+                    &mut scratch.targets,
+                    &mut scratch.source_pos,
+                    &mut scratch.source_mass,
+                )
+                .is_ok() =>
+            {
+                if let Some(f) = fuse {
+                    if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                        let _ = write_all_to(stream, &scratch.batch);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return Served::Crashed;
+                    }
+                }
+                match worker.compute_kick_into(
+                    &scratch.targets,
+                    &scratch.source_pos,
+                    &scratch.source_mass,
+                    &mut scratch.acc,
+                ) {
+                    Some(flops) => {
+                        wire::encode_accelerations_frame(&scratch.acc, flops, &mut scratch.batch);
+                        Fast::Done(false)
+                    }
+                    None => {
+                        let req = Request::ComputeKick {
+                            targets: std::mem::take(&mut scratch.targets),
+                            source_pos: std::mem::take(&mut scratch.source_pos),
+                            source_mass: std::mem::take(&mut scratch.source_mass),
+                        };
+                        wire::encode_response(&worker.handle(req), out);
+                        scratch.batch.extend_from_slice(out);
+                        Fast::Done(false)
+                    }
+                }
+            }
+            _ => Fast::Fallback,
+        };
+        let (stop, mutating) = match fast {
+            Fast::Done(mutating) => (false, mutating),
+            Fast::Fallback => {
+                let req = match wire::decode_request(frame) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        wire::encode_response(
+                            &Response::Error(format!("protocol error: {e}")),
+                            out,
+                        );
+                        scratch.batch.extend_from_slice(out);
+                        let _ = flush_batch(stream, &mut scratch.batch, false);
+                        return Served::KeepListening;
+                    }
+                };
+                if let Some(f) = fuse {
+                    if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
+                        // injected crash: vanish mid-conversation, no reply
+                        let _ = write_all_to(stream, &scratch.batch);
+                        let _ = stream.shutdown(std::net::Shutdown::Both);
+                        return Served::Crashed;
+                    }
+                }
+                let stop = matches!(req, Request::Stop | Request::Shutdown);
+                let mutating = req.mutating();
+                wire::encode_response(&worker.handle(req), out);
+                scratch.batch.extend_from_slice(out);
+                (stop, mutating)
             }
         };
-        if let Some(f) = fuse {
-            if f.fetch_sub(1, Ordering::SeqCst) <= 0 {
-                // injected crash: vanish mid-conversation, no reply
-                let _ = stream.shutdown(std::net::Shutdown::Both);
-                return Served::Crashed;
-            }
-        }
-        let stop = matches!(req, Request::Stop | Request::Shutdown);
-        let mutating = req.mutating();
-        let resp = worker.handle(req);
-        wire::encode_response(&resp, out);
         // Cache before the reply leaves: if the write (or the coupler's
         // read of it) fails, the retried frame must find the cache.
         if seq != 0 && mutating {
             dedup.last_seq = seq;
             dedup.req_fp = frame_fingerprint(frame);
             dedup.cached.clear();
-            dedup.cached.extend_from_slice(out);
+            dedup.cached.extend_from_slice(&scratch.batch[resp_start..]);
         }
-        if wire::write_frame(stream, out).is_err() {
-            let _ = stream.flush();
+        // A Stop/Shutdown reply always flushes: the conversation is
+        // over. "More requests in flight" is answered by the read-ahead
+        // buffer alone: a pipelining coupler's burst leaves in one
+        // vectored write and lands in one kernel read, so further
+        // requests of a burst are always already buffered — and when
+        // the buffer is dry, flushing immediately is always *safe*
+        // (deferral is the only thing that needs proof of a further
+        // request), it just forgoes batching for bursts over
+        // [`wire::READ_CHUNK`]. A kernel-level peek could recover those,
+        // but costs three syscalls on every lock-step request.
+        let more = !stop && reader.buffered();
+        if !flush_batch(stream, &mut scratch.batch, more) {
             return if stop { Served::ShutDown } else { Served::KeepListening };
         }
         if stop {
@@ -685,6 +994,79 @@ where
         })
         .expect("spawn worker server thread");
     (addr, handle)
+}
+
+/// A drop-guard over spawned loopback worker servers: no exit path —
+/// early return, failed `expect`, panicking assertion — may leak a
+/// server thread blocked in `accept`.
+///
+/// The success path calls [`WorkerFleet::join_all`] after the channels
+/// are dropped (their `Stop` frames end the servers) and surfaces any
+/// server error. If the harness unwinds before that, `Drop` sends each
+/// remaining server a clean v2 `Shutdown` over a fresh connection and
+/// joins its thread, so the process ends with every worker reaped.
+#[derive(Default)]
+pub struct WorkerFleet {
+    workers: Vec<(SocketAddr, Option<std::thread::JoinHandle<std::io::Result<()>>>)>,
+}
+
+impl WorkerFleet {
+    /// An empty fleet.
+    pub fn new() -> WorkerFleet {
+        WorkerFleet::default()
+    }
+
+    /// Take ownership of an already-spawned server (the pair returned
+    /// by [`spawn_tcp_worker`] / [`spawn_flaky_tcp_worker`]).
+    pub fn adopt(
+        &mut self,
+        addr: SocketAddr,
+        handle: std::thread::JoinHandle<std::io::Result<()>>,
+    ) {
+        self.workers.push((addr, Some(handle)));
+    }
+
+    /// [`spawn_tcp_worker`] straight into the fleet.
+    pub fn spawn<F, W>(&mut self, name: impl Into<String>, factory: F) -> SocketAddr
+    where
+        F: FnOnce() -> W + Send + 'static,
+        W: ModelWorker + 'static,
+    {
+        let (addr, handle) = spawn_tcp_worker(name, factory);
+        self.adopt(addr, handle);
+        addr
+    }
+
+    /// Join every server thread, surfacing the first server error. Call
+    /// after the channels are gone — a still-connected server never
+    /// exits and this would hang.
+    pub fn join_all(&mut self) -> std::io::Result<()> {
+        let mut first_err = None;
+        for (_, handle) in &mut self.workers {
+            if let Some(h) = handle.take() {
+                if let Err(e) = h.join().expect("worker server thread panicked") {
+                    first_err.get_or_insert(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Drop for WorkerFleet {
+    fn drop(&mut self) {
+        for (addr, handle) in &mut self.workers {
+            if let Some(h) = handle.take() {
+                // best-effort: an already-stopped server refuses the
+                // connection, a live one exits on the Shutdown frame
+                let _ = SocketChannel::shutdown_worker(*addr);
+                let _ = h.join();
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -343,10 +343,141 @@ fn put_v3(buf: &mut Vec<u8>, v: &[f64; 3]) {
     put_f64(buf, v[2]);
 }
 
+/// Bulk little-endian append of a float column.
+///
+/// On a little-endian target the wire encoding of an `f64` column *is*
+/// its in-memory byte image, so the whole column appends as one
+/// `memcpy`; this is the dominant cost of encoding the multi-KB
+/// kick/snapshot frames of a coupled step. Other targets take the
+/// portable per-element conversion through a fixed stack block (which
+/// keeps the inner loop free of `Vec` capacity checks so it
+/// vectorizes).
+fn put_f64s(buf: &mut Vec<u8>, xs: &[f64]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `f64` is plain old data (size 8, no padding, every
+        // byte initialized), and on a little-endian target its memory
+        // bytes equal `to_le_bytes`; viewing the column as `8 * len`
+        // bytes is exact. u8 has no alignment requirement.
+        let bytes = unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), 8 * xs.len()) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut tmp = [0u8; 8 * 64];
+        for block in xs.chunks(64) {
+            for (d, &x) in tmp.chunks_exact_mut(8).zip(block) {
+                d.copy_from_slice(&x.to_le_bytes());
+            }
+            buf.extend_from_slice(&tmp[..8 * block.len()]);
+        }
+    }
+}
+
+/// Bulk little-endian append of a 3-vector column (see [`put_f64s`]).
+fn put_v3s(buf: &mut Vec<u8>, xs: &[[f64; 3]]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `[f64; 3]` is size 24 with no padding and arrays are
+        // contiguous, so the column is exactly `24 * len` initialized
+        // bytes; on a little-endian target those bytes are the wire
+        // encoding. u8 has no alignment requirement.
+        let bytes = unsafe { std::slice::from_raw_parts(xs.as_ptr().cast::<u8>(), 24 * xs.len()) };
+        buf.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    {
+        let mut tmp = [0u8; 24 * 32];
+        for block in xs.chunks(32) {
+            for (d, v) in tmp.chunks_exact_mut(24).zip(block) {
+                d[0..8].copy_from_slice(&v[0].to_le_bytes());
+                d[8..16].copy_from_slice(&v[1].to_le_bytes());
+                d[16..24].copy_from_slice(&v[2].to_le_bytes());
+            }
+            buf.extend_from_slice(&tmp[..24 * block.len()]);
+        }
+    }
+}
+
+/// Bulk decode of a float column from exactly `8 * n` payload bytes
+/// (callers slice the validated section first). Little-endian targets
+/// decode with one `memcpy` into the column (any bit pattern is a valid
+/// `f64`, and a byte copy tolerates the unaligned wire buffer); others
+/// take the portable `chunks_exact` loop, whose carried length proof
+/// compiles without per-element bounds checks.
+fn get_f64s_into(out: &mut Vec<f64>, p: &[u8]) {
+    debug_assert_eq!(p.len() % 8, 0);
+    out.clear();
+    #[cfg(target_endian = "little")]
+    {
+        let n = p.len() / 8;
+        out.reserve(n);
+        // SAFETY: `reserve` guarantees capacity for `n` elements, the
+        // byte copy writes exactly `8 * n` bytes = `n` `f64`s through
+        // the u8 view (no alignment constraint), every bit pattern is a
+        // valid `f64`, and `set_len` publishes only what was written.
+        unsafe {
+            std::ptr::copy_nonoverlapping(p.as_ptr(), out.as_mut_ptr().cast::<u8>(), 8 * n);
+            out.set_len(n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    out.extend(p.chunks_exact(8).map(|c| f64::from_le_bytes(c.try_into().unwrap())));
+}
+
+/// Bulk decode of a 3-vector column from exactly `24 * n` payload bytes
+/// (see [`get_f64s_into`]).
+fn get_v3s_into(out: &mut Vec<[f64; 3]>, p: &[u8]) {
+    debug_assert_eq!(p.len() % 24, 0);
+    out.clear();
+    #[cfg(target_endian = "little")]
+    {
+        let n = p.len() / 24;
+        out.reserve(n);
+        // SAFETY: as in `get_f64s_into`, with `[f64; 3]` being 24
+        // padding-free bytes whose little-endian image is the wire
+        // encoding.
+        unsafe {
+            std::ptr::copy_nonoverlapping(p.as_ptr(), out.as_mut_ptr().cast::<u8>(), 24 * n);
+            out.set_len(n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    out.extend(p.chunks_exact(24).map(|c| {
+        [
+            f64::from_le_bytes(c[0..8].try_into().unwrap()),
+            f64::from_le_bytes(c[8..16].try_into().unwrap()),
+            f64::from_le_bytes(c[16..24].try_into().unwrap()),
+        ]
+    }));
+}
+
+/// [`get_f64s_into`] allocating a fresh column.
+fn get_f64s(p: &[u8]) -> Vec<f64> {
+    let mut v = Vec::new();
+    get_f64s_into(&mut v, p);
+    v
+}
+
+/// [`get_v3s_into`] allocating a fresh column.
+fn get_v3s(p: &[u8]) -> Vec<[f64; 3]> {
+    let mut v = Vec::new();
+    get_v3s_into(&mut v, p);
+    v
+}
+
 /// Clear `buf` and write a frame header for `opcode` with the given
 /// payload length and aux fields; the payload follows.
 fn begin_frame(buf: &mut Vec<u8>, opcode: u8, payload_len: u64, aux0: u64, aux1: u64) {
     buf.clear();
+    begin_frame_at(buf, opcode, payload_len, aux0, aux1);
+}
+
+/// [`begin_frame`] without the clear: the header is appended after
+/// whatever `buf` already holds. The appending frame encoders build on
+/// this so a server can encode a pipelined burst's responses
+/// back-to-back into one write buffer.
+fn begin_frame_at(buf: &mut Vec<u8>, opcode: u8, payload_len: u64, aux0: u64, aux1: u64) {
     buf.reserve(HEADER_LEN + payload_len as usize);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.push(opcode_version(opcode));
@@ -362,6 +493,45 @@ pub fn encode_simple_request(opcode: u8, buf: &mut Vec<u8>) {
     begin_frame(buf, opcode, 0, 0, 0);
 }
 
+/// Encode a `Particles` response frame straight from borrowed columns —
+/// the server's `GetParticles` fast path, skipping the owned
+/// [`Response`] a `worker.handle` round would allocate. **Appends** to
+/// `buf` (unlike the clearing `encode_*` family): the server batches a
+/// pipelined burst's responses back-to-back in one write buffer.
+// jc-lint: no-alloc
+pub fn encode_particles_frame(mass: &[f64], pos: &[[f64; 3]], vel: &[[f64; 3]], buf: &mut Vec<u8>) {
+    let n = mass.len();
+    assert!(pos.len() == n && vel.len() == n, "ragged particle snapshot");
+    begin_frame_at(buf, op::RESP_PARTICLES, 56 * n as u64, n as u64, 0);
+    put_f64s(buf, mass);
+    put_v3s(buf, pos);
+    put_v3s(buf, vel);
+}
+
+/// Encode an `Accelerations` response frame from a borrowed slice (the
+/// server's `ComputeKick` fast path; flops ride in aux1 so the payload
+/// stays the modeled 24·n). **Appends** to `buf`, like
+/// [`encode_particles_frame`].
+// jc-lint: no-alloc
+pub fn encode_accelerations_frame(acc: &[[f64; 3]], flops: f64, buf: &mut Vec<u8>) {
+    begin_frame_at(
+        buf,
+        op::RESP_ACCELERATIONS,
+        24 * acc.len() as u64,
+        acc.len() as u64,
+        flops.to_bits(),
+    );
+    put_v3s(buf, acc);
+}
+
+/// Encode an `Ok` response frame (the server's mutating fast paths).
+/// **Appends** to `buf`, like [`encode_particles_frame`].
+// jc-lint: no-alloc
+pub fn encode_ok_frame(flops: f64, buf: &mut Vec<u8>) {
+    begin_frame_at(buf, op::RESP_OK, 8, 0, 0);
+    put_f64(buf, flops);
+}
+
 /// Encode `EvolveTo`/`EvolveStars` (8-byte time payload).
 pub fn encode_evolve(opcode: u8, t: f64, buf: &mut Vec<u8>) {
     begin_frame(buf, opcode, 8, 0, 0);
@@ -371,17 +541,13 @@ pub fn encode_evolve(opcode: u8, t: f64, buf: &mut Vec<u8>) {
 /// Encode `SetMasses` from a borrowed slice.
 pub fn encode_set_masses(masses: &[f64], buf: &mut Vec<u8>) {
     begin_frame(buf, op::SET_MASSES, 8 * masses.len() as u64, masses.len() as u64, 0);
-    for &m in masses {
-        put_f64(buf, m);
-    }
+    put_f64s(buf, masses);
 }
 
 /// Encode `Kick` from a borrowed slice (the coupler's per-step fast path).
 pub fn encode_kick(dv: &[[f64; 3]], buf: &mut Vec<u8>) {
     begin_frame(buf, op::KICK, 24 * dv.len() as u64, dv.len() as u64, 0);
-    for v in dv {
-        put_v3(buf, v);
-    }
+    put_v3s(buf, dv);
 }
 
 /// Encode `ComputeKick` from borrowed slices. `source_pos` and
@@ -395,15 +561,9 @@ pub fn encode_compute_kick(
     assert_eq!(source_pos.len(), source_mass.len(), "source arrays length mismatch");
     let len = 24 * (targets.len() + source_pos.len()) as u64 + 8 * source_mass.len() as u64;
     begin_frame(buf, op::COMPUTE_KICK, len, targets.len() as u64, source_pos.len() as u64);
-    for v in targets {
-        put_v3(buf, v);
-    }
-    for v in source_pos {
-        put_v3(buf, v);
-    }
-    for &m in source_mass {
-        put_f64(buf, m);
-    }
+    put_v3s(buf, targets);
+    put_v3s(buf, source_pos);
+    put_f64s(buf, source_mass);
 }
 
 /// The `aux0` kind tag of a state body (see the module docs).
@@ -444,39 +604,23 @@ pub(crate) fn encode_state_frame(opcode: u8, s: &ModelState, buf: &mut Vec<u8>) 
         ModelState::Stateless => {}
         ModelState::Gravity { time, mass, pos, vel } => {
             put_f64(buf, *time);
-            for &m in mass {
-                put_f64(buf, m);
-            }
-            for v in pos {
-                put_v3(buf, v);
-            }
-            for v in vel {
-                put_v3(buf, v);
-            }
+            put_f64s(buf, mass);
+            put_v3s(buf, pos);
+            put_v3s(buf, vel);
         }
         ModelState::Hydro { time, mass, pos, vel, u, rho, h } => {
             put_f64(buf, *time);
-            for &m in mass {
-                put_f64(buf, m);
-            }
-            for v in pos {
-                put_v3(buf, v);
-            }
-            for v in vel {
-                put_v3(buf, v);
-            }
+            put_f64s(buf, mass);
+            put_v3s(buf, pos);
+            put_v3s(buf, vel);
             for col in [u, rho, h] {
-                for &x in col {
-                    put_f64(buf, x);
-                }
+                put_f64s(buf, col);
             }
         }
         ModelState::Stellar { time_myr, z, initial_masses, exploded } => {
             put_f64(buf, *time_myr);
             put_f64(buf, *z);
-            for &m in initial_masses {
-                put_f64(buf, m);
-            }
+            put_f64s(buf, initial_masses);
             for &e in exploded {
                 buf.push(e as u8);
             }
@@ -504,9 +648,9 @@ fn decode_state(h: &Header, p: &[u8]) -> Result<ModelState, WireError> {
             let (op_, ov) = (8 + 8 * n, 8 + 32 * n);
             ModelState::Gravity {
                 time: get_f64(p, 0),
-                mass: (0..n).map(|i| get_f64(p, 8 + 8 * i)).collect(),
-                pos: (0..n).map(|i| get_v3(p, op_ + 24 * i)).collect(),
-                vel: (0..n).map(|i| get_v3(p, ov + 24 * i)).collect(),
+                mass: get_f64s(&p[8..op_]),
+                pos: get_v3s(&p[op_..ov]),
+                vel: get_v3s(&p[ov..ov + 24 * n]),
             }
         }
         2 => {
@@ -514,18 +658,18 @@ fn decode_state(h: &Header, p: &[u8]) -> Result<ModelState, WireError> {
             let (ou, orho, oh) = (8 + 56 * n, 8 + 64 * n, 8 + 72 * n);
             ModelState::Hydro {
                 time: get_f64(p, 0),
-                mass: (0..n).map(|i| get_f64(p, 8 + 8 * i)).collect(),
-                pos: (0..n).map(|i| get_v3(p, op_ + 24 * i)).collect(),
-                vel: (0..n).map(|i| get_v3(p, ov + 24 * i)).collect(),
-                u: (0..n).map(|i| get_f64(p, ou + 8 * i)).collect(),
-                rho: (0..n).map(|i| get_f64(p, orho + 8 * i)).collect(),
-                h: (0..n).map(|i| get_f64(p, oh + 8 * i)).collect(),
+                mass: get_f64s(&p[8..op_]),
+                pos: get_v3s(&p[op_..ov]),
+                vel: get_v3s(&p[ov..ou]),
+                u: get_f64s(&p[ou..orho]),
+                rho: get_f64s(&p[orho..oh]),
+                h: get_f64s(&p[oh..oh + 8 * n]),
             }
         }
         _ => ModelState::Stellar {
             time_myr: get_f64(p, 0),
             z: get_f64(p, 8),
-            initial_masses: (0..n).map(|i| get_f64(p, 16 + 8 * i)).collect(),
+            initial_masses: get_f64s(&p[16..16 + 8 * n]),
             exploded: (0..n).map(|i| p[16 + 8 * n + i] != 0).collect(),
         },
     })
@@ -574,32 +718,15 @@ pub fn encode_response(resp: &Response, buf: &mut Vec<u8>) {
             begin_frame(buf, op::RESP_OK, 8, 0, 0);
             put_f64(buf, *flops);
         }
+        // the frame encoders append; this entry point clears like the
+        // rest of the `encode_*` family
         Response::Particles(p) => {
-            let n = p.mass.len();
-            assert!(p.pos.len() == n && p.vel.len() == n, "ragged particle snapshot");
-            begin_frame(buf, op::RESP_PARTICLES, 56 * n as u64, n as u64, 0);
-            for &m in &p.mass {
-                put_f64(buf, m);
-            }
-            for v in &p.pos {
-                put_v3(buf, v);
-            }
-            for v in &p.vel {
-                put_v3(buf, v);
-            }
+            buf.clear();
+            encode_particles_frame(&p.mass, &p.pos, &p.vel, buf);
         }
         Response::Accelerations { acc, flops } => {
-            // flops ride in aux1 so the payload stays the modeled 24·n
-            begin_frame(
-                buf,
-                op::RESP_ACCELERATIONS,
-                24 * acc.len() as u64,
-                acc.len() as u64,
-                flops.to_bits(),
-            );
-            for v in acc {
-                put_v3(buf, v);
-            }
+            buf.clear();
+            encode_accelerations_frame(acc, *flops, buf);
         }
         Response::StellarUpdate { masses, events } => {
             let len = 8 * masses.len() as u64 + 32 * events.len() as u64;
@@ -741,11 +868,11 @@ pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
         }
         op::SET_MASSES => {
             let n = checked_count(&h, h.aux0, 8, h.len)?;
-            Ok(Request::SetMasses((0..n).map(|i| get_f64(p, 8 * i)).collect()))
+            Ok(Request::SetMasses(get_f64s(&p[..8 * n])))
         }
         op::KICK => {
             let n = checked_count(&h, h.aux0, 24, h.len)?;
-            Ok(Request::Kick((0..n).map(|i| get_v3(p, 24 * i)).collect()))
+            Ok(Request::Kick(get_v3s(&p[..24 * n])))
         }
         op::COMPUTE_KICK => {
             let (t, s) = (h.aux0, h.aux1);
@@ -758,9 +885,9 @@ pub fn decode_request(frame: &[u8]) -> Result<Request, WireError> {
             let off_sp = 24 * t;
             let off_sm = off_sp + 24 * s;
             Ok(Request::ComputeKick {
-                targets: (0..t).map(|i| get_v3(p, 24 * i)).collect(),
-                source_pos: (0..s).map(|i| get_v3(p, off_sp + 24 * i)).collect(),
-                source_mass: (0..s).map(|i| get_f64(p, off_sm + 8 * i)).collect(),
+                targets: get_v3s(&p[..off_sp]),
+                source_pos: get_v3s(&p[off_sp..off_sm]),
+                source_mass: get_f64s(&p[off_sm..off_sm + 8 * s]),
             })
         }
         op::INJECT_ENERGY | op::ADD_GAS => {
@@ -849,14 +976,52 @@ pub fn decode_particles_into(frame: &[u8], out: &mut ParticleData) -> Result<(),
         return Err(WireError::Unexpected(h.opcode));
     }
     let n = checked_count(&h, h.aux0, 56, h.len)?;
-    out.mass.clear();
-    out.mass.extend((0..n).map(|i| get_f64(p, 8 * i)));
     let off_pos = 8 * n;
-    out.pos.clear();
-    out.pos.extend((0..n).map(|i| get_v3(p, off_pos + 24 * i)));
     let off_vel = off_pos + 24 * n;
-    out.vel.clear();
-    out.vel.extend((0..n).map(|i| get_v3(p, off_vel + 24 * i)));
+    get_f64s_into(&mut out.mass, &p[..off_pos]);
+    get_v3s_into(&mut out.pos, &p[off_pos..off_vel]);
+    get_v3s_into(&mut out.vel, &p[off_vel..off_vel + 24 * n]);
+    Ok(())
+}
+
+/// Fast path: decode a `Kick` request's payload into a reusable scratch
+/// column (the server's per-step hot path — no `Request` allocation).
+/// Any other valid opcode yields [`WireError::Unexpected`].
+// jc-lint: no-alloc
+pub fn decode_kick_into(frame: &[u8], out: &mut Vec<[f64; 3]>) -> Result<(), WireError> {
+    let (h, p) = parse_frame(frame)?;
+    if h.opcode != op::KICK {
+        return Err(WireError::Unexpected(h.opcode));
+    }
+    let n = checked_count(&h, h.aux0, 24, h.len)?;
+    get_v3s_into(out, &p[..24 * n]);
+    Ok(())
+}
+
+/// Fast path: decode a `ComputeKick` request's three columns into
+/// reusable scratch (the sharded coupling server's hot path).
+// jc-lint: no-alloc
+pub fn decode_compute_kick_into(
+    frame: &[u8],
+    targets: &mut Vec<[f64; 3]>,
+    source_pos: &mut Vec<[f64; 3]>,
+    source_mass: &mut Vec<f64>,
+) -> Result<(), WireError> {
+    let (h, p) = parse_frame(frame)?;
+    if h.opcode != op::COMPUTE_KICK {
+        return Err(WireError::Unexpected(h.opcode));
+    }
+    let (t, s) = (h.aux0, h.aux1);
+    let expect = t.checked_mul(24).and_then(|a| s.checked_mul(32).and_then(|b| a.checked_add(b)));
+    if expect != Some(h.len) {
+        return Err(bad_length(&h));
+    }
+    let (t, s) = (t as usize, s as usize);
+    let off_sp = 24 * t;
+    let off_sm = off_sp + 24 * s;
+    get_v3s_into(targets, &p[..off_sp]);
+    get_v3s_into(source_pos, &p[off_sp..off_sm]);
+    get_f64s_into(source_mass, &p[off_sm..off_sm + 8 * s]);
     Ok(())
 }
 
@@ -869,8 +1034,7 @@ pub fn decode_accelerations_into(frame: &[u8], out: &mut Vec<[f64; 3]>) -> Resul
         return Err(WireError::Unexpected(h.opcode));
     }
     let n = checked_count(&h, h.aux0, 24, h.len)?;
-    out.clear();
-    out.extend((0..n).map(|i| get_v3(p, 24 * i)));
+    get_v3s_into(out, &p[..24 * n]);
     Ok(f64::from_bits(h.aux1))
 }
 

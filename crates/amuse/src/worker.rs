@@ -203,6 +203,10 @@ impl Response {
     }
 }
 
+/// Borrowed particle columns (mass, position, velocity) as returned by
+/// [`ModelWorker::particles`].
+pub type ParticleColumns<'a> = (&'a [f64], &'a [[f64; 3]], &'a [[f64; 3]]);
+
 /// A model worker: one kernel behind the RPC boundary.
 ///
 /// The three `*_into`/`*_slice` methods are borrowing fast paths for
@@ -220,6 +224,14 @@ pub trait ModelWorker {
     /// fast path).
     fn snapshot_into(&mut self, _out: &mut ParticleData) -> bool {
         false
+    }
+    /// Borrow the worker's particle arrays in place — the zero-copy
+    /// [`Request::GetParticles`] path: the server encodes the snapshot
+    /// frame straight from these slices, skipping the intermediate
+    /// [`ParticleData`] copy that [`ModelWorker::snapshot_into`] pays.
+    /// Must describe exactly the state `snapshot_into` would write.
+    fn particles(&self) -> Option<ParticleColumns<'_>> {
+        None
     }
     /// Apply velocity kicks from a borrowed slice ([`Request::Kick`] fast
     /// path). Returns the modeled flops, or `None` if unsupported or the
@@ -330,6 +342,11 @@ impl ModelWorker for GravityWorker {
         true
     }
 
+    fn particles(&self) -> Option<ParticleColumns<'_>> {
+        let p = &self.model.particles;
+        Some((&p.mass, &p.pos, &p.vel))
+    }
+
     fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Option<f64> {
         if dv.len() != self.model.particles.len() {
             return None;
@@ -420,6 +437,11 @@ impl ModelWorker for HydroWorker {
         let g = &self.model.gas;
         out.copy_from(&g.mass, &g.pos, &g.vel);
         true
+    }
+
+    fn particles(&self) -> Option<ParticleColumns<'_>> {
+        let g = &self.model.gas;
+        Some((&g.mass, &g.pos, &g.vel))
     }
 
     fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Option<f64> {

@@ -12,6 +12,7 @@
 use jc_amuse::channel::Channel;
 use jc_amuse::chaos::{FaultPlan, RetryPolicy};
 use jc_amuse::checkpoint::ModelState;
+use jc_amuse::reactor::{Reactor, ReactorChannel};
 use jc_amuse::shard::ShardedChannel;
 use jc_amuse::socket::spawn_tcp_worker;
 use jc_amuse::worker::{GravityWorker, Request, Response};
@@ -73,11 +74,15 @@ fn state_bits(s: &ModelState) -> Vec<u64> {
 /// (kicks, new masses), heartbeat it, and gather the final state. With
 /// `chaos`, the seed's transport faults are injected into every shard
 /// channel (crash fuses are out of scope here — this pool has no
-/// supervisor, so only the in-place retry tier may fire).
-fn pooled_final_state(seed: u64, k: usize, n: usize, chaos: bool) -> Vec<u64> {
+/// supervisor, so only the in-place retry tier may fire). With
+/// `reactor`, the pool runs over event-driven [`ReactorChannel`]s on
+/// one shared [`Reactor`] instead of blocking [`SocketChannel`]s — the
+/// same seeded schedule must be absorbed identically on both.
+fn pooled_final_state(seed: u64, k: usize, n: usize, chaos: bool, reactor: bool) -> Vec<u64> {
     let plan = FaultPlan::seeded(seed);
     let retry =
         RetryPolicy { backoff_base_ms: 1, backoff_max_ms: 8, ..RetryPolicy::standard(seed) };
+    let shared = Reactor::new_shared().expect("reactor");
     let mut handles = Vec::new();
     let shards: Vec<Box<dyn Channel>> = (0..k)
         .map(|i| {
@@ -85,11 +90,20 @@ fn pooled_final_state(seed: u64, k: usize, n: usize, chaos: bool) -> Vec<u64> {
                 GravityWorker::new(plummer_sphere(1, 99), Backend::Scalar)
             });
             handles.push(h);
-            let mut ch = SocketChannel::connect(addr, format!("g{i}")).expect("connect shard");
-            if chaos {
-                ch = ch.with_retry(retry).with_chaos(plan.stream_faults(k, i));
+            if reactor {
+                let mut ch =
+                    ReactorChannel::connect(&shared, addr, format!("g{i}")).expect("connect shard");
+                if chaos {
+                    ch = ch.with_retry(retry).with_chaos(plan.stream_faults(k, i));
+                }
+                Box::new(ch) as Box<dyn Channel>
+            } else {
+                let mut ch = SocketChannel::connect(addr, format!("g{i}")).expect("connect shard");
+                if chaos {
+                    ch = ch.with_retry(retry).with_chaos(plan.stream_faults(k, i));
+                }
+                Box::new(ch) as Box<dyn Channel>
             }
-            Box::new(ch) as Box<dyn Channel>
         })
         .collect();
     let mut pool = ShardedChannel::with_counts(shards, vec![1; k]);
@@ -122,22 +136,24 @@ fn pooled_final_state(seed: u64, k: usize, n: usize, chaos: bool) -> Vec<u64> {
 }
 
 proptest! {
-    // Each case spins up 1+2+3 chaos pools plus a fault-free reference
-    // over real TCP — keep the case count small; the 32-seed soak in
-    // tests/chaos.rs carries the breadth.
+    // Each case spins up 1+2+3 chaos pools per transport plus a
+    // fault-free reference over real TCP — keep the case count small;
+    // the 32-seed soak in tests/chaos.rs carries the breadth.
     #![proptest_config(ProptestConfig::with_cases(3))]
     #[test]
     fn recovered_results_are_bitwise_identical_across_shard_counts(
         seed in any::<u64>(),
         n in 6usize..12,
     ) {
-        let reference = pooled_final_state(seed, 1, n, false);
+        let reference = pooled_final_state(seed, 1, n, false, false);
         for k in 1..=3usize {
-            let chaotic = pooled_final_state(seed, k, n, true);
-            prop_assert!(
-                chaotic == reference,
-                "JC_CHAOS_SEED={} diverged at k={}", seed, k
-            );
+            for reactor in [false, true] {
+                let chaotic = pooled_final_state(seed, k, n, true, reactor);
+                prop_assert!(
+                    chaotic == reference,
+                    "JC_CHAOS_SEED={} diverged at k={} reactor={}", seed, k, reactor
+                );
+            }
         }
     }
 }

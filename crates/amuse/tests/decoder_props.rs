@@ -1,0 +1,177 @@
+//! Property tests for the incremental frame decoder.
+//!
+//! The reactor feeds [`FrameDecoder`] whatever byte counts the kernel
+//! happens to deliver — a frame may arrive in one read or in dozens of
+//! fragments split at arbitrary offsets, including inside the header.
+//! The decoder's contract: any split of a valid frame reassembles to
+//! the exact bytes the one-shot blocking reader would have produced,
+//! it never consumes past the frame boundary, and hostile input errors
+//! out with bounded allocation and no panic — the same guarantees
+//! `wire_robustness.rs` pins for the blocking path.
+
+use jc_amuse::reactor::FrameDecoder;
+use jc_amuse::wire::{self, WireError};
+use jc_amuse::worker::Request;
+use proptest::prelude::*;
+
+/// An arbitrary valid request frame, seq-stamped.
+fn valid_frame(n: usize, seq: u16, op: u8) -> Vec<u8> {
+    let mut buf = Vec::new();
+    match op {
+        0 => wire::encode_simple_request(wire::op::PING, &mut buf),
+        1 => wire::encode_kick(&vec![[1.5, -2.5, 3.25]; n], &mut buf),
+        2 => {
+            wire::encode_request(&Request::SetMasses((0..n).map(|i| i as f64).collect()), &mut buf)
+        }
+        _ => wire::encode_compute_kick(
+            &vec![[1.0, 2.0, 3.0]; n],
+            &vec![[0.5; 3]; n],
+            &vec![1.0 / n.max(1) as f64; n],
+            &mut buf,
+        ),
+    }
+    wire::set_seq(&mut buf, seq);
+    buf
+}
+
+/// Feed `frame` to a decoder in fragments cut at `cuts` (arbitrary,
+/// possibly repeated or out-of-range offsets), returning the decoded
+/// frame.
+fn feed_in_fragments(frame: &[u8], cuts: &[usize]) -> Vec<u8> {
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (frame.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(frame.len());
+    bounds.sort_unstable();
+    let mut d = FrameDecoder::new();
+    for w in bounds.windows(2) {
+        let chunk = &frame[w[0]..w[1]];
+        let mut offset = 0;
+        while offset < chunk.len() {
+            let (used, complete) = d.feed(&chunk[offset..]).expect("valid frame must decode");
+            offset += used;
+            if complete {
+                assert_eq!(offset, chunk.len(), "decoder consumed past the frame boundary");
+            }
+        }
+    }
+    assert!(d.is_complete(), "all bytes fed but frame not complete");
+    d.frame().to_vec()
+}
+
+proptest! {
+    /// Any split of a valid frame decodes to exactly the bytes that
+    /// went in — fragment boundaries are invisible.
+    #[test]
+    fn any_split_decodes_identically_to_one_shot(
+        n in 0usize..40,
+        seq in any::<u16>(),
+        op in 0u8..4,
+        cuts in proptest::collection::vec(any::<usize>(), 0..12),
+    ) {
+        let frame = valid_frame(n, seq, op);
+        let reassembled = feed_in_fragments(&frame, &cuts);
+        prop_assert_eq!(&reassembled, &frame);
+        prop_assert_eq!(wire::frame_seq(&reassembled), seq);
+        // and the one-shot decode agrees on the payload's meaning
+        let a = format!("{:?}", wire::decode_request(&frame));
+        let b = format!("{:?}", wire::decode_request(&reassembled));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Two frames concatenated: the decoder stops exactly at the first
+    /// boundary; a fresh decoder picks up the second frame bit-for-bit.
+    #[test]
+    fn decoder_never_eats_into_the_next_frame(
+        n in 0usize..24,
+        m in 0usize..24,
+        ops in (0u8..4, 0u8..4),
+    ) {
+        let first = valid_frame(n, 7, ops.0);
+        let second = valid_frame(m, 8, ops.1);
+        let mut batch = first.clone();
+        batch.extend_from_slice(&second);
+
+        let mut d = FrameDecoder::new();
+        let (used, complete) = d.feed(&batch).expect("valid");
+        prop_assert!(complete);
+        prop_assert_eq!(used, first.len());
+        prop_assert_eq!(d.frame(), &first[..]);
+
+        d.reset();
+        let (used2, complete2) = d.feed(&batch[used..]).expect("valid");
+        prop_assert!(complete2);
+        prop_assert_eq!(used2, second.len());
+        prop_assert_eq!(d.frame(), &second[..]);
+    }
+
+    /// Hostile bytes — random garbage fed at random split points — must
+    /// produce a typed error or keep waiting for more input, never
+    /// panic, and never allocate beyond the header until a validated
+    /// length is known.
+    #[test]
+    fn hostile_bytes_error_cleanly_without_overallocation(
+        junk in proptest::collection::vec(any::<u8>(), 0..256),
+        cuts in proptest::collection::vec(any::<usize>(), 0..8),
+    ) {
+        let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (junk.len() + 1)).collect();
+        bounds.push(0);
+        bounds.push(junk.len());
+        bounds.sort_unstable();
+        let mut d = FrameDecoder::new();
+        'outer: for w in bounds.windows(2) {
+            let chunk = &junk[w[0]..w[1]];
+            let mut offset = 0;
+            while offset < chunk.len() {
+                match d.feed(&chunk[offset..]) {
+                    Ok((used, complete)) => {
+                        prop_assert!(used > 0 || chunk[offset..].is_empty());
+                        offset += used;
+                        if complete {
+                            break 'outer;
+                        }
+                    }
+                    Err(e) => {
+                        // header rejection happens before any payload
+                        // allocation
+                        prop_assert!(matches!(
+                            e,
+                            WireError::BadMagic(_)
+                                | WireError::BadVersion(_)
+                                | WireError::Oversized(_)
+                                | WireError::Truncated { .. }
+                        ), "unexpected error {e:?}");
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        // garbage that merely *claims* a huge length must not have
+        // provoked a huge buffer: growth is bounded by bytes received
+        // plus one read chunk
+        prop_assert!(
+            d.buffered_capacity() <= junk.len() + wire::READ_CHUNK + wire::HEADER_LEN,
+            "decoder allocated {} bytes for {} bytes of junk",
+            d.buffered_capacity(),
+            junk.len()
+        );
+    }
+
+    /// A truncated valid frame (cut anywhere before the end) is never
+    /// reported complete.
+    #[test]
+    fn truncated_frames_stay_incomplete(
+        n in 1usize..24,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = valid_frame(n, 3, 1);
+        let cut = ((frame.len() - 1) as f64 * cut_frac) as usize;
+        let mut d = FrameDecoder::new();
+        let mut offset = 0;
+        while offset < cut {
+            let (used, complete) = d.feed(&frame[offset..cut]).expect("prefix of valid frame");
+            prop_assert!(!complete, "incomplete frame reported complete at {cut}/{}", frame.len());
+            offset += used;
+        }
+        prop_assert!(!d.is_complete());
+    }
+}

@@ -13,8 +13,11 @@
 //!
 //! * `--quick` — small-N subset (CI per-PR job)
 //! * `--socket` — add transport-overhead rows: one bridge-style RPC
-//!   round trip (snapshot + kick) per channel kind — in-process
-//!   `LocalChannel` versus loopback-TCP `SocketChannel` — so the
+//!   round trip (snapshot + kick) per transport — in-process
+//!   `LocalChannel`, blocking loopback-TCP `SocketChannel`
+//!   (`*_socket_lockstep`), and the pipelined `ReactorChannel`
+//!   (`*_socket`) — plus K=3 `ComputeKick` fan-out rows
+//!   (`coupling_fanout_k3` pipelined vs `_lockstep`) — so the
 //!   BENCH_*.json trajectory tracks what the wire costs on top of the
 //!   kernel (`interactions_per_s` holds payload bytes/s for these rows)
 //! * `--checkpoint` — add fault-tolerance overhead rows: serializing a
@@ -62,6 +65,13 @@ use std::time::Instant;
 
 /// Allowed slowdown versus the committed baseline before `--check` fails.
 const REGRESSION_FACTOR: f64 = 2.0;
+
+/// Rows dominated by syscall/loopback latency rather than CPU: the
+/// CPU-bound calibration cannot normalize them across machines, so the
+/// gates report them for the trajectory but never fail on them.
+fn latency_bound(kernel: &str) -> bool {
+    kernel.starts_with("channel_roundtrip") || kernel.starts_with("coupling_fanout")
+}
 
 /// One measured point.
 struct Sample {
@@ -135,9 +145,16 @@ fn main() {
     if socket {
         let channel_ns: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
         for &n in channel_ns {
-            samples.push(bench_channel_roundtrip(n, repeats, false));
-            samples.push(bench_channel_roundtrip(n, repeats, true));
+            samples.push(bench_channel_roundtrip(n, repeats, Transport::Local));
+            samples.push(bench_channel_roundtrip(n, repeats, Transport::SocketLockstep));
+            samples.push(bench_channel_roundtrip(n, repeats, Transport::SocketPipelined));
         }
+        // K=3 coupling fan-out at the smallest channel N, where transport
+        // latency (not the tree kernel) dominates: the pipelined row
+        // shows K round trips overlapping toward one.
+        let n_fan = channel_ns[0];
+        samples.push(bench_coupling_fanout(n_fan, repeats, 3, false));
+        samples.push(bench_coupling_fanout(n_fan, repeats, 3, true));
     }
     if checkpoint {
         let ck_stars: &[usize] = if quick { &[1024] } else { &[1024, 8192] };
@@ -388,15 +405,31 @@ fn bench_sph_forces(n: usize, repeats: usize, simd: bool) -> Sample {
     }
 }
 
+/// Which transport carries the channel round-trip rows.
+#[derive(Clone, Copy)]
+enum Transport {
+    /// In-process `LocalChannel` — the zero-wire reference.
+    Local,
+    /// Blocking `SocketChannel`: one request in flight at a time, two
+    /// full round trips per step (the pre-reactor transport).
+    SocketLockstep,
+    /// `ReactorChannel` with the snapshot and the kick submitted
+    /// together — the event-driven coupler's production path, one
+    /// coalesced write and one gather per step.
+    SocketPipelined,
+}
+
 /// One bridge-style RPC round trip — a full particle snapshot plus a
-/// kick — over an in-process channel or a loopback TCP socket. The
-/// same worker, the same payloads: the difference between the two rows
-/// is pure transport (encode + syscalls + wire + decode).
-/// `interactions_per_s` reports payload bytes/s for these rows.
-fn bench_channel_roundtrip(n: usize, repeats: usize, socket: bool) -> Sample {
+/// kick — over an in-process channel, a blocking loopback TCP socket,
+/// or the pipelined reactor. The same worker, the same payloads: the
+/// difference between the rows is pure transport (encode + syscalls +
+/// wire + decode, and for the reactor row how many syscall round trips
+/// the step costs). `interactions_per_s` reports payload bytes/s for
+/// these rows.
+fn bench_channel_roundtrip(n: usize, repeats: usize, transport: Transport) -> Sample {
     use jc_amuse::channel::{Channel, LocalChannel};
     use jc_amuse::worker::{GravityWorker, ParticleData, Request, Response};
-    use jc_amuse::SocketChannel;
+    use jc_amuse::{Reactor, ReactorChannel, SocketChannel};
     use jc_nbody::Backend;
 
     let ics = plummer_sphere(n, 21);
@@ -404,32 +437,115 @@ fn bench_channel_roundtrip(n: usize, repeats: usize, socket: bool) -> Sample {
     let dv = vec![[0.0; 3]; n];
     let bytes_per_step =
         (Request::GetParticles.wire_size() + 32 + 56 * n as u64) + (24 * n as u64 + 32 + 40); // snapshot req+resp, kick req+resp
-
-    let mut run = |ch: &mut dyn Channel| {
-        let ns = best_ns(repeats, || {
-            assert!(ch.snapshot_into(&mut snap));
-            assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
-        });
-        Sample {
-            kernel: if socket { "channel_roundtrip_socket" } else { "channel_roundtrip_local" },
-            n,
-            ns_per_step: ns,
-            interactions_per_s: bytes_per_step as f64 / ns * 1e9,
-        }
+    let kernel = match transport {
+        Transport::Local => "channel_roundtrip_local",
+        Transport::SocketLockstep => "channel_roundtrip_socket_lockstep",
+        Transport::SocketPipelined => "channel_roundtrip_socket",
+    };
+    let sample = |ns: f64| Sample {
+        kernel,
+        n,
+        ns_per_step: ns,
+        interactions_per_s: bytes_per_step as f64 / ns * 1e9,
     };
 
-    if socket {
-        let (addr, handle) = jc_amuse::spawn_tcp_worker("perf-grav", move || {
-            GravityWorker::new(ics, Backend::Scalar)
-        });
-        let mut ch = SocketChannel::connect(addr, "perf-grav").expect("connect loopback worker");
-        let sample = run(&mut ch);
-        drop(ch); // sends Stop
-        let _ = handle.join();
-        sample
-    } else {
-        let mut ch = LocalChannel::new(Box::new(GravityWorker::new(ics, Backend::Scalar)));
-        run(&mut ch)
+    match transport {
+        Transport::Local => {
+            let mut ch = LocalChannel::new(Box::new(GravityWorker::new(ics, Backend::Scalar)));
+            let ns = best_ns(repeats, || {
+                assert!(ch.snapshot_into(&mut snap));
+                assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
+            });
+            sample(ns)
+        }
+        Transport::SocketLockstep => {
+            let (addr, handle) = jc_amuse::spawn_tcp_worker("perf-grav", move || {
+                GravityWorker::new(ics, Backend::Scalar)
+            });
+            let mut ch =
+                SocketChannel::connect(addr, "perf-grav").expect("connect loopback worker");
+            let ns = best_ns(repeats, || {
+                assert!(ch.snapshot_into(&mut snap));
+                assert!(matches!(ch.kick_slice(&dv), Response::Ok { .. }));
+            });
+            drop(ch); // sends Stop
+            let _ = handle.join();
+            sample(ns)
+        }
+        Transport::SocketPipelined => {
+            let (addr, handle) = jc_amuse::spawn_tcp_worker("perf-grav", move || {
+                GravityWorker::new(ics, Backend::Scalar)
+            });
+            let reactor = Reactor::new_shared().expect("reactor");
+            let mut ch = ReactorChannel::connect(&reactor, addr, "perf-grav")
+                .expect("connect loopback worker");
+            let ns = best_ns(repeats, || {
+                // Both requests leave in one coalesced write; the kick
+                // does not depend on the snapshot, so this depth-2 is
+                // exactly what the bridge issues.
+                ch.submit_snapshot();
+                ch.submit_kick_slice(&dv);
+                assert!(ch.collect_snapshot_into(&mut snap));
+                assert!(matches!(ch.collect_kick(), Response::Ok { .. }));
+            });
+            drop(ch); // sends Stop
+            let _ = handle.join();
+            sample(ns)
+        }
+    }
+}
+
+/// K-shard `ComputeKick` scatter–gather over loopback TCP workers:
+/// pipelined (all K requests in flight at once through the reactor)
+/// versus lock-step (K blocking round trips, one after another). The
+/// gap between the two rows is the latency overlap the event-driven
+/// coupler buys on the coupling fan-out. `interactions_per_s` reports
+/// wire bytes/s measured from the pool's own channel accounting.
+fn bench_coupling_fanout(n: usize, repeats: usize, k: usize, lockstep: bool) -> Sample {
+    use jc_amuse::channel::Channel;
+    use jc_amuse::shard::ShardedChannel;
+    use jc_amuse::worker::CouplingWorker;
+    use jc_amuse::{Reactor, ReactorChannel};
+
+    let scene = plummer_sphere(n, 23);
+    let reactor = Reactor::new_shared().expect("reactor");
+    let mut handles = Vec::new();
+    let shards: Vec<Box<dyn Channel>> = (0..k)
+        .map(|i| {
+            let (addr, h) = jc_amuse::spawn_tcp_worker(format!("fi-{i}"), CouplingWorker::fi);
+            handles.push(h);
+            Box::new(
+                ReactorChannel::connect(&reactor, addr, format!("fi-{i}"))
+                    .expect("connect loopback shard"),
+            ) as Box<dyn Channel>
+        })
+        .collect();
+    let mut pool = ShardedChannel::with_counts(shards, vec![0; k]).with_lockstep(lockstep);
+    assert_eq!(pool.pipelined(), !lockstep);
+
+    let mut acc = Vec::new();
+    let before = pool.stats();
+    let flops = pool
+        .compute_kick_into(&scene.pos, &scene.pos, &scene.mass, &mut acc)
+        .expect("fan-out compute_kick");
+    assert!(flops > 0.0);
+    let st = pool.stats();
+    let bytes_per_step = (st.bytes_out - before.bytes_out) + (st.bytes_in - before.bytes_in);
+
+    let ns = best_ns(repeats, || {
+        pool.compute_kick_into(&scene.pos, &scene.pos, &scene.mass, &mut acc)
+            .expect("fan-out compute_kick");
+    });
+    drop(pool); // sends Stop to every shard
+    for h in handles {
+        let _ = h.join();
+    }
+    let suffix = if lockstep { "_lockstep" } else { "" };
+    Sample {
+        kernel: Box::leak(format!("coupling_fanout_k{k}{suffix}").into_boxed_str()),
+        n,
+        ns_per_step: ns,
+        interactions_per_s: bytes_per_step as f64 / ns * 1e9,
     }
 }
 
@@ -479,17 +595,40 @@ fn bench_checkpoint(n_stars: usize, repeats: usize, restore: bool) -> Sample {
     }
 }
 
-/// Print the socket-vs-local transport overhead per N.
+/// Print the socket-vs-local transport overhead per N (for both socket
+/// transports), plus the pipelined-vs-lock-step gap on the K=3
+/// coupling fan-out.
 fn report_transport_overhead(samples: &[Sample]) {
-    for s in samples.iter().filter(|s| s.kernel == "channel_roundtrip_socket") {
-        if let Some(local) =
-            samples.iter().find(|l| l.kernel == "channel_roundtrip_local" && l.n == s.n)
-        {
+    let find = |kernel: &str, n: usize| {
+        samples.iter().find(move |l| l.kernel == kernel && l.n == n).map(|l| l.ns_per_step)
+    };
+    for s in samples.iter().filter(|s| {
+        s.kernel == "channel_roundtrip_socket" || s.kernel == "channel_roundtrip_socket_lockstep"
+    }) {
+        if let Some(local) = find("channel_roundtrip_local", s.n) {
+            let label =
+                if s.kernel.ends_with("_lockstep") { "blocking socket" } else { "reactor socket" };
             println!(
-                "socket transport overhead at N={}: {:.2}x local round trip ({:.1} MB/s payload)",
+                "{label} transport overhead at N={}: {:.2}x local round trip ({:.1} MB/s payload)",
                 s.n,
-                s.ns_per_step / local.ns_per_step,
+                s.ns_per_step / local,
                 s.interactions_per_s / 1e6
+            );
+        }
+    }
+    for s in samples
+        .iter()
+        .filter(|s| s.kernel.starts_with("coupling_fanout") && !s.kernel.ends_with("_lockstep"))
+    {
+        if let Some(lockstep) = find(&format!("{}_lockstep", s.kernel), s.n) {
+            println!(
+                "{} at N={}: pipelined fan-out {:.2}x faster than lock-step \
+                 ({:.0} ns vs {:.0} ns per kick)",
+                s.kernel,
+                s.n,
+                lockstep / s.ns_per_step,
+                s.ns_per_step,
+                lockstep
             );
         }
     }
@@ -642,7 +781,7 @@ fn compare_files(old_path: &str, new_path: &str) -> i32 {
     for (k, n, new_ns) in &new {
         let Some(old_ns) = find(&old, k, *n) else { continue };
         let speedup = old_ns / new_ns * calibration;
-        let info_only = k == "sph_density_legacy" || k.starts_with("channel_roundtrip");
+        let info_only = k == "sph_density_legacy" || latency_bound(k);
         let verdict = if info_only {
             "(info)"
         } else {
@@ -701,7 +840,7 @@ fn check_against(samples: &[Sample], baseline_path: &str) -> i32 {
         // the CPU-bound calibration cannot normalize — on shared CI
         // runners they would gate PRs on the machine, not the code.
         // Report them for the trajectory, never fail on them.
-        if s.kernel.starts_with("channel_roundtrip") {
+        if latency_bound(s.kernel) {
             if let Some(base_ns) = results
                 .iter()
                 .find(|r| {

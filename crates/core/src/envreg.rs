@@ -22,6 +22,11 @@ pub const JC_ENV: &[(&str, &str)] = &[
          unset or unparsable means no faults.",
     ),
     (
+        "JC_LOCKSTEP",
+        "Set to 1/true to force ShardedChannel fan-out back to serial lock-step calls even when \
+         every shard channel supports pipelining; escape hatch and A/B baseline.",
+    ),
+    (
         "JC_NET_TIMEOUT_MS",
         "Socket-channel read/write timeout in milliseconds (connects, drains, and retry-enabled \
          channels); defaults to 5000.",

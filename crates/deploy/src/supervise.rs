@@ -17,12 +17,15 @@
 //! stdout, so the child's output stays free for logs.
 
 use jc_amuse::channel::Channel;
+use jc_amuse::reactor::{Reactor, ReactorChannel};
 use jc_amuse::shard::ShardSupervisor;
 use jc_amuse::SocketChannel;
+use std::cell::RefCell;
 use std::io;
 use std::net::SocketAddr;
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 /// The launch recipe for one worker process — everything
@@ -118,6 +121,11 @@ pub struct ProcessSupervisor {
     /// two supervisors in one process (parallel tests) must never read
     /// each other's port files.
     token: u64,
+    /// When set, every channel handed out (initial launch and respawn
+    /// alike) is a [`ReactorChannel`] registered on this shared event
+    /// loop instead of a blocking [`SocketChannel`], so a
+    /// [`jc_amuse::ShardedChannel`] over the pool fans out pipelined.
+    reactor: Option<Rc<RefCell<Reactor>>>,
 }
 
 static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -134,7 +142,19 @@ impl ProcessSupervisor {
             startup_timeout: Duration::from_secs(10),
             port_dir: std::env::temp_dir(),
             token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+            reactor: None,
         }
+    }
+
+    /// Hand out event-driven [`ReactorChannel`]s on `reactor` instead
+    /// of blocking [`SocketChannel`]s. Applies to [`spawn_all`] and to
+    /// every later [`ShardSupervisor::respawn`], so a healed pool stays
+    /// on the same transport it started on.
+    ///
+    /// [`spawn_all`]: ProcessSupervisor::spawn_all
+    pub fn with_reactor(mut self, reactor: Rc<RefCell<Reactor>>) -> ProcessSupervisor {
+        self.reactor = Some(reactor);
+        self
     }
 
     /// The last known address of shard `i`'s worker.
@@ -149,8 +169,9 @@ impl ProcessSupervisor {
         self.port_dir.join(format!("jungle-worker-{}-{}-{i}.port", std::process::id(), self.token))
     }
 
-    /// Launch one worker process and connect to it.
-    fn launch(&mut self, i: usize) -> io::Result<SocketChannel> {
+    /// Launch one worker process and connect to it over whichever
+    /// transport this supervisor is configured for.
+    fn launch(&mut self, i: usize) -> io::Result<Box<dyn Channel>> {
         let port_file = self.port_file(i);
         let _ = std::fs::remove_file(&port_file);
         let child = self.specs[i].command(&port_file).spawn()?;
@@ -180,7 +201,11 @@ impl ProcessSupervisor {
         };
         let _ = std::fs::remove_file(&port_file);
         self.slots[i].addr = Some(addr);
-        SocketChannel::connect(addr, format!("{}-{i}", self.specs[i].model))
+        let name = format!("{}-{i}", self.specs[i].model);
+        match &self.reactor {
+            Some(r) => Ok(Box::new(ReactorChannel::connect(r, addr, name)?)),
+            None => Ok(Box::new(SocketChannel::connect(addr, name)?)),
+        }
     }
 
     /// Launch every worker and return one connected channel per spec
@@ -189,7 +214,7 @@ impl ProcessSupervisor {
     pub fn spawn_all(&mut self) -> io::Result<Vec<Box<dyn Channel>>> {
         let mut out: Vec<Box<dyn Channel>> = Vec::with_capacity(self.specs.len());
         for i in 0..self.specs.len() {
-            out.push(Box::new(self.launch(i)?));
+            out.push(self.launch(i)?);
         }
         Ok(out)
     }
@@ -274,7 +299,7 @@ impl ShardSupervisor for ProcessSupervisor {
                 // only a delivered replacement spends the budget — a
                 // failed launch must not eat future respawns
                 self.budget -= 1;
-                Some(Box::new(ch))
+                Some(ch)
             }
             Err(e) => {
                 eprintln!(

@@ -24,6 +24,15 @@
 //! `frame_seq` (server recognition) and `last_seq` (the dedup cache) —
 //! losing any leg silently turns "safe to resend" back into
 //! "double-applies on retry".
+//!
+//! The event-driven channel (`reactor.rs`) is held to the same codec
+//! surface: it must reference `encode_request` / `decode_response`
+//! (frames built or parsed anywhere else escape every exhaustiveness
+//! check above), `set_seq` (pipelined retries must stay idempotent
+//! too), and `parse_header` (the incremental decoder sizes its payload
+//! buffer from a *validated* header, never raw bytes). This is what
+//! keeps "reactor path bitwise-identical to the blocking path" a
+//! structural property rather than a test-coverage hope.
 
 use crate::lexer::Kind;
 use crate::{match_brace, Diagnostic, SourceFile};
@@ -37,6 +46,8 @@ pub const WIRE_PATH: &str = "crates/amuse/src/wire.rs";
 pub const WORKER_PATH: &str = "crates/amuse/src/worker.rs";
 /// Where the socket channel (seq stamping + server dedup) lives.
 pub const SOCKET_PATH: &str = "crates/amuse/src/socket.rs";
+/// Where the event-driven (reactor) channel lives.
+pub const REACTOR_PATH: &str = "crates/amuse/src/reactor.rs";
 
 /// One parsed `pub const NAME: u8 = 0x..;` opcode.
 struct Opcode {
@@ -48,11 +59,14 @@ struct Opcode {
 /// Check the protocol pair. `worker` carries the `wire_size` model; if
 /// absent, the variant cross-check reports that instead of silently
 /// passing. `socket` carries the seq stamp/dedup call sites; when
-/// present, the sequence-number pass runs on both files.
+/// present, the sequence-number pass runs on both files. `reactor`
+/// carries the event-driven channel; when present, its codec legs are
+/// checked against the same surface.
 pub fn check(
     wire: &SourceFile,
     worker: Option<&SourceFile>,
     socket: Option<&SourceFile>,
+    reactor: Option<&SourceFile>,
 ) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let code = wire.code();
@@ -188,6 +202,47 @@ pub fn check(
                     line: 1,
                     lint: LINT,
                     message: format!("`{name}` is never referenced in the socket channel — {why}"),
+                });
+            }
+        }
+    }
+
+    // Reactor legs: the non-blocking channel must build, stamp and
+    // parse frames through the exact same codec surface the blocking
+    // channel uses — a hand-rolled frame or header parse in the
+    // pipelined path would sit outside every exhaustiveness check
+    // above and outside the bitwise-equivalence guarantee.
+    if let Some(r) = reactor {
+        let rcode = r.code();
+        let referenced = |name: &str| rcode.iter().any(|&ti| r.tokens[ti].is_ident(name));
+        for (name, why) in [
+            (
+                "encode_request",
+                "pipelined submits would hand-roll frames outside the encode \
+                 exhaustiveness check",
+            ),
+            (
+                "decode_response",
+                "replies would be parsed outside the one decode surface the equivalence \
+                 tests pin to the blocking path",
+            ),
+            (
+                "set_seq",
+                "pipelined mutating requests go out unsequenced, so a reactor retry \
+                 double-applies",
+            ),
+            (
+                "parse_header",
+                "the incremental decoder would size its payload buffer from unvalidated \
+                 header bytes",
+            ),
+        ] {
+            if !referenced(name) {
+                diags.push(Diagnostic {
+                    path: r.path.clone(),
+                    line: 1,
+                    lint: LINT,
+                    message: format!("`{name}` is never referenced in the reactor channel — {why}"),
                 });
             }
         }

@@ -54,9 +54,10 @@ fn wire_fail_fixture_exact_diagnostics() {
     let w = fixture("fail/wire/wire.rs", wire::WIRE_PATH);
     let worker = fixture("fail/wire/worker.rs", wire::WORKER_PATH);
     let socket = fixture("fail/wire/socket.rs", wire::SOCKET_PATH);
-    let d = wire::check(&w, Some(&worker), Some(&socket));
+    let reactor = fixture("fail/wire/reactor.rs", wire::REACTOR_PATH);
+    let d = wire::check(&w, Some(&worker), Some(&socket), Some(&reactor));
     let msgs: Vec<&str> = d.iter().map(|x| x.message.as_str()).collect();
-    assert_eq!(d.len(), 7, "{d:#?}");
+    assert_eq!(d.len(), 9, "{d:#?}");
     // SHUTDOWN (declared at fixture line 8): missing version + decode arm
     assert!(d.iter().any(|x| x.line == 8
         && x.path == wire::WIRE_PATH
@@ -85,6 +86,19 @@ fn wire_fail_fixture_exact_diagnostics() {
                 && x.message.contains("`last_seq` is never referenced")),
         "{msgs:?}"
     );
+    // the reactor fixture encodes through the shared surface but
+    // hand-parses replies and never stamps sequence numbers
+    assert!(
+        d.iter().any(|x| x.path == wire::REACTOR_PATH
+            && x.message.contains("`decode_response` is never referenced")),
+        "{msgs:?}"
+    );
+    assert!(
+        d.iter()
+            .any(|x| x.path == wire::REACTOR_PATH
+                && x.message.contains("`set_seq` is never referenced")),
+        "{msgs:?}"
+    );
 }
 
 #[test]
@@ -92,7 +106,8 @@ fn wire_pass_fixture_is_quiet() {
     let w = fixture("pass/wire/wire.rs", wire::WIRE_PATH);
     let worker = fixture("pass/wire/worker.rs", wire::WORKER_PATH);
     let socket = fixture("pass/wire/socket.rs", wire::SOCKET_PATH);
-    let d = wire::check(&w, Some(&worker), Some(&socket));
+    let reactor = fixture("pass/wire/reactor.rs", wire::REACTOR_PATH);
+    let d = wire::check(&w, Some(&worker), Some(&socket), Some(&reactor));
     assert!(d.is_empty(), "{d:#?}");
 }
 

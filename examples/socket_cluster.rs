@@ -14,7 +14,7 @@
 
 use jungle::amuse::channel::{Channel, LocalChannel};
 use jungle::amuse::shard::ShardedChannel;
-use jungle::amuse::socket::spawn_tcp_worker;
+use jungle::amuse::socket::WorkerFleet;
 use jungle::amuse::worker::{
     CouplingWorker, GravityWorker, HydroWorker, ParticleData, StellarWorker,
 };
@@ -32,19 +32,20 @@ fn main() {
     );
 
     // --- spawn the worker pool (one TCP server per worker) -------------
+    // The fleet is declared before any channel, so it drops last: if a
+    // connect or an assertion below bails out early, its Drop sends each
+    // server a clean Shutdown and joins the thread — no leaked workers.
+    let mut fleet = WorkerFleet::new();
     let stars = cluster.stars.clone();
     let gas = cluster.gas.clone();
     let imf = cluster.star_masses_msun.clone();
-    let (g_addr, g_h) =
-        spawn_tcp_worker("phigrape", move || GravityWorker::new(stars, Backend::Scalar));
-    let (h_addr, h_h) = spawn_tcp_worker("gadget", move || HydroWorker::new(gas));
-    let (s_addr, s_h) = spawn_tcp_worker("sse", move || StellarWorker::new(imf, 0.02));
-    let mut handles = vec![g_h, h_h, s_h];
+    let g_addr = fleet.spawn("phigrape", move || GravityWorker::new(stars, Backend::Scalar));
+    let h_addr = fleet.spawn("gadget", move || HydroWorker::new(gas));
+    let s_addr = fleet.spawn("sse", move || StellarWorker::new(imf, 0.02));
 
     let coupling_shards: Vec<Box<dyn Channel>> = (0..COUPLING_SHARDS)
         .map(|i| {
-            let (addr, h) = spawn_tcp_worker(format!("fi-{i}"), CouplingWorker::fi);
-            handles.push(h);
+            let addr = fleet.spawn(format!("fi-{i}"), CouplingWorker::fi);
             let ch = SocketChannel::connect(addr, format!("fi-{i}")).expect("connect shard");
             println!("  coupling shard {i} on {}", ch.peer_addr().unwrap());
             Box::new(ch) as Box<dyn Channel>
@@ -87,9 +88,7 @@ fn main() {
     println!("wall time over sockets: {elapsed:.2?}");
 
     drop(bridge); // Stop frames -> the servers shut down
-    for h in handles {
-        h.join().expect("server thread").expect("server exits cleanly");
-    }
+    fleet.join_all().expect("server exits cleanly");
 
     // --- the same run, in process, unsharded ----------------------------
     let mut local = Bridge::new(

@@ -19,6 +19,7 @@
 
 use jungle::amuse::channel::{Channel, LocalChannel};
 use jungle::amuse::chaos::{FaultKind, FaultPlan, IoFault, RetryPolicy, StreamFaults, KINDS};
+use jungle::amuse::reactor::{Reactor, ReactorChannel};
 use jungle::amuse::shard::ShardedChannel;
 use jungle::amuse::socket::{spawn_flaky_tcp_worker, spawn_tcp_worker};
 use jungle::amuse::worker::{
@@ -86,18 +87,41 @@ fn baseline() -> Reference {
     Reference { stars, gas, supernovae: bridge.total_supernovae(), time: bridge.model_time() }
 }
 
+/// Which transport a chaos soak drives its channels over.
+#[derive(Clone, Copy, PartialEq)]
+enum Transport {
+    /// Blocking [`SocketChannel`]s.
+    Blocking,
+    /// Event-driven [`ReactorChannel`]s on one shared [`Reactor`].
+    Reactor,
+}
+
 /// Run one seeded fault schedule over a live loopback TCP cluster with
 /// `k` coupling shards and compare the final state bitwise against the
 /// fault-free reference. Returns `(recoveries, in_place_retries)` on
 /// convergence, a `JC_CHAOS_SEED=<seed>`-prefixed description on any
-/// divergence or unexpected failure.
-fn run_chaos_seed(seed: u64, k: usize, reference: &Reference) -> Result<(u32, u64), String> {
+/// divergence or unexpected failure. The same seed must converge over
+/// both [`Transport`]s: chaos draws happen at identical frame-op
+/// boundaries, so one schedule maps onto either implementation.
+fn run_chaos_seed(
+    seed: u64,
+    k: usize,
+    reference: &Reference,
+    transport: Transport,
+) -> Result<(u32, u64), String> {
     let plan = FaultPlan::seeded(seed);
     let fail = |msg: String| format!("JC_CHAOS_SEED={seed} (k={k}): {msg}");
     let c = cluster();
     let mut handles = Vec::new();
     let respawned: Rc<RefCell<Vec<std::thread::JoinHandle<std::io::Result<()>>>>> =
         Rc::new(RefCell::new(Vec::new()));
+    let reactor = Reactor::new_shared().expect("reactor");
+    let connect = |addr: std::net::SocketAddr, name: String| -> std::io::Result<Box<dyn Channel>> {
+        match transport {
+            Transport::Blocking => Ok(Box::new(SocketChannel::connect(addr, name)?)),
+            Transport::Reactor => Ok(Box::new(ReactorChannel::connect(&reactor, addr, name)?)),
+        }
+    };
 
     // the healthy single workers — the plan only targets the pool
     let (stars_ics, gas_ics, imf) = (c.stars.clone(), c.gas.clone(), c.star_masses_msun.clone());
@@ -117,30 +141,50 @@ fn run_chaos_seed(seed: u64, k: usize, reference: &Reference) -> Result<(u32, u6
             let fuse = Arc::new(AtomicI64::new(plan.crash_fuse(k, i).unwrap_or(i64::MAX)));
             let (addr, h) = spawn_flaky_tcp_worker(format!("fi-{i}"), CouplingWorker::fi, fuse);
             handles.push(h);
-            let ch = SocketChannel::connect(addr, format!("fi-{i}"))
-                .expect("connect shard")
-                .with_retry(retry)
-                .with_chaos(plan.stream_faults(k, i));
-            Box::new(ch) as Box<dyn Channel>
+            let faults = plan.stream_faults(k, i);
+            match transport {
+                Transport::Blocking => Box::new(
+                    SocketChannel::connect(addr, format!("fi-{i}"))
+                        .expect("connect shard")
+                        .with_retry(retry)
+                        .with_chaos(faults),
+                ) as Box<dyn Channel>,
+                Transport::Reactor => Box::new(
+                    ReactorChannel::connect(&reactor, addr, format!("fi-{i}"))
+                        .expect("connect shard")
+                        .with_retry(retry)
+                        .with_chaos(faults),
+                ) as Box<dyn Channel>,
+            }
         })
         .collect();
 
-    // supervisor: respawn a crashed shard as a fresh healthy server
+    // supervisor: respawn a crashed shard as a fresh healthy server on
+    // the same transport the pool started with
     let respawned_c = respawned.clone();
+    let respawn_reactor = reactor.clone();
     let supervisor = move |i: usize| -> Option<Box<dyn Channel>> {
         let (addr, h) = spawn_tcp_worker(format!("fi-{i}-respawn"), CouplingWorker::fi);
         respawned_c.borrow_mut().push(h);
-        Some(Box::new(SocketChannel::connect(addr, format!("fi-{i}-respawn")).ok()?)
-            as Box<dyn Channel>)
+        let name = format!("fi-{i}-respawn");
+        match transport {
+            Transport::Blocking => {
+                Some(Box::new(SocketChannel::connect(addr, name).ok()?) as Box<dyn Channel>)
+            }
+            Transport::Reactor => {
+                Some(Box::new(ReactorChannel::connect(&respawn_reactor, addr, name).ok()?)
+                    as Box<dyn Channel>)
+            }
+        }
     };
     let pool =
         ShardedChannel::with_counts(shards, vec![0; k]).with_supervisor(Box::new(supervisor));
 
     let mut bridge = Bridge::new(
-        Box::new(SocketChannel::connect(g_addr, "grav").expect("connect gravity")),
-        Box::new(SocketChannel::connect(h_addr, "hydro").expect("connect hydro")),
+        connect(g_addr, "grav".into()).expect("connect gravity"),
+        connect(h_addr, "hydro".into()).expect("connect hydro"),
         Box::new(pool),
-        Some(Box::new(SocketChannel::connect(s_addr, "sse").expect("connect stellar"))),
+        Some(connect(s_addr, "sse".into()).expect("connect stellar")),
         config(&c),
     );
 
@@ -201,18 +245,21 @@ fn run_chaos_seed(seed: u64, k: usize, reference: &Reference) -> Result<(u32, u6
     Ok((recoveries, retries))
 }
 
-#[test]
-fn every_seeded_fault_schedule_converges_to_the_fault_free_run() {
+fn sweep_all_seeds(transport: Transport) {
     let reference = baseline();
     let mut failures = Vec::new();
     let mut covered = [false; KINDS.len()];
+    let mut in_place = 0u64;
+    let mut heavy = 0u32;
     for seed in 0..SEEDS {
         let k = 1 + (seed as usize % 3);
         let plan = FaultPlan::seeded(seed);
         let primary = plan.schedule(k)[0].kind;
         covered[KINDS.iter().position(|&kk| kk == primary).expect("primary from KINDS")] = true;
-        match run_chaos_seed(seed, k, &reference) {
-            Ok((recoveries, _retries)) => {
+        match run_chaos_seed(seed, k, &reference, transport) {
+            Ok((recoveries, retries)) => {
+                in_place += retries;
+                heavy += recoveries;
                 // a crash schedule must take the heavy path, not luck out
                 if primary == FaultKind::WorkerCrash && recoveries == 0 {
                     failures.push(format!(
@@ -228,16 +275,34 @@ fn every_seeded_fault_schedule_converges_to_the_fault_free_run() {
         covered.iter().all(|&c| c),
         "a {SEEDS}-seed sweep must cover every fault site: {covered:?}"
     );
+    // both recovery tiers must actually fire across the sweep
+    assert!(in_place > 0, "no in-place retries across {SEEDS} seeds");
+    assert!(heavy > 0, "no heal/restore recoveries across {SEEDS} seeds");
 }
 
 #[test]
-fn a_transient_schedule_completes_without_a_single_restore() {
-    // Hand-built schedule of purely transient transport faults — a lost
-    // response, a torn frame, a corrupted header, a vanished peer —
-    // across both shards of a K=2 pool. Every one must be absorbed by
-    // the in-place sequence-numbered resend: zero checkpoint restores,
-    // a positive retry count, and bitwise-identical output.
+fn every_seeded_fault_schedule_converges_to_the_fault_free_run() {
+    sweep_all_seeds(Transport::Blocking);
+}
+
+/// The same 32 seeds through the event-driven transport: chaos draws
+/// land at identical frame-op boundaries, so every schedule must
+/// converge bitwise exactly as it does over blocking sockets —
+/// transient faults absorbed by in-place resends, crashes taking the
+/// respawn/restore path.
+#[test]
+fn every_seeded_fault_schedule_converges_over_the_reactor() {
+    sweep_all_seeds(Transport::Reactor);
+}
+
+// Hand-built schedule of purely transient transport faults — a lost
+// response, a torn frame, a corrupted header, a vanished peer — across
+// both shards of a K=2 pool. Every one must be absorbed by the in-place
+// sequence-numbered resend: zero checkpoint restores, a positive retry
+// count, and bitwise-identical output.
+fn transient_schedule(transport: Transport) {
     let reference = baseline();
+    let reactor = Reactor::new_shared().expect("reactor");
     let c = cluster();
     let mut handles = Vec::new();
 
@@ -264,11 +329,20 @@ fn a_transient_schedule_completes_without_a_single_restore() {
         .map(|(i, faults)| {
             let (addr, h) = spawn_tcp_worker(format!("fi-{i}"), CouplingWorker::fi);
             handles.push(h);
-            let ch = SocketChannel::connect(addr, format!("fi-{i}"))
-                .expect("connect shard")
-                .with_retry(retry)
-                .with_chaos(faults);
-            Box::new(ch) as Box<dyn Channel>
+            match transport {
+                Transport::Blocking => Box::new(
+                    SocketChannel::connect(addr, format!("fi-{i}"))
+                        .expect("connect shard")
+                        .with_retry(retry)
+                        .with_chaos(faults),
+                ) as Box<dyn Channel>,
+                Transport::Reactor => Box::new(
+                    ReactorChannel::connect(&reactor, addr, format!("fi-{i}"))
+                        .expect("connect shard")
+                        .with_retry(retry)
+                        .with_chaos(faults),
+                ) as Box<dyn Channel>,
+            }
         })
         .collect();
     let pool = ShardedChannel::with_counts(shards, vec![0; 2]);
@@ -303,4 +377,16 @@ fn a_transient_schedule_completes_without_a_single_restore() {
     for h in handles {
         h.join().expect("server thread").expect("server exits cleanly");
     }
+}
+
+#[test]
+fn a_transient_schedule_completes_without_a_single_restore() {
+    transient_schedule(Transport::Blocking);
+}
+
+/// The same hand-built transient schedule absorbed entirely in place by
+/// the reactor transport's reconnect-and-resend discipline.
+#[test]
+fn a_transient_schedule_over_the_reactor_retries_in_place() {
+    transient_schedule(Transport::Reactor);
 }

@@ -16,7 +16,7 @@
 
 use jungle::amuse::channel::{Channel, LocalChannel};
 use jungle::amuse::shard::ShardedChannel;
-use jungle::amuse::socket::{spawn_flaky_tcp_worker, spawn_tcp_worker};
+use jungle::amuse::socket::{spawn_flaky_tcp_worker, spawn_tcp_worker, WorkerFleet};
 use jungle::amuse::worker::{
     CouplingWorker, GravityWorker, HydroWorker, ModelWorker, ParticleData, Request, Response,
     StellarWorker,
@@ -85,18 +85,23 @@ fn tcp_shard_killed_mid_iteration_recovers_bitwise() {
 
     for k in 1..=3usize {
         let c = cluster();
-        let mut handles = Vec::new();
-        let respawned: Rc<RefCell<Vec<std::thread::JoinHandle<std::io::Result<()>>>>> =
-            Rc::new(RefCell::new(Vec::new()));
+        // Fleet first, so it drops *after* the bridge on every exit
+        // path: a panicking assertion below unwinds through the
+        // bridge's Stop frames, then the fleet shuts down and joins
+        // whatever is left — including supervisor respawns — instead of
+        // leaking server threads blocked in accept.
+        let fleet = Rc::new(RefCell::new(WorkerFleet::new()));
 
         // the healthy single workers
         let (stars_ics, gas_ics, imf) =
             (c.stars.clone(), c.gas.clone(), c.star_masses_msun.clone());
         let (g_addr, g_h) =
             spawn_tcp_worker("grav", move || GravityWorker::new(stars_ics, Backend::Scalar));
+        fleet.borrow_mut().adopt(g_addr, g_h);
         let (h_addr, h_h) = spawn_tcp_worker("hydro", move || HydroWorker::new(gas_ics));
+        fleet.borrow_mut().adopt(h_addr, h_h);
         let (s_addr, s_h) = spawn_tcp_worker("sse", move || StellarWorker::new(imf, 0.02));
-        handles.extend([g_h, h_h, s_h]);
+        fleet.borrow_mut().adopt(s_addr, s_h);
 
         // the coupling pool: K flaky servers, one of which will be shot
         let victim = (3 + 7 * k) % k;
@@ -106,17 +111,17 @@ fn tcp_shard_killed_mid_iteration_recovers_bitwise() {
             .map(|i| {
                 let (addr, h) =
                     spawn_flaky_tcp_worker(format!("fi-{i}"), CouplingWorker::fi, fuses[i].clone());
-                handles.push(h);
+                fleet.borrow_mut().adopt(addr, h);
                 Box::new(SocketChannel::connect(addr, format!("fi-{i}")).expect("connect shard"))
                     as Box<dyn Channel>
             })
             .collect();
 
         // supervisor: respawn a dead shard as a fresh (healthy) server
-        let respawned_c = respawned.clone();
+        let fleet_c = fleet.clone();
         let supervisor = move |i: usize| -> Option<Box<dyn Channel>> {
             let (addr, h) = spawn_tcp_worker(format!("fi-{i}-respawn"), CouplingWorker::fi);
-            respawned_c.borrow_mut().push(h);
+            fleet_c.borrow_mut().adopt(addr, h);
             Some(Box::new(SocketChannel::connect(addr, format!("fi-{i}-respawn")).ok()?)
                 as Box<dyn Channel>)
         };
@@ -154,12 +159,7 @@ fn tcp_shard_killed_mid_iteration_recovers_bitwise() {
         assert!(bitwise_eq(&gas, &ref_gas), "k={k}: gas state diverged");
 
         drop(bridge); // Stop frames shut the healthy servers down
-        for h in handles {
-            h.join().expect("server thread").expect("server exits cleanly");
-        }
-        for h in Rc::try_unwrap(respawned).expect("bridge dropped").into_inner() {
-            h.join().expect("respawned thread").expect("respawned server exits cleanly");
-        }
+        fleet.borrow_mut().join_all().expect("every server exits cleanly");
     }
 }
 

@@ -212,6 +212,32 @@ impl Bridge {
         }
     }
 
+    /// Dismantle the bridge and hand back its channels in
+    /// [`Bridge::new`] argument order. This is the warm-pool hook: a
+    /// service that leases a pooled host's channels for one session
+    /// returns them afterwards so the next session reuses the live
+    /// workers (their state is overwritten by that session's own
+    /// [`Bridge::restore`]).
+    #[allow(clippy::type_complexity)]
+    pub fn into_channels(
+        self,
+    ) -> (Box<dyn Channel>, Box<dyn Channel>, Box<dyn Channel>, Option<Box<dyn Channel>>) {
+        (self.gravity, self.hydro, self.coupling, self.stellar)
+    }
+
+    /// Propagate a per-request wall-clock budget
+    /// ([`crate::chaos::RetryPolicy::deadline_ms`], 0 = unbounded) to
+    /// every channel, so a session-level deadline bounds each retry
+    /// loop underneath the coupler.
+    pub fn set_request_deadline(&mut self, deadline_ms: u64) {
+        self.gravity.set_deadline(deadline_ms);
+        self.hydro.set_deadline(deadline_ms);
+        self.coupling.set_deadline(deadline_ms);
+        if let Some(s) = &mut self.stellar {
+            s.set_deadline(deadline_ms);
+        }
+    }
+
     /// Current model time (N-body units).
     pub fn model_time(&self) -> f64 {
         self.time

@@ -33,6 +33,19 @@ pub struct ChannelStats {
     pub retries: u64,
 }
 
+impl ChannelStats {
+    /// Fold `other` into this accumulator. Session-scoped roll-ups (the
+    /// service layer sums all of a session's channels, across
+    /// migrations, into one ledger) need addition, not replacement.
+    pub fn merge(&mut self, other: &ChannelStats) {
+        self.calls += other.calls;
+        self.bytes_out += other.bytes_out;
+        self.bytes_in += other.bytes_in;
+        self.flops += other.flops;
+        self.retries += other.retries;
+    }
+}
+
 /// An RPC channel to one worker.
 ///
 /// The `*_into`/`*_slice` methods are borrowing fast paths used by the
@@ -66,6 +79,15 @@ pub trait Channel {
     fn heal(&mut self) -> bool {
         matches!(self.call(Request::Ping), Response::Ok { .. })
     }
+
+    /// Set the per-request wall-clock budget
+    /// ([`crate::chaos::RetryPolicy::deadline_ms`], 0 = unbounded) on
+    /// whatever retry machinery this channel has. The service layer
+    /// calls this when it leases a channel for a session, so the
+    /// session's remaining deadline propagates into every retry/backoff
+    /// loop underneath. In-process channels never retry, hence the
+    /// default is a no-op.
+    fn set_deadline(&mut self, _deadline_ms: u64) {}
 
     /// Snapshot the worker's particles into `out` (reusing its buffers).
     /// Counts as one [`Request::GetParticles`] call in the stats.

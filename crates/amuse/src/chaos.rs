@@ -460,6 +460,16 @@ pub struct RetryPolicy {
     pub jitter_seed: u64,
     /// Timeout for reconnect attempts, in milliseconds.
     pub connect_timeout_ms: u64,
+    /// Wall-clock budget for one request, in milliseconds (0 = no
+    /// deadline). `max_retries` caps *attempts*, but a schedule of
+    /// repeated transient timeouts can still stretch one round trip far
+    /// past any caller budget; with a deadline the retry loop gives up
+    /// before its next backoff would cross the budget and surfaces the
+    /// non-transient [`crate::wire::WireError::DeadlineExceeded`], so
+    /// the caller escalates to heal/restore instead of waiting. The
+    /// field is plain data — enforcement (clock reads) lives in the
+    /// transport layers, keeping this module deterministic.
+    pub deadline_ms: u64,
 }
 
 impl Default for RetryPolicy {
@@ -478,6 +488,7 @@ impl RetryPolicy {
             backoff_max_ms: 0,
             jitter_seed: 0,
             connect_timeout_ms: 5_000,
+            deadline_ms: 0,
         }
     }
 
@@ -490,7 +501,15 @@ impl RetryPolicy {
             backoff_max_ms: 200,
             jitter_seed: seed,
             connect_timeout_ms: 5_000,
+            deadline_ms: 0,
         }
+    }
+
+    /// The same policy with a per-request wall-clock budget of
+    /// `deadline_ms` milliseconds (0 disables the bound).
+    pub fn with_deadline(mut self, deadline_ms: u64) -> RetryPolicy {
+        self.deadline_ms = deadline_ms;
+        self
     }
 
     /// The backoff before retry `attempt` (1-based): exponential from

@@ -898,6 +898,9 @@ impl ReactorChannel {
         let frame_len = self.pending.pop_front().expect("no outstanding call");
         let timeout = net_timeout();
         let mut attempt = 0u32;
+        let deadline =
+            (self.retry.deadline_ms > 0).then(|| Duration::from_millis(self.retry.deadline_ms));
+        let started = deadline.map(|_| std::time::Instant::now());
         let mut sent = self.finish_send(frame_len, timeout);
         loop {
             let r = match &sent {
@@ -912,11 +915,22 @@ impl ReactorChannel {
                     return Ok(());
                 }
                 Err(e) => {
-                    if attempt >= self.retry.max_retries || !e.is_transient() {
+                    // same deadline discipline as the blocking channel:
+                    // stop before the next backoff crosses the budget
+                    let over_deadline = started.is_some_and(|t0| {
+                        t0.elapsed() + self.retry.backoff(attempt + 1) >= deadline.unwrap()
+                    });
+                    if attempt >= self.retry.max_retries || !e.is_transient() || over_deadline {
                         // the frame may have physically left even though
                         // the round trip failed: keep bytes_out honest
                         if let Ok(out) = &sent {
                             self.stats.bytes_out += *out;
+                        }
+                        if over_deadline && e.is_transient() {
+                            let d =
+                                WireError::DeadlineExceeded { budget_ms: self.retry.deadline_ms };
+                            self.poisoned = Some(d.clone());
+                            return Err(d);
                         }
                         return Err(e);
                     }
@@ -983,6 +997,10 @@ impl Channel for ReactorChannel {
 
     fn worker_name(&self) -> String {
         self.name.clone()
+    }
+
+    fn set_deadline(&mut self, deadline_ms: u64) {
+        self.retry.deadline_ms = deadline_ms;
     }
 
     fn pipelines(&self) -> bool {

@@ -498,18 +498,21 @@ impl Channel for ShardedChannel {
     fn stats(&self) -> ChannelStats {
         let mut total = ChannelStats::default();
         for s in &self.shards {
-            let st = s.stats();
-            total.calls += st.calls;
-            total.bytes_out += st.bytes_out;
-            total.bytes_in += st.bytes_in;
-            total.flops += st.flops;
-            total.retries += st.retries;
+            total.merge(&s.stats());
         }
         total
     }
 
     fn worker_name(&self) -> String {
         format!("{}×{}", self.shards[0].worker_name(), self.shards.len())
+    }
+
+    /// Every member channel gets the same per-request budget — a pool
+    /// is one logical worker, so one deadline governs all its shards.
+    fn set_deadline(&mut self, deadline_ms: u64) {
+        for s in &mut self.shards {
+            s.set_deadline(deadline_ms);
+        }
     }
 
     /// A sharded pool pipelines when every member does (and the

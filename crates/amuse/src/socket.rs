@@ -270,6 +270,9 @@ impl SocketChannel {
     /// retries) surface to the caller with the channel poisoned.
     fn complete(&mut self, mut sent: Result<u64, WireError>) -> Result<(), WireError> {
         let mut attempt = 0u32;
+        let deadline = (self.retry.deadline_ms > 0)
+            .then(|| std::time::Duration::from_millis(self.retry.deadline_ms));
+        let started = deadline.map(|_| std::time::Instant::now());
         loop {
             let r = match &sent {
                 Ok(out) => self.recv().map(|inb| (*out, inb)),
@@ -283,13 +286,25 @@ impl SocketChannel {
                     return Ok(());
                 }
                 Err(e) => {
-                    if attempt >= self.retry.max_retries || !e.is_transient() {
+                    // Give up before the next backoff would cross the
+                    // per-request deadline, with the typed non-transient
+                    // error so the caller escalates instead of retrying.
+                    let over_deadline = started.is_some_and(|t0| {
+                        t0.elapsed() + self.retry.backoff(attempt + 1) >= deadline.unwrap()
+                    });
+                    if attempt >= self.retry.max_retries || !e.is_transient() || over_deadline {
                         // The request frame may have physically left even
                         // though the round trip failed (send ok, recv
                         // fatal): keep bytes_out honest about what this
                         // attempt actually wrote.
                         if let Ok(out) = &sent {
                             self.stats.bytes_out += *out;
+                        }
+                        if over_deadline && e.is_transient() {
+                            let d =
+                                WireError::DeadlineExceeded { budget_ms: self.retry.deadline_ms };
+                            self.poisoned = Some(d.clone());
+                            return Err(d);
                         }
                         return Err(e);
                     }
@@ -361,6 +376,10 @@ impl Channel for SocketChannel {
 
     fn worker_name(&self) -> String {
         self.name.clone()
+    }
+
+    fn set_deadline(&mut self, deadline_ms: u64) {
+        self.retry.deadline_ms = deadline_ms;
     }
 
     /// The blocking socket still pipelines *across* channels: `submit`

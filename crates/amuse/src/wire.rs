@@ -230,6 +230,15 @@ pub enum WireError {
     Utf8,
     /// A fast-path decoder got a different (valid) response opcode.
     Unexpected(u8),
+    /// The request's retry/backoff loop ran out of wall-clock budget
+    /// (see [`crate::chaos::RetryPolicy::deadline_ms`]). Deliberately
+    /// *not* transient: the whole point of the deadline is to stop
+    /// retrying in place and hand the failure to the heal/restore
+    /// ladder.
+    DeadlineExceeded {
+        /// The budget that was exhausted, in milliseconds.
+        budget_ms: u64,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -253,6 +262,9 @@ impl std::fmt::Display for WireError {
             WireError::BadEventKind(k) => write!(f, "unknown stellar event kind {k}"),
             WireError::Utf8 => write!(f, "error string is not valid UTF-8"),
             WireError::Unexpected(o) => write!(f, "unexpected response opcode {o:#04x}"),
+            WireError::DeadlineExceeded { budget_ms } => {
+                write!(f, "request deadline of {budget_ms} ms exceeded")
+            }
         }
     }
 }
@@ -284,7 +296,8 @@ impl WireError {
             WireError::BadLength { .. }
             | WireError::BadEventKind(_)
             | WireError::Utf8
-            | WireError::Unexpected(_) => false,
+            | WireError::Unexpected(_)
+            | WireError::DeadlineExceeded { .. } => false,
         }
     }
 }
@@ -1298,6 +1311,7 @@ mod tests {
             WireError::BadEventKind(9),
             WireError::Utf8,
             WireError::Unexpected(0x81),
+            WireError::DeadlineExceeded { budget_ms: 250 },
         ] {
             assert!(!e.is_transient(), "{e:?} should escalate, not retry");
         }

@@ -7,7 +7,7 @@
 //! the results as JSON so every perf PR leaves a trajectory point behind.
 //!
 //! ```text
-//! perfsuite [--quick] [--socket] [--checkpoint] [--out PATH] [--check BASELINE] [--repeats K]
+//! perfsuite [--quick] [--socket] [--checkpoint] [--service] [--out PATH] [--check BASELINE] [--repeats K]
 //! perfsuite --compare OLD.json NEW.json
 //! ```
 //!
@@ -26,6 +26,14 @@
 //!   LoadState scatter). `interactions_per_s` holds container bytes/s,
 //!   so the trajectory tracks what a per-iteration checkpoint costs
 //!   next to an iteration itself
+//! * `--service` — add multi-session service rows:
+//!   `service_session_p99` drives a burst of small sessions through the
+//!   warm in-process pool (`ns_per_step` = p99 submit→complete latency,
+//!   `interactions_per_s` = sessions/s), and `service_shed_rate` bursts
+//!   4× a tiny queue bound to time the typed admission decision
+//!   (`ns_per_step` = ns per submit, `interactions_per_s` = shed
+//!   fraction). Both are scheduling/latency rows, so the gates report
+//!   them without failing on them
 //! * `--out` — output path (default `bench.json`; pass an explicit
 //!   `BENCH_PRn.json` when recording a committed baseline)
 //! * `--check` — compare against a committed baseline JSON and exit
@@ -70,7 +78,9 @@ const REGRESSION_FACTOR: f64 = 2.0;
 /// CPU-bound calibration cannot normalize them across machines, so the
 /// gates report them for the trajectory but never fail on them.
 fn latency_bound(kernel: &str) -> bool {
-    kernel.starts_with("channel_roundtrip") || kernel.starts_with("coupling_fanout")
+    kernel.starts_with("channel_roundtrip")
+        || kernel.starts_with("coupling_fanout")
+        || kernel.starts_with("service_")
 }
 
 /// One measured point.
@@ -93,6 +103,7 @@ fn main() {
     let mut quick = false;
     let mut socket = false;
     let mut checkpoint = false;
+    let mut service = false;
     // not a committed BENCH_*.json: a bare run must never clobber a
     // checked-in baseline
     let mut out_path = String::from("bench.json");
@@ -104,6 +115,7 @@ fn main() {
             "--quick" => quick = true,
             "--socket" => socket = true,
             "--checkpoint" => checkpoint = true,
+            "--service" => service = true,
             "--out" => out_path = it.next().expect("--out needs a path").clone(),
             "--check" => check_path = Some(it.next().expect("--check needs a path").clone()),
             "--repeats" => {
@@ -112,8 +124,8 @@ fn main() {
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: perfsuite [--quick] [--socket] [--checkpoint] [--out PATH] \
-                     [--check BASELINE] [--repeats K]"
+                    "usage: perfsuite [--quick] [--socket] [--checkpoint] [--service] \
+                     [--out PATH] [--check BASELINE] [--repeats K]"
                 );
                 std::process::exit(2);
             }
@@ -162,6 +174,11 @@ fn main() {
             samples.push(bench_checkpoint(n, repeats, false));
             samples.push(bench_checkpoint(n, repeats, true));
         }
+    }
+    if service {
+        let sessions = if quick { 200 } else { 1000 };
+        samples.push(bench_service_p99(sessions, repeats));
+        samples.push(bench_service_shed(repeats));
     }
 
     // Multi-thread scaling rows (all modes): the parallel kernels at
@@ -592,6 +609,111 @@ fn bench_checkpoint(n_stars: usize, repeats: usize, restore: bool) -> Sample {
         n: n_stars,
         ns_per_step: ns,
         interactions_per_s: bytes / ns * 1e9,
+    }
+}
+
+/// `--service`: p99 submit→complete latency for a burst of small
+/// sessions through the warm in-process pool. `n` is the session count,
+/// `ns_per_step` the best (lowest) p99 across repeats, and
+/// `interactions_per_s` the session throughput of that repeat.
+fn bench_service_p99(sessions: usize, repeats: usize) -> Sample {
+    use jc_service::{QuotaPolicy, Service, ServiceConfig, SessionSpec, SessionStatus};
+
+    let mut best_p99_ns = f64::INFINITY;
+    let mut best_rate = 0.0f64;
+    for _ in 0..repeats.max(1) {
+        let service = Service::new(ServiceConfig {
+            pool_size: 2,
+            quota: QuotaPolicy { max_queue_depth: sessions, per_tenant_in_flight: sessions },
+            ..ServiceConfig::default()
+        });
+        let t0 = Instant::now();
+        let ids: Vec<_> = (0..sessions)
+            .map(|i| {
+                let spec = SessionSpec {
+                    stars: 8,
+                    gas: 24,
+                    seed: 1 + i as u64,
+                    iterations: 2,
+                    substeps: 1,
+                    ..SessionSpec::default()
+                };
+                service.submit(&format!("tenant-{}", i % 4), spec).expect("admitted")
+            })
+            .collect();
+        let mut wall_ms: Vec<u64> = ids
+            .iter()
+            .map(|id| match service.wait(*id) {
+                Some(SessionStatus::Completed { wall_ms, .. }) => wall_ms,
+                other => panic!("service bench session failed: {other:?}"),
+            })
+            .collect();
+        let elapsed = t0.elapsed().as_secs_f64();
+        service.shutdown();
+        wall_ms.sort_unstable();
+        let p99 = wall_ms[((wall_ms.len() - 1) as f64 * 0.99).round() as usize] as f64 * 1e6;
+        if p99 < best_p99_ns {
+            best_p99_ns = p99;
+            best_rate = sessions as f64 / elapsed;
+        }
+    }
+    Sample {
+        kernel: "service_session_p99",
+        n: sessions,
+        ns_per_step: best_p99_ns,
+        interactions_per_s: best_rate,
+    }
+}
+
+/// `--service`: the typed admission decision under overload. A burst of
+/// 4× a tiny queue bound hits one slow host; `ns_per_step` is the mean
+/// cost of one `submit()` (admit or shed — never block),
+/// `interactions_per_s` the shed fraction of the burst.
+fn bench_service_shed(repeats: usize) -> Sample {
+    use jc_service::{QuotaPolicy, Service, ServiceConfig, SessionSpec, SubmitError};
+
+    const DEPTH: usize = 16;
+    const BURST: usize = 4 * DEPTH;
+    let mut best_ns = f64::INFINITY;
+    let mut best_shed = 0.0f64;
+    for _ in 0..repeats.max(1) {
+        let service = Service::new(ServiceConfig {
+            pool_size: 1,
+            quota: QuotaPolicy { max_queue_depth: DEPTH, per_tenant_in_flight: BURST },
+            ..ServiceConfig::default()
+        });
+        let spec = SessionSpec {
+            stars: 16,
+            gas: 64,
+            iterations: 4,
+            substeps: 2,
+            ..SessionSpec::default()
+        };
+        let mut shed = 0usize;
+        let t0 = Instant::now();
+        let mut ids = Vec::with_capacity(BURST);
+        for _ in 0..BURST {
+            match service.submit("burst", spec.clone()) {
+                Ok(id) => ids.push(id),
+                Err(SubmitError::Overloaded { .. }) => shed += 1,
+                Err(e) => panic!("unexpected rejection: {e}"),
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / BURST as f64;
+        for id in ids {
+            service.wait(id);
+        }
+        service.shutdown();
+        if ns < best_ns {
+            best_ns = ns;
+            best_shed = shed as f64 / BURST as f64;
+        }
+    }
+    Sample {
+        kernel: "service_shed_rate",
+        n: BURST,
+        ns_per_step: best_ns,
+        interactions_per_s: best_shed,
     }
 }
 

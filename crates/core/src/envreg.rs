@@ -32,6 +32,16 @@ pub const JC_ENV: &[(&str, &str)] = &[
          channels); defaults to 5000.",
     ),
     (
+        "JC_POOL_SIZE",
+        "Warm-host count for the multi-session service pool (jc_service::ServiceConfig::from_env); \
+         defaults to 2.",
+    ),
+    (
+        "JC_SESSION_DEADLINE_MS",
+        "Default per-session deadline budget for the multi-session service, measured from \
+         submission (queue time counts); 0 or unset means no deadline.",
+    ),
+    (
         "JC_THREADS",
         "Worker-thread count for the parallel chunking core (and the rayon shim); \
          defaults to the number of available CPUs.",

@@ -126,6 +126,11 @@ pub struct ProcessSupervisor {
     /// loop instead of a blocking [`SocketChannel`], so a
     /// [`jc_amuse::ShardedChannel`] over the pool fans out pipelined.
     reactor: Option<Rc<RefCell<Reactor>>>,
+    /// When set, every channel handed out carries this retry policy
+    /// (in-place resend of transient faults, optional per-request
+    /// deadline) — the service layer's warm pools lease channels that
+    /// must already know how to ride out a flaky link.
+    retry: Option<jc_amuse::chaos::RetryPolicy>,
 }
 
 static NEXT_TOKEN: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
@@ -143,7 +148,15 @@ impl ProcessSupervisor {
             port_dir: std::env::temp_dir(),
             token: NEXT_TOKEN.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             reactor: None,
+            retry: None,
         }
+    }
+
+    /// Hand out channels armed with `retry` (applies to
+    /// [`ProcessSupervisor::spawn_all`] and every later respawn alike).
+    pub fn with_retry(mut self, retry: jc_amuse::chaos::RetryPolicy) -> ProcessSupervisor {
+        self.retry = Some(retry);
+        self
     }
 
     /// Hand out event-driven [`ReactorChannel`]s on `reactor` instead
@@ -203,8 +216,20 @@ impl ProcessSupervisor {
         self.slots[i].addr = Some(addr);
         let name = format!("{}-{i}", self.specs[i].model);
         match &self.reactor {
-            Some(r) => Ok(Box::new(ReactorChannel::connect(r, addr, name)?)),
-            None => Ok(Box::new(SocketChannel::connect(addr, name)?)),
+            Some(r) => {
+                let mut ch = ReactorChannel::connect(r, addr, name)?;
+                if let Some(p) = &self.retry {
+                    ch = ch.with_retry(*p);
+                }
+                Ok(Box::new(ch))
+            }
+            None => {
+                let mut ch = SocketChannel::connect(addr, name)?;
+                if let Some(p) = &self.retry {
+                    ch = ch.with_retry(*p);
+                }
+                Ok(Box::new(ch))
+            }
         }
     }
 

@@ -1,0 +1,43 @@
+//! # jc_service — the resilient multi-session service layer
+//!
+//! The paper runs *one* coupled simulation per jungle reservation. This
+//! crate is the layer a shared deployment needs on top: a jobs API
+//! ([`Service::submit`] a [`SessionSpec`], poll [`Service::status`],
+//! stream the final snapshot over the existing wire protocol) in front
+//! of a session scheduler that places sessions onto a bounded pool of
+//! *warm* worker hosts — either in-process worker quads or
+//! `jungle-worker` process quads kept alive between sessions and reused
+//! via checkpoint restore ([`jc_amuse::worker::Request::LoadState`]).
+//!
+//! Robustness invariants, in escalation order (the supervision ladder):
+//!
+//! 1. **retry in place** — transient transport faults are resent by the
+//!    channel's [`jc_amuse::chaos::RetryPolicy`], bounded by the
+//!    session's wall-clock deadline propagated into
+//!    [`jc_amuse::chaos::RetryPolicy::deadline_ms`];
+//! 2. **heal + restore** — a fatal worker error inside an iteration is
+//!    handled by [`jc_amuse::bridge::Bridge::iteration_recovering`]
+//!    (heal channels, restore the last checkpoint, replay);
+//! 3. **migrate** — a dead host (chaos kill, unrecoverable bridge) gets
+//!    its session re-queued with the last good [`jc_amuse::Checkpoint`]
+//!    and an exclusion for the dead host; another warm host restores
+//!    and replays it, bitwise-identically;
+//! 4. **fail typed** — out of hosts or migrations (or out of deadline),
+//!    the session terminates with a typed [`SessionFailure`]; the
+//!    service itself never panics and never queues unboundedly
+//!    (admission control sheds with [`SubmitError::Overloaded`] /
+//!    [`SubmitError::QuotaExceeded`]).
+
+#![warn(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+#![deny(unreachable_pub)]
+
+pub mod pool;
+pub mod quota;
+pub mod service;
+pub mod session;
+
+pub use pool::{HostHealth, HostKind};
+pub use quota::QuotaPolicy;
+pub use service::{ChaosKillPolicy, Service, ServiceConfig, ServiceCounters};
+pub use session::{SessionFailure, SessionId, SessionSpec, SessionStatus, SubmitError};

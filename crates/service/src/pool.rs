@@ -1,0 +1,440 @@
+//! Warm hosts: reusable worker quads, their guarded channels, and the
+//! escalation-aware health board.
+//!
+//! A *host* is one warm quad of model workers (gravity, hydro,
+//! coupling, stellar) that outlives the sessions it runs. Placement is
+//! uniform across host kinds because every worker accepts
+//! [`jc_amuse::worker::Request::LoadState`]: starting a session on a
+//! warm host *is* a checkpoint restore, and migrating it to another
+//! host is the same restore from the last good checkpoint.
+//!
+//! Every channel a host hands out is wrapped in a `GuardedChannel`
+//! carrying the host's kill switch: chaos (or an operator) flips one
+//! `AtomicBool` and every subsequent call on that host fails through
+//! the *real* error path — the bridge sees worker errors, in-place
+//! recovery finds `heal` refusing, and the scheduler's migration rung
+//! takes over. No special-cased shortcuts.
+
+use jc_amuse::channel::{Channel, ChannelStats};
+use jc_amuse::worker::{ModelWorker, ParticleData, Request, Response};
+use jc_amuse::{EmbeddedCluster, LocalChannel};
+use jc_deploy::supervise::{ProcessSupervisor, WorkerSpec};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// What kind of workers a pool warms up.
+#[derive(Clone, Debug)]
+pub enum HostKind {
+    /// Worker quads living in the service process (one per pool slot,
+    /// each owned by its executor thread). The default: zero deploy
+    /// footprint, ideal for tests and load generation.
+    InProcess,
+    /// Real `jungle-worker` processes, four per host, launched and
+    /// reaped by a [`ProcessSupervisor`] with a port-file rendezvous.
+    Process {
+        /// Path to the `jungle-worker` binary.
+        binary: PathBuf,
+    },
+}
+
+/// One host's leased channel set, in [`jc_amuse::Bridge::new`] order.
+pub(crate) struct HostChannels {
+    pub(crate) gravity: Box<dyn Channel>,
+    pub(crate) hydro: Box<dyn Channel>,
+    pub(crate) coupling: Box<dyn Channel>,
+    pub(crate) stellar: Option<Box<dyn Channel>>,
+}
+
+/// Channel wrapper enforcing the host kill switch at every call
+/// boundary. While the switch is off it is a transparent delegate
+/// (including the borrowing and two-phase fast paths, so warm in-process
+/// hosts keep their allocation-free hot loop).
+pub(crate) struct GuardedChannel {
+    inner: Box<dyn Channel>,
+    dead: Arc<AtomicBool>,
+    /// A submit that found the host dead parks the error here so the
+    /// matching collect fails without desyncing the inner channel.
+    pending_dead: bool,
+}
+
+impl GuardedChannel {
+    pub(crate) fn new(inner: Box<dyn Channel>, dead: Arc<AtomicBool>) -> GuardedChannel {
+        GuardedChannel { inner, dead, pending_dead: false }
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+
+    fn dead_response(&self) -> Response {
+        Response::Error(format!("host killed ({})", self.inner.worker_name()))
+    }
+}
+
+impl Channel for GuardedChannel {
+    fn call(&mut self, req: Request) -> Response {
+        if self.is_dead() {
+            return self.dead_response();
+        }
+        self.inner.call(req)
+    }
+
+    fn submit(&mut self, req: Request) {
+        if self.is_dead() {
+            self.pending_dead = true;
+            return;
+        }
+        self.inner.submit(req)
+    }
+
+    fn collect(&mut self) -> Response {
+        if std::mem::take(&mut self.pending_dead) {
+            return self.dead_response();
+        }
+        self.inner.collect()
+    }
+
+    fn stats(&self) -> ChannelStats {
+        self.inner.stats()
+    }
+
+    fn worker_name(&self) -> String {
+        self.inner.worker_name()
+    }
+
+    /// A killed host must not look healable — in-place recovery has to
+    /// give up so the scheduler escalates to migration.
+    fn heal(&mut self) -> bool {
+        !self.is_dead() && self.inner.heal()
+    }
+
+    fn set_deadline(&mut self, deadline_ms: u64) {
+        self.inner.set_deadline(deadline_ms)
+    }
+
+    fn pipelines(&self) -> bool {
+        self.inner.pipelines()
+    }
+
+    fn snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        !self.is_dead() && self.inner.snapshot_into(out)
+    }
+
+    fn kick_slice(&mut self, dv: &[[f64; 3]]) -> Response {
+        if self.is_dead() {
+            return self.dead_response();
+        }
+        self.inner.kick_slice(dv)
+    }
+
+    fn compute_kick_into(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+        out: &mut Vec<[f64; 3]>,
+    ) -> Option<f64> {
+        if self.is_dead() {
+            return None;
+        }
+        self.inner.compute_kick_into(targets, source_pos, source_mass, out)
+    }
+
+    fn submit_snapshot(&mut self) {
+        if self.is_dead() {
+            self.pending_dead = true;
+            return;
+        }
+        self.inner.submit_snapshot()
+    }
+
+    fn collect_snapshot_into(&mut self, out: &mut ParticleData) -> bool {
+        !std::mem::take(&mut self.pending_dead) && self.inner.collect_snapshot_into(out)
+    }
+
+    fn submit_kick_slice(&mut self, dv: &[[f64; 3]]) {
+        if self.is_dead() {
+            self.pending_dead = true;
+            return;
+        }
+        self.inner.submit_kick_slice(dv)
+    }
+
+    fn collect_kick(&mut self) -> Response {
+        if std::mem::take(&mut self.pending_dead) {
+            return self.dead_response();
+        }
+        self.inner.collect_kick()
+    }
+
+    fn submit_compute_kick(
+        &mut self,
+        targets: &[[f64; 3]],
+        source_pos: &[[f64; 3]],
+        source_mass: &[f64],
+    ) {
+        if self.is_dead() {
+            self.pending_dead = true;
+            return;
+        }
+        self.inner.submit_compute_kick(targets, source_pos, source_mass)
+    }
+
+    fn collect_accelerations_into(&mut self, out: &mut Vec<[f64; 3]>) -> Option<f64> {
+        if std::mem::take(&mut self.pending_dead) {
+            return None;
+        }
+        self.inner.collect_accelerations_into(out)
+    }
+}
+
+/// One pool slot's health, as the board records it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HostHealth {
+    /// Serving normally.
+    Healthy,
+    /// Failed a session recently; still schedulable, but `strikes` more
+    /// failures away from being declared dead.
+    Suspect {
+        /// Consecutive session failures recorded.
+        strikes: u32,
+    },
+    /// Declared dead (kill switch or strike-out). Its executor re-warms
+    /// a fresh worker quad before serving again.
+    Dead,
+}
+
+/// The escalation-aware health registry: every host failure lands here,
+/// and the scheduler consults it when deciding whether a session can
+/// still go anywhere. Chaos kills are recorded per host so a soak can
+/// audit that the fault plan actually bit.
+pub(crate) struct HealthBoard {
+    slots: Mutex<Vec<SlotHealth>>,
+    strikes_to_dead: u32,
+}
+
+struct SlotHealth {
+    health: HostHealth,
+    /// Warm-up incarnation (bumped by every re-warm).
+    generation: u64,
+    chaos_kills: u64,
+}
+
+impl HealthBoard {
+    pub(crate) fn new(size: usize, strikes_to_dead: u32) -> HealthBoard {
+        let slots = (0..size)
+            .map(|_| SlotHealth { health: HostHealth::Healthy, generation: 0, chaos_kills: 0 })
+            .collect();
+        HealthBoard { slots: Mutex::new(slots), strikes_to_dead: strikes_to_dead.max(1) }
+    }
+
+    /// A session failed on host `i`: escalate Healthy → Suspect → Dead.
+    pub(crate) fn record_failure(&self, i: usize) -> HostHealth {
+        let mut slots = self.slots.lock().unwrap();
+        let h = &mut slots[i].health;
+        *h = match *h {
+            HostHealth::Healthy if self.strikes_to_dead > 1 => HostHealth::Suspect { strikes: 1 },
+            HostHealth::Suspect { strikes } if strikes + 1 < self.strikes_to_dead => {
+                HostHealth::Suspect { strikes: strikes + 1 }
+            }
+            _ => HostHealth::Dead,
+        };
+        *h
+    }
+
+    /// Host `i` was killed outright (chaos or operator): straight to
+    /// Dead, no strike accounting.
+    pub(crate) fn record_kill(&self, i: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[i].health = HostHealth::Dead;
+        slots[i].chaos_kills += 1;
+    }
+
+    /// Host `i` completed a session cleanly.
+    pub(crate) fn record_success(&self, i: usize) {
+        self.slots.lock().unwrap()[i].health = HostHealth::Healthy;
+    }
+
+    /// Host `i` re-warmed a fresh worker quad.
+    pub(crate) fn record_rewarm(&self, i: usize) {
+        let mut slots = self.slots.lock().unwrap();
+        slots[i].health = HostHealth::Healthy;
+        slots[i].generation += 1;
+    }
+
+    /// Current health of every slot.
+    pub(crate) fn snapshot(&self) -> Vec<HostHealth> {
+        self.slots.lock().unwrap().iter().map(|s| s.health).collect()
+    }
+
+    /// Total chaos kills recorded across the pool.
+    pub(crate) fn chaos_kills(&self) -> u64 {
+        self.slots.lock().unwrap().iter().map(|s| s.chaos_kills).sum()
+    }
+
+    /// Total re-warm incarnations across the pool.
+    pub(crate) fn generations(&self) -> u64 {
+        self.slots.lock().unwrap().iter().map(|s| s.generation).sum()
+    }
+}
+
+/// One warm host, owned by exactly one executor thread (channels never
+/// cross threads; only checkpoints do). Holds the live channel quad
+/// between leases and the supervisor for process-kind workers.
+pub(crate) struct WarmHost {
+    index: usize,
+    kind: HostKind,
+    kill: Arc<AtomicBool>,
+    channels: Option<HostChannels>,
+    supervisor: Option<ProcessSupervisor>,
+    retry: jc_amuse::chaos::RetryPolicy,
+}
+
+impl WarmHost {
+    pub(crate) fn new(
+        index: usize,
+        kind: HostKind,
+        kill: Arc<AtomicBool>,
+        retry: jc_amuse::chaos::RetryPolicy,
+    ) -> WarmHost {
+        WarmHost { index, kind, kill, channels: None, supervisor: None, retry }
+    }
+
+    /// Build (or rebuild) the worker quad. Clears the kill switch: a
+    /// fresh incarnation starts alive.
+    pub(crate) fn warm_up(&mut self) -> Result<(), String> {
+        // reap any previous incarnation first (processes included)
+        self.channels = None;
+        self.supervisor = None;
+        let guard = |inner: Box<dyn Channel>, kill: &Arc<AtomicBool>| -> Box<dyn Channel> {
+            Box::new(GuardedChannel::new(inner, Arc::clone(kill)))
+        };
+        match &self.kind {
+            HostKind::InProcess => {
+                // placeholder initial conditions — every session restores
+                // its own state over these before running
+                let cluster = EmbeddedCluster::build(8, 32, 0.5, 0xC0FFEE + self.index as u64);
+                let (g, h, c, s) = cluster.local_workers(false);
+                let local = |w: Box<dyn ModelWorker>| -> Box<dyn Channel> {
+                    Box::new(LocalChannel::new(w))
+                };
+                self.channels = Some(HostChannels {
+                    gravity: guard(local(g), &self.kill),
+                    hydro: guard(local(h), &self.kill),
+                    coupling: guard(local(c), &self.kill),
+                    stellar: Some(guard(local(s), &self.kill)),
+                });
+            }
+            HostKind::Process { binary } => {
+                let specs = ["gravity", "hydro", "coupling", "stellar"]
+                    .into_iter()
+                    .map(|model| WorkerSpec::new(binary.clone(), model))
+                    .collect();
+                let mut sup = ProcessSupervisor::new(specs, 0).with_retry(self.retry);
+                let mut chans = sup.spawn_all().map_err(|e| {
+                    format!("host {}: worker processes failed to launch: {e}", self.index)
+                })?;
+                // spawn_all returns spec order: gravity, hydro, coupling, stellar
+                let stellar = chans.pop().unwrap();
+                let coupling = chans.pop().unwrap();
+                let hydro = chans.pop().unwrap();
+                let gravity = chans.pop().unwrap();
+                self.channels = Some(HostChannels {
+                    gravity: guard(gravity, &self.kill),
+                    hydro: guard(hydro, &self.kill),
+                    coupling: guard(coupling, &self.kill),
+                    stellar: Some(guard(stellar, &self.kill)),
+                });
+                self.supervisor = Some(sup);
+            }
+        }
+        self.kill.store(false, Ordering::SeqCst);
+        Ok(())
+    }
+
+    pub(crate) fn is_killed(&self) -> bool {
+        self.kill.load(Ordering::SeqCst)
+    }
+
+    /// Trip this host's own kill switch (the chaos policy's self-kill).
+    pub(crate) fn trip_kill(&self) {
+        self.kill.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_warm(&self) -> bool {
+        self.channels.is_some()
+    }
+
+    /// Lease the channel quad for one session.
+    pub(crate) fn lease(&mut self) -> Option<HostChannels> {
+        self.channels.take()
+    }
+
+    /// Return the quad after a clean session.
+    pub(crate) fn release(&mut self, channels: HostChannels) {
+        self.channels = Some(channels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn local_guarded(dead: &Arc<AtomicBool>) -> GuardedChannel {
+        let cluster = EmbeddedCluster::build(4, 8, 0.5, 1);
+        let (g, _, _, _) = cluster.local_workers(false);
+        GuardedChannel::new(Box::new(LocalChannel::new(g)), Arc::clone(dead))
+    }
+
+    #[test]
+    fn guard_is_transparent_until_killed_then_fails_and_refuses_heal() {
+        let dead = Arc::new(AtomicBool::new(false));
+        let mut ch = local_guarded(&dead);
+        assert!(matches!(ch.call(Request::Ping), Response::Ok { .. }));
+        assert!(ch.heal());
+        dead.store(true, Ordering::SeqCst);
+        assert!(matches!(ch.call(Request::Ping), Response::Error(_)));
+        assert!(!ch.heal(), "a killed host must not look healable");
+        // two-phase paths fail without desyncing
+        ch.submit(Request::Ping);
+        assert!(matches!(ch.collect(), Response::Error(_)));
+        let mut out = ParticleData::default();
+        ch.submit_snapshot();
+        assert!(!ch.collect_snapshot_into(&mut out));
+    }
+
+    #[test]
+    fn health_board_escalates_and_recovers() {
+        let board = HealthBoard::new(2, 2);
+        assert_eq!(board.record_failure(0), HostHealth::Suspect { strikes: 1 });
+        assert_eq!(board.record_failure(0), HostHealth::Dead);
+        assert_eq!(board.snapshot()[1], HostHealth::Healthy);
+        board.record_rewarm(0);
+        assert_eq!(board.snapshot()[0], HostHealth::Healthy);
+        assert_eq!(board.generations(), 1);
+        board.record_kill(1);
+        assert_eq!(board.snapshot()[1], HostHealth::Dead);
+        assert_eq!(board.chaos_kills(), 1);
+    }
+
+    #[test]
+    fn warm_host_leases_and_rewarm_resets_kill() {
+        let kill = Arc::new(AtomicBool::new(false));
+        let mut host = WarmHost::new(
+            0,
+            HostKind::InProcess,
+            Arc::clone(&kill),
+            jc_amuse::chaos::RetryPolicy::none(),
+        );
+        host.warm_up().expect("in-process warm-up is infallible");
+        let quad = host.lease().expect("warm host has channels");
+        assert!(host.lease().is_none(), "one lease at a time");
+        host.release(quad);
+        kill.store(true, Ordering::SeqCst);
+        assert!(host.is_killed());
+        host.warm_up().expect("re-warm");
+        assert!(!host.is_killed(), "re-warm clears the kill switch");
+        assert!(host.is_warm());
+    }
+}

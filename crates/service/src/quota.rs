@@ -1,0 +1,117 @@
+//! Admission control: bounded queue depth and per-tenant quotas.
+//!
+//! The service's memory is bounded by construction — a session costs
+//! admission *before* anything is allocated for it, and both bounds
+//! shed with typed errors instead of blocking or queuing unboundedly.
+
+use crate::session::SubmitError;
+use std::collections::BTreeMap;
+
+/// The two admission bounds.
+#[derive(Clone, Copy, Debug)]
+pub struct QuotaPolicy {
+    /// Sessions that may wait in the global run queue at once. A
+    /// submission past this bound is shed with
+    /// [`SubmitError::Overloaded`].
+    pub max_queue_depth: usize,
+    /// Sessions one tenant may have in flight (queued + running) at
+    /// once. Past it: [`SubmitError::QuotaExceeded`].
+    pub per_tenant_in_flight: usize,
+}
+
+impl Default for QuotaPolicy {
+    fn default() -> QuotaPolicy {
+        QuotaPolicy { max_queue_depth: 64, per_tenant_in_flight: 8 }
+    }
+}
+
+/// Per-tenant in-flight bookkeeping. Entries are dropped the moment a
+/// tenant's count returns to zero, so the ledger's size is bounded by
+/// the number of tenants *currently admitted*, not ever seen.
+#[derive(Default)]
+pub(crate) struct TenantLedger {
+    in_flight: BTreeMap<String, usize>,
+}
+
+impl TenantLedger {
+    /// Check both bounds and, on success, charge the tenant one
+    /// in-flight slot. `queued_now` is the current global queue length.
+    pub(crate) fn try_admit(
+        &mut self,
+        tenant: &str,
+        policy: &QuotaPolicy,
+        queued_now: usize,
+    ) -> Result<(), SubmitError> {
+        if queued_now >= policy.max_queue_depth {
+            return Err(SubmitError::Overloaded {
+                queued: queued_now,
+                limit: policy.max_queue_depth,
+            });
+        }
+        let n = self.in_flight.get(tenant).copied().unwrap_or(0);
+        if n >= policy.per_tenant_in_flight {
+            return Err(SubmitError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                in_flight: n,
+                limit: policy.per_tenant_in_flight,
+            });
+        }
+        *self.in_flight.entry(tenant.to_string()).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Return a tenant's slot when its session reaches a terminal state.
+    pub(crate) fn release(&mut self, tenant: &str) {
+        if let Some(n) = self.in_flight.get_mut(tenant) {
+            *n -= 1;
+            if *n == 0 {
+                self.in_flight.remove(tenant);
+            }
+        }
+    }
+
+    /// In-flight sessions for one tenant.
+    #[cfg(test)]
+    pub(crate) fn in_flight(&self, tenant: &str) -> usize {
+        self.in_flight.get(tenant).copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_charges_and_releases() {
+        let policy = QuotaPolicy { max_queue_depth: 10, per_tenant_in_flight: 2 };
+        let mut ledger = TenantLedger::default();
+        assert!(ledger.try_admit("a", &policy, 0).is_ok());
+        assert!(ledger.try_admit("a", &policy, 0).is_ok());
+        match ledger.try_admit("a", &policy, 0) {
+            Err(SubmitError::QuotaExceeded { in_flight: 2, limit: 2, .. }) => {}
+            other => panic!("expected quota rejection, got {other:?}"),
+        }
+        // an unrelated tenant is unaffected
+        assert!(ledger.try_admit("b", &policy, 0).is_ok());
+        ledger.release("a");
+        assert!(ledger.try_admit("a", &policy, 0).is_ok());
+        // drained tenants leave no residue
+        ledger.release("a");
+        ledger.release("a");
+        ledger.release("b");
+        assert_eq!(ledger.in_flight("a"), 0);
+        assert!(ledger.in_flight.is_empty(), "ledger must not grow with tenant history");
+    }
+
+    #[test]
+    fn queue_bound_sheds_before_quota() {
+        let policy = QuotaPolicy { max_queue_depth: 1, per_tenant_in_flight: 100 };
+        let mut ledger = TenantLedger::default();
+        match ledger.try_admit("a", &policy, 1) {
+            Err(SubmitError::Overloaded { queued: 1, limit: 1 }) => {}
+            other => panic!("expected overload rejection, got {other:?}"),
+        }
+        // a shed submission must not charge the tenant
+        assert_eq!(ledger.in_flight("a"), 0);
+    }
+}

@@ -15,6 +15,7 @@ pub use jc_gat as gat;
 pub use jc_ipl as ipl;
 pub use jc_nbody as nbody;
 pub use jc_netsim as netsim;
+pub use jc_service as service;
 pub use jc_smartsockets as smartsockets;
 pub use jc_sph as sph;
 pub use jc_stellar as stellar;
